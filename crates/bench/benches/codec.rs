@@ -1,0 +1,99 @@
+//! Criterion microbenchmarks of the real codecs (the measured counterpart
+//! of Figure 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eckv_erasure::{CodecKind, Striper};
+
+const SIZES: [u64; 4] = [1 << 10, 64 << 10, 256 << 10, 1 << 20];
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode_rs32");
+    for kind in CodecKind::ALL {
+        let striper = Striper::from(kind.build(3, 2).expect("valid"));
+        for bytes in SIZES {
+            let value = vec![0xA5u8; bytes as usize];
+            g.throughput(Throughput::Bytes(bytes));
+            g.bench_with_input(
+                BenchmarkId::new(kind.label(), bytes),
+                &value,
+                |b, value| b.iter(|| striper.encode_value(std::hint::black_box(value))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_decode_two_failures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode_rs32_2f");
+    for kind in CodecKind::ALL {
+        let striper = Striper::from(kind.build(3, 2).expect("valid"));
+        for bytes in SIZES {
+            let value = vec![0xC3u8; bytes as usize];
+            let stripe = striper.encode_value(&value);
+            g.throughput(Throughput::Bytes(bytes));
+            g.bench_with_input(
+                BenchmarkId::new(kind.label(), bytes),
+                &stripe,
+                |b, stripe| {
+                    b.iter(|| {
+                        let mut shards: Vec<Option<Vec<u8>>> =
+                            stripe.shards.iter().cloned().map(Some).collect();
+                        shards[0] = None;
+                        shards[1] = None;
+                        striper
+                            .decode_value(&mut shards, stripe.original_len)
+                            .expect("recoverable")
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_lrc_repair(c: &mut Criterion) {
+    use eckv_erasure::{ErasureCodec, Lrc, RsVandermonde};
+    let mut g = c.benchmark_group("single_shard_repair_256k");
+    let bytes: usize = 256 << 10;
+    // RS(6,4): rebuild shard 0 from 6 survivors.
+    let rs = RsVandermonde::new(6, 4).expect("valid");
+    let data: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; bytes / 6]).collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let mut parity: Vec<Vec<u8>> = vec![vec![0u8; bytes / 6]; 4];
+    {
+        let mut prefs: Vec<&mut [u8]> = parity.iter_mut().map(|p| p.as_mut_slice()).collect();
+        rs.encode(&refs, &mut prefs).expect("encode");
+    }
+    let mut rs_all: Vec<Vec<u8>> = data.clone();
+    rs_all.extend(parity.clone());
+    g.throughput(Throughput::Bytes((bytes / 6) as u64));
+    g.bench_function("RS(6,4)", |b| {
+        b.iter(|| {
+            let mut shards: Vec<Option<Vec<u8>>> = rs_all.iter().cloned().map(Some).collect();
+            shards[0] = None;
+            rs.reconstruct(&mut shards).expect("recoverable");
+            shards
+        })
+    });
+    // LRC(6,2,2): same loss, local-group repair.
+    let lrc = Lrc::new(6, 2, 2).expect("valid");
+    let mut lparity: Vec<Vec<u8>> = vec![vec![0u8; bytes / 6]; 4];
+    {
+        let mut prefs: Vec<&mut [u8]> = lparity.iter_mut().map(|p| p.as_mut_slice()).collect();
+        lrc.encode(&refs, &mut prefs).expect("encode");
+    }
+    let mut lrc_all: Vec<Vec<u8>> = data.clone();
+    lrc_all.extend(lparity);
+    g.bench_function("LRC(6,2,2)", |b| {
+        b.iter(|| {
+            let mut shards: Vec<Option<Vec<u8>>> = lrc_all.iter().cloned().map(Some).collect();
+            shards[0] = None;
+            lrc.reconstruct(&mut shards).expect("recoverable");
+            shards
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode_two_failures, bench_lrc_repair);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmark of the full engine + simulator: virtual operations
+//! executed per second of host time, per resilience scheme. Useful for
+//! keeping the experiment harness fast enough for the paper-scale sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eckv_core::{driver, ops::Op, EngineConfig, Scheme, World};
+use eckv_simnet::{ClusterProfile, Simulation};
+use eckv_store::ClusterConfig;
+
+const OPS: usize = 500;
+
+fn run_sets(scheme: Scheme) {
+    let world = World::new(EngineConfig::new(
+        ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+        scheme,
+    ));
+    let mut sim = Simulation::new();
+    let ops: Vec<Op> = (0..OPS)
+        .map(|i| Op::set_synthetic(format!("k{i}"), 64 << 10, i as u64))
+        .collect();
+    driver::run_workload(&world, &mut sim, vec![ops]);
+    assert_eq!(world.metrics.borrow().errors, 0);
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_64k_sets");
+    g.throughput(Throughput::Elements(OPS as u64));
+    for (label, scheme) in [
+        ("sync-rep", Scheme::SyncRep { replicas: 3 }),
+        ("async-rep", Scheme::AsyncRep { replicas: 3 }),
+        ("era-ce-cd", Scheme::era_ce_cd(3, 2)),
+        ("era-se-sd", Scheme::era_se_sd(3, 2)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &scheme, |b, &s| {
+            b.iter(|| run_sets(s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion microbenchmarks of the GF(2^8) slice kernels that dominate
+//! encode/decode time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eckv_gf::slice;
+
+const SIZES: [usize; 3] = [4 << 10, 64 << 10, 1 << 20];
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf_kernels");
+    for bytes in SIZES {
+        let src = vec![0x5Au8; bytes];
+        let mut dst = vec![0xA5u8; bytes];
+        g.throughput(Throughput::Bytes(bytes as u64));
+        g.bench_with_input(BenchmarkId::new("xor_slice", bytes), &bytes, |b, _| {
+            b.iter(|| slice::xor_slice(std::hint::black_box(&src), &mut dst))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("mul_slice_xor", bytes),
+            &bytes,
+            |b, _| b.iter(|| slice::mul_slice_xor(0x1D, std::hint::black_box(&src), &mut dst)),
+        );
+        g.bench_with_input(BenchmarkId::new("mul_slice", bytes), &bytes, |b, _| {
+            b.iter(|| slice::mul_slice(0x1D, std::hint::black_box(&src), &mut dst))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,361 @@
+//! `eckv-sim` — run a custom experiment on the simulated cluster from the
+//! command line.
+//!
+//! ```text
+//! eckv-sim [--scheme era-ce-cd|era-se-sd|era-se-cd|era-ce-sd|async-rep|sync-rep|norep|hybrid]
+//!          [--k 3] [--m 2] [--replicas 3] [--threshold 16K]
+//!          [--profile ri-qdr|sdsc-comet|ri2-edr] [--transport rdma|ipoib]
+//!          [--servers 5] [--clients 1] [--client-nodes N]
+//!          [--ops 1000] [--size 64K] [--window 16]
+//!          [--workload setget|ycsb-a|ycsb-b|ycsb-c|ycsb-d]
+//!          [--kill 1,3] [--repair FAILED]
+//!          [--ssd CAPACITY] [--timeline out.csv]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! eckv-sim --scheme era-ce-cd --size 1M --ops 500
+//! eckv-sim --scheme async-rep --workload ycsb-a --clients 30 --size 32K
+//! eckv-sim --scheme era-ce-cd --kill 1,3 --repair 1
+//! ```
+
+use std::rc::Rc;
+
+use eckv_core::{driver, ops::Op, repair, EngineConfig, Scheme, World};
+use eckv_simnet::{ClusterProfile, Simulation, TransportKind};
+use eckv_store::ClusterConfig;
+use eckv_ycsb::{Workload, YcsbConfig};
+
+#[derive(Debug)]
+struct Args {
+    scheme: String,
+    k: usize,
+    m: usize,
+    replicas: usize,
+    threshold: u64,
+    profile: ClusterProfile,
+    transport: TransportKind,
+    servers: usize,
+    clients: usize,
+    client_nodes: Option<usize>,
+    ops: usize,
+    size: u64,
+    window: usize,
+    workload: String,
+    kill: Vec<usize>,
+    repair: Option<usize>,
+    timeline: Option<String>,
+    ssd: Option<u64>,
+}
+
+fn parse_size(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let (num, mult) = if let Some(n) = s.strip_suffix(['K', 'k']) {
+        (n, 1u64 << 10)
+    } else if let Some(n) = s.strip_suffix(['M', 'm']) {
+        (n, 1u64 << 20)
+    } else if let Some(n) = s.strip_suffix(['G', 'g']) {
+        (n, 1u64 << 30)
+    } else {
+        (s, 1)
+    };
+    num.parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|e| format!("bad size '{s}': {e}"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        scheme: "era-ce-cd".into(),
+        k: 3,
+        m: 2,
+        replicas: 3,
+        threshold: 16 << 10,
+        profile: ClusterProfile::RiQdr,
+        transport: TransportKind::Rdma,
+        servers: 5,
+        clients: 1,
+        client_nodes: None,
+        ops: 1000,
+        size: 64 << 10,
+        window: 16,
+        workload: "setget".into(),
+        kill: Vec::new(),
+        repair: None,
+        timeline: None,
+        ssd: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = |i: usize| -> Result<&str, String> {
+            argv.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--scheme" => a.scheme = value(i)?.to_owned(),
+            "--k" => a.k = value(i)?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--m" => a.m = value(i)?.parse().map_err(|e| format!("--m: {e}"))?,
+            "--replicas" => {
+                a.replicas = value(i)?.parse().map_err(|e| format!("--replicas: {e}"))?
+            }
+            "--threshold" => a.threshold = parse_size(value(i)?)?,
+            "--profile" => {
+                a.profile = match value(i)? {
+                    "ri-qdr" => ClusterProfile::RiQdr,
+                    "sdsc-comet" => ClusterProfile::SdscComet,
+                    "ri2-edr" => ClusterProfile::Ri2Edr,
+                    other => return Err(format!("unknown profile '{other}'")),
+                }
+            }
+            "--transport" => {
+                a.transport = match value(i)? {
+                    "rdma" => TransportKind::Rdma,
+                    "ipoib" => TransportKind::Ipoib,
+                    other => return Err(format!("unknown transport '{other}'")),
+                }
+            }
+            "--servers" => a.servers = value(i)?.parse().map_err(|e| format!("--servers: {e}"))?,
+            "--clients" => a.clients = value(i)?.parse().map_err(|e| format!("--clients: {e}"))?,
+            "--client-nodes" => {
+                a.client_nodes =
+                    Some(value(i)?.parse().map_err(|e| format!("--client-nodes: {e}"))?)
+            }
+            "--ops" => a.ops = value(i)?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--size" => a.size = parse_size(value(i)?)?,
+            "--window" => a.window = value(i)?.parse().map_err(|e| format!("--window: {e}"))?,
+            "--workload" => a.workload = value(i)?.to_owned(),
+            "--kill" => {
+                a.kill = value(i)?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--kill: {e}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--repair" => a.repair = Some(value(i)?.parse().map_err(|e| format!("--repair: {e}"))?),
+            "--timeline" => a.timeline = Some(value(i)?.to_owned()),
+            "--ssd" => a.ssd = Some(parse_size(value(i)?)?),
+            "--help" | "-h" => {
+                println!("see the module docs at the top of eckv_sim.rs for usage");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 2;
+    }
+    Ok(a)
+}
+
+fn scheme_of(a: &Args) -> Result<Scheme, String> {
+    Ok(match a.scheme.as_str() {
+        "era-ce-cd" => Scheme::era_ce_cd(a.k, a.m),
+        "era-se-sd" => Scheme::era_se_sd(a.k, a.m),
+        "era-se-cd" => Scheme::era_se_cd(a.k, a.m),
+        "era-ce-sd" => Scheme::era_ce_sd(a.k, a.m),
+        "async-rep" => Scheme::AsyncRep {
+            replicas: a.replicas,
+        },
+        "sync-rep" => Scheme::SyncRep {
+            replicas: a.replicas,
+        },
+        "norep" => Scheme::NoRep,
+        "hybrid" => Scheme::hybrid(a.threshold, a.k, a.m),
+        other => return Err(format!("unknown scheme '{other}'")),
+    })
+}
+
+fn print_report(world: &Rc<World>) {
+    let m = world.metrics.borrow();
+    println!("\n== results ==");
+    println!("ops completed     : {}", m.ops());
+    println!("errors            : {}", m.errors);
+    println!("integrity errors  : {}", m.integrity_errors);
+    println!("virtual elapsed   : {}", m.elapsed());
+    println!("throughput        : {:.0} ops/s", m.throughput_ops_per_sec());
+    if m.set_count > 0 {
+        println!("set latency       : {}", m.set_summary());
+        println!("set breakdown/op  : {}", m.avg_set_breakdown());
+    }
+    if m.get_count > 0 {
+        println!("get latency       : {}", m.get_summary());
+        println!("get breakdown/op  : {}", m.avg_get_breakdown());
+    }
+    drop(m);
+    let mem = world.memory_report();
+    println!(
+        "cluster memory    : {:.2} GB used of {:.2} GB ({:.1}%), {} evictions",
+        mem.used_bytes as f64 / (1u64 << 30) as f64,
+        mem.capacity_bytes as f64 / (1u64 << 30) as f64,
+        mem.pct_used(),
+        mem.evictions,
+    );
+    let span = world.metrics.borrow().elapsed().as_secs_f64();
+    for (i, srv) in world.cluster.servers.iter().enumerate() {
+        let st = srv.borrow().stats();
+        let (tx, rx) = world
+            .cluster
+            .net
+            .borrow()
+            .nic_busy(world.cluster.server_node(i));
+        let pct = |d: eckv_simnet::SimDuration| {
+            if span > 0.0 {
+                100.0 * d.as_secs_f64() / span
+            } else {
+                0.0
+            }
+        };
+        println!(
+            "  server {i}: {} items, {} sets, {} hits, {} misses, nic tx {:.0}% rx {:.0}%{}",
+            st.items,
+            st.sets,
+            st.hits,
+            st.misses,
+            pct(tx),
+            pct(rx),
+            if world.cluster.is_server_alive(i) {
+                ""
+            } else {
+                "  [DEAD]"
+            }
+        );
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\nrun with --help for usage");
+            std::process::exit(2);
+        }
+    };
+    let scheme = match scheme_of(&args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut cluster = ClusterConfig::new(args.profile, args.servers, args.clients)
+        .transport(args.transport)
+        .client_nodes(args.client_nodes.unwrap_or(args.clients.max(1)));
+    if let Some(capacity) = args.ssd {
+        cluster = cluster.ssd(eckv_store::SsdSpec::RI_QDR_PCIE.with_capacity(capacity));
+    }
+    let world = World::new(
+        EngineConfig::new(cluster, scheme)
+            .window(args.window)
+            .validate(args.workload == "setget")
+            .record_timeline(args.timeline.is_some()),
+    );
+    let mut sim = Simulation::new();
+
+    println!(
+        "scheme={} profile={} transport={:?} servers={} clients={} ops={} size={}B window={}",
+        scheme.label(),
+        args.profile,
+        args.transport,
+        args.servers,
+        args.clients,
+        args.ops,
+        args.size,
+        args.window,
+    );
+
+    match args.workload.as_str() {
+        "setget" => {
+            let writes: Vec<Vec<Op>> = (0..args.clients)
+                .map(|c| {
+                    (0..args.ops)
+                        .map(|i| {
+                            Op::set_synthetic(
+                                format!("c{c}-k{i}"),
+                                args.size,
+                                (c * args.ops + i) as u64,
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            driver::run_workload(&world, &mut sim, writes);
+            println!("\n== write phase ==");
+            print_report(&world);
+
+            for &k in &args.kill {
+                world.cluster.kill_server(k);
+                println!("\nkilled server {k}");
+            }
+            if let Some(failed) = args.repair {
+                let r = repair::repair_server(&world, &mut sim, failed);
+                println!(
+                    "repaired server {failed}: {} keys, {} lost, {:.1} MB read, {:.1} MB written, {}",
+                    r.keys_repaired,
+                    r.keys_lost,
+                    r.bytes_read as f64 / (1u64 << 20) as f64,
+                    r.bytes_written as f64 / (1u64 << 20) as f64,
+                    r.elapsed,
+                );
+            }
+
+            world.reset_metrics();
+            let reads: Vec<Vec<Op>> = (0..args.clients)
+                .map(|c| (0..args.ops).map(|i| Op::get(format!("c{c}-k{i}"))).collect())
+                .collect();
+            driver::run_workload(&world, &mut sim, reads);
+            println!("\n== read phase ==");
+            print_report(&world);
+        }
+        w @ ("ycsb-a" | "ycsb-b" | "ycsb-c" | "ycsb-d") => {
+            let workload = match w {
+                "ycsb-a" => Workload::A,
+                "ycsb-b" => Workload::B,
+                "ycsb-c" => Workload::C,
+                _ => Workload::D,
+            };
+            let cfg = YcsbConfig {
+                workload,
+                record_count: (args.ops as u64 * args.clients as u64 / 2).max(100),
+                ops_per_client: args.ops as u64,
+                clients: args.clients,
+                value_len: args.size,
+                seed: 2017,
+            };
+            let report = eckv_ycsb::run(&world, &mut sim, &cfg);
+            println!("\n== {workload} ==");
+            println!("throughput        : {:.0} ops/s", report.throughput);
+            println!("read latency      : {}", report.read_latency);
+            println!("write latency     : {}", report.write_latency);
+            println!("errors            : {}", report.errors);
+            print_report(&world);
+        }
+        other => {
+            eprintln!("error: unknown workload '{other}'");
+            std::process::exit(2);
+        }
+    }
+
+    if let Some(path) = &args.timeline {
+        let m = world.metrics.borrow();
+        let Some(points) = &m.timeline else {
+            eprintln!("timeline recording was not enabled");
+            return;
+        };
+        let mut csv = String::from("at_us,kind,latency_us,ok\n");
+        for p in points {
+            csv.push_str(&format!(
+                "{:.3},{:?},{:.3},{}\n",
+                p.at.as_nanos() as f64 / 1e3,
+                p.kind,
+                p.latency.as_micros_f64(),
+                p.ok,
+            ));
+        }
+        match std::fs::write(path, csv) {
+            Ok(()) => println!("\nwrote {} timeline samples to {path}", points.len()),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}

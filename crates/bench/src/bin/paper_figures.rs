@@ -1,0 +1,94 @@
+//! Regenerates the paper's tables and figures on the simulated clusters.
+//!
+//! ```text
+//! paper-figures [fig4|fig8|fig9|fig10|fig11|fig12|fig13|all] [--quick]
+//! ```
+//!
+//! `--quick` shrinks client counts/op counts for a fast smoke run; omit it
+//! to reproduce the paper-scale sweeps (minutes of wall time; build with
+//! `--release`).
+
+use eckv_bench::{ablations, fig10, fig11_12, fig13, fig4, fig8, fig9, model_check};
+use eckv_simnet::ClusterProfile;
+use eckv_ycsb::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
+
+    let all = which == "all";
+    let mut ran = false;
+
+    if all || which == "fig4" {
+        ran = true;
+        println!("{}", fig4::encode_table(quick));
+        println!("{}", fig4::decode_table(quick));
+        println!("{}", fig4::tuned_packet_table(quick));
+    }
+    if all || which == "fig8" {
+        ran = true;
+        println!("{}", fig8::set_table(quick));
+        println!("{}", fig8::get_table(quick, 0));
+        println!("{}", fig8::get_table(quick, 2));
+    }
+    if all || which == "fig9" {
+        ran = true;
+        println!("{}", fig9::set_breakdown(quick));
+        println!("{}", fig9::get_breakdown(quick));
+    }
+    if all || which == "fig10" {
+        ran = true;
+        println!("{}", fig10::memory_table(quick));
+    }
+    if all || which == "fig11" || which == "fig12" {
+        ran = true;
+        let scale = if quick {
+            fig11_12::Scale::quick()
+        } else {
+            fig11_12::Scale::paper()
+        };
+        for profile in [ClusterProfile::SdscComet, ClusterProfile::Ri2Edr] {
+            for workload in [Workload::A, Workload::B] {
+                if all || which == "fig11" {
+                    println!("{}", fig11_12::latency_table(profile, workload, &scale));
+                }
+                if all || which == "fig12" {
+                    println!("{}", fig11_12::throughput_table(profile, workload, &scale));
+                }
+            }
+        }
+    }
+    if all || which == "fig13" {
+        ran = true;
+        println!("{}", fig13::dfsio_table(quick));
+    }
+    if all || which == "model" {
+        ran = true;
+        println!("{}", model_check::table());
+    }
+    if all || which == "ablations" {
+        ran = true;
+        println!("{}", ablations::window_sweep(quick));
+        println!("{}", ablations::km_sweep(quick));
+        println!("{}", ablations::hybrid_sweep(quick));
+        println!("{}", ablations::recovery_table(quick));
+        println!("{}", ablations::lrc_locality_table());
+        println!("{}", ablations::load_balance_table(quick));
+        println!("{}", ablations::iterative_table(quick));
+        println!("{}", ablations::availability_timeline(quick));
+        println!("{}", ablations::schedule_table());
+        println!("{}", ablations::ssd_table(quick));
+    }
+
+    if !ran {
+        eprintln!(
+            "unknown figure '{which}'; expected fig4, fig8, fig9, fig10, fig11, fig12, fig13, model, ablations or all"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Figure 10: memory efficiency — percent of aggregate server memory used
+//! (and cache data lost to eviction) as concurrent writers scale.
+
+use eckv_core::{driver, ops::Op, EngineConfig, Scheme, World};
+use eckv_simnet::{ClusterProfile, Simulation};
+use eckv_store::ClusterConfig;
+
+use crate::Table;
+
+/// One experiment point.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryPoint {
+    /// Concurrent writer clients.
+    pub clients: usize,
+    /// Percent of aggregate memory used after the writes.
+    pub pct_used: f64,
+    /// Gigabytes of cached data lost to eviction.
+    pub loss_gb: f64,
+}
+
+/// Runs `clients` writers each storing `ops` values of `value_len` bytes
+/// against 5 servers with `server_mem` bytes each.
+pub fn run_point(
+    scheme: Scheme,
+    clients: usize,
+    ops: usize,
+    value_len: u64,
+    server_mem: u64,
+) -> MemoryPoint {
+    let world = World::new(
+        EngineConfig::new(
+            ClusterConfig::new(ClusterProfile::RiQdr, 5, clients)
+                .client_nodes(clients.min(10))
+                .server_memory(server_mem),
+            scheme,
+        )
+        .validate(false),
+    );
+    let mut sim = Simulation::new();
+    let streams: Vec<Vec<Op>> = (0..clients)
+        .map(|c| {
+            (0..ops)
+                .map(|i| {
+                    Op::set_synthetic(
+                        format!("mem-c{c}-k{i}"),
+                        value_len,
+                        (c * ops + i) as u64,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    driver::run_workload(&world, &mut sim, streams);
+    let report = world.memory_report();
+    MemoryPoint {
+        clients,
+        pct_used: report.pct_used(),
+        loss_gb: report.evicted_bytes as f64 / (1u64 << 30) as f64,
+    }
+}
+
+/// Figure 10 table. Full scale: 1–40 clients x 1 K x 1 MB against
+/// 5 x 20 GB servers (the paper's setup); quick mode shrinks everything
+/// proportionally so the saturation point is still crossed.
+pub fn memory_table(quick: bool) -> Table {
+    let (client_counts, ops, value_len, server_mem): (Vec<usize>, usize, u64, u64) = if quick {
+        (vec![1, 4, 8], 200, 1 << 20, 1 << 30)
+    } else {
+        (vec![1, 8, 16, 24, 32, 40], 1000, 1 << 20, 20 << 30)
+    };
+    let mut t = Table::new(
+        "Fig. 10 - Memory efficiency (5 servers, 1 MB values)",
+        &[
+            "clients",
+            "AsyncRep %used",
+            "AsyncRep loss GB",
+            "Era-RS(3,2) %used",
+            "Era-RS(3,2) loss GB",
+        ],
+    );
+    for &clients in &client_counts {
+        let rep = run_point(
+            Scheme::AsyncRep { replicas: 3 },
+            clients,
+            ops,
+            value_len,
+            server_mem,
+        );
+        let era = run_point(Scheme::era_ce_cd(3, 2), clients, ops, value_len, server_mem);
+        t.row(vec![
+            clients.to_string(),
+            format!("{:.1}", rep.pct_used),
+            format!("{:.2}", rep.loss_gb),
+            format!("{:.1}", era.pct_used),
+            format!("{:.2}", era.loss_gb),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_saturates_while_erasure_does_not() {
+        // Quick-scale version of the paper's 40-client point: writers push
+        // 1.6 GB x3 into 5 GB of aggregate memory.
+        let rep = run_point(Scheme::AsyncRep { replicas: 3 }, 8, 200, 1 << 20, 1 << 30);
+        let era = run_point(Scheme::era_ce_cd(3, 2), 8, 200, 1 << 20, 1 << 30);
+        assert!(rep.pct_used > 90.0, "replication should saturate: {rep:?}");
+        assert!(rep.loss_gb > 0.0, "saturated replication loses data");
+        assert!(
+            era.pct_used < rep.pct_used * 0.75,
+            "era {era:?} must use well under replication {rep:?}"
+        );
+        assert_eq!(era.loss_gb, 0.0, "era must not lose data here: {era:?}");
+    }
+
+    #[test]
+    fn light_load_uses_proportional_memory() {
+        let rep = run_point(Scheme::AsyncRep { replicas: 3 }, 1, 50, 1 << 20, 1 << 30);
+        let era = run_point(Scheme::era_ce_cd(3, 2), 1, 50, 1 << 20, 1 << 30);
+        // 50 MB of data: x3 for replication vs x1.67 (+slab overhead) era.
+        let ratio = rep.pct_used / era.pct_used;
+        assert!((1.3..=2.4).contains(&ratio), "rep/era ratio {ratio}");
+    }
+}

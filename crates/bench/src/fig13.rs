@@ -1,0 +1,130 @@
+//! Figure 13: TestDFSIO write/read throughput over Lustre — `Lustre-Direct`
+//! vs the Boldio burst buffer with async replication and with online
+//! erasure coding.
+
+use std::rc::Rc;
+
+use eckv_boldio::{testdfsio, DfsioConfig, DfsioReport, LustreConfig};
+use eckv_core::{EngineConfig, Scheme, World};
+use eckv_simnet::{ClusterProfile, Simulation};
+use eckv_store::ClusterConfig;
+
+use crate::Table;
+
+/// The burst-buffer variants of Figure 13 (plus the Lustre-Direct
+/// baseline handled separately).
+pub fn boldio_schemes() -> Vec<(&'static str, Scheme)> {
+    vec![
+        ("Boldio_Async-Rep", Scheme::AsyncRep { replicas: 3 }),
+        ("Boldio_Era-CE-CD", Scheme::era_ce_cd(3, 2)),
+        ("Boldio_Era-SE-CD", Scheme::era_se_cd(3, 2)),
+    ]
+}
+
+/// Builds the 5-server RI-QDR buffer world for a Boldio run (24 GB per
+/// server, as in the paper).
+pub fn boldio_world(scheme: Scheme, cfg: &DfsioConfig) -> Rc<World> {
+    World::new(
+        EngineConfig::new(
+            ClusterConfig::new(ClusterProfile::RiQdr, 5, cfg.buffer_maps())
+                .client_nodes(cfg.buffer_hosts)
+                .server_memory(24 << 30),
+            scheme,
+        )
+        .window(cfg.pipeline)
+        .validate(false),
+    )
+}
+
+/// Runs one Boldio deployment.
+pub fn run_boldio_variant(scheme: Scheme, cfg: &DfsioConfig) -> DfsioReport {
+    let world = boldio_world(scheme, cfg);
+    let mut sim = Simulation::new();
+    testdfsio::run_boldio(&world, &mut sim, cfg, &LustreConfig::RI_QDR)
+}
+
+/// Job sizes swept (bytes).
+pub fn job_sizes(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![1 << 30]
+    } else {
+        vec![10 << 30, 20 << 30, 30 << 30, 40 << 30]
+    }
+}
+
+/// Figure 13 table: write and read MB/s for all four deployments, plus the
+/// buffer memory each resilience scheme consumed.
+pub fn dfsio_table(quick: bool) -> Table {
+    let mut t = Table::new(
+        "Fig. 13 - TestDFSIO aggregate throughput on RI-QDR (MB/s)",
+        &[
+            "size/variant",
+            "write MB/s",
+            "read MB/s",
+            "buffer GB",
+            "misses",
+        ],
+    );
+    for total in job_sizes(quick) {
+        let cfg = DfsioConfig::paper(total);
+        let gb = total >> 30;
+        let direct = testdfsio::run_lustre_direct(&cfg, &LustreConfig::RI_QDR);
+        t.row(vec![
+            format!("{gb}GB/Lustre-Direct"),
+            format!("{:.0}", direct.write_mbps),
+            format!("{:.0}", direct.read_mbps),
+            "-".to_owned(),
+            "-".to_owned(),
+        ]);
+        for (label, scheme) in boldio_schemes() {
+            let r = run_boldio_variant(scheme, &cfg);
+            t.row(vec![
+                format!("{gb}GB/{label}"),
+                format!("{:.0}", r.write_mbps),
+                format!("{:.0}", r.read_mbps),
+                format!("{:.1}", r.buffer_memory_used as f64 / (1u64 << 30) as f64),
+                r.buffer_misses.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boldio_era_matches_async_rep_within_tolerance() {
+        // Fig. 13 finding: Era-CE-CD incurs no write overhead and <9% read
+        // overhead vs Boldio_Async-Rep, with ~1.8x memory savings.
+        let cfg = DfsioConfig::paper(2 << 30);
+        let rep = run_boldio_variant(Scheme::AsyncRep { replicas: 3 }, &cfg);
+        let era = run_boldio_variant(Scheme::era_ce_cd(3, 2), &cfg);
+        let write_ratio = era.write_mbps / rep.write_mbps;
+        let read_ratio = era.read_mbps / rep.read_mbps;
+        assert!(write_ratio > 0.9, "era/rep write ratio {write_ratio}");
+        assert!(read_ratio > 0.8, "era/rep read ratio {read_ratio}");
+        assert!(
+            (era.buffer_memory_used as f64) < rep.buffer_memory_used as f64 * 0.7,
+            "era memory {} vs rep {}",
+            era.buffer_memory_used,
+            rep.buffer_memory_used
+        );
+    }
+
+    #[test]
+    fn boldio_beats_lustre_direct_at_paper_scale() {
+        let cfg = DfsioConfig::paper(2 << 30);
+        let direct = testdfsio::run_lustre_direct(&cfg, &LustreConfig::RI_QDR);
+        let boldio = run_boldio_variant(Scheme::AsyncRep { replicas: 3 }, &cfg);
+        let write_gain = boldio.write_mbps / direct.write_mbps;
+        let read_gain = boldio.read_mbps / direct.read_mbps;
+        assert!(write_gain > 1.5, "write gain {write_gain}");
+        assert!(read_gain > 2.5, "read gain {read_gain}");
+        assert!(
+            read_gain > write_gain,
+            "reads should gain more, as in the paper (5.9x vs 2.6x)"
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Figure 8: Set/Get latency micro-benchmarks on the RI-QDR cluster
+//! (5 servers, 1 client, 1 K operations per point, 16 B keys).
+
+use std::rc::Rc;
+
+use eckv_core::{driver, ops::Op, EngineConfig, Scheme, World};
+use eckv_simnet::{ClusterProfile, Simulation};
+use eckv_store::ClusterConfig;
+
+use crate::{size_label, Table};
+
+/// The five schemes Figure 8 compares.
+pub fn schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::SyncRep { replicas: 3 },
+        Scheme::AsyncRep { replicas: 3 },
+        Scheme::era_ce_cd(3, 2),
+        Scheme::era_se_sd(3, 2),
+        Scheme::era_se_cd(3, 2),
+    ]
+}
+
+/// Value sizes swept (512 B – 1 MB).
+pub fn sizes(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![4 << 10, 64 << 10, 1 << 20]
+    } else {
+        vec![512, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20]
+    }
+}
+
+fn ops_count(quick: bool) -> usize {
+    if quick {
+        100
+    } else {
+        1000
+    }
+}
+
+/// Builds the paper's micro-benchmark world: 5 RI-QDR servers, 1 client.
+pub fn micro_world(scheme: Scheme) -> Rc<World> {
+    World::new(EngineConfig::new(
+        ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+        scheme,
+    ))
+}
+
+fn keys(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("bench-key-{i:06}")).collect()
+}
+
+/// Average time per completed operation, µs (total elapsed / ops, which is
+/// what "total time for 1 K requests" measures under pipelining).
+fn per_op_us(world: &Rc<World>) -> f64 {
+    let m = world.metrics.borrow();
+    m.elapsed().as_micros_f64() / m.ops() as f64
+}
+
+/// Runs the Set phase for one scheme/size; returns (µs/op, world, sim).
+pub fn run_sets(scheme: Scheme, size: u64, ops: usize) -> (f64, Rc<World>, Simulation) {
+    let world = micro_world(scheme);
+    let mut sim = Simulation::new();
+    let stream: Vec<Op> = keys(ops)
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| Op::set_synthetic(k, size, i as u64))
+        .collect();
+    driver::run_workload(&world, &mut sim, vec![stream]);
+    assert_eq!(world.metrics.borrow().errors, 0);
+    (per_op_us(&world), world, sim)
+}
+
+/// Continues with the Get phase after killing `failures` servers.
+pub fn run_gets(world: &Rc<World>, sim: &mut Simulation, ops: usize, failures: usize) -> f64 {
+    for (count, srv) in [1usize, 3].into_iter().enumerate() {
+        if count < failures {
+            world.cluster.kill_server(srv);
+        }
+    }
+    world.reset_metrics();
+    let stream: Vec<Op> = keys(ops).into_iter().map(Op::get).collect();
+    driver::run_workload(world, sim, vec![stream]);
+    let m = world.metrics.borrow();
+    assert_eq!(m.errors, 0, "reads must survive {failures} failures");
+    assert_eq!(m.integrity_errors, 0);
+    drop(m);
+    per_op_us(world)
+}
+
+/// Figure 8(a): Set latency.
+pub fn set_table(quick: bool) -> Table {
+    let mut t = Table::new(
+        "Fig. 8(a) - Set latency on RI-QDR, us/op (5 servers, 1 client)",
+        &["size", "Sync-Rep=3", "Async-Rep=3", "Era-CE-CD", "Era-SE-SD", "Era-SE-CD"],
+    );
+    for size in sizes(quick) {
+        let mut row = vec![size_label(size)];
+        for scheme in schemes() {
+            let (us, _, _) = run_sets(scheme, size, ops_count(quick));
+            row.push(format!("{us:.1}"));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Figures 8(b)/8(c): Get latency with `failures` dead servers.
+pub fn get_table(quick: bool, failures: usize) -> Table {
+    let which = if failures == 0 { "8(b)" } else { "8(c)" };
+    let mut t = Table::new(
+        format!("Fig. {which} - Get latency on RI-QDR, us/op ({failures} node failures)"),
+        &["size", "Sync-Rep=3", "Async-Rep=3", "Era-CE-CD", "Era-SE-SD", "Era-SE-CD"],
+    );
+    for size in sizes(quick) {
+        let mut row = vec![size_label(size)];
+        for scheme in schemes() {
+            let ops = ops_count(quick);
+            let (_, world, mut sim) = run_sets(scheme, size, ops);
+            let us = run_gets(&world, &mut sim, ops, failures);
+            row.push(format!("{us:.1}"));
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn era_ce_cd_beats_sync_rep_on_sets() {
+        // The headline Fig. 8(a) finding: 1.6x-2.8x over Sync-Rep.
+        for size in [64u64 << 10, 1 << 20] {
+            let (sync_us, _, _) = run_sets(Scheme::SyncRep { replicas: 3 }, size, 150);
+            let (era_us, _, _) = run_sets(Scheme::era_ce_cd(3, 2), size, 150);
+            let gain = sync_us / era_us;
+            assert!(
+                gain > 1.5,
+                "size={size}: Era-CE-CD gain over Sync-Rep was only {gain:.2}x"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_free_gets_have_no_decode_penalty() {
+        let ops = 100;
+        let (_, world, mut sim) = run_sets(Scheme::era_ce_cd(3, 2), 64 << 10, ops);
+        let healthy = run_gets(&world, &mut sim, ops, 0);
+        let (_, world2, mut sim2) = run_sets(Scheme::era_ce_cd(3, 2), 64 << 10, ops);
+        let degraded = run_gets(&world2, &mut sim2, ops, 2);
+        assert!(
+            degraded > healthy,
+            "degraded reads ({degraded}) must cost more than healthy ({healthy})"
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Figure 9: client-side time-wise breakdown of Set/Get operations into
+//! Request-Issue, Wait-Response and Encode/Decode phases (64 KB – 1 MB).
+
+use eckv_core::{Scheme, World};
+use eckv_simnet::PhaseBreakdown;
+use std::rc::Rc;
+
+use crate::fig8::{run_gets, run_sets};
+use crate::{size_label, Table};
+
+fn era_schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::era_ce_cd(3, 2),
+        Scheme::era_se_sd(3, 2),
+        Scheme::era_se_cd(3, 2),
+    ]
+}
+
+fn sizes(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![64 << 10, 1 << 20]
+    } else {
+        vec![64 << 10, 256 << 10, 512 << 10, 1 << 20]
+    }
+}
+
+/// Per-operation breakdown normalized to the experiment's effective time
+/// per operation (`elapsed / ops`): request and compute are exact per-op
+/// averages; wait-response is the remainder, so the three phases sum to
+/// the per-op time the pipelined run actually spent. (Summing raw per-op
+/// latencies would double-count the window's overlap.)
+fn effective_breakdown(world: &Rc<World>, set: bool) -> PhaseBreakdown {
+    let m = world.metrics.borrow();
+    let avg = if set {
+        m.avg_set_breakdown()
+    } else {
+        m.avg_get_breakdown()
+    };
+    let per_op = m.elapsed() / m.ops().max(1);
+    PhaseBreakdown {
+        request: avg.request,
+        compute: avg.compute,
+        wait_response: per_op.saturating_sub(avg.request).saturating_sub(avg.compute),
+    }
+}
+
+fn push_breakdown(t: &mut Table, scheme: &Scheme, size: u64, b: PhaseBreakdown) {
+    t.row(vec![
+        format!("{scheme}/{}", size_label(size)),
+        format!("{:.1}", b.request.as_micros_f64()),
+        format!("{:.1}", b.wait_response.as_micros_f64()),
+        format!("{:.1}", b.compute.as_micros_f64()),
+    ]);
+}
+
+/// Figure 9(a): Set breakdown.
+pub fn set_breakdown(quick: bool) -> Table {
+    let mut t = Table::new(
+        "Fig. 9(a) - Set time-wise breakdown on RI-QDR, us/op",
+        &["scheme/size", "request", "wait-response", "encode/decode"],
+    );
+    let ops = if quick { 50 } else { 500 };
+    for scheme in era_schemes() {
+        for size in sizes(quick) {
+            let (_, world, _) = run_sets(scheme, size, ops);
+            let b = effective_breakdown(&world, true);
+            push_breakdown(&mut t, &scheme, size, b);
+        }
+    }
+    t
+}
+
+/// Figure 9(b): Get breakdown under two node failures.
+pub fn get_breakdown(quick: bool) -> Table {
+    let mut t = Table::new(
+        "Fig. 9(b) - Get time-wise breakdown on RI-QDR (2 failures), us/op",
+        &["scheme/size", "request", "wait-response", "encode/decode"],
+    );
+    let ops = if quick { 50 } else { 500 };
+    for scheme in era_schemes() {
+        for size in sizes(quick) {
+            let (_, world, mut sim) = run_sets(scheme, size, ops);
+            run_gets(&world, &mut sim, ops, 2);
+            let b = effective_breakdown(&world, false);
+            push_breakdown(&mut t, &scheme, size, b);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_encode_shows_only_in_ce_designs() {
+        let t = set_breakdown(true);
+        let ce: f64 = t.value("Era-CE-CD/1M", "encode/decode").unwrap();
+        let se: f64 = t.value("Era-SE-CD/1M", "encode/decode").unwrap();
+        assert!(ce > 100.0, "client encode of 1M should be visible: {ce}us");
+        assert_eq!(se, 0.0, "SE designs must not burn client compute");
+    }
+
+    #[test]
+    fn degraded_cd_gets_pay_client_decode() {
+        let t = get_breakdown(true);
+        let cd: f64 = t.value("Era-CE-CD/1M", "encode/decode").unwrap();
+        let sd: f64 = t.value("Era-SE-SD/1M", "encode/decode").unwrap();
+        assert!(cd > 100.0, "client decode should be visible: {cd}us");
+        assert_eq!(sd, 0.0, "SD decodes on the server, not the client");
+    }
+}

@@ -1,0 +1,46 @@
+//! Experiment harness: one module per figure of the paper's evaluation.
+//!
+//! Each module builds the deployment the paper describes, runs it on the
+//! simulator (or, for Figure 4, measures the real codecs), and returns
+//! [`Table`]s whose rows mirror the paper's plotted series. The
+//! `paper-figures` binary prints them; integration tests assert the
+//! *shape* findings (who wins, by roughly what factor, where crossovers
+//! fall) hold.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11_12;
+pub mod fig13;
+pub mod fig4;
+pub mod fig8;
+pub mod fig9;
+pub mod model_check;
+mod table;
+
+pub use table::Table;
+
+/// Human-readable size label (the paper's axis ticks).
+pub fn size_label(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(512), "512B");
+        assert_eq!(size_label(16 << 10), "16K");
+        assert_eq!(size_label(1 << 20), "1M");
+    }
+}

@@ -1,0 +1,125 @@
+//! Section III cross-check: the paper's analytic latency model
+//! (Equations 1–8) against the simulator, single contention-free
+//! operations on RI-QDR.
+//!
+//! The closed forms omit server processing, acks and protocol details, so
+//! the simulator should land **between** the ideal (overlapped) and naive
+//! (serialized) forms for pipelined runs, and slightly above the naive
+//! forms for strictly blocking single operations.
+
+use std::rc::Rc;
+
+use eckv_core::model::LatencyModel;
+use eckv_core::{driver, ops::Op, EngineConfig, Scheme, World};
+use eckv_simnet::{ClusterProfile, ComputeModel, Simulation, TransportKind};
+use eckv_store::ClusterConfig;
+
+use crate::{size_label, Table};
+
+fn single_op_us(scheme: Scheme, size: u64, set: bool, failures: &[usize]) -> f64 {
+    let world: Rc<World> = World::new(
+        EngineConfig::new(ClusterConfig::new(ClusterProfile::RiQdr, 5, 1), scheme).window(1),
+    );
+    let mut sim = Simulation::new();
+    driver::run_workload(
+        &world,
+        &mut sim,
+        vec![vec![Op::set_synthetic("probe", size, 1)]],
+    );
+    if set && failures.is_empty() {
+        let m = world.metrics.borrow();
+        assert_eq!(m.errors, 0);
+        return m.set_latency.mean().as_micros_f64();
+    }
+    for &f in failures {
+        world.cluster.kill_server(f);
+    }
+    world.reset_metrics();
+    driver::run_workload(&world, &mut sim, vec![vec![Op::get("probe")]]);
+    let m = world.metrics.borrow();
+    assert_eq!(m.errors, 0);
+    // Wall time includes the one-time failure discovery; that is what a
+    // first degraded operation costs.
+    m.elapsed().as_micros_f64()
+}
+
+/// The model-vs-simulation table.
+pub fn table() -> Table {
+    let model = LatencyModel::new(
+        ClusterProfile::RiQdr.net_config(TransportKind::Rdma),
+        ComputeModel::WESTMERE,
+    );
+    let mut t = Table::new(
+        "Model check - Equations 1-8 vs simulated single ops on RI-QDR, us",
+        &[
+            "size",
+            "Eq2 sync-set",
+            "sim sync-set",
+            "Eq3 era-set",
+            "Eq7 ideal",
+            "sim era-set",
+            "Eq4 rep-get",
+            "sim rep-get",
+            "Eq5 era-get/2f",
+            "sim era-get/2f",
+        ],
+    );
+    for size in [4u64 << 10, 64 << 10, 1 << 20] {
+        let check = eckv_simnet::SimDuration::from_nanos(500);
+        t.row(vec![
+            size_label(size),
+            format!("{:.1}", model.rep_set_sync(3, size).as_micros_f64()),
+            format!(
+                "{:.1}",
+                single_op_us(Scheme::SyncRep { replicas: 3 }, size, true, &[])
+            ),
+            format!("{:.1}", model.era_set(3, 2, size).as_micros_f64()),
+            format!("{:.1}", model.era_set_ideal(3, 2, size).as_micros_f64()),
+            format!(
+                "{:.1}",
+                single_op_us(Scheme::era_ce_cd(3, 2), size, true, &[])
+            ),
+            format!("{:.1}", model.rep_get(check, size).as_micros_f64()),
+            format!(
+                "{:.1}",
+                single_op_us(Scheme::AsyncRep { replicas: 3 }, size, false, &[])
+            ),
+            format!("{:.1}", model.era_get(3, 2, size).as_micros_f64()),
+            format!(
+                "{:.1}",
+                single_op_us(Scheme::era_ce_cd(3, 2), size, false, &[1, 3])
+            ),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_brackets_the_closed_forms() {
+        let t = table();
+        for size in ["64K", "1M"] {
+            // Pipelining aside, a blocking era Set must sit between the
+            // fully-overlapped ideal and ~2x the serialized closed form.
+            let ideal: f64 = t.value(size, "Eq7 ideal").unwrap();
+            let naive: f64 = t.value(size, "Eq3 era-set").unwrap();
+            let sim: f64 = t.value(size, "sim era-set").unwrap();
+            assert!(
+                sim >= ideal * 0.9 && sim <= naive * 2.0,
+                "{size}: sim {sim} outside [{ideal}, {}]",
+                naive * 2.0
+            );
+            // Replication reads: the model omits server work and the
+            // response path, so sim >= Eq4 but within ~3x.
+            let eq4: f64 = t.value(size, "Eq4 rep-get").unwrap();
+            let sim_get: f64 = t.value(size, "sim rep-get").unwrap();
+            assert!(
+                sim_get >= eq4 * 0.9 && sim_get <= eq4 * 3.0,
+                "{size}: rep-get {sim_get} vs Eq4 {eq4}"
+            );
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Aligned text tables for figure output.
+
+use core::fmt;
+
+/// A printable results table: a title, column headers and string rows.
+///
+/// # Example
+///
+/// ```
+/// use eckv_bench::Table;
+///
+/// let mut t = Table::new("Fig. X", &["size", "latency"]);
+/// t.row(vec!["1K".into(), "12.5".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("Fig. X"));
+/// assert!(s.contains("12.5"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (each the same length as `columns`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header.
+    pub fn row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Looks up a cell by row predicate and column name (test helper).
+    pub fn cell(&self, row_match: &str, column: &str) -> Option<&str> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|r| r[0] == row_match)
+            .map(|r| r[col].as_str())
+    }
+
+    /// Parses a cell as `f64` (test helper).
+    pub fn value(&self, row_match: &str, column: &str) -> Option<f64> {
+        self.cell(row_match, column)?.parse().ok()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_aligns_columns() {
+        let mut t = Table::new("T", &["a", "longer"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let out = t.to_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[1].contains("a") && lines[1].contains("longer"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let mut t = Table::new("T", &["size", "v"]);
+        t.row(vec!["1K".into(), "3.5".into()]);
+        assert_eq!(t.cell("1K", "v"), Some("3.5"));
+        assert_eq!(t.value("1K", "v"), Some(3.5));
+        assert_eq!(t.cell("2K", "v"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn bad_row_panics() {
+        Table::new("T", &["a"]).row(vec!["1".into(), "2".into()]);
+    }
+}

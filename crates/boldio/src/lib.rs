@@ -1,0 +1,39 @@
+//! Boldio: a resilient key-value burst-buffer over Lustre for Big Data I/O
+//! (Section V of the paper).
+//!
+//! Boldio maps Hadoop I/O streams onto 1 MB key-value pairs cached in the
+//! RDMA key-value cluster, asynchronously persisting them to the parallel
+//! filesystem. The paper replaces Boldio's client-initiated replication
+//! with the online erasure-coding engine and compares four deployments on
+//! TestDFSIO (Figure 13):
+//!
+//! * `Lustre-Direct` — Hadoop writing straight to Lustre,
+//! * `Boldio_Async-Rep` — the burst buffer with 3-way async replication,
+//! * `Boldio_Era-CE-CD` / `Boldio_Era-SE-CD` — the burst buffer with
+//!   online erasure coding.
+//!
+//! [`Lustre`] models the shared parallel filesystem as aggregate
+//! bandwidth resources (every client contends on the same object storage
+//! servers); [`testdfsio`] drives the write/read benchmark.
+//!
+//! # Example
+//!
+//! ```
+//! use eckv_boldio::{testdfsio, DfsioConfig, LustreConfig};
+//!
+//! let cfg = DfsioConfig::small_test();
+//! let direct = testdfsio::run_lustre_direct(&cfg, &LustreConfig::RI_QDR);
+//! assert!(direct.write_mbps > 0.0);
+//! assert!(direct.read_mbps > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod iterative;
+mod lustre;
+pub mod testdfsio;
+
+pub use iterative::{run_iterative, IterativeConfig, IterativeReport};
+pub use lustre::{Lustre, LustreConfig};
+pub use testdfsio::{DfsioConfig, DfsioReport};

@@ -1,0 +1,391 @@
+//! The TestDFSIO benchmark over Lustre-Direct and the Boldio burst buffer.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use eckv_core::{driver, ops::Op, World};
+use eckv_simnet::{SimDuration, SimTime, Simulation};
+
+use crate::lustre::{Lustre, LustreConfig};
+
+/// TestDFSIO deployment parameters. The paper's Figure 13 setup:
+/// 8 DataNodes for Boldio (32 map tasks), 12 for Lustre-Direct (48 maps),
+/// 4 maps per host, 1 MB blocks, 10–40 GB total.
+#[derive(Debug, Clone, Copy)]
+pub struct DfsioConfig {
+    /// Hadoop DataNodes when running through the burst buffer.
+    pub buffer_hosts: usize,
+    /// Hadoop DataNodes when running directly over Lustre (the paper gives
+    /// Lustre-Direct 12 nodes vs Boldio's 8 for a fair resource split).
+    pub direct_hosts: usize,
+    /// Concurrent map tasks per host.
+    pub maps_per_host: usize,
+    /// Total bytes written/read by the job.
+    pub total_bytes: u64,
+    /// I/O block (= key-value pair) size.
+    pub block_bytes: u64,
+    /// Map-task CPU time to produce one block (write path).
+    pub map_write_think: SimDuration,
+    /// Map-task CPU time to consume one block (read path).
+    pub map_read_think: SimDuration,
+    /// Pipeline depth of the I/O stream (write-behind / read-ahead).
+    pub pipeline: usize,
+}
+
+impl DfsioConfig {
+    /// The paper's deployment at a given job size.
+    pub fn paper(total_bytes: u64) -> Self {
+        DfsioConfig {
+            buffer_hosts: 8,
+            direct_hosts: 12,
+            maps_per_host: 4,
+            total_bytes,
+            block_bytes: 1 << 20,
+            // ~170 MB/s of per-map generation and ~200 MB/s consumption:
+            // TestDFSIO map tasks are stream-processing bound, which is why
+            // the paper sees Boldio_Era match Boldio_Async-Rep on writes.
+            map_write_think: SimDuration::from_micros(6_000),
+            map_read_think: SimDuration::from_micros(5_000),
+            pipeline: 8,
+        }
+    }
+
+    /// A tiny deployment for unit tests.
+    pub fn small_test() -> Self {
+        DfsioConfig {
+            buffer_hosts: 2,
+            direct_hosts: 3,
+            maps_per_host: 2,
+            total_bytes: 32 << 20,
+            block_bytes: 1 << 20,
+            map_write_think: SimDuration::from_micros(6_000),
+            map_read_think: SimDuration::from_micros(5_000),
+            pipeline: 4,
+        }
+    }
+
+    /// Map-task count for the burst-buffer runs.
+    pub fn buffer_maps(&self) -> usize {
+        self.buffer_hosts * self.maps_per_host
+    }
+
+    /// Map-task count for the Lustre-Direct runs.
+    pub fn direct_maps(&self) -> usize {
+        self.direct_hosts * self.maps_per_host
+    }
+
+    fn blocks_per_map(&self, maps: usize) -> u64 {
+        self.total_bytes.div_ceil(self.block_bytes).div_ceil(maps as u64)
+    }
+}
+
+/// Aggregate TestDFSIO results.
+#[derive(Debug, Clone, Copy)]
+pub struct DfsioReport {
+    /// Write-phase aggregate throughput, MB/s (1 MB = 2^20 bytes).
+    pub write_mbps: f64,
+    /// Read-phase aggregate throughput, MB/s.
+    pub read_mbps: f64,
+    /// Write-phase wall time.
+    pub write_elapsed: SimDuration,
+    /// Read-phase wall time.
+    pub read_elapsed: SimDuration,
+    /// Aggregate buffer memory used after the write phase, bytes
+    /// (zero for Lustre-Direct).
+    pub buffer_memory_used: u64,
+    /// Read-phase buffer misses served from Lustre instead (blocks evicted
+    /// under memory pressure; the burst buffer reads through to the PFS).
+    pub buffer_misses: u64,
+    /// Time for the buffer's asynchronous flush to Lustre to drain
+    /// (zero for Lustre-Direct; off the critical path).
+    pub flush_time: SimDuration,
+}
+
+fn mbps(bytes: u64, elapsed: SimDuration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        bytes as f64 / (1u64 << 20) as f64 / secs
+    }
+}
+
+/// Per-map pipelined I/O against Lustre: a window of `pipeline` blocks in
+/// flight, each block costing think time on the map's CPU and a shared
+/// filesystem reservation.
+struct DirectMap {
+    remaining: u64,
+    in_flight: usize,
+    cpu_free: SimTime,
+    last_done: SimTime,
+}
+
+fn run_direct_phase(
+    cfg: &DfsioConfig,
+    lustre: &Rc<RefCell<Lustre>>,
+    write: bool,
+) -> SimDuration {
+    let maps = cfg.direct_maps();
+    let blocks = cfg.blocks_per_map(maps);
+    let think = if write {
+        cfg.map_write_think
+    } else {
+        cfg.map_read_think
+    };
+    let mut sim = Simulation::new();
+    let finished: Rc<RefCell<SimTime>> = Rc::new(RefCell::new(SimTime::ZERO));
+
+    for _ in 0..maps {
+        let state = Rc::new(RefCell::new(DirectMap {
+            remaining: blocks,
+            in_flight: 0,
+            cpu_free: SimTime::ZERO,
+            last_done: SimTime::ZERO,
+        }));
+        pump_direct(
+            &mut sim,
+            lustre,
+            &state,
+            &finished,
+            cfg.block_bytes,
+            think,
+            cfg.pipeline,
+            write,
+        );
+    }
+    sim.run();
+    let end = *finished.borrow();
+    end.since(SimTime::ZERO)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pump_direct(
+    sim: &mut Simulation,
+    lustre: &Rc<RefCell<Lustre>>,
+    state: &Rc<RefCell<DirectMap>>,
+    finished: &Rc<RefCell<SimTime>>,
+    block: u64,
+    think: SimDuration,
+    pipeline: usize,
+    write: bool,
+) {
+    loop {
+        let start = {
+            let mut s = state.borrow_mut();
+            if s.remaining == 0 || s.in_flight >= pipeline {
+                return;
+            }
+            s.remaining -= 1;
+            s.in_flight += 1;
+            // The map's CPU produces/consumes blocks serially.
+            let start = s.cpu_free.max(sim.now()) + think;
+            s.cpu_free = start;
+            start
+        };
+        let done = if write {
+            lustre.borrow_mut().write(start, block)
+        } else {
+            lustre.borrow_mut().read(start, block)
+        };
+        let state2 = state.clone();
+        let finished2 = finished.clone();
+        let lustre2 = lustre.clone();
+        sim.schedule_at(done, move |sim| {
+            {
+                let mut s = state2.borrow_mut();
+                s.in_flight -= 1;
+                s.last_done = s.last_done.max(sim.now());
+                let mut f = finished2.borrow_mut();
+                *f = (*f).max(sim.now());
+            }
+            pump_direct(
+                sim, &lustre2, &state2, &finished2, block, think, pipeline, write,
+            );
+        });
+    }
+}
+
+/// Runs TestDFSIO write + read directly against Lustre (the default HPC
+/// deployment, `Lustre-Direct`).
+pub fn run_lustre_direct(cfg: &DfsioConfig, lustre_cfg: &LustreConfig) -> DfsioReport {
+    let lustre = Rc::new(RefCell::new(Lustre::new(*lustre_cfg)));
+    let write_elapsed = run_direct_phase(cfg, &lustre, true);
+    let lustre = Rc::new(RefCell::new(Lustre::new(*lustre_cfg)));
+    let read_elapsed = run_direct_phase(cfg, &lustre, false);
+    let maps = cfg.direct_maps();
+    let bytes = cfg.blocks_per_map(maps) * maps as u64 * cfg.block_bytes;
+    DfsioReport {
+        write_mbps: mbps(bytes, write_elapsed),
+        read_mbps: mbps(bytes, read_elapsed),
+        write_elapsed,
+        read_elapsed,
+        buffer_memory_used: 0,
+        buffer_misses: 0,
+        flush_time: SimDuration::ZERO,
+    }
+}
+
+/// Runs TestDFSIO through the Boldio burst buffer backed by the given
+/// engine world (build it with the wanted resilience scheme, `clients ==
+/// cfg.buffer_maps()` and `client_nodes == cfg.buffer_hosts`).
+///
+/// # Panics
+///
+/// Panics if the world's client count does not match `cfg.buffer_maps()`.
+pub fn run_boldio(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    cfg: &DfsioConfig,
+    lustre_cfg: &LustreConfig,
+) -> DfsioReport {
+    let maps = cfg.buffer_maps();
+    assert_eq!(
+        world.cfg.cluster.clients, maps,
+        "world must be built with one client per map task"
+    );
+    let blocks = cfg.blocks_per_map(maps);
+    let bytes = blocks * maps as u64 * cfg.block_bytes;
+
+    // Write phase: every map streams its file into the KV buffer.
+    world.set_client_think(cfg.map_write_think);
+    world.reset_metrics();
+    let writes: Vec<Vec<Op>> = (0..maps)
+        .map(|m| {
+            (0..blocks)
+                .map(|b| {
+                    Op::set_synthetic(
+                        format!("f{m}.b{b}"),
+                        cfg.block_bytes,
+                        (m as u64) << 32 | b,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    driver::run_workload(world, sim, writes);
+    let write_elapsed = world.metrics.borrow().elapsed();
+    let buffer_memory_used = world.memory_report().used_bytes;
+
+    // Asynchronous persistence: the buffer drains the file data to Lustre
+    // *while* the write phase runs (Boldio's write-behind). Blocks arrive
+    // spread over the write phase, so the flush finishes at whichever is
+    // later: the last block's arrival or the PFS drain of all bytes. The
+    // reported flush_time is the drain's lag past the application's
+    // completion — zero when the PFS keeps up.
+    let mut lustre = Lustre::new(*lustre_cfg);
+    let drain_done = lustre.write(SimTime::ZERO, bytes);
+    let flush_done = drain_done.since(SimTime::ZERO).max(write_elapsed);
+    let flush_time = flush_done.saturating_sub(write_elapsed);
+
+    // Read phase: every map streams its file back out of the buffer.
+    world.set_client_think(cfg.map_read_think);
+    world.reset_metrics();
+    let reads: Vec<Vec<Op>> = (0..maps)
+        .map(|m| (0..blocks).map(|b| Op::get(format!("f{m}.b{b}"))).collect())
+        .collect();
+    driver::run_workload(world, sim, reads);
+    let buffer_read_elapsed = world.metrics.borrow().elapsed();
+    // Blocks evicted under memory pressure read through to Lustre (they
+    // were persisted by the asynchronous flush). The fallback traffic
+    // shares the PFS read pipe; reads from buffer and PFS overlap, so the
+    // phase ends when the slower stream drains.
+    let buffer_misses = world.metrics.borrow().errors;
+    let read_elapsed = if buffer_misses > 0 {
+        let miss_bytes = buffer_misses * cfg.block_bytes;
+        let fallback_done = lustre.read(SimTime::ZERO, miss_bytes);
+        buffer_read_elapsed.max(fallback_done.since(SimTime::ZERO))
+    } else {
+        buffer_read_elapsed
+    };
+
+    DfsioReport {
+        write_mbps: mbps(bytes, write_elapsed),
+        read_mbps: mbps(bytes, read_elapsed),
+        write_elapsed,
+        read_elapsed,
+        buffer_memory_used,
+        buffer_misses,
+        flush_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eckv_core::{EngineConfig, Scheme};
+    use eckv_simnet::ClusterProfile;
+    use eckv_store::ClusterConfig;
+
+    fn boldio_world(scheme: Scheme, cfg: &DfsioConfig) -> Rc<World> {
+        World::new(
+            EngineConfig::new(
+                ClusterConfig::new(ClusterProfile::RiQdr, 5, cfg.buffer_maps())
+                    .client_nodes(cfg.buffer_hosts)
+                    .server_memory(24 << 30),
+                scheme,
+            )
+            .window(cfg.pipeline)
+            .validate(false),
+        )
+    }
+
+    #[test]
+    fn lustre_direct_produces_positive_throughput() {
+        let cfg = DfsioConfig::small_test();
+        let r = run_lustre_direct(&cfg, &LustreConfig::RI_QDR);
+        assert!(r.write_mbps > 0.0);
+        assert!(r.read_mbps > 0.0);
+        assert_eq!(r.buffer_memory_used, 0);
+    }
+
+    #[test]
+    fn boldio_beats_lustre_direct_on_both_phases() {
+        let cfg = DfsioConfig::small_test();
+        // A filesystem small enough that this toy job saturates it, as the
+        // paper's 48 maps saturate the real RI-QDR Lustre.
+        let tiny_lustre = LustreConfig {
+            write_gbps: 2.0,
+            read_gbps: 1.2,
+            op_latency: LustreConfig::RI_QDR.op_latency,
+        };
+        let direct = run_lustre_direct(&cfg, &tiny_lustre);
+        let world = boldio_world(Scheme::AsyncRep { replicas: 3 }, &cfg);
+        let mut sim = Simulation::new();
+        let boldio = run_boldio(&world, &mut sim, &cfg, &tiny_lustre);
+        assert!(
+            boldio.write_mbps > direct.write_mbps,
+            "boldio {} vs direct {}",
+            boldio.write_mbps,
+            direct.write_mbps
+        );
+        assert!(boldio.read_mbps > direct.read_mbps);
+        assert!(boldio.buffer_memory_used > 0);
+        assert!(boldio.flush_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn era_buffer_uses_less_memory_than_replication() {
+        let cfg = DfsioConfig::small_test();
+        let mut used = Vec::new();
+        for scheme in [Scheme::AsyncRep { replicas: 3 }, Scheme::era_ce_cd(3, 2)] {
+            let world = boldio_world(scheme, &cfg);
+            let mut sim = Simulation::new();
+            let r = run_boldio(&world, &mut sim, &cfg, &LustreConfig::RI_QDR);
+            used.push(r.buffer_memory_used);
+        }
+        assert!(
+            used[1] * 3 < used[0] * 2,
+            "era {} should use well under 2/3 of replication {}",
+            used[1],
+            used[0]
+        );
+    }
+
+    #[test]
+    fn blocks_split_evenly() {
+        let cfg = DfsioConfig::paper(40 << 30);
+        assert_eq!(cfg.buffer_maps(), 32);
+        assert_eq!(cfg.direct_maps(), 48);
+        assert_eq!(cfg.blocks_per_map(32), 1280);
+    }
+}

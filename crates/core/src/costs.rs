@@ -1,0 +1,141 @@
+//! Encode/decode durations derived from the codec's cost profile and the
+//! cluster's compute model.
+
+use eckv_erasure::{CostProfile, Striper};
+use eckv_simnet::{ComputeModel, SimDuration};
+
+/// Computes the simulated encode time of one value.
+///
+/// RS-Vandermonde encodes by `m` multiply-accumulate passes over the `k`
+/// data shards (`m * D` bytes of kernel work); XOR codes execute one packet
+/// XOR per set bit of the coding matrix.
+pub fn encode_time(cm: &ComputeModel, striper: &Striper, value_len: u64) -> SimDuration {
+    let codec = striper.codec();
+    let k = codec.data_shards() as u64;
+    let m = codec.parity_shards() as u64;
+    let shard_len = striper.shard_len_for(value_len as usize) as u64;
+    match codec.cost_profile() {
+        // m parity rows, each combining the k data shards: m * k * shard_len
+        // bytes (= m * D) through the multiply kernel.
+        CostProfile::FieldMul => cm.encode_mul(m * k * shard_len),
+        CostProfile::XorSchedule { ones, w } => {
+            let packet = shard_len / w as u64;
+            cm.encode_xor(ones * packet, ones)
+        }
+    }
+}
+
+/// Computes the simulated decode time when `erased_data` data shards must
+/// be reconstructed from `k` survivors.
+///
+/// Returns zero when nothing needs decoding (all data shards were fetched),
+/// matching the paper's observation that failure-free erasure reads incur
+/// no compute.
+pub fn decode_time(
+    cm: &ComputeModel,
+    striper: &Striper,
+    value_len: u64,
+    erased_data: usize,
+) -> SimDuration {
+    if erased_data == 0 {
+        return SimDuration::ZERO;
+    }
+    let codec = striper.codec();
+    let k = codec.data_shards() as u64;
+    let w_shard = striper.shard_len_for(value_len as usize) as u64;
+    match codec.cost_profile() {
+        CostProfile::FieldMul => {
+            // Each erased shard is a combination of the k survivors.
+            cm.decode_mul(erased_data as u64 * k * w_shard)
+        }
+        CostProfile::XorSchedule { w, .. } => {
+            // Inverse rows are dense: about half the k*w packets contribute
+            // to each recovered packet.
+            let w64 = w as u64;
+            let packet = w_shard / w64;
+            let ones = erased_data as u64 * w64 * (k * w64).div_ceil(2);
+            cm.decode_xor(ones * packet, ones)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eckv_erasure::CodecKind;
+
+    fn striper(kind: CodecKind) -> Striper {
+        Striper::from(kind.build(3, 2).unwrap())
+    }
+
+    #[test]
+    fn rs_van_encode_matches_m_passes() {
+        let cm = ComputeModel::WESTMERE;
+        let s = striper(CodecKind::RsVan);
+        let d = 1 << 20;
+        let t = encode_time(&cm, &s, d);
+        // Work is m * k * shard_len = 2 * D = ~2 MiB at gf_mul_gbps plus
+        // fixed overhead.
+        let expect = cm.encode_mul(2 * 3 * s.shard_len_for(d as usize) as u64);
+        assert_eq!(t, expect);
+    }
+
+    #[test]
+    fn decode_zero_erasures_is_free() {
+        let cm = ComputeModel::WESTMERE;
+        for kind in CodecKind::ALL {
+            let s = striper(kind);
+            assert_eq!(decode_time(&cm, &s, 1 << 20, 0), SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn decode_cost_grows_with_erasures() {
+        let cm = ComputeModel::WESTMERE;
+        let s = striper(CodecKind::RsVan);
+        let one = decode_time(&cm, &s, 1 << 20, 1);
+        let two = decode_time(&cm, &s, 1 << 20, 2);
+        assert!(two > one);
+    }
+
+    #[test]
+    fn xor_codecs_decode_costs_scale_with_erasures_too() {
+        let cm = ComputeModel::WESTMERE;
+        for kind in [CodecKind::CauchyRs, CodecKind::Liberation] {
+            let s = striper(kind);
+            let one = decode_time(&cm, &s, 1 << 20, 1);
+            let two = decode_time(&cm, &s, 1 << 20, 2);
+            assert!(two > one, "{kind}: {one} !< {two}");
+            assert!(one > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn encode_cost_scales_linearly_in_value_size_for_all_kinds() {
+        let cm = ComputeModel::WESTMERE;
+        for kind in CodecKind::ALL {
+            let s = striper(kind);
+            let small = encode_time(&cm, &s, 64 << 10).as_nanos() as f64;
+            let large = encode_time(&cm, &s, 1 << 20).as_nanos() as f64;
+            let ratio = large / small;
+            assert!(
+                (8.0..=20.0).contains(&ratio),
+                "{kind}: 16x data should be ~16x work (fixed overhead aside), got {ratio:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn rs_van_is_fastest_at_kv_sizes() {
+        // The paper's Fig. 4 conclusion, reproduced by the cost model: for
+        // 1 KB..1 MB, RS_Van encodes faster than CRS and Liberation.
+        let cm = ComputeModel::WESTMERE;
+        for d in [1u64 << 10, 64 << 10, 1 << 20] {
+            let rs = encode_time(&cm, &striper(CodecKind::RsVan), d);
+            let crs = encode_time(&cm, &striper(CodecKind::CauchyRs), d);
+            let lib = encode_time(&cm, &striper(CodecKind::Liberation), d);
+            assert!(rs < crs, "d={d}: rs={rs} crs={crs}");
+            assert!(rs < lib, "d={d}: rs={rs} lib={lib}");
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! The ARPE driver: windowed, non-blocking execution of client workloads.
+//!
+//! Each client keeps up to [`World::window`] operations in flight
+//! (`memcached_iset`/`iget` semantics); a completed operation immediately
+//! admits the next one (`memcached_wait` on the completion window). With a
+//! window of 1 this degenerates to the blocking API.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use eckv_simnet::Simulation;
+
+use crate::ops::Op;
+use crate::world::World;
+use crate::{get_path, set_path};
+
+struct ClientState {
+    queue: VecDeque<(Op, usize)>,
+    in_flight: usize,
+}
+
+/// Runs every client's operation stream to completion and returns when the
+/// simulation is quiescent. Results accumulate in [`World::metrics`].
+///
+/// `per_client_ops[i]` is the stream client `i` executes; clients beyond
+/// the cluster's configured client count are rejected.
+///
+/// # Panics
+///
+/// Panics if more streams are supplied than the cluster has clients.
+pub fn run_workload(world: &Rc<World>, sim: &mut Simulation, per_client_ops: Vec<Vec<Op>>) {
+    assert!(
+        per_client_ops.len() <= world.cfg.cluster.clients,
+        "{} op streams for {} clients",
+        per_client_ops.len(),
+        world.cfg.cluster.clients
+    );
+    // On a dead-server discovery an operation is transparently retried
+    // against the updated failure view, up to once per server.
+    let max_retries = world.cfg.cluster.servers;
+    for (client, ops) in per_client_ops.into_iter().enumerate() {
+        let state = Rc::new(RefCell::new(ClientState {
+            queue: ops.into_iter().map(|op| (op, max_retries)).collect(),
+            in_flight: 0,
+        }));
+        pump(world, sim, client, &state);
+    }
+    sim.run();
+}
+
+/// Admits operations for `client` until the window is full or the stream
+/// is exhausted.
+fn pump(world: &Rc<World>, sim: &mut Simulation, client: usize, state: &Rc<RefCell<ClientState>>) {
+    loop {
+        let (op, retries_left) = {
+            let mut s = state.borrow_mut();
+            if s.in_flight >= world.window() || s.queue.is_empty() {
+                return;
+            }
+            s.in_flight += 1;
+            s.queue.pop_front().expect("checked non-empty")
+        };
+        world.metrics.borrow_mut().note_admission(sim.now());
+        let think = world.client_think.get();
+        if think > eckv_simnet::SimDuration::ZERO {
+            // The application produces/consumes the payload before the KV
+            // operation is issued; the op's own CPU work queues behind it.
+            world.reserve_client_cpu(client, sim.now(), think);
+        }
+        // The window slot frees when the whole operation (including
+        // transparent retries, and every sub-get of a bulk get) finishes.
+        let world_slot = world.clone();
+        let state_slot = state.clone();
+        let free_slot: Rc<dyn Fn(&mut Simulation)> = Rc::new(move |sim: &mut Simulation| {
+            state_slot.borrow_mut().in_flight -= 1;
+            pump(&world_slot, sim, client, &state_slot);
+        });
+        match op {
+            Op::MGet { keys } => {
+                // One slot, many overlapped sub-gets (`memcached_mget`).
+                let remaining = Rc::new(RefCell::new(keys.len()));
+                for key in keys {
+                    let remaining = remaining.clone();
+                    let free_slot = free_slot.clone();
+                    dispatch_with_retry(
+                        world,
+                        sim,
+                        client,
+                        Op::Get { key },
+                        retries_left,
+                        Box::new(move |sim| {
+                            *remaining.borrow_mut() -= 1;
+                            if *remaining.borrow() == 0 {
+                                free_slot(sim);
+                            }
+                        }),
+                    );
+                }
+            }
+            single => dispatch_with_retry(
+                world,
+                sim,
+                client,
+                single,
+                retries_left,
+                Box::new(move |sim| free_slot(sim)),
+            ),
+        }
+    }
+}
+
+/// Runs one Set/Get, transparently retrying on dead-server discoveries,
+/// recording the final result, then invoking `on_final`.
+fn dispatch_with_retry(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    client: usize,
+    op: Op,
+    retries_left: usize,
+    on_final: Box<dyn FnOnce(&mut Simulation)>,
+) {
+    let world2 = world.clone();
+    let retry_op = op.clone();
+    let done = Box::new(move |sim: &mut Simulation, result: crate::metrics::OpResult| {
+        if result.retryable && retries_left > 0 {
+            // The failure view was just updated; re-dispatch against the
+            // survivors instead of recording a failure.
+            world2.metrics.borrow_mut().retries += 1;
+            dispatch_with_retry(&world2, sim, client, retry_op, retries_left - 1, on_final);
+        } else {
+            world2.metrics.borrow_mut().record(&result);
+            on_final(sim);
+        }
+    });
+    match op {
+        Op::Set { key, payload } => set_path::start_set(world, sim, client, key, payload, done),
+        Op::Get { key } => get_path::start_get(world, sim, client, key, done),
+        Op::MGet { .. } => unreachable!("bulk gets are expanded by the pump"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+    use crate::world::EngineConfig;
+    use eckv_simnet::ClusterProfile;
+    use eckv_store::ClusterConfig;
+
+    fn small_world(scheme: Scheme, clients: usize) -> Rc<World> {
+        World::new(EngineConfig::new(
+            ClusterConfig::new(ClusterProfile::RiQdr, 5, clients),
+            scheme,
+        ))
+    }
+
+    fn set_ops(client: usize, n: usize, len: u64) -> Vec<Op> {
+        (0..n)
+            .map(|i| {
+                Op::set_synthetic(format!("c{client}-k{i}"), len, (client * 1000 + i) as u64)
+            })
+            .collect()
+    }
+
+    fn get_ops(client: usize, n: usize) -> Vec<Op> {
+        (0..n).map(|i| Op::get(format!("c{client}-k{i}"))).collect()
+    }
+
+    #[test]
+    fn every_scheme_completes_a_write_read_stream() {
+        for scheme in [
+            Scheme::NoRep,
+            Scheme::SyncRep { replicas: 3 },
+            Scheme::AsyncRep { replicas: 3 },
+            Scheme::era_ce_cd(3, 2),
+            Scheme::era_se_sd(3, 2),
+            Scheme::era_se_cd(3, 2),
+            Scheme::era_ce_sd(3, 2),
+        ] {
+            let world = small_world(scheme, 1);
+            let mut sim = Simulation::new();
+            // Write phase, then read phase — within one phase operations
+            // overlap freely (non-blocking window), across phases the app
+            // waits for completion, like YCSB's load/run split.
+            run_workload(&world, &mut sim, vec![set_ops(0, 20, 4096)]);
+            run_workload(&world, &mut sim, vec![get_ops(0, 20)]);
+            let m = world.metrics.borrow();
+            assert_eq!(m.set_count, 20, "{scheme}");
+            assert_eq!(m.get_count, 20, "{scheme}");
+            assert_eq!(m.errors, 0, "{scheme}");
+            assert_eq!(m.integrity_errors, 0, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn nonblocking_window_allows_read_to_race_write() {
+        // A Get admitted in the same window as its Set can legitimately
+        // overtake it — the application must use the wait API (a phase
+        // boundary) for read-your-write. This documents that semantic.
+        let world = small_world(Scheme::era_se_cd(3, 2), 1);
+        let mut sim = Simulation::new();
+        let ops = vec![Op::set_synthetic("racy", 65536, 1), Op::get("racy")];
+        run_workload(&world, &mut sim, vec![ops]);
+        let m = world.metrics.borrow();
+        assert_eq!(m.ops(), 2);
+        assert_eq!(m.errors, 1, "the racing get should miss");
+    }
+
+    #[test]
+    fn inline_values_really_roundtrip_through_erasure() {
+        for scheme in [
+            Scheme::era_ce_cd(3, 2),
+            Scheme::era_se_cd(3, 2),
+            Scheme::era_se_sd(3, 2),
+        ] {
+            let world = small_world(scheme, 1);
+            let mut sim = Simulation::new();
+            let value: Vec<u8> = (0..5000u32).map(|i| (i * 31 % 251) as u8).collect();
+            run_workload(&world, &mut sim, vec![vec![Op::set_inline("real", value)]]);
+            run_workload(&world, &mut sim, vec![vec![Op::get("real")]]);
+            let m = world.metrics.borrow();
+            assert_eq!(m.errors, 0, "{scheme}");
+            assert_eq!(m.integrity_errors, 0, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn degraded_reads_survive_m_failures() {
+        for scheme in [
+            Scheme::era_ce_cd(3, 2),
+            Scheme::era_se_cd(3, 2),
+            Scheme::era_se_sd(3, 2),
+            Scheme::AsyncRep { replicas: 3 },
+        ] {
+            let world = small_world(scheme, 1);
+            let mut sim = Simulation::new();
+            // Load with inline values so degraded reads really decode.
+            let value: Vec<u8> = (0..3000u32).map(|i| (i * 7 % 256) as u8).collect();
+            let mut load = Vec::new();
+            for i in 0..10 {
+                load.push(Op::set_inline(format!("k{i}"), value.clone()));
+            }
+            run_workload(&world, &mut sim, vec![load]);
+            assert_eq!(world.metrics.borrow().errors, 0);
+
+            // Kill two servers, then read everything back.
+            world.cluster.kill_server(1);
+            world.cluster.kill_server(3);
+            world.reset_metrics();
+            let reads: Vec<Op> = (0..10).map(|i| Op::get(format!("k{i}"))).collect();
+            run_workload(&world, &mut sim, vec![reads]);
+            let m = world.metrics.borrow();
+            assert_eq!(m.get_count, 10, "{scheme}");
+            assert_eq!(m.errors, 0, "{scheme}: degraded reads must succeed");
+            assert_eq!(m.integrity_errors, 0, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn erasure_cannot_survive_more_than_m_failures() {
+        let world = small_world(Scheme::era_ce_cd(3, 2), 1);
+        let mut sim = Simulation::new();
+        let load: Vec<Op> = (0..5)
+            .map(|i| Op::set_synthetic(format!("k{i}"), 1024, i))
+            .collect();
+        run_workload(&world, &mut sim, vec![load]);
+        world.cluster.kill_server(0);
+        world.cluster.kill_server(2);
+        world.cluster.kill_server(4);
+        world.reset_metrics();
+        run_workload(
+            &world,
+            &mut sim,
+            vec![(0..5).map(|i| Op::get(format!("k{i}"))).collect()],
+        );
+        let m = world.metrics.borrow();
+        assert_eq!(m.errors, 5, "3 of 5 servers down defeats RS(3,2)");
+    }
+
+    #[test]
+    fn window_pipelines_operations() {
+        // With a wider window, 1K sets from a single client must finish
+        // sooner thanks to request overlap.
+        fn total_time(window: usize) -> u64 {
+            let world = World::new(
+                EngineConfig::new(
+                    ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+                    Scheme::era_ce_cd(3, 2),
+                )
+                .window(window),
+            );
+            let mut sim = Simulation::new();
+            let ops: Vec<Op> = (0..200)
+                .map(|i| Op::set_synthetic(format!("k{i}"), 65536, i))
+                .collect();
+            run_workload(&world, &mut sim, vec![ops]);
+            let elapsed = world.metrics.borrow().elapsed().as_nanos();
+            elapsed
+        }
+        let narrow = total_time(1);
+        let wide = total_time(16);
+        assert!(
+            wide * 5 < narrow * 4,
+            "window=16 ({wide}ns) should beat window=1 ({narrow}ns) by >20%"
+        );
+    }
+
+    #[test]
+    fn multiple_clients_share_the_cluster() {
+        let world = small_world(Scheme::AsyncRep { replicas: 3 }, 4);
+        let mut sim = Simulation::new();
+        let writes: Vec<Vec<Op>> = (0..4).map(|c| set_ops(c, 10, 8192)).collect();
+        run_workload(&world, &mut sim, writes);
+        let reads: Vec<Vec<Op>> = (0..4).map(|c| get_ops(c, 10)).collect();
+        run_workload(&world, &mut sim, reads);
+        let m = world.metrics.borrow();
+        assert_eq!(m.ops(), 80);
+        assert_eq!(m.errors, 0);
+    }
+
+    #[test]
+    fn mget_reads_everything_and_overlaps() {
+        // Both runs use a window of 1, so any overlap must come from the
+        // bulk expansion itself (the paper's "bulk Set/Get request access
+        // patterns can overlap the D/B factor").
+        fn blocking_world() -> Rc<World> {
+            World::new(
+                EngineConfig::new(
+                    ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+                    Scheme::AsyncRep { replicas: 3 },
+                )
+                .window(1),
+            )
+        }
+        let bulk_world = blocking_world();
+        let mut sim_bulk = Simulation::new();
+        run_workload(&bulk_world, &mut sim_bulk, vec![set_ops(0, 30, 4 << 10)]);
+        bulk_world.reset_metrics();
+        let keys: Vec<String> = (0..30).map(|i| format!("c0-k{i}")).collect();
+        run_workload(&bulk_world, &mut sim_bulk, vec![vec![Op::mget(keys)]]);
+        let bulk = bulk_world.metrics.borrow();
+        assert_eq!(bulk.get_count, 30, "every sub-get records");
+        assert_eq!(bulk.errors, 0);
+        let bulk_elapsed = bulk.elapsed();
+        drop(bulk);
+
+        let seq_world = blocking_world();
+        let mut sim_seq = Simulation::new();
+        run_workload(&seq_world, &mut sim_seq, vec![set_ops(0, 30, 4 << 10)]);
+        seq_world.reset_metrics();
+        run_workload(&seq_world, &mut sim_seq, vec![get_ops(0, 30)]);
+        let seq_elapsed = seq_world.metrics.borrow().elapsed();
+        assert!(
+            bulk_elapsed * 2 < seq_elapsed,
+            "bulk ({bulk_elapsed}) must overlap the D/B factor vs sequential ({seq_elapsed})"
+        );
+    }
+
+    #[test]
+    fn mget_retries_dead_servers_per_key() {
+        let world = small_world(Scheme::era_ce_cd(3, 2), 1);
+        let mut sim = Simulation::new();
+        run_workload(&world, &mut sim, vec![set_ops(0, 10, 8 << 10)]);
+        world.cluster.kill_server(2);
+        world.reset_metrics();
+        let keys: Vec<String> = (0..10).map(|i| format!("c0-k{i}")).collect();
+        run_workload(&world, &mut sim, vec![vec![Op::mget(keys)]]);
+        let m = world.metrics.borrow();
+        assert_eq!(m.get_count, 10);
+        // The CD read path tops up from parity holders within the same
+        // operation, so no driver-level retry is needed — just success.
+        assert_eq!(m.errors, 0, "bulk sub-gets must fail over too");
+    }
+
+    #[test]
+    fn timeline_recording_captures_each_op() {
+        let world = World::new(
+            EngineConfig::new(
+                ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+                Scheme::era_ce_cd(3, 2),
+            )
+            .record_timeline(true),
+        );
+        let mut sim = Simulation::new();
+        run_workload(&world, &mut sim, vec![set_ops(0, 7, 2048)]);
+        {
+            let m = world.metrics.borrow();
+            let t = m.timeline.as_ref().expect("recording enabled");
+            assert_eq!(t.len(), 7);
+            assert!(t.windows(2).all(|w| w[0].at <= w[1].at), "sorted by time");
+            assert!(t.iter().all(|p| p.ok));
+        }
+        // Reset preserves the recording flag with a fresh buffer.
+        world.reset_metrics();
+        assert_eq!(
+            world.metrics.borrow().timeline.as_ref().map(Vec::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "op streams for")]
+    fn too_many_streams_panics() {
+        let world = small_world(Scheme::NoRep, 1);
+        let mut sim = Simulation::new();
+        run_workload(&world, &mut sim, vec![vec![], vec![]]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Small shared pieces of the operation state machines.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use eckv_simnet::{SimTime, Simulation};
+use eckv_store::Payload;
+
+use crate::metrics::OpResult;
+
+/// Completion callback handed to an operation path.
+pub(crate) type DoneCb = Box<dyn FnOnce(&mut Simulation, OpResult)>;
+
+/// Fan-out completion tracker: counts outstanding sub-requests, remembers
+/// the latest completion instant and whether everything succeeded, and
+/// collects fetched chunks (for Get paths).
+pub(crate) struct Pending {
+    pub remaining: usize,
+    pub ok: bool,
+    pub succeeded: usize,
+    pub last: SimTime,
+    pub chunks: Vec<(usize, Option<Payload>)>,
+    pub done: Option<DoneCb>,
+}
+
+impl Pending {
+    pub fn new(remaining: usize, done: DoneCb) -> Rc<RefCell<Pending>> {
+        Rc::new(RefCell::new(Pending {
+            remaining,
+            ok: true,
+            succeeded: 0,
+            last: SimTime::ZERO,
+            chunks: Vec::new(),
+            done: Some(done),
+        }))
+    }
+
+    /// Notes one sub-completion; returns `true` when this was the last.
+    pub fn complete_one(&mut self, at: SimTime, ok: bool) -> bool {
+        debug_assert!(self.remaining > 0, "completion after the last one");
+        if at > self.last {
+            self.last = at;
+        }
+        self.ok &= ok;
+        if ok {
+            self.succeeded += 1;
+        }
+        self.remaining -= 1;
+        self.remaining == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eckv_simnet::SimDuration;
+
+    #[test]
+    fn countdown_tracks_latest_and_ok() {
+        let p = Pending::new(3, Box::new(|_, _| {}));
+        let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
+        {
+            let mut p = p.borrow_mut();
+            assert!(!p.complete_one(t(5), true));
+            assert!(!p.complete_one(t(9), false));
+            assert!(p.complete_one(t(7), true));
+            assert_eq!(p.last, t(9));
+            assert!(!p.ok);
+        }
+    }
+}

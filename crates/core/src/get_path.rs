@@ -1,0 +1,743 @@
+//! Get operation state machines, including degraded (post-failure) reads.
+//!
+//! Server selection consults the client's failure view; transport errors
+//! update the view and surface as retryable failures so the driver can
+//! re-dispatch the read against the survivors (the paper's fail-over).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use eckv_simnet::{Delivery, Network, PhaseBreakdown, SimDuration, SimTime, Simulation};
+use eckv_store::{rpc, Payload};
+
+use crate::flow::{DoneCb, Pending};
+use crate::metrics::OpResult;
+use crate::ops::OpKind;
+use crate::scheme::{Scheme, Side};
+use crate::world::{World, Written};
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    sim: &mut Simulation,
+    op_start: SimTime,
+    at: SimTime,
+    request: SimDuration,
+    compute: SimDuration,
+    ok: bool,
+    integrity_ok: bool,
+    retryable: bool,
+    value_len: u64,
+    done: DoneCb,
+) {
+    let latency = at.since(op_start);
+    let breakdown = PhaseBreakdown {
+        request,
+        compute,
+        wait_response: latency.saturating_sub(request).saturating_sub(compute),
+    };
+    done(
+        sim,
+        OpResult {
+            kind: OpKind::Get,
+            at,
+            latency,
+            breakdown,
+            ok,
+            integrity_ok,
+            retryable: retryable && !ok,
+            value_len,
+        },
+    );
+}
+
+/// Entry point: dispatches on the scheme.
+pub(crate) fn start_get(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    client: usize,
+    key: Arc<str>,
+    done: DoneCb,
+) {
+    match world.scheme {
+        Scheme::NoRep | Scheme::AsyncRep { .. } | Scheme::SyncRep { .. } => {
+            get_replicated(world, sim, client, key, done)
+        }
+        Scheme::Erasure {
+            decode_at: Side::Client,
+            ..
+        } => {
+            let op_start = sim.now();
+            get_era_client_decode(world, sim, client, key, op_start, SimDuration::ZERO, done)
+        }
+        Scheme::Erasure {
+            decode_at: Side::Server,
+            ..
+        } => get_era_server_decode(world, sim, client, key, done),
+        Scheme::Hybrid { replicas, .. } => get_hybrid(world, sim, client, key, replicas, done),
+    }
+}
+
+/// Hybrid read: probe the plain (replicated) key at the first live replica
+/// holder; a miss means the value was erasure-coded, so fall through to
+/// the chunk path. The probe costs one extra round trip for large values —
+/// the price of needing no metadata service.
+fn get_hybrid(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    client: usize,
+    key: Arc<str>,
+    replicas: usize,
+    done: DoneCb,
+) {
+    let op_start = sim.now();
+    let cfg = world.cluster.net_config();
+    let check = world.cfg.liveness_check;
+    let post = cfg.post_overhead;
+    let client_node = world.cluster.client_node(client);
+    let rep_targets: Vec<usize> = world.targets(&key).into_iter().take(replicas).collect();
+
+    let Some(&srv) = rep_targets
+        .iter()
+        .find(|&&s| world.view_alive(client, s))
+    else {
+        // No replica holder is reachable; the chunk path may still work.
+        get_era_client_decode(world, sim, client, key, op_start, check, done);
+        return;
+    };
+    let issue_at = world.reserve_client_cpu(client, op_start, check + post);
+    let server = world.cluster.servers[srv].clone();
+    let world2 = world.clone();
+    rpc::get(
+        &world.cluster.net,
+        &server,
+        sim,
+        issue_at,
+        client_node,
+        key.clone(),
+        move |sim, reply| match reply {
+            Ok(r) if r.value.is_some() => {
+                let value = r.value.expect("checked");
+                let integrity = check_value(&world2, &key, &value);
+                let len = value.len();
+                finish(
+                    sim,
+                    op_start,
+                    r.at,
+                    check + post,
+                    SimDuration::ZERO,
+                    true,
+                    integrity,
+                    false,
+                    len,
+                    done,
+                );
+            }
+            // A clean miss means the value was erasure-coded: fall through
+            // to the chunk path, keeping the probe's cost in the request
+            // phase.
+            Ok(r) => {
+                debug_assert!(r.value.is_none());
+                get_era_client_decode(
+                    &world2,
+                    sim,
+                    client,
+                    key,
+                    op_start,
+                    check + post,
+                    done,
+                )
+            }
+            // A dead replica holder is a view update, not evidence the
+            // value was chunked: retry so the probe hits the next replica.
+            Err(rpc::RpcError::ServerDead(t)) => {
+                world2.mark_dead(client, srv);
+                finish(
+                    sim,
+                    op_start,
+                    t,
+                    check + post,
+                    SimDuration::ZERO,
+                    false,
+                    true,
+                    true,
+                    0,
+                    done,
+                );
+            }
+        },
+    );
+}
+
+/// Validates a full value returned by a replicated Get.
+fn check_value(world: &World, key: &str, value: &Payload) -> bool {
+    if !world.cfg.validate {
+        return true;
+    }
+    match world.expected.borrow().get(key) {
+        Some(w) => w.len == value.len() && w.digest == value.digest(),
+        None => true, // nothing recorded; cannot judge
+    }
+}
+
+/// Replication / NoRep: read the whole value from the first live replica.
+fn get_replicated(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    client: usize,
+    key: Arc<str>,
+    done: DoneCb,
+) {
+    let op_start = sim.now();
+    let targets = world.targets(&key);
+    let cfg = world.cluster.net_config();
+    let check = world.cfg.liveness_check;
+    let post = cfg.post_overhead;
+    let client_node = world.cluster.client_node(client);
+
+    let Some(&srv) = targets
+        .iter()
+        .find(|&&s| world.view_alive(client, s))
+    else {
+        // All replicas believed down: the operation fails for good.
+        let at = world.reserve_client_cpu(client, sim.now(), check);
+        finish(
+            sim, op_start, at, check, SimDuration::ZERO, false, true, false, 0, done,
+        );
+        return;
+    };
+    let issue_at = world.reserve_client_cpu(client, op_start, check + post);
+    let server = world.cluster.servers[srv].clone();
+    let world2 = world.clone();
+    rpc::get(
+        &world.cluster.net,
+        &server,
+        sim,
+        issue_at,
+        client_node,
+        key.clone(),
+        move |sim, reply| match reply {
+            Ok(r) => {
+                let ok = r.value.is_some();
+                let integrity = r
+                    .value
+                    .as_ref()
+                    .is_none_or(|v| check_value(&world2, &key, v));
+                let len = r.value.as_ref().map_or(0, Payload::len);
+                finish(
+                    sim,
+                    op_start,
+                    r.at,
+                    check + post,
+                    SimDuration::ZERO,
+                    ok,
+                    integrity,
+                    false,
+                    len,
+                    done,
+                );
+            }
+            Err(rpc::RpcError::ServerDead(t)) => {
+                // Discovery: fail over on the retry.
+                world2.mark_dead(client, srv);
+                finish(
+                    sim,
+                    op_start,
+                    t,
+                    check + post,
+                    SimDuration::ZERO,
+                    false,
+                    true,
+                    true,
+                    0,
+                    done,
+                );
+            }
+        },
+    );
+}
+
+/// Picks the first `k` chunk holders the client believes alive (by shard
+/// index order). Returns `(shard_index, server)` pairs, or `None` if fewer
+/// than `k` survive in the view.
+fn choose_chunks(
+    world: &World,
+    client: usize,
+    targets: &[usize],
+    k: usize,
+) -> Option<Vec<(usize, usize)>> {
+    let alive: Vec<(usize, usize)> = targets
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| world.view_alive(client, s))
+        .map(|(i, &s)| (i, s))
+        .collect();
+    if alive.len() < k {
+        None
+    } else {
+        Some(alive[..k].to_vec())
+    }
+}
+
+/// Verifies fetched chunks against the write record; also reconstructs and
+/// checks real bytes when the workload wrote inline values.
+fn check_chunks(
+    world: &World,
+    expected: Option<Written>,
+    chunks: &[(usize, Option<Payload>)],
+) -> bool {
+    if !world.cfg.validate {
+        return true;
+    }
+    let Some(w) = expected else { return true };
+    let shard_len = world.shard_len(w.len);
+    let all_inline = chunks
+        .iter()
+        .all(|(_, c)| matches!(c, Some(Payload::Inline(_))));
+    if all_inline {
+        // Really decode and compare digests end to end.
+        let striper = world.striper.as_ref().expect("erasure scheme");
+        let n = striper.codec().total_shards();
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
+        for (idx, chunk) in chunks {
+            if let Some(Payload::Inline(b)) = chunk {
+                shards[*idx] = Some(b.to_vec());
+            }
+        }
+        match striper.decode_value(&mut shards, w.len as usize) {
+            Ok(value) => eckv_store::fnv1a_64(&value) == w.digest,
+            Err(_) => false,
+        }
+    } else {
+        // Synthetic: each chunk's digest must match the derivation used at
+        // write time.
+        let parent = Payload::Synthetic {
+            len: w.len,
+            digest: w.digest,
+        };
+        chunks.iter().all(|(idx, chunk)| match chunk {
+            Some(c) => c.digest() == parent.shard(*idx, shard_len).digest(),
+            None => false,
+        })
+    }
+}
+
+/// Era-*-CD: fetch `k` chunks in parallel, decode at the client only if a
+/// data chunk is missing. Chunk *misses* (a degraded write skipped that
+/// position, or a replaced server lost it) top up from the remaining
+/// holders — late binding — before the read is declared failed.
+/// `request_base` carries request-phase cost already paid by a caller
+/// (the hybrid probe).
+fn get_era_client_decode(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    client: usize,
+    key: Arc<str>,
+    op_start: SimTime,
+    request_base: SimDuration,
+    done: DoneCb,
+) {
+    let (k, m, _, _, _) = world.scheme.erasure_params().expect("erasure scheme");
+    let mut targets = world.targets(&key);
+    targets.truncate(k + m);
+
+    let now = sim.now();
+    let Some(chosen) = choose_chunks(world, client, &targets, k) else {
+        let check = world.cfg.liveness_check;
+        let at = world.reserve_client_cpu(client, now, check);
+        finish(
+            sim, op_start, at, request_base + check, SimDuration::ZERO, false, true, false, 0,
+            done,
+        );
+        return;
+    };
+    world.reserve_client_cpu(client, now, world.cfg.liveness_check);
+
+    let state = Rc::new(RefCell::new(CdState {
+        key: key.clone(),
+        targets,
+        k,
+        tried: chosen.iter().map(|&(i, _)| i).collect(),
+        good: Vec::new(),
+        outstanding: chosen.len(),
+        posts: 0,
+        discovered: false,
+        done: Some(done),
+    }));
+    issue_cd_fetches(world, sim, client, op_start, request_base, &state, chosen);
+}
+
+/// In-flight state of one client-decode Get.
+struct CdState {
+    key: Arc<str>,
+    targets: Vec<usize>,
+    k: usize,
+    /// Shard positions already requested.
+    tried: Vec<usize>,
+    /// Chunks that came back present.
+    good: Vec<(usize, Payload)>,
+    outstanding: usize,
+    posts: u64,
+    discovered: bool,
+    done: Option<DoneCb>,
+}
+
+fn issue_cd_fetches(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    client: usize,
+    op_start: SimTime,
+    request_base: SimDuration,
+    state: &Rc<RefCell<CdState>>,
+    batch: Vec<(usize, usize)>,
+) {
+    let post = world.cluster.net_config().post_overhead;
+    let client_node = world.cluster.client_node(client);
+    state.borrow_mut().posts += batch.len() as u64;
+    for (shard_idx, srv) in batch {
+        let issue_at = world.reserve_client_cpu(client, sim.now(), post);
+        let server = world.cluster.servers[srv].clone();
+        let world2 = world.clone();
+        let state2 = state.clone();
+        let key = state.borrow().key.clone();
+        rpc::get(
+            &world.cluster.net,
+            &server,
+            sim,
+            issue_at,
+            client_node,
+            World::shard_key(&key, shard_idx),
+            move |sim, reply| {
+                {
+                    let mut st = state2.borrow_mut();
+                    st.outstanding -= 1;
+                    match reply {
+                        Ok(r) => {
+                            if let Some(chunk) = r.value {
+                                st.good.push((shard_idx, chunk));
+                            }
+                        }
+                        Err(rpc::RpcError::ServerDead(_)) => {
+                            world2.mark_dead(client, srv);
+                            st.discovered = true;
+                        }
+                    }
+                    if st.outstanding > 0 {
+                        return;
+                    }
+                }
+                settle_cd(&world2, sim, client, op_start, request_base, &state2);
+            },
+        );
+    }
+}
+
+/// All outstanding fetches returned: finish, or top up from untried
+/// holders if chunks are still missing and candidates remain.
+fn settle_cd(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    client: usize,
+    op_start: SimTime,
+    request_base: SimDuration,
+    state: &Rc<RefCell<CdState>>,
+) {
+    let (need_more, k) = {
+        let st = state.borrow();
+        (st.good.len() < st.k, st.k)
+    };
+    if need_more {
+        // Candidates: positions not yet tried whose holder the client
+        // believes alive.
+        let batch: Vec<(usize, usize)> = {
+            let st = state.borrow();
+            let missing = k - st.good.len();
+            st.targets
+                .iter()
+                .enumerate()
+                .filter(|&(i, &srv)| {
+                    !st.tried.contains(&i) && world.view_alive(client, srv)
+                })
+                .take(missing)
+                .map(|(i, &srv)| (i, srv))
+                .collect()
+        };
+        if !batch.is_empty() {
+            {
+                let mut st = state.borrow_mut();
+                for &(i, _) in &batch {
+                    st.tried.push(i);
+                }
+                st.outstanding = batch.len();
+            }
+            issue_cd_fetches(world, sim, client, op_start, request_base, state, batch);
+            return;
+        }
+    }
+
+    // No more candidates (or enough chunks): evaluate.
+    let (key, good, posts, discovered, done) = {
+        let mut st = state.borrow_mut();
+        (
+            st.key.clone(),
+            std::mem::take(&mut st.good),
+            st.posts,
+            st.discovered,
+            st.done.take().expect("settles once"),
+        )
+    };
+    let check = world.cfg.liveness_check;
+    let post = world.cluster.net_config().post_overhead;
+    let ok = good.len() >= k;
+    let expected = world.expected.borrow().get(&key).copied();
+    let value_len = expected.map_or_else(
+        || good.iter().map(|(_, c)| c.len()).sum(),
+        |w| w.len,
+    );
+    let now = sim.now();
+    if !ok {
+        finish(
+            sim,
+            op_start,
+            now,
+            request_base + check + post * posts,
+            SimDuration::ZERO,
+            false,
+            true,
+            discovered,
+            value_len,
+            done,
+        );
+        return;
+    }
+    let used: Vec<(usize, Option<Payload>)> = good
+        .into_iter()
+        .take(k)
+        .map(|(i, c)| (i, Some(c)))
+        .collect();
+    let erased_data = (0..k)
+        .filter(|i| !used.iter().any(|&(idx, _)| idx == *i))
+        .count();
+    let integrity = check_chunks(world, expected, &used);
+    let (at, compute) = if erased_data > 0 {
+        let t_dec = world.decode_time(value_len, erased_data);
+        let dec_done = world.reserve_client_cpu(client, now, t_dec);
+        (dec_done, t_dec)
+    } else {
+        (now, SimDuration::ZERO)
+    };
+    finish(
+        sim,
+        op_start,
+        at,
+        request_base + check + post * posts,
+        compute,
+        true,
+        integrity,
+        false,
+        value_len,
+        done,
+    );
+}
+
+/// Era-*-SD: the first live chunk holder aggregates (and if necessary
+/// decodes) the value server-side, then returns it whole.
+fn get_era_server_decode(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    client: usize,
+    key: Arc<str>,
+    done: DoneCb,
+) {
+    let op_start = sim.now();
+    let (k, m, _, _, _) = world.scheme.erasure_params().expect("erasure scheme");
+    let mut targets = world.targets(&key);
+    targets.truncate(k + m);
+    let cfg = world.cluster.net_config();
+    let check = world.cfg.liveness_check;
+    let post = cfg.post_overhead;
+    let client_node = world.cluster.client_node(client);
+
+    let Some(chosen) = choose_chunks(world, client, &targets, k) else {
+        let at = world.reserve_client_cpu(client, op_start, check);
+        finish(
+            sim, op_start, at, check, SimDuration::ZERO, false, true, false, 0, done,
+        );
+        return;
+    };
+    let erased_data = (0..k)
+        .filter(|i| !chosen.iter().any(|&(idx, _)| idx == *i))
+        .count();
+
+    // The aggregator is the first live chunk holder (the primary, unless it
+    // failed).
+    let (_, agg_srv) = chosen[0];
+    let aggregator = world.cluster.servers[agg_srv].clone();
+    let agg_node = aggregator.borrow().node();
+
+    let issue_at = world.reserve_client_cpu(client, op_start, check + post);
+    let req_bytes = rpc::REQUEST_OVERHEAD + key.len();
+    let world2 = world.clone();
+    let net = world.cluster.net.clone();
+    Network::send(
+        &world.cluster.net,
+        sim,
+        issue_at,
+        client_node,
+        agg_node,
+        req_bytes,
+        move |sim, delivery| {
+            let at = match delivery {
+                Delivery::TargetDead(t) => {
+                    world2.mark_dead(client, agg_srv);
+                    finish(
+                        sim, op_start, t, check + post, SimDuration::ZERO, false, true, true, 0,
+                        done,
+                    );
+                    return;
+                }
+                Delivery::Delivered(at) => at,
+            };
+            let costs = aggregator.borrow().costs();
+            let t1 = aggregator.borrow_mut().reserve_cpu(at, costs.op_time(0));
+
+            let discovered = Rc::new(Cell::new(false));
+            let pending = Pending::new(k, done);
+            for (j, &(shard_idx, srv)) in chosen.iter().enumerate() {
+                if srv == agg_srv {
+                    // Local chunk: a store lookup on the aggregator itself.
+                    let chunk = aggregator
+                        .borrow_mut()
+                        .store_mut()
+                        .get(&World::shard_key(&key, shard_idx));
+                    let bytes = chunk.as_ref().map_or(0, Payload::len);
+                    let local_done = aggregator
+                        .borrow_mut()
+                        .reserve_cpu(t1, costs.op_time(bytes));
+                    let ok = chunk.is_some();
+                    let mut p = pending.borrow_mut();
+                    p.chunks.push((shard_idx, chunk));
+                    let is_last = p.complete_one(local_done, ok);
+                    drop(p);
+                    if is_last {
+                        finish_sd(
+                            &world2, sim, &key, &pending, op_start, check, post, erased_data,
+                            &discovered, &aggregator, agg_node, client_node, &net,
+                        );
+                    }
+                } else {
+                    let server = world2.cluster.servers[srv].clone();
+                    let pending2 = pending.clone();
+                    let world3 = world2.clone();
+                    let key2 = key.clone();
+                    let aggregator2 = aggregator.clone();
+                    let net2 = net.clone();
+                    let discovered2 = discovered.clone();
+                    rpc::get(
+                        &net,
+                        &server,
+                        sim,
+                        t1 + post * (j as u64 + 1),
+                        agg_node,
+                        World::shard_key(&key, shard_idx),
+                        move |sim, reply| {
+                            let (at, chunk, ok) = match reply {
+                                Ok(r) => {
+                                    let ok = r.value.is_some();
+                                    (r.at, r.value, ok)
+                                }
+                                Err(rpc::RpcError::ServerDead(t)) => {
+                                    world3.mark_dead(client, srv);
+                                    discovered2.set(true);
+                                    (t, None, false)
+                                }
+                            };
+                            let is_last = {
+                                let mut p = pending2.borrow_mut();
+                                p.chunks.push((shard_idx, chunk));
+                                p.complete_one(at, ok)
+                            };
+                            if is_last {
+                                finish_sd(
+                                    &world3, sim, &key2, &pending2, op_start, check, post,
+                                    erased_data, &discovered2, &aggregator2, agg_node,
+                                    client_node, &net2,
+                                );
+                            }
+                        },
+                    );
+                }
+            }
+        },
+    );
+}
+
+/// Completes an SD get: optional decode on the aggregator, then ship the
+/// whole value to the client.
+#[allow(clippy::too_many_arguments)]
+fn finish_sd(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    key: &Arc<str>,
+    pending: &Rc<std::cell::RefCell<Pending>>,
+    op_start: SimTime,
+    check: SimDuration,
+    post: SimDuration,
+    erased_data: usize,
+    discovered: &Rc<Cell<bool>>,
+    aggregator: &Rc<std::cell::RefCell<eckv_store::KvServer>>,
+    agg_node: eckv_simnet::NodeId,
+    client_node: eckv_simnet::NodeId,
+    net: &Rc<std::cell::RefCell<Network>>,
+) {
+    let (last, ok, chunks, done) = {
+        let mut p = pending.borrow_mut();
+        (
+            p.last,
+            p.ok,
+            std::mem::take(&mut p.chunks),
+            p.done.take().expect("finishes once"),
+        )
+    };
+    let expected = world.expected.borrow().get(key).copied();
+    let integrity = !ok || check_chunks(world, expected, &chunks);
+    let value_len = expected.map_or_else(
+        || {
+            chunks
+                .iter()
+                .filter_map(|(_, c)| c.as_ref())
+                .map(Payload::len)
+                .sum()
+        },
+        |w| w.len,
+    );
+    // Server-side decode if a data chunk is missing.
+    let respond_at = if ok && erased_data > 0 {
+        let t_dec = world.decode_time(value_len, erased_data);
+        aggregator.borrow_mut().reserve_cpu(last, t_dec)
+    } else {
+        last
+    };
+    let resp_bytes = rpc::ACK_BYTES
+        + chunks
+            .iter()
+            .filter_map(|(_, c)| c.as_ref())
+            .map(|c| c.len() as usize)
+            .sum::<usize>()
+            .min(value_len as usize + rpc::ACK_BYTES);
+    let retryable = discovered.get();
+    Network::send(net, sim, respond_at, agg_node, client_node, resp_bytes, move |sim, d| {
+        finish(
+            sim,
+            op_start,
+            d.at(),
+            check + post,
+            SimDuration::ZERO,
+            ok && d.is_delivered(),
+            integrity,
+            retryable,
+            value_len,
+            done,
+        );
+    });
+}

@@ -1,0 +1,250 @@
+//! Per-operation results and experiment-wide metric aggregation.
+
+use eckv_simnet::{Histogram, PhaseBreakdown, SimDuration, SimTime, Summary};
+
+use crate::ops::OpKind;
+
+/// Result of one completed operation, as observed at the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpResult {
+    /// Set or Get.
+    pub kind: OpKind,
+    /// Completion instant.
+    pub at: SimTime,
+    /// Client-observed latency (admission to completion).
+    pub latency: SimDuration,
+    /// Request / wait-response / compute phase split (Figure 9).
+    pub breakdown: PhaseBreakdown,
+    /// Whether the operation succeeded (reachable servers, value present).
+    pub ok: bool,
+    /// Whether the returned data passed integrity validation (always true
+    /// when validation is disabled or for Sets).
+    pub integrity_ok: bool,
+    /// Whether a failed operation is worth retrying: it failed because the
+    /// client discovered a dead server, and its failure view has been
+    /// updated, so a retry may route around the failure.
+    pub retryable: bool,
+    /// Value size in bytes.
+    pub value_len: u64,
+}
+
+/// One per-operation timeline sample (optional recording).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelinePoint {
+    /// Completion instant.
+    pub at: SimTime,
+    /// Set or Get.
+    pub kind: OpKind,
+    /// Client-observed latency.
+    pub latency: SimDuration,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+}
+
+/// Aggregated metrics for one experiment run.
+///
+/// # Example
+///
+/// ```
+/// use eckv_core::Metrics;
+///
+/// let m = Metrics::default();
+/// assert_eq!(m.set_count, 0);
+/// assert_eq!(m.throughput_ops_per_sec(), 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Set latency distribution.
+    pub set_latency: Histogram,
+    /// Get latency distribution.
+    pub get_latency: Histogram,
+    /// Summed Set phase breakdown (divide by `set_count` for the average).
+    pub set_breakdown: PhaseBreakdown,
+    /// Summed Get phase breakdown.
+    pub get_breakdown: PhaseBreakdown,
+    /// Completed Sets.
+    pub set_count: u64,
+    /// Completed Gets.
+    pub get_count: u64,
+    /// Operations that failed (unreachable servers, missing values).
+    pub errors: u64,
+    /// Reads whose data failed integrity validation.
+    pub integrity_errors: u64,
+    /// Transparent retries after a dead-server discovery (the retried
+    /// attempt is not otherwise recorded).
+    pub retries: u64,
+    /// Bytes written (values, not counting redundancy).
+    pub bytes_written: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// First operation admission time.
+    pub started_at: Option<SimTime>,
+    /// Last operation completion time.
+    pub finished_at: SimTime,
+    /// Per-operation samples, when timeline recording is enabled.
+    pub timeline: Option<Vec<TimelinePoint>>,
+}
+
+impl Metrics {
+    /// Records an admission (for throughput bookkeeping).
+    pub fn note_admission(&mut self, at: SimTime) {
+        if self.started_at.is_none() {
+            self.started_at = Some(at);
+        }
+    }
+
+    /// Records a completed operation.
+    pub fn record(&mut self, r: &OpResult) {
+        match r.kind {
+            OpKind::Set => {
+                self.set_latency.record(r.latency);
+                self.set_breakdown += r.breakdown;
+                self.set_count += 1;
+                self.bytes_written += r.value_len;
+            }
+            OpKind::Get => {
+                self.get_latency.record(r.latency);
+                self.get_breakdown += r.breakdown;
+                self.get_count += 1;
+                self.bytes_read += r.value_len;
+            }
+        }
+        if !r.ok {
+            self.errors += 1;
+        }
+        if !r.integrity_ok {
+            self.integrity_errors += 1;
+        }
+        if r.at > self.finished_at {
+            self.finished_at = r.at;
+        }
+        if let Some(t) = &mut self.timeline {
+            t.push(TimelinePoint {
+                at: r.at,
+                kind: r.kind,
+                latency: r.latency,
+                ok: r.ok,
+            });
+        }
+    }
+
+    /// Total completed operations.
+    pub fn ops(&self) -> u64 {
+        self.set_count + self.get_count
+    }
+
+    /// Wall-clock (virtual) duration of the run.
+    pub fn elapsed(&self) -> SimDuration {
+        match self.started_at {
+            Some(s) => self.finished_at.since(s),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    /// Aggregate throughput over the run.
+    pub fn throughput_ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops() as f64 / secs
+        }
+    }
+
+    /// Average Set breakdown per operation.
+    pub fn avg_set_breakdown(&self) -> PhaseBreakdown {
+        if self.set_count == 0 {
+            PhaseBreakdown::ZERO
+        } else {
+            self.set_breakdown.averaged(self.set_count)
+        }
+    }
+
+    /// Average Get breakdown per operation.
+    pub fn avg_get_breakdown(&self) -> PhaseBreakdown {
+        if self.get_count == 0 {
+            PhaseBreakdown::ZERO
+        } else {
+            self.get_breakdown.averaged(self.get_count)
+        }
+    }
+
+    /// Set latency digest.
+    pub fn set_summary(&self) -> Summary {
+        self.set_latency.summary()
+    }
+
+    /// Get latency digest.
+    pub fn get_summary(&self) -> Summary {
+        self.get_latency.summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(kind: OpKind, at_us: u64, lat_us: u64) -> OpResult {
+        OpResult {
+            kind,
+            at: SimTime::from_nanos(at_us * 1000),
+            latency: SimDuration::from_micros(lat_us),
+            breakdown: PhaseBreakdown {
+                request: SimDuration::from_micros(1),
+                wait_response: SimDuration::from_micros(lat_us.saturating_sub(1)),
+                compute: SimDuration::ZERO,
+            },
+            ok: true,
+            integrity_ok: true,
+            retryable: false,
+            value_len: 1024,
+        }
+    }
+
+    #[test]
+    fn records_split_by_kind() {
+        let mut m = Metrics::default();
+        m.note_admission(SimTime::ZERO);
+        m.record(&result(OpKind::Set, 10, 10));
+        m.record(&result(OpKind::Get, 20, 5));
+        assert_eq!(m.set_count, 1);
+        assert_eq!(m.get_count, 1);
+        assert_eq!(m.ops(), 2);
+        assert_eq!(m.bytes_written, 1024);
+        assert_eq!(m.bytes_read, 1024);
+        assert_eq!(m.errors, 0);
+    }
+
+    #[test]
+    fn throughput_uses_span() {
+        let mut m = Metrics::default();
+        m.note_admission(SimTime::ZERO);
+        for i in 1..=100u64 {
+            m.record(&result(OpKind::Set, i * 1000, 10));
+        }
+        // 100 ops over 100 ms => 1000 ops/s.
+        let tput = m.throughput_ops_per_sec();
+        assert!((tput - 1000.0).abs() < 1.0, "tput={tput}");
+    }
+
+    #[test]
+    fn errors_and_integrity_tracked() {
+        let mut m = Metrics::default();
+        let mut r = result(OpKind::Get, 1, 1);
+        r.ok = false;
+        r.integrity_ok = false;
+        m.record(&r);
+        assert_eq!(m.errors, 1);
+        assert_eq!(m.integrity_errors, 1);
+    }
+
+    #[test]
+    fn breakdown_average() {
+        let mut m = Metrics::default();
+        m.record(&result(OpKind::Set, 1, 11));
+        m.record(&result(OpKind::Set, 2, 21));
+        let avg = m.avg_set_breakdown();
+        assert_eq!(avg.request, SimDuration::from_micros(1));
+        assert_eq!(avg.wait_response, SimDuration::from_micros(15));
+    }
+}

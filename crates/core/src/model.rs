@@ -1,0 +1,170 @@
+//! The paper's analytic latency model (Section III, Equations 1–8).
+//!
+//! These closed forms guide the design and serve as cross-checks: tests
+//! compare the simulator against them in contention-free single-client
+//! scenarios, where both should agree on ordering and rough magnitude.
+
+use eckv_simnet::{ComputeModel, NetConfig, SimDuration};
+
+/// Analytic latency estimates for a value of `D` bytes on a network
+/// described by `net`, with erasure computation timed by `compute`.
+///
+/// # Example
+///
+/// ```
+/// use eckv_core::model::LatencyModel;
+/// use eckv_simnet::{ClusterProfile, ComputeModel, TransportKind};
+///
+/// let m = LatencyModel::new(
+///     ClusterProfile::RiQdr.net_config(TransportKind::Rdma),
+///     ComputeModel::WESTMERE,
+/// );
+/// let d = 1 << 20;
+/// // Eq 2 vs Eq 6: pipelining replication can only help.
+/// assert!(m.rep_set_ideal(3, d) <= m.rep_set_sync(3, d));
+/// // Eq 7 vs Eq 3: pipelining erasure coding can only help.
+/// assert!(m.era_set_ideal(3, 2, d) <= m.era_set(3, 2, d));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    net: NetConfig,
+    compute: ComputeModel,
+}
+
+impl LatencyModel {
+    /// Builds a model from transport and compute calibrations.
+    pub fn new(net: NetConfig, compute: ComputeModel) -> Self {
+        LatencyModel { net, compute }
+    }
+
+    /// Equation 1: `T_comm(D) = L + D/B` (plus protocol overheads, which
+    /// the paper folds into `L`).
+    pub fn t_comm(&self, d: u64) -> SimDuration {
+        self.net.one_way(d as usize)
+    }
+
+    /// Encode time `T_encode(D)` for `RS(k, m)` under the compute model.
+    pub fn t_encode(&self, k: usize, m: usize, d: u64) -> SimDuration {
+        let shard = d.div_ceil(k as u64);
+        self.compute.encode_mul(m as u64 * k as u64 * shard)
+    }
+
+    /// Decode time `T_decode(D)` for recovering `e` data chunks.
+    pub fn t_decode(&self, k: usize, e: usize, d: u64) -> SimDuration {
+        if e == 0 {
+            return SimDuration::ZERO;
+        }
+        let shard = d.div_ceil(k as u64);
+        self.compute.decode_mul(e as u64 * k as u64 * shard)
+    }
+
+    /// Equation 2: synchronous replication Set, `F * (L + D/B)`.
+    pub fn rep_set_sync(&self, f: usize, d: u64) -> SimDuration {
+        self.t_comm(d) * f as u64
+    }
+
+    /// Equation 3: erasure Set,
+    /// `T_encode(D) + N * (L + D/(K*B))` with `N = K + M`.
+    pub fn era_set(&self, k: usize, m: usize, d: u64) -> SimDuration {
+        let n = (k + m) as u64;
+        let chunk = d.div_ceil(k as u64);
+        self.t_encode(k, m, d) + self.t_comm(chunk) * n
+    }
+
+    /// Equation 4: replication Get, `T_check + L + D/B`.
+    pub fn rep_get(&self, t_check: SimDuration, d: u64) -> SimDuration {
+        t_check + self.t_comm(d)
+    }
+
+    /// Equation 5: erasure Get, `T_decode(D) + K * (L + D/(K*B))`.
+    pub fn era_get(&self, k: usize, erased: usize, d: u64) -> SimDuration {
+        let chunk = d.div_ceil(k as u64);
+        self.t_decode(k, erased, d) + self.t_comm(chunk) * k as u64
+    }
+
+    /// Equation 6: ideal (fully overlapped) replication Set,
+    /// `max_{i=1..F}(L + D/B)`.
+    pub fn rep_set_ideal(&self, _f: usize, d: u64) -> SimDuration {
+        self.t_comm(d)
+    }
+
+    /// Equation 7: ideal erasure Set,
+    /// `T_encode(D) + max_{i=1..N}(L + D/(K*B))`.
+    pub fn era_set_ideal(&self, k: usize, m: usize, d: u64) -> SimDuration {
+        let chunk = d.div_ceil(k as u64);
+        self.t_encode(k, m, d) + self.t_comm(chunk)
+    }
+
+    /// Equation 8: ideal erasure Get,
+    /// `T_decode(D) + max_{i=1..K}(L + D/(K*B))`.
+    pub fn era_get_ideal(&self, k: usize, erased: usize, d: u64) -> SimDuration {
+        let chunk = d.div_ceil(k as u64);
+        self.t_decode(k, erased, d) + self.t_comm(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eckv_simnet::{ClusterProfile, TransportKind};
+
+    fn model() -> LatencyModel {
+        LatencyModel::new(
+            ClusterProfile::RiQdr.net_config(TransportKind::Rdma),
+            ComputeModel::WESTMERE,
+        )
+    }
+
+    #[test]
+    fn overlapped_era_set_beats_sync_rep_at_large_values() {
+        // Equation 7 vs Equation 2: unoverlapped erasure (Eq 3) pays
+        // T_encode serially and does NOT beat synchronous replication at
+        // 1 MB — the paper's point is that the *overlapped* form (Eq 7)
+        // does, which is exactly what the ARPE designs realize.
+        let m = model();
+        let d = 1 << 20;
+        assert!(m.era_set_ideal(3, 2, d) < m.rep_set_sync(3, d));
+        // And the N/K bandwidth saving shows in the pure communication
+        // term: 5 chunk transfers move less data than 3 full copies.
+        assert!(m.t_comm(d.div_ceil(3)) * 5 < m.t_comm(d) * 3);
+    }
+
+    #[test]
+    fn sync_rep_beats_era_at_tiny_values() {
+        // At very small D, erasure pays T_encode and N latencies for
+        // negligible bandwidth savings.
+        let m = model();
+        let d = 512;
+        assert!(m.era_set(3, 2, d) > m.rep_set_sync(3, d) / 2);
+    }
+
+    #[test]
+    fn ideal_forms_lower_bound_the_basic_forms() {
+        let m = model();
+        for d in [512u64, 16 << 10, 1 << 20] {
+            assert!(m.rep_set_ideal(3, d) <= m.rep_set_sync(3, d));
+            assert!(m.era_set_ideal(3, 2, d) <= m.era_set(3, 2, d));
+            assert!(m.era_get_ideal(3, 0, d) <= m.era_get(3, 0, d));
+        }
+    }
+
+    #[test]
+    fn rep_get_has_no_compute_term() {
+        let m = model();
+        let d = 1 << 20;
+        let check = SimDuration::from_nanos(500);
+        assert_eq!(m.rep_get(check, d), check + m.t_comm(d));
+    }
+
+    #[test]
+    fn degraded_era_get_pays_decode() {
+        let m = model();
+        let d = 1 << 20;
+        assert!(m.era_get(3, 2, d) > m.era_get(3, 0, d));
+        assert_eq!(
+            m.era_get(3, 0, d),
+            m.t_comm(d.div_ceil(3)) * 3,
+            "failure-free reads decode nothing"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Operations submitted to the engine.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use eckv_store::Payload;
+
+/// Kind of key-value operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Write a value.
+    Set,
+    /// Read a value.
+    Get,
+}
+
+/// One operation in a client's workload stream.
+///
+/// # Example
+///
+/// ```
+/// use eckv_core::ops::Op;
+///
+/// let w = Op::set_synthetic("user:1", 32 * 1024, 99);
+/// let r = Op::get("user:1");
+/// assert_eq!(w.key(), "user:1");
+/// assert_eq!(r.key(), "user:1");
+/// ```
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Store a value under `key`.
+    Set {
+        /// The key.
+        key: Arc<str>,
+        /// The value to store.
+        payload: Payload,
+    },
+    /// Fetch the value of `key`.
+    Get {
+        /// The key.
+        key: Arc<str>,
+    },
+    /// Fetch many values with one bulk request (`memcached_mget`): all the
+    /// sub-gets are issued back to back and overlap, occupying a single
+    /// window slot — the bulk-access overlap the paper points out for
+    /// Equation 4.
+    MGet {
+        /// The keys.
+        keys: Vec<Arc<str>>,
+    },
+}
+
+impl Op {
+    /// A Set of a synthetic value (`len` bytes, content identified by
+    /// `seed`) — the form used by large-scale experiments.
+    pub fn set_synthetic(key: impl Into<Arc<str>>, len: u64, seed: u64) -> Op {
+        Op::Set {
+            key: key.into(),
+            payload: Payload::synthetic(len, seed),
+        }
+    }
+
+    /// A Set of real bytes — the form used by correctness tests, where
+    /// erasure shards are actually encoded and decoded.
+    pub fn set_inline(key: impl Into<Arc<str>>, value: impl Into<Bytes>) -> Op {
+        Op::Set {
+            key: key.into(),
+            payload: Payload::inline(value),
+        }
+    }
+
+    /// A Get.
+    pub fn get(key: impl Into<Arc<str>>) -> Op {
+        Op::Get { key: key.into() }
+    }
+
+    /// A bulk Get of many keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is empty.
+    pub fn mget<I, K>(keys: I) -> Op
+    where
+        I: IntoIterator<Item = K>,
+        K: Into<Arc<str>>,
+    {
+        let keys: Vec<Arc<str>> = keys.into_iter().map(Into::into).collect();
+        assert!(!keys.is_empty(), "mget needs at least one key");
+        Op::MGet { keys }
+    }
+
+    /// The operation's (first) key.
+    pub fn key(&self) -> &str {
+        match self {
+            Op::Set { key, .. } | Op::Get { key } => key,
+            Op::MGet { keys } => &keys[0],
+        }
+    }
+
+    /// The operation kind (bulk gets are reads).
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Set { .. } => OpKind::Set,
+            Op::Get { .. } | Op::MGet { .. } => OpKind::Get,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let s = Op::set_inline("a", vec![1, 2, 3]);
+        assert_eq!(s.kind(), OpKind::Set);
+        assert_eq!(s.key(), "a");
+        let g = Op::get("b");
+        assert_eq!(g.kind(), OpKind::Get);
+        assert_eq!(g.key(), "b");
+        let syn = Op::set_synthetic("c", 10, 1);
+        match syn {
+            Op::Set { payload, .. } => assert_eq!(payload.len(), 10),
+            _ => panic!("expected set"),
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Server replacement and data re-protection (the paper's stated future
+//! work: "detailed recovery overhead analysis").
+//!
+//! After a failed server is replaced by an empty node, every key that kept
+//! a chunk or replica there has lost redundancy. [`repair_server`] rebuilds
+//! it, client-driven:
+//!
+//! * **Erasure schemes** fetch `k` surviving chunks, decode, re-encode the
+//!   lost shard and store it on the replacement — the classic erasure
+//!   *repair amplification*: `k` chunk reads per lost chunk.
+//! * **Replication schemes** copy the value from any live replica —
+//!   1x read per lost copy, the repair-cost advantage replication keeps.
+//!
+//! The returned [`RepairReport`] quantifies exactly that trade-off.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use eckv_simnet::{SimDuration, SimTime, Simulation};
+use eckv_store::{rpc, Payload};
+
+use crate::scheme::Scheme;
+use crate::world::World;
+
+/// Outcome of one server repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Keys that had lost a chunk/replica on the failed server.
+    pub keys_repaired: u64,
+    /// Keys that could not be repaired (insufficient survivors).
+    pub keys_lost: u64,
+    /// Bytes read from surviving servers to drive the repair.
+    pub bytes_read: u64,
+    /// Bytes written to the replacement server.
+    pub bytes_written: u64,
+    /// Virtual time the repair took.
+    pub elapsed: SimDuration,
+}
+
+struct RepairState {
+    pending_keys: Vec<Arc<str>>,
+    in_flight: usize,
+    report: RepairReport,
+    started: SimTime,
+}
+
+/// Replaces `failed` with an empty node (its store is wiped, the transport
+/// revived) and rebuilds every lost chunk/replica, driven by client 0.
+///
+/// Runs the simulation to quiescence and returns the report.
+///
+/// # Panics
+///
+/// Panics if `failed` is out of range.
+pub fn repair_server(world: &Rc<World>, sim: &mut Simulation, failed: usize) -> RepairReport {
+    // The operator swapped the dead node for an empty one and announced it
+    // in the server list (every client's view sees it alive again).
+    world.cluster.servers[failed].borrow_mut().store_mut().flush_all();
+    world.cluster.net.borrow_mut().revive(world.cluster.server_node(failed));
+    for c in 0..world.cfg.cluster.clients {
+        world.mark_alive(c, failed);
+    }
+
+    // Every written key whose placement includes the replaced server has
+    // lost redundancy.
+    let keys: Vec<Arc<str>> = world
+        .expected
+        .borrow()
+        .keys()
+        .filter(|k| world.targets(k).contains(&failed))
+        .cloned()
+        .collect();
+
+    let state = Rc::new(RefCell::new(RepairState {
+        pending_keys: keys,
+        in_flight: 0,
+        report: RepairReport {
+            keys_repaired: 0,
+            keys_lost: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+            elapsed: SimDuration::ZERO,
+        },
+        started: sim.now(),
+    }));
+    pump_repair(world, sim, failed, &state);
+    sim.run();
+    let mut s = state.borrow_mut();
+    s.report.elapsed = sim.now().since(s.started);
+    s.report
+}
+
+fn pump_repair(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    failed: usize,
+    state: &Rc<RefCell<RepairState>>,
+) {
+    loop {
+        let key = {
+            let mut s = state.borrow_mut();
+            if s.in_flight >= world.window() || s.pending_keys.is_empty() {
+                return;
+            }
+            s.in_flight += 1;
+            s.pending_keys.pop().expect("checked non-empty")
+        };
+        let world2 = world.clone();
+        let state2 = state.clone();
+        let done = move |sim: &mut Simulation, repaired: bool, read: u64, written: u64| {
+            {
+                let mut s = state2.borrow_mut();
+                if repaired {
+                    s.report.keys_repaired += 1;
+                } else {
+                    s.report.keys_lost += 1;
+                }
+                s.report.bytes_read += read;
+                s.report.bytes_written += written;
+                s.in_flight -= 1;
+            }
+            pump_repair(&world2, sim, failed, &state2);
+        };
+        match world.scheme {
+            Scheme::Erasure { .. } => repair_erasure_key(world, sim, failed, key, Box::new(done)),
+            Scheme::SyncRep { .. } | Scheme::AsyncRep { .. } => {
+                let targets = world.targets(&key);
+                repair_replica_key(world, sim, failed, key, targets, Box::new(done))
+            }
+            Scheme::Hybrid {
+                threshold,
+                replicas,
+                ..
+            } => {
+                // How the key was protected depends on its size at write
+                // time.
+                let len = world
+                    .expected
+                    .borrow()
+                    .get(&key)
+                    .map_or(0, |w| w.len);
+                if len <= threshold {
+                    let targets: Vec<usize> =
+                        world.targets(&key).into_iter().take(replicas).collect();
+                    if targets.contains(&failed) {
+                        repair_replica_key(world, sim, failed, key, targets, Box::new(done))
+                    } else {
+                        // The replaced server held no copy of this key.
+                        done(sim, true, 0, 0);
+                    }
+                } else {
+                    repair_erasure_key(world, sim, failed, key, Box::new(done))
+                }
+            }
+            Scheme::NoRep => {
+                // Nothing redundant exists; the data is simply gone.
+                done(sim, false, 0, 0);
+            }
+        }
+    }
+}
+
+type RepairDone = Box<dyn FnOnce(&mut Simulation, bool, u64, u64)>;
+
+/// Rebuilds the lost chunk of `key`: fetch `k` survivors, decode, store.
+fn repair_erasure_key(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    failed: usize,
+    key: Arc<str>,
+    done: RepairDone,
+) {
+    let (k, _, _, _, _) = world.scheme.erasure_params().expect("erasure scheme");
+    let targets = world.targets(&key);
+    let lost_shard = targets
+        .iter()
+        .position(|&s| s == failed)
+        .expect("key was selected because it lives on the failed server");
+    let client_node = world.cluster.client_node(0);
+    let post = world.cluster.net_config().post_overhead;
+
+    // Survivors: every other chunk holder that is alive.
+    let survivors: Vec<(usize, usize)> = targets
+        .iter()
+        .enumerate()
+        .filter(|&(i, &s)| i != lost_shard && world.cluster.is_server_alive(s))
+        .map(|(i, &s)| (i, s))
+        .collect();
+    if survivors.len() < k {
+        done(sim, false, 0, 0);
+        return;
+    }
+    let chosen: Vec<(usize, usize)> = survivors[..k].to_vec();
+
+    type Collected = Rc<RefCell<Vec<(usize, Option<Payload>)>>>;
+    let collected: Collected = Rc::new(RefCell::new(Vec::new()));
+    let remaining = Rc::new(RefCell::new(k));
+    let last_at = Rc::new(RefCell::new(sim.now()));
+    let done = Rc::new(RefCell::new(Some(done)));
+
+    for &(shard_idx, srv) in &chosen {
+        let issue_at = world.reserve_client_cpu(0, sim.now(), post);
+        let server = world.cluster.servers[srv].clone();
+        let world2 = world.clone();
+        let key2 = key.clone();
+        let collected = collected.clone();
+        let remaining = remaining.clone();
+        let last_at = last_at.clone();
+        let done = done.clone();
+        rpc::get(
+            &world.cluster.net,
+            &server,
+            sim,
+            issue_at,
+            client_node,
+            World::shard_key(&key, shard_idx),
+            move |sim, reply| {
+                let (at, chunk) = match reply {
+                    Ok(r) => (r.at, r.value),
+                    Err(rpc::RpcError::ServerDead(t)) => (t, None),
+                };
+                collected.borrow_mut().push((shard_idx, chunk));
+                {
+                    let mut l = last_at.borrow_mut();
+                    if at > *l {
+                        *l = at;
+                    }
+                }
+                *remaining.borrow_mut() -= 1;
+                if *remaining.borrow() > 0 {
+                    return;
+                }
+                let chunks = std::mem::take(&mut *collected.borrow_mut());
+                let done = done.borrow_mut().take().expect("finishes once");
+                if chunks.iter().any(|(_, c)| c.is_none()) {
+                    done(sim, false, 0, 0);
+                    return;
+                }
+                let read: u64 = chunks
+                    .iter()
+                    .map(|(_, c)| c.as_ref().expect("checked").len())
+                    .sum();
+                // Decode + re-encode the lost shard on the client CPU.
+                let expected = world2.expected.borrow().get(&key2).copied();
+                let Some(w) = expected else {
+                    done(sim, false, read, 0);
+                    return;
+                };
+                let rebuilt = rebuild_shard(&world2, &chunks, lost_shard, w.len, w.digest);
+                let t_dec = world2.decode_time(w.len, 1).max(world2.encode_time(w.len) / 2);
+                let dec_done = world2.reserve_client_cpu(0, *last_at.borrow(), t_dec);
+                let written = rebuilt.len();
+                let replacement = world2.cluster.servers[failed].clone();
+                rpc::set(
+                    &world2.cluster.net,
+                    &replacement,
+                    sim,
+                    dec_done,
+                    client_node,
+                    World::shard_key(&key2, lost_shard),
+                    rebuilt,
+                    move |sim, reply| {
+                        done(sim, reply.is_ok(), read, written);
+                    },
+                );
+            },
+        );
+    }
+}
+
+/// Reconstructs the payload of shard `lost_shard` from the fetched chunks.
+fn rebuild_shard(
+    world: &World,
+    chunks: &[(usize, Option<Payload>)],
+    lost_shard: usize,
+    value_len: u64,
+    value_digest: u64,
+) -> Payload {
+    let all_inline = chunks
+        .iter()
+        .all(|(_, c)| matches!(c, Some(Payload::Inline(_))));
+    if all_inline {
+        let striper = world.striper.as_ref().expect("erasure scheme");
+        let n = striper.codec().total_shards();
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
+        for (idx, chunk) in chunks {
+            if let Some(Payload::Inline(b)) = chunk {
+                shards[*idx] = Some(b.to_vec());
+            }
+        }
+        striper
+            .codec()
+            .reconstruct(&mut shards)
+            .expect("k survivors suffice");
+        Payload::inline(Bytes::from(
+            shards[lost_shard].take().expect("reconstruct fills all"),
+        ))
+    } else {
+        let parent = Payload::Synthetic {
+            len: value_len,
+            digest: value_digest,
+        };
+        parent.shard(lost_shard, world.shard_len(value_len))
+    }
+}
+
+/// Re-copies a lost replica of `key` from any live replica holder.
+fn repair_replica_key(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    failed: usize,
+    key: Arc<str>,
+    targets: Vec<usize>,
+    done: RepairDone,
+) {
+    let client_node = world.cluster.client_node(0);
+    let post = world.cluster.net_config().post_overhead;
+    let Some(&src) = targets
+        .iter()
+        .find(|&&s| s != failed && world.cluster.is_server_alive(s))
+    else {
+        done(sim, false, 0, 0);
+        return;
+    };
+    let issue_at = world.reserve_client_cpu(0, sim.now(), post);
+    let server = world.cluster.servers[src].clone();
+    let world2 = world.clone();
+    let key2 = key.clone();
+    rpc::get(
+        &world.cluster.net,
+        &server,
+        sim,
+        issue_at,
+        client_node,
+        key.clone(),
+        move |sim, reply| {
+            let value = match reply {
+                Ok(r) => r.value,
+                Err(_) => None,
+            };
+            let Some(value) = value else {
+                done(sim, false, 0, 0);
+                return;
+            };
+            let read = value.len();
+            let written = value.len();
+            let replacement = world2.cluster.servers[failed].clone();
+            let at = sim.now();
+            rpc::set(
+                &world2.cluster.net,
+                &replacement,
+                sim,
+                at,
+                client_node,
+                key2,
+                value,
+                move |sim, reply| {
+                    done(sim, reply.is_ok(), read, written);
+                },
+            );
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_workload;
+    use crate::ops::Op;
+    use crate::world::EngineConfig;
+    use eckv_simnet::ClusterProfile;
+    use eckv_store::ClusterConfig;
+
+    fn loaded_world(scheme: Scheme) -> (Rc<World>, Simulation) {
+        let world = World::new(EngineConfig::new(
+            ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+            scheme,
+        ));
+        let mut sim = Simulation::new();
+        let value: Vec<u8> = (0..4000u32).map(|i| (i * 11 % 256) as u8).collect();
+        let writes: Vec<Op> = (0..30)
+            .map(|i| Op::set_inline(format!("r{i}"), value.clone()))
+            .collect();
+        run_workload(&world, &mut sim, vec![writes]);
+        assert_eq!(world.metrics.borrow().errors, 0);
+        (world, sim)
+    }
+
+    #[test]
+    fn erasure_repair_restores_full_tolerance() {
+        let (world, mut sim) = loaded_world(Scheme::era_ce_cd(3, 2));
+        world.cluster.kill_server(2);
+        let report = repair_server(&world, &mut sim, 2);
+        assert!(report.keys_repaired > 0);
+        assert_eq!(report.keys_lost, 0);
+        // Repair amplification: erasure reads k chunks per rebuilt chunk.
+        assert!(report.bytes_read > report.bytes_written * 2);
+
+        // The cluster must again tolerate the FULL failure budget,
+        // including losing the repaired node's peers.
+        world.cluster.kill_server(0);
+        world.cluster.kill_server(1);
+        world.reset_metrics();
+        let reads: Vec<Op> = (0..30).map(|i| Op::get(format!("r{i}"))).collect();
+        run_workload(&world, &mut sim, vec![reads]);
+        let m = world.metrics.borrow();
+        assert_eq!(m.errors, 0, "repaired cluster must survive 2 fresh failures");
+        assert_eq!(m.integrity_errors, 0);
+    }
+
+    #[test]
+    fn replication_repair_reads_less_than_erasure() {
+        let (era_world, mut era_sim) = loaded_world(Scheme::era_ce_cd(3, 2));
+        era_world.cluster.kill_server(1);
+        let era = repair_server(&era_world, &mut era_sim, 1);
+
+        let (rep_world, mut rep_sim) = loaded_world(Scheme::AsyncRep { replicas: 3 });
+        rep_world.cluster.kill_server(1);
+        let rep = repair_server(&rep_world, &mut rep_sim, 1);
+
+        assert!(era.keys_repaired > 0 && rep.keys_repaired > 0);
+        // Per repaired byte, erasure reads ~k times more than replication.
+        let era_amp = era.bytes_read as f64 / era.bytes_written as f64;
+        let rep_amp = rep.bytes_read as f64 / rep.bytes_written as f64;
+        assert!(
+            era_amp > rep_amp * 1.8,
+            "era amplification {era_amp:.2} vs rep {rep_amp:.2}"
+        );
+    }
+
+    #[test]
+    fn norep_repair_reports_loss() {
+        let (world, mut sim) = loaded_world(Scheme::NoRep);
+        world.cluster.kill_server(3);
+        let report = repair_server(&world, &mut sim, 3);
+        assert_eq!(report.keys_repaired, 0);
+        assert!(report.keys_lost > 0, "unreplicated data is unrecoverable");
+    }
+
+    #[test]
+    fn repair_with_too_many_failures_reports_loss() {
+        let (world, mut sim) = loaded_world(Scheme::era_ce_cd(3, 2));
+        world.cluster.kill_server(0);
+        world.cluster.kill_server(1);
+        world.cluster.kill_server(2);
+        // Replace only server 0: keys needing chunks from 1 and 2 cannot
+        // gather k survivors.
+        let report = repair_server(&world, &mut sim, 0);
+        assert!(report.keys_lost > 0);
+    }
+}

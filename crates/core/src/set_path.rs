@@ -1,0 +1,571 @@
+//! Set operation state machines, one per resilience scheme.
+//!
+//! All paths route around servers the client *believes* are dead (its
+//! failure view); a transport error updates the view and surfaces as a
+//! retryable failure, which the driver transparently re-dispatches —
+//! the fail-over behaviour the paper's clients implement. Writes degrade
+//! gracefully: an erasure Set succeeds if at least `k` chunks land, a
+//! replicated Set if at least one copy lands.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use eckv_simnet::{Delivery, Network, PhaseBreakdown, SimDuration, SimTime, Simulation};
+use eckv_store::{rpc, Payload};
+
+use crate::flow::{DoneCb, Pending};
+use crate::metrics::OpResult;
+use crate::ops::OpKind;
+use crate::scheme::{Scheme, Side};
+use crate::world::World;
+
+/// Builds the `k + m` chunk payloads for a value: really encoded for inline
+/// values, derived descriptors for synthetic ones.
+pub(crate) fn build_shards(world: &World, payload: &Payload, shard_len: u64) -> Vec<Payload> {
+    let striper = world.striper.as_ref().expect("erasure scheme");
+    let n = striper.codec().total_shards();
+    match payload {
+        Payload::Inline(bytes) => {
+            let stripe = striper.encode_value(bytes);
+            stripe
+                .shards
+                .into_iter()
+                .map(|s| Payload::inline(Bytes::from(s)))
+                .collect()
+        }
+        Payload::Synthetic { .. } => (0..n).map(|i| payload.shard(i, shard_len)).collect(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    op_start: SimTime,
+    at: SimTime,
+    request: SimDuration,
+    compute: SimDuration,
+    ok: bool,
+    retryable: bool,
+    value_len: u64,
+    note: Option<(Arc<str>, u64)>,
+    done: DoneCb,
+) {
+    if ok {
+        if let Some((key, digest)) = note {
+            world.note_written(key, value_len, digest);
+        }
+    }
+    let latency = at.since(op_start);
+    let breakdown = PhaseBreakdown {
+        request,
+        compute,
+        wait_response: latency.saturating_sub(request).saturating_sub(compute),
+    };
+    done(
+        sim,
+        OpResult {
+            kind: OpKind::Set,
+            at,
+            latency,
+            breakdown,
+            ok,
+            integrity_ok: true,
+            retryable: retryable && !ok,
+            value_len,
+        },
+    );
+}
+
+/// Entry point: dispatches on the scheme.
+pub(crate) fn start_set(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    client: usize,
+    key: Arc<str>,
+    payload: Payload,
+    done: DoneCb,
+) {
+    match world.scheme {
+        Scheme::NoRep | Scheme::AsyncRep { .. } => {
+            let targets = world.targets(&key);
+            set_parallel_replicated(world, sim, client, key, payload, targets, done)
+        }
+        Scheme::SyncRep { .. } => set_sync_replicated(world, sim, client, key, payload, done),
+        Scheme::Erasure {
+            encode_at: Side::Client,
+            ..
+        } => set_era_client_encode(world, sim, client, key, payload, done),
+        Scheme::Erasure {
+            encode_at: Side::Server,
+            ..
+        } => set_era_server_encode(world, sim, client, key, payload, done),
+        Scheme::Hybrid {
+            threshold,
+            replicas,
+            ..
+        } => {
+            // Small values replicate (chunking overheads dominate there);
+            // large values take the Era-CE-CD path.
+            if payload.len() <= threshold {
+                let mut targets = world.targets(&key);
+                targets.truncate(replicas);
+                set_parallel_replicated(world, sim, client, key, payload, targets, done)
+            } else {
+                set_era_client_encode(world, sim, client, key, payload, done)
+            }
+        }
+    }
+}
+
+/// NoRep / Async-Rep (and the hybrid small-value path): post a copy to
+/// every replica holder the client believes alive, wait for all.
+fn set_parallel_replicated(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    client: usize,
+    key: Arc<str>,
+    payload: Payload,
+    targets: Vec<usize>,
+    done: DoneCb,
+) {
+    let op_start = sim.now();
+    let post = world.cluster.net_config().post_overhead;
+    let client_node = world.cluster.client_node(client);
+    let value_len = payload.len();
+    let digest = payload.digest();
+
+    let live: Vec<usize> = targets
+        .iter()
+        .copied()
+        .filter(|&s| world.view_alive(client, s))
+        .collect();
+    if live.is_empty() {
+        // Every believed-alive replica holder is gone; nothing new to
+        // discover, so this is final.
+        finish(
+            world, sim, op_start, op_start, SimDuration::ZERO, SimDuration::ZERO, false, false,
+            value_len, None, done,
+        );
+        return;
+    }
+
+    let n = live.len();
+    let pending = Pending::new(n, done);
+    for &srv in &live {
+        let issue_at = world.reserve_client_cpu(client, op_start, post);
+        let server = world.cluster.servers[srv].clone();
+        let pending = pending.clone();
+        let world2 = world.clone();
+        let key2 = key.clone();
+        rpc::set(
+            &world.cluster.net,
+            &server,
+            sim,
+            issue_at,
+            client_node,
+            key.clone(),
+            payload.clone(),
+            move |sim, reply| {
+                let (at, ok) = match reply {
+                    Ok(r) => (r.at, true),
+                    Err(rpc::RpcError::ServerDead(t)) => {
+                        world2.mark_dead(client, srv);
+                        (t, false)
+                    }
+                };
+                let is_last = pending.borrow_mut().complete_one(at, ok);
+                if is_last {
+                    let (last, succeeded, done) = {
+                        let mut p = pending.borrow_mut();
+                        (p.last, p.succeeded, p.done.take().expect("finishes once"))
+                    };
+                    // Durable as long as one copy landed; zero copies with
+                    // fresh discoveries is worth one retry.
+                    let ok = succeeded >= 1;
+                    finish(
+                        &world2,
+                        sim,
+                        op_start,
+                        last,
+                        post * n as u64,
+                        SimDuration::ZERO,
+                        ok,
+                        true,
+                        value_len,
+                        Some((key2, digest)),
+                        done,
+                    );
+                }
+            },
+        );
+    }
+}
+
+/// Sync-Rep: each replica write completes before the next is issued.
+fn set_sync_replicated(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    client: usize,
+    key: Arc<str>,
+    payload: Payload,
+    done: DoneCb,
+) {
+    let op_start = sim.now();
+    let targets: Vec<usize> = world
+        .targets(&key)
+        .into_iter()
+        .filter(|&s| world.view_alive(client, s))
+        .collect();
+    if targets.is_empty() {
+        let value_len = payload.len();
+        finish(
+            world, sim, op_start, op_start, SimDuration::ZERO, SimDuration::ZERO, false, false,
+            value_len, None, done,
+        );
+        return;
+    }
+    sync_step(world, sim, client, key, payload, targets, 0, op_start, done);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sync_step(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    client: usize,
+    key: Arc<str>,
+    payload: Payload,
+    targets: Vec<usize>,
+    idx: usize,
+    op_start: SimTime,
+    done: DoneCb,
+) {
+    let post = world.cluster.net_config().post_overhead;
+    let value_len = payload.len();
+    if idx == targets.len() {
+        let digest = payload.digest();
+        let at = sim.now();
+        finish(
+            world,
+            sim,
+            op_start,
+            at,
+            post * targets.len() as u64,
+            SimDuration::ZERO,
+            true,
+            false,
+            value_len,
+            Some((key, digest)),
+            done,
+        );
+        return;
+    }
+    let srv = targets[idx];
+    let issue_at = world.reserve_client_cpu(client, sim.now(), post);
+    let server = world.cluster.servers[srv].clone();
+    let client_node = world.cluster.client_node(client);
+    let world2 = world.clone();
+    let key2 = key.clone();
+    let payload2 = payload.clone();
+    rpc::set(
+        &world.cluster.net,
+        &server,
+        sim,
+        issue_at,
+        client_node,
+        key.clone(),
+        payload.clone(),
+        move |sim, reply| match reply {
+            Ok(_) => sync_step(
+                &world2, sim, client, key2, payload2, targets, idx + 1, op_start, done,
+            ),
+            Err(rpc::RpcError::ServerDead(t)) => {
+                // Blocking semantics: the op fails here; the retry (with
+                // the updated view) will skip this replica.
+                world2.mark_dead(client, srv);
+                finish(
+                    &world2,
+                    sim,
+                    op_start,
+                    t,
+                    post * (idx as u64 + 1),
+                    SimDuration::ZERO,
+                    false,
+                    true,
+                    value_len,
+                    None,
+                    done,
+                );
+            }
+        },
+    );
+}
+
+/// Era-CE-*: encode at the client, then fan the `k + m` chunks out to the
+/// believed-alive chunk holders.
+fn set_era_client_encode(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    client: usize,
+    key: Arc<str>,
+    payload: Payload,
+    done: DoneCb,
+) {
+    let op_start = sim.now();
+    let value_len = payload.len();
+    let digest = payload.digest();
+    let shard_len = world.shard_len(value_len);
+    let t_enc = world.encode_time(value_len);
+    let (k, m, _, _, _) = world.scheme.erasure_params().expect("erasure or hybrid");
+    let mut targets = world.targets(&key);
+    targets.truncate(k + m);
+    let post = world.cluster.net_config().post_overhead;
+    let client_node = world.cluster.client_node(client);
+
+    // Only chunks whose holder is believed alive are sent; a write
+    // degrades gracefully as long as k chunks land.
+    let live: Vec<(usize, usize)> = targets
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| world.view_alive(client, s))
+        .map(|(i, &s)| (i, s))
+        .collect();
+    if live.len() < k {
+        finish(
+            world, sim, op_start, op_start, SimDuration::ZERO, SimDuration::ZERO, false, false,
+            value_len, None, done,
+        );
+        return;
+    }
+
+    let shards = build_shards(world, &payload, shard_len);
+    // Encoding occupies the client's ARPE thread, then the posts go out
+    // back to back.
+    world.reserve_client_cpu(client, op_start, t_enc);
+
+    let n = live.len();
+    let pending = Pending::new(n, done);
+    for &(i, srv) in &live {
+        let issue_at = world.reserve_client_cpu(client, op_start, post);
+        let server = world.cluster.servers[srv].clone();
+        let pending = pending.clone();
+        let world2 = world.clone();
+        let key2 = key.clone();
+        let shard = shards[i].clone();
+        rpc::set(
+            &world.cluster.net,
+            &server,
+            sim,
+            issue_at,
+            client_node,
+            World::shard_key(&key, i),
+            shard,
+            move |sim, reply| {
+                let (at, ok) = match reply {
+                    Ok(r) => (r.at, true),
+                    Err(rpc::RpcError::ServerDead(t)) => {
+                        world2.mark_dead(client, srv);
+                        (t, false)
+                    }
+                };
+                let is_last = pending.borrow_mut().complete_one(at, ok);
+                if is_last {
+                    let (last, succeeded, done) = {
+                        let mut p = pending.borrow_mut();
+                        (p.last, p.succeeded, p.done.take().expect("finishes once"))
+                    };
+                    let ok = succeeded >= k;
+                    finish(
+                        &world2,
+                        sim,
+                        op_start,
+                        last,
+                        post * n as u64,
+                        t_enc,
+                        ok,
+                        true,
+                        value_len,
+                        Some((key2, digest)),
+                        done,
+                    );
+                }
+            },
+        );
+    }
+}
+
+/// Era-SE-*: one full-value transfer to the first believed-alive chunk
+/// holder, which encodes and distributes chunks to its live peers before
+/// acking.
+fn set_era_server_encode(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    client: usize,
+    key: Arc<str>,
+    payload: Payload,
+    done: DoneCb,
+) {
+    let op_start = sim.now();
+    let value_len = payload.len();
+    let digest = payload.digest();
+    let shard_len = world.shard_len(value_len);
+    let t_enc = world.encode_time(value_len);
+    let (k, m, _, _, _) = world.scheme.erasure_params().expect("erasure scheme");
+    let mut targets = world.targets(&key);
+    targets.truncate(k + m);
+    let post = world.cluster.net_config().post_overhead;
+    let client_node = world.cluster.client_node(client);
+
+    // The encoder is the first believed-alive chunk holder (the primary,
+    // unless it failed); it keeps the chunk of its own position.
+    let live: Vec<(usize, usize)> = targets
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| world.view_alive(client, s))
+        .map(|(i, &s)| (i, s))
+        .collect();
+    if live.len() < k {
+        finish(
+            world, sim, op_start, op_start, SimDuration::ZERO, SimDuration::ZERO, false, false,
+            value_len, None, done,
+        );
+        return;
+    }
+    let (encoder_pos, encoder_srv) = live[0];
+    let peers: Vec<(usize, usize)> = live[1..].to_vec();
+
+    let shards = build_shards(world, &payload, shard_len);
+    let encoder = world.cluster.servers[encoder_srv].clone();
+    let encoder_node = encoder.borrow().node();
+
+    let issue_at = world.reserve_client_cpu(client, op_start, post);
+    let req_bytes = rpc::REQUEST_OVERHEAD + key.len() + value_len as usize;
+    let world2 = world.clone();
+    let net = world.cluster.net.clone();
+    Network::send(
+        &world.cluster.net,
+        sim,
+        issue_at,
+        client_node,
+        encoder_node,
+        req_bytes,
+        move |sim, delivery| {
+            let at = match delivery {
+                Delivery::TargetDead(t) => {
+                    world2.mark_dead(client, encoder_srv);
+                    finish(
+                        &world2, sim, op_start, t, post, SimDuration::ZERO, false, true,
+                        value_len, None, done,
+                    );
+                    return;
+                }
+                Delivery::Delivered(at) => at,
+            };
+            // Ingest the value, encode on the server's workers, store the
+            // encoder's own chunk.
+            let enc_done = {
+                let mut p = encoder.borrow_mut();
+                let costs = p.costs();
+                let ingest_done = p.reserve_cpu(at, costs.op_time(value_len));
+                p.reserve_cpu(ingest_done, t_enc)
+            };
+            let mut shards = shards;
+            let own_chunk = std::mem::replace(&mut shards[encoder_pos], Payload::synthetic(0, 0));
+            encoder
+                .borrow_mut()
+                .store_mut()
+                .set(World::shard_key(&key, encoder_pos), own_chunk);
+
+            // Degenerate single-node stripe (k = 1, everyone else dead):
+            // ack straight after the local store.
+            if peers.is_empty() {
+                let ok = k <= 1;
+                let world4 = world2.clone();
+                let key3 = key.clone();
+                Network::send(
+                    &net,
+                    sim,
+                    enc_done,
+                    encoder_node,
+                    client_node,
+                    rpc::ACK_BYTES,
+                    move |sim, d| {
+                        finish(
+                            &world4, sim, op_start, d.at(), post, SimDuration::ZERO,
+                            ok && d.is_delivered(), false, value_len,
+                            Some((key3, digest)), done,
+                        );
+                    },
+                );
+                return;
+            }
+
+            // Distribute the peers' chunks, then ack the client.
+            let pending = Pending::new(peers.len(), done);
+            for (j, &(i, srv)) in peers.iter().enumerate() {
+                let server = world2.cluster.servers[srv].clone();
+                let pending = pending.clone();
+                let world3 = world2.clone();
+                let net2 = net.clone();
+                let key2 = key.clone();
+                let shard = shards[i].clone();
+                let send_at = enc_done + post * (j as u64 + 1);
+                rpc::set(
+                    &net,
+                    &server,
+                    sim,
+                    send_at,
+                    encoder_node,
+                    World::shard_key(&key, i),
+                    shard,
+                    move |sim, reply| {
+                        let (at, ok) = match reply {
+                            Ok(r) => (r.at, true),
+                            Err(rpc::RpcError::ServerDead(t)) => {
+                                world3.mark_dead(client, srv);
+                                (t, false)
+                            }
+                        };
+                        let is_last = pending.borrow_mut().complete_one(at, ok);
+                        if is_last {
+                            let (last, succeeded, done) = {
+                                let mut p = pending.borrow_mut();
+                                (p.last, p.succeeded, p.done.take().expect("finishes once"))
+                            };
+                            // Encoder's own chunk + successful peers.
+                            let ok = 1 + succeeded >= k;
+                            // Ack back to the client.
+                            let world4 = world3.clone();
+                            let key3 = key2.clone();
+                            Network::send(
+                                &net2,
+                                sim,
+                                last,
+                                encoder_node,
+                                client_node,
+                                rpc::ACK_BYTES,
+                                move |sim, d| {
+                                    let at = d.at();
+                                    finish(
+                                        &world4,
+                                        sim,
+                                        op_start,
+                                        at,
+                                        post,
+                                        SimDuration::ZERO,
+                                        ok && d.is_delivered(),
+                                        true,
+                                        value_len,
+                                        Some((key3, digest)),
+                                        done,
+                                    );
+                                },
+                            );
+                        }
+                    },
+                );
+            }
+        },
+    );
+}

@@ -1,0 +1,360 @@
+//! The engine's shared world: cluster, scheme, codec, client CPUs, metrics.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use eckv_erasure::Striper;
+use eckv_simnet::{SimDuration, SimTime, WorkerPool};
+use eckv_store::{ClusterConfig, KvCluster};
+
+use crate::costs;
+use crate::metrics::Metrics;
+use crate::scheme::Scheme;
+
+/// Configuration of one engine deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Cluster topology and calibration.
+    pub cluster: ClusterConfig,
+    /// Resilience scheme.
+    pub scheme: Scheme,
+    /// ARPE completion window: operations in flight per client. Blocking
+    /// schemes ([`Scheme::SyncRep`]) always run with an effective window
+    /// of 1.
+    pub window: usize,
+    /// Cost of checking a server's liveness before a Get (the paper's
+    /// `T_check`).
+    pub liveness_check: SimDuration,
+    /// Whether Gets validate returned data against what was written.
+    pub validate: bool,
+    /// Application CPU work charged per operation before it is issued
+    /// (e.g. a TestDFSIO map task producing/consuming its block). Zero for
+    /// pure KV benchmarks.
+    pub client_think: SimDuration,
+    /// Record a per-operation timeline in [`crate::Metrics::timeline`]
+    /// (off by default: large runs produce millions of samples).
+    pub record_timeline: bool,
+}
+
+impl EngineConfig {
+    /// Creates a configuration with the paper's defaults: window of 16
+    /// in-flight operations, validation on.
+    pub fn new(cluster: ClusterConfig, scheme: Scheme) -> Self {
+        EngineConfig {
+            cluster,
+            scheme,
+            window: 16,
+            liveness_check: SimDuration::from_nanos(500),
+            validate: true,
+            client_think: SimDuration::ZERO,
+            record_timeline: false,
+        }
+    }
+
+    /// Sets the ARPE window (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn window(mut self, window: usize) -> Self {
+        assert!(window > 0, "window must be at least 1");
+        self.window = window;
+        self
+    }
+
+    /// Enables/disables read validation (builder style).
+    pub fn validate(mut self, on: bool) -> Self {
+        self.validate = on;
+        self
+    }
+
+    /// Sets per-operation application think time (builder style).
+    pub fn client_think(mut self, t: SimDuration) -> Self {
+        self.client_think = t;
+        self
+    }
+
+    /// Enables per-operation timeline recording (builder style).
+    pub fn record_timeline(mut self, on: bool) -> Self {
+        self.record_timeline = on;
+        self
+    }
+}
+
+/// What the engine remembers about a written value, for read validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Written {
+    /// Value length in bytes.
+    pub len: u64,
+    /// Value digest.
+    pub digest: u64,
+}
+
+/// The shared state all operation paths act on.
+///
+/// Created once per experiment with [`World::new`] and passed by `Rc` into
+/// the event closures.
+#[derive(Debug)]
+pub struct World {
+    /// The simulated deployment.
+    pub cluster: KvCluster,
+    /// The resilience scheme in effect.
+    pub scheme: Scheme,
+    /// The erasure striper, for [`Scheme::Erasure`] runs.
+    pub striper: Option<Striper>,
+    /// Engine configuration.
+    pub cfg: EngineConfig,
+    /// One single-threaded CPU per client process (app + ARPE thread).
+    pub client_cpus: RefCell<Vec<WorkerPool>>,
+    /// Aggregated run metrics.
+    pub metrics: RefCell<Metrics>,
+    /// Current per-op application think time (adjustable between phases,
+    /// e.g. TestDFSIO write vs read cost).
+    pub client_think: std::cell::Cell<SimDuration>,
+    /// Write bookkeeping for read validation.
+    pub expected: RefCell<HashMap<Arc<str>, Written>>,
+    /// Per-client failure views: `views[client][server]` is the client's
+    /// *belief* that the server is alive. Clients start optimistic and
+    /// learn of failures by observing transport errors (the paper's
+    /// clients fail over the same way); ground truth lives in the
+    /// transport.
+    views: RefCell<Vec<Vec<bool>>>,
+}
+
+impl World {
+    /// Builds the world: cluster, codec, per-client CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme needs more servers per key than the cluster
+    /// has, or if the erasure parameters are invalid.
+    pub fn new(cfg: EngineConfig) -> Rc<World> {
+        let cluster = KvCluster::build(cfg.cluster);
+        assert!(
+            cfg.scheme.servers_per_key() <= cfg.cluster.servers,
+            "{} needs {} servers but the cluster has {}",
+            cfg.scheme.label(),
+            cfg.scheme.servers_per_key(),
+            cfg.cluster.servers
+        );
+        let striper = cfg.scheme.erasure_params().map(|(k, m, _, _, codec)| {
+            Striper::from(codec.build(k, m).expect("valid erasure parameters"))
+        });
+        let client_cpus = (0..cfg.cluster.clients)
+            .map(|i| WorkerPool::new(format!("client{i}.cpu"), 1))
+            .collect();
+        let views = vec![vec![true; cfg.cluster.servers]; cfg.cluster.clients];
+        let mut metrics = Metrics::default();
+        if cfg.record_timeline {
+            metrics.timeline = Some(Vec::new());
+        }
+        Rc::new(World {
+            cluster,
+            scheme: cfg.scheme,
+            striper,
+            cfg,
+            client_cpus: RefCell::new(client_cpus),
+            metrics: RefCell::new(metrics),
+            client_think: std::cell::Cell::new(cfg.client_think),
+            expected: RefCell::new(HashMap::new()),
+            views: RefCell::new(views),
+        })
+    }
+
+    /// Effective ARPE window (forced to 1 for blocking schemes).
+    pub fn window(&self) -> usize {
+        if self.scheme.is_blocking() {
+            1
+        } else {
+            self.cfg.window
+        }
+    }
+
+    /// Resets run metrics (e.g. between a load phase and a run phase),
+    /// preserving the timeline-recording setting.
+    pub fn reset_metrics(&self) {
+        let mut fresh = Metrics::default();
+        if self.cfg.record_timeline {
+            fresh.timeline = Some(Vec::new());
+        }
+        *self.metrics.borrow_mut() = fresh;
+    }
+
+    /// Adjusts the per-op application think time for subsequent phases.
+    pub fn set_client_think(&self, t: SimDuration) {
+        self.client_think.set(t);
+    }
+
+    /// Reserves `service` on client `client`'s CPU, returning completion.
+    pub(crate) fn reserve_client_cpu(
+        &self,
+        client: usize,
+        now: SimTime,
+        service: SimDuration,
+    ) -> SimTime {
+        self.client_cpus.borrow_mut()[client].reserve(now, service)
+    }
+
+    /// The servers (by index) that house `key`'s copies or chunks.
+    pub(crate) fn targets(&self, key: &str) -> Vec<usize> {
+        self.cluster
+            .ring
+            .servers_for(key.as_bytes(), self.scheme.servers_per_key())
+    }
+
+    /// Storage key of erasure chunk `i` of `key`.
+    pub(crate) fn shard_key(key: &str, i: usize) -> Arc<str> {
+        format!("{key}.s{i}").into()
+    }
+
+    /// Shard length for a value of `len` bytes under the current codec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-erasure scheme.
+    pub(crate) fn shard_len(&self, len: u64) -> u64 {
+        self.striper
+            .as_ref()
+            .expect("shard_len is only meaningful for erasure schemes")
+            .shard_len_for(len as usize) as u64
+    }
+
+    /// Simulated encode duration for a value of `len` bytes.
+    pub(crate) fn encode_time(&self, len: u64) -> SimDuration {
+        let striper = self.striper.as_ref().expect("erasure scheme");
+        costs::encode_time(&self.cluster.compute(), striper, len)
+    }
+
+    /// Simulated decode duration when `erased_data` data chunks are missing.
+    pub(crate) fn decode_time(&self, len: u64, erased_data: usize) -> SimDuration {
+        let striper = self.striper.as_ref().expect("erasure scheme");
+        costs::decode_time(&self.cluster.compute(), striper, len, erased_data)
+    }
+
+    /// Whether `client` currently believes server `srv` is alive. The
+    /// belief lags ground truth: a freshly failed server is discovered the
+    /// first time an operation touches it.
+    pub fn view_alive(&self, client: usize, srv: usize) -> bool {
+        self.views.borrow()[client][srv]
+    }
+
+    /// Notes that `client` observed server `srv` failing.
+    pub fn mark_dead(&self, client: usize, srv: usize) {
+        self.views.borrow_mut()[client][srv] = false;
+    }
+
+    /// Notes that `client` observed server `srv` back (post-repair).
+    pub fn mark_alive(&self, client: usize, srv: usize) {
+        self.views.borrow_mut()[client][srv] = true;
+    }
+
+    /// Resets every client's view to all-alive (e.g. after reviving nodes
+    /// in tests).
+    pub fn reset_views(&self) {
+        for v in self.views.borrow_mut().iter_mut() {
+            v.fill(true);
+        }
+    }
+
+    /// Records what a successful Set wrote, for later validation.
+    pub(crate) fn note_written(&self, key: Arc<str>, len: u64, digest: u64) {
+        self.expected.borrow_mut().insert(key, Written { len, digest });
+    }
+
+    /// Memory usage report across the server cluster (Figure 10).
+    pub fn memory_report(&self) -> MemoryReport {
+        let s = self.cluster.aggregate_stats();
+        MemoryReport {
+            used_bytes: s.used_bytes,
+            capacity_bytes: s.capacity_bytes,
+            evicted_bytes: s.evicted_bytes,
+            evictions: s.evictions,
+        }
+    }
+}
+
+/// Aggregate memory usage of the server cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Charged bytes in use.
+    pub used_bytes: u64,
+    /// Total cache capacity.
+    pub capacity_bytes: u64,
+    /// Bytes lost to LRU eviction under memory pressure.
+    pub evicted_bytes: u64,
+    /// Items evicted.
+    pub evictions: u64,
+}
+
+impl MemoryReport {
+    /// Percentage of aggregate memory in use.
+    pub fn pct_used(&self) -> f64 {
+        if self.capacity_bytes == 0 {
+            0.0
+        } else {
+            100.0 * self.used_bytes as f64 / self.capacity_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eckv_simnet::ClusterProfile;
+
+    fn cfg(scheme: Scheme) -> EngineConfig {
+        EngineConfig::new(ClusterConfig::new(ClusterProfile::RiQdr, 5, 2), scheme)
+    }
+
+    #[test]
+    fn world_builds_for_all_schemes() {
+        for scheme in [
+            Scheme::NoRep,
+            Scheme::SyncRep { replicas: 3 },
+            Scheme::AsyncRep { replicas: 3 },
+            Scheme::era_ce_cd(3, 2),
+            Scheme::era_se_sd(3, 2),
+            Scheme::era_se_cd(3, 2),
+            Scheme::era_ce_sd(3, 2),
+        ] {
+            let w = World::new(cfg(scheme));
+            assert_eq!(w.scheme, scheme);
+            assert_eq!(w.striper.is_some(), scheme.erasure_params().is_some());
+            assert_eq!(w.client_cpus.borrow().len(), 2);
+        }
+    }
+
+    #[test]
+    fn blocking_scheme_forces_window_1() {
+        let w = World::new(cfg(Scheme::SyncRep { replicas: 3 }).window(32));
+        assert_eq!(w.window(), 1);
+        let w = World::new(cfg(Scheme::AsyncRep { replicas: 3 }).window(32));
+        assert_eq!(w.window(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 5 servers")]
+    fn oversubscribed_scheme_panics() {
+        let c = EngineConfig::new(
+            ClusterConfig::new(ClusterProfile::RiQdr, 4, 1),
+            Scheme::era_ce_cd(3, 2),
+        );
+        let _ = World::new(c);
+    }
+
+    #[test]
+    fn shard_keys_are_distinct() {
+        assert_ne!(World::shard_key("k", 0), World::shard_key("k", 1));
+        assert_ne!(World::shard_key("k", 0), World::shard_key("k2", 0));
+    }
+
+    #[test]
+    fn memory_report_pct() {
+        let w = World::new(cfg(Scheme::NoRep));
+        let r = w.memory_report();
+        assert_eq!(r.pct_used(), 0.0);
+        assert_eq!(r.capacity_bytes, 5 * (20 << 30));
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type shared by all codecs.
+
+use core::fmt;
+
+/// Errors produced by erasure encoding and reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErasureError {
+    /// The `(k, m)` parameters are not supported by the requested codec.
+    InvalidParameters {
+        /// Reason the parameters were rejected.
+        reason: String,
+    },
+    /// Shard slices passed to encode/reconstruct disagree in count or length.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// Fewer than `k` shards survive; the stripe is unrecoverable.
+    TooManyErasures {
+        /// Number of shards still present.
+        present: usize,
+        /// Number of shards required (`k`).
+        required: usize,
+    },
+    /// Shard lengths are not compatible with the codec's alignment.
+    BadAlignment {
+        /// Observed shard length.
+        shard_len: usize,
+        /// Required alignment in bytes.
+        alignment: usize,
+    },
+}
+
+impl fmt::Display for ErasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErasureError::InvalidParameters { reason } => {
+                write!(f, "invalid erasure-code parameters: {reason}")
+            }
+            ErasureError::ShapeMismatch { detail } => {
+                write!(f, "shard shape mismatch: {detail}")
+            }
+            ErasureError::TooManyErasures { present, required } => write!(
+                f,
+                "unrecoverable stripe: {present} shards present, {required} required"
+            ),
+            ErasureError::BadAlignment {
+                shard_len,
+                alignment,
+            } => write!(
+                f,
+                "shard length {shard_len} is not a multiple of required alignment {alignment}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ErasureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ErasureError::TooManyErasures {
+            present: 2,
+            required: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("2 shards present"));
+        assert!(s.contains("3 required"));
+    }
+
+    #[test]
+    fn every_variant_displays_informatively() {
+        let cases: Vec<(ErasureError, &str)> = vec![
+            (
+                ErasureError::InvalidParameters {
+                    reason: "k too big".into(),
+                },
+                "k too big",
+            ),
+            (
+                ErasureError::ShapeMismatch {
+                    detail: "odd shard".into(),
+                },
+                "odd shard",
+            ),
+            (
+                ErasureError::BadAlignment {
+                    shard_len: 13,
+                    alignment: 8,
+                },
+                "13",
+            ),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ErasureError>();
+    }
+}

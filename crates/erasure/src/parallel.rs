@@ -1,0 +1,115 @@
+//! Parallel bulk encoding for offline workloads.
+//!
+//! Online operations encode one value at a time on the critical path; the
+//! offline paths (burst-buffer flush, re-protection after repair, bulk
+//! loads) encode thousands of stripes with no ordering constraint. This
+//! module fans that work out across threads — codecs are `Sync`, so one
+//! instance serves all workers.
+
+use crossbeam::thread;
+
+use crate::stripe::{EncodedStripe, Striper};
+
+/// Encodes every value, in order, using up to `threads` worker threads.
+///
+/// Returns one stripe per input value, positionally. With `threads <= 1`
+/// (or a single value) this is a plain serial loop.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (propagated).
+///
+/// # Example
+///
+/// ```
+/// use eckv_erasure::{parallel, CodecKind, Striper};
+///
+/// let striper = Striper::from(CodecKind::RsVan.build(3, 2)?);
+/// let values: Vec<Vec<u8>> = (0..16).map(|i| vec![i as u8; 4096]).collect();
+/// let refs: Vec<&[u8]> = values.iter().map(|v| v.as_slice()).collect();
+/// let stripes = parallel::encode_batch(&striper, &refs, 4);
+/// assert_eq!(stripes.len(), 16);
+/// assert_eq!(stripes[3], striper.encode_value(&values[3]));
+/// # Ok::<(), eckv_erasure::ErasureError>(())
+/// ```
+pub fn encode_batch(striper: &Striper, values: &[&[u8]], threads: usize) -> Vec<EncodedStripe> {
+    if threads <= 1 || values.len() <= 1 {
+        return values.iter().map(|v| striper.encode_value(v)).collect();
+    }
+    let threads = threads.min(values.len());
+    let mut out: Vec<Option<EncodedStripe>> = vec![None; values.len()];
+
+    thread::scope(|scope| {
+        // Striped partitioning: chunk the output so each worker owns a
+        // contiguous &mut region.
+        let chunk = values.len().div_ceil(threads);
+        let mut rest: &mut [Option<EncodedStripe>] = &mut out;
+        let mut start = 0;
+        for _ in 0..threads {
+            let take = chunk.min(rest.len());
+            if take == 0 {
+                break;
+            }
+            let (mine, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let my_values = &values[start..start + take];
+            start += take;
+            scope.spawn(move |_| {
+                for (slot, v) in mine.iter_mut().zip(my_values) {
+                    *slot = Some(striper.encode_value(v));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    out.into_iter()
+        .map(|s| s.expect("every slot is filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::CodecKind;
+
+    fn striper() -> Striper {
+        Striper::from(CodecKind::RsVan.build(3, 2).unwrap())
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_every_thread_count() {
+        let s = striper();
+        let values: Vec<Vec<u8>> = (0..37)
+            .map(|i| (0..(i * 131 + 1)).map(|j| (i + j) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = values.iter().map(|v| v.as_slice()).collect();
+        let serial = encode_batch(&s, &refs, 1);
+        for threads in [2usize, 3, 4, 8, 64] {
+            let parallel = encode_batch(&s, &refs, threads);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let s = striper();
+        assert!(encode_batch(&s, &[], 4).is_empty());
+        let v = vec![7u8; 100];
+        let one = encode_batch(&s, &[&v], 4);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0], s.encode_value(&v));
+    }
+
+    #[test]
+    fn all_codec_kinds_are_sync_enough() {
+        for kind in CodecKind::ALL {
+            let s = Striper::from(kind.build(3, 2).unwrap());
+            let values: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 2000]).collect();
+            let refs: Vec<&[u8]> = values.iter().map(|v| v.as_slice()).collect();
+            let a = encode_batch(&s, &refs, 4);
+            let b = encode_batch(&s, &refs, 1);
+            assert_eq!(a, b, "{kind}");
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Matrices over GF(2) ("bit-matrices") for XOR-based erasure codes.
+//!
+//! Cauchy Reed-Solomon and the RAID-6 Liberation codes replace field
+//! multiplications with pure XORs by expanding each GF(2^w) coefficient into
+//! a `w x w` binary matrix. This module provides that representation plus
+//! GF(2) inversion for decoding.
+
+use core::fmt;
+
+use crate::field::Gf256;
+use crate::matrix::{Matrix, SingularMatrixError};
+
+/// A dense row-major matrix over GF(2), packed 64 bits per word.
+///
+/// # Example
+///
+/// ```
+/// use eckv_gf::BitMatrix;
+///
+/// let m = BitMatrix::identity(10);
+/// assert!(m.is_identity());
+/// assert_eq!(m.ones(), 10);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{}", u8::from(self.get(r, c)))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl BitMatrix {
+    /// Creates an all-zero bit-matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "bitmatrix dimensions must be positive");
+        let words_per_row = cols.div_ceil(64);
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            bits: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Creates an identity bit-matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = BitMatrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Expands a GF(2^8) matrix into its `(rows*8) x (cols*8)` binary form.
+    ///
+    /// Column `c` of the `8x8` block for element `e` holds the bits of
+    /// `e * 2^c`; this makes binary matrix-vector multiplication over bit
+    /// slices equivalent to GF(2^8) multiplication (Blomer et al.'s
+    /// Cauchy-RS construction, as used by Jerasure).
+    pub fn from_gf256_matrix(m: &Matrix) -> Self {
+        const W: usize = 8;
+        let mut bm = BitMatrix::zero(m.rows() * W, m.cols() * W);
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let e = Gf256::new(m.get(r, c));
+                for bit_col in 0..W {
+                    // e * x^bit_col, column-wise bits.
+                    let v = e * Gf256::GENERATOR.pow(bit_col);
+                    let v = v.value();
+                    for bit_row in 0..W {
+                        if v & (1 << bit_row) != 0 {
+                            bm.set(r * W + bit_row, c * W + bit_col, true);
+                        }
+                    }
+                }
+            }
+        }
+        bm
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns bit `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows && c < self.cols, "bitmatrix index out of bounds");
+        let w = self.bits[r * self.words_per_row + c / 64];
+        (w >> (c % 64)) & 1 == 1
+    }
+
+    /// Sets bit `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        assert!(r < self.rows && c < self.cols, "bitmatrix index out of bounds");
+        let word = &mut self.bits[r * self.words_per_row + c / 64];
+        if v {
+            *word |= 1 << (c % 64);
+        } else {
+            *word &= !(1 << (c % 64));
+        }
+    }
+
+    /// Total number of set bits. For XOR codes this is proportional to the
+    /// encoding cost, which is why minimum-density codes (Liberation) exist.
+    pub fn ones(&self) -> u64 {
+        self.bits.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Returns the column indices set in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_ones(&self, r: usize) -> Vec<usize> {
+        assert!(r < self.rows, "row index out of bounds");
+        (0..self.cols).filter(|&c| self.get(r, c)).collect()
+    }
+
+    /// Returns `true` if this is a square identity matrix.
+    pub fn is_identity(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.get(r, c) != (r == c) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Extracts the submatrix made of the given rows (in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, rows: &[usize]) -> BitMatrix {
+        let mut out = BitMatrix::zero(rows.len(), self.cols);
+        for (dst, &src) in rows.iter().enumerate() {
+            assert!(src < self.rows, "row index out of bounds");
+            let s = src * self.words_per_row;
+            let d = dst * out.words_per_row;
+            out.bits[d..d + self.words_per_row]
+                .copy_from_slice(&self.bits[s..s + self.words_per_row]);
+        }
+        out
+    }
+
+    /// Stacks `self` on top of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ.
+    pub fn vstack(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, other.cols, "vstack column mismatch");
+        let mut out = BitMatrix::zero(self.rows + other.rows, self.cols);
+        out.bits[..self.bits.len()].copy_from_slice(&self.bits);
+        out.bits[self.bits.len()..].copy_from_slice(&other.bits);
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut out = BitMatrix::zero(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.get(r, c) {
+                    out.set(c, r, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Rank over GF(2).
+    pub fn rank(&self) -> usize {
+        let mut a = self.clone();
+        let mut rank = 0;
+        for col in 0..self.cols {
+            if rank == self.rows {
+                break;
+            }
+            let Some(pivot) = (rank..self.rows).find(|&r| a.get(r, col)) else {
+                continue;
+            };
+            a.swap_rows(pivot, rank);
+            for r in 0..self.rows {
+                if r != rank && a.get(r, col) {
+                    a.xor_row_into(rank, r);
+                }
+            }
+            rank += 1;
+        }
+        rank
+    }
+
+    /// Matrix product over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul(&self, rhs: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, rhs.rows, "bitmatrix product shape mismatch");
+        let mut out = BitMatrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                if self.get(r, k) {
+                    // out.row(r) ^= rhs.row(k)
+                    let s = k * rhs.words_per_row;
+                    let d = r * out.words_per_row;
+                    for w in 0..rhs.words_per_row {
+                        out.bits[d + w] ^= rhs.bits[s + w];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverts the matrix over GF(2) via Gauss-Jordan elimination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the matrix is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn invert(&self) -> Result<BitMatrix, SingularMatrixError> {
+        assert_eq!(self.rows, self.cols, "only square bitmatrices are invertible");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = BitMatrix::identity(n);
+        for col in 0..n {
+            let pivot = (col..n)
+                .find(|&r| a.get(r, col))
+                .ok_or(SingularMatrixError)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            for r in 0..n {
+                if r != col && a.get(r, col) {
+                    a.xor_row_into(col, r);
+                    inv.xor_row_into(col, r);
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for w in 0..self.words_per_row {
+            self.bits.swap(a * self.words_per_row + w, b * self.words_per_row + w);
+        }
+    }
+
+    /// `row[dst] ^= row[src]`.
+    fn xor_row_into(&mut self, src: usize, dst: usize) {
+        for w in 0..self.words_per_row {
+            let v = self.bits[src * self.words_per_row + w];
+            self.bits[dst * self.words_per_row + w] ^= v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrips() {
+        let m = BitMatrix::identity(70); // crosses a word boundary
+        assert!(m.is_identity());
+        assert!(m.invert().unwrap().is_identity());
+    }
+
+    #[test]
+    fn set_and_get_across_word_boundaries() {
+        let mut m = BitMatrix::zero(2, 130);
+        m.set(1, 129, true);
+        m.set(0, 63, true);
+        m.set(0, 64, true);
+        assert!(m.get(1, 129));
+        assert!(m.get(0, 63));
+        assert!(m.get(0, 64));
+        assert!(!m.get(0, 65));
+        assert_eq!(m.ones(), 3);
+        m.set(0, 64, false);
+        assert_eq!(m.ones(), 2);
+    }
+
+    #[test]
+    fn gf256_expansion_multiplication_is_faithful() {
+        // Verify that the binary expansion of element e, applied to the bit
+        // vector of b, yields the bits of e*b.
+        for e in [0u8, 1, 2, 3, 0x1D, 0x80, 200, 255] {
+            let mut gm = Matrix::zero(1, 1);
+            gm.set(0, 0, e);
+            let bm = BitMatrix::from_gf256_matrix(&gm);
+            for b in [0u8, 1, 2, 5, 0x90, 255] {
+                let mut out = 0u8;
+                for r in 0..8 {
+                    let mut bit = false;
+                    for c in 0..8 {
+                        if bm.get(r, c) && (b >> c) & 1 == 1 {
+                            bit = !bit;
+                        }
+                    }
+                    if bit {
+                        out |= 1 << r;
+                    }
+                }
+                assert_eq!(out, Gf256::mul_bytes(e, b), "e={e} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn invert_of_gf256_expansion_matches_inverse_element() {
+        let mut gm = Matrix::zero(1, 1);
+        gm.set(0, 0, 0x53);
+        let bm = BitMatrix::from_gf256_matrix(&gm);
+        let inv = bm.invert().expect("nonzero element expansion is invertible");
+        assert!(bm.mul(&inv).is_identity());
+
+        let mut gm_inv = Matrix::zero(1, 1);
+        gm_inv.set(0, 0, Gf256::new(0x53).inv().unwrap().value());
+        assert_eq!(inv, BitMatrix::from_gf256_matrix(&gm_inv));
+    }
+
+    #[test]
+    fn singular_bitmatrix_reports_error() {
+        let mut m = BitMatrix::zero(2, 2);
+        m.set(0, 0, true);
+        m.set(1, 0, true); // second column all-zero
+        assert_eq!(m.invert(), Err(SingularMatrixError));
+    }
+
+    #[test]
+    fn vstack_and_select_rows_roundtrip() {
+        let a = BitMatrix::identity(3);
+        let mut b = BitMatrix::zero(2, 3);
+        b.set(0, 2, true);
+        b.set(1, 0, true);
+        let s = a.vstack(&b);
+        assert_eq!(s.rows(), 5);
+        assert_eq!(s.select_rows(&[0, 1, 2]), a);
+        assert_eq!(s.select_rows(&[3, 4]), b);
+    }
+
+    #[test]
+    fn mul_identity_is_noop() {
+        let mut m = BitMatrix::zero(4, 4);
+        m.set(0, 3, true);
+        m.set(2, 1, true);
+        m.set(3, 3, true);
+        m.set(1, 1, true);
+        assert_eq!(m.mul(&BitMatrix::identity(4)), m);
+        assert_eq!(BitMatrix::identity(4).mul(&m), m);
+    }
+
+    #[test]
+    fn transpose_and_rank() {
+        let mut m = BitMatrix::zero(3, 70);
+        m.set(0, 0, true);
+        m.set(1, 65, true);
+        m.set(2, 0, true);
+        m.set(2, 65, true); // row2 = row0 + row1
+        let t = m.transpose();
+        assert_eq!(t.rows(), 70);
+        assert!(t.get(65, 1));
+        assert_eq!(t.transpose(), m);
+        assert_eq!(m.rank(), 2);
+        assert_eq!(BitMatrix::identity(17).rank(), 17);
+        assert_eq!(BitMatrix::zero(4, 4).rank(), 0);
+    }
+
+    #[test]
+    fn row_ones_reports_columns() {
+        let mut m = BitMatrix::zero(1, 100);
+        m.set(0, 1, true);
+        m.set(0, 99, true);
+        assert_eq!(m.row_ones(0), vec![1, 99]);
+    }
+}

@@ -1,0 +1,313 @@
+//! Scalar arithmetic in GF(2^8).
+
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::tables::{EXP, LOG};
+
+/// An element of the finite field GF(2^8).
+///
+/// Addition and subtraction are both XOR; multiplication and division use
+/// compile-time log/exp tables. All operations are constant-time lookups
+/// aside from the zero checks in multiplication and division.
+///
+/// # Example
+///
+/// ```
+/// use eckv_gf::Gf256;
+///
+/// let a = Gf256::new(7);
+/// let b = Gf256::new(9);
+/// assert_eq!(a + b, Gf256::new(7 ^ 9));
+/// assert_eq!(a - b, a + b); // characteristic 2
+/// assert_eq!(a * a.inv().unwrap(), Gf256::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Gf256(u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The primitive element `g = 2` generating the multiplicative group.
+    pub const GENERATOR: Gf256 = Gf256(2);
+
+    /// Wraps a raw byte as a field element.
+    #[inline]
+    pub const fn new(value: u8) -> Self {
+        Gf256(value)
+    }
+
+    /// Returns the raw byte value of this element.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` if this is the additive identity.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplicative inverse, or `None` for zero.
+    ///
+    /// ```
+    /// use eckv_gf::Gf256;
+    /// assert_eq!(Gf256::new(1).inv(), Some(Gf256::new(1)));
+    /// assert_eq!(Gf256::ZERO.inv(), None);
+    /// ```
+    #[inline]
+    pub fn inv(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Gf256(EXP[255 - LOG[self.0 as usize] as usize]))
+        }
+    }
+
+    /// Raises this element to the power `e`.
+    ///
+    /// `0^0` is defined as `1`, matching the convention used when building
+    /// Vandermonde matrices.
+    ///
+    /// ```
+    /// use eckv_gf::Gf256;
+    /// assert_eq!(Gf256::GENERATOR.pow(255), Gf256::ONE);
+    /// assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+    /// ```
+    pub fn pow(self, e: usize) -> Self {
+        if e == 0 {
+            return Gf256::ONE;
+        }
+        if self.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let l = (LOG[self.0 as usize] as usize * e) % 255;
+        Gf256(EXP[l])
+    }
+
+    /// Raw table-based multiplication of two bytes in GF(2^8).
+    ///
+    /// This is the scalar kernel that everything else builds on.
+    #[inline]
+    pub fn mul_bytes(a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+        }
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256({:#04x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#04x}", self.0)
+    }
+}
+
+impl From<u8> for Gf256 {
+    #[inline]
+    fn from(v: u8) -> Self {
+        Gf256(v)
+    }
+}
+
+impl From<Gf256> for u8 {
+    #[inline]
+    fn from(v: Gf256) -> Self {
+        v.0
+    }
+}
+
+// In GF(2^8), addition and subtraction ARE the XOR of the
+// representations; clippy's suspicious-arithmetic lint does not apply.
+#[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+impl Add for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+// In GF(2^8), addition and subtraction ARE the XOR of the
+// representations; clippy's suspicious-arithmetic lint does not apply.
+#[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+impl AddAssign for Gf256 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+// In GF(2^8), addition and subtraction ARE the XOR of the
+// representations; clippy's suspicious-arithmetic lint does not apply.
+#[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+impl Sub for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+// In GF(2^8), addition and subtraction ARE the XOR of the
+// representations; clippy's suspicious-arithmetic lint does not apply.
+#[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+impl SubAssign for Gf256 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Neg for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn neg(self) -> Gf256 {
+        self // characteristic 2: -a == a
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        Gf256(Gf256::mul_bytes(self.0, rhs.0))
+    }
+}
+
+impl MulAssign for Gf256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl)] // division = multiply by inverse
+impl Div for Gf256 {
+    type Output = Gf256;
+
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    #[inline]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        let inv = rhs.inv().expect("division by zero in GF(2^8)");
+        self * inv
+    }
+}
+
+impl DivAssign for Gf256 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Gf256) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Gf256 {
+    fn sum<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Gf256 {
+    fn product<I: Iterator<Item = Gf256>>(iter: I) -> Gf256 {
+        iter.fold(Gf256::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+        // Russian-peasant multiplication, the reference implementation.
+        let mut r = 0u8;
+        while b != 0 {
+            if b & 1 != 0 {
+                r ^= a;
+            }
+            let carry = a & 0x80 != 0;
+            a <<= 1;
+            if carry {
+                a ^= (crate::GENERATOR_POLY & 0xFF) as u8;
+            }
+            b >>= 1;
+        }
+        r
+    }
+
+    #[test]
+    fn table_mul_matches_reference_exhaustively() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(
+                    Gf256::mul_bytes(a, b),
+                    slow_mul(a, b),
+                    "mismatch at {a} * {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_an_inverse() {
+        for a in 1..=255u8 {
+            let x = Gf256::new(a);
+            assert_eq!(x * x.inv().unwrap(), Gf256::ONE);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative_spot() {
+        let (a, b, c) = (Gf256::new(13), Gf256::new(200), Gf256::new(97));
+        assert_eq!(a * b, b * a);
+        assert_eq!((a * b) * c, a * (b * c));
+        assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for a in [0u8, 1, 2, 5, 190, 255] {
+            let x = Gf256::new(a);
+            let mut acc = Gf256::ONE;
+            for e in 0..20 {
+                assert_eq!(x.pow(e), acc, "a={a} e={e}");
+                acc *= x;
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut x = Gf256::ONE;
+        for _ in 0..254 {
+            x *= Gf256::GENERATOR;
+            assert_ne!(x, Gf256::ONE);
+        }
+        x *= Gf256::GENERATOR;
+        assert_eq!(x, Gf256::ONE);
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        assert_eq!(format!("{}", Gf256::ZERO), "0x00");
+        assert_eq!(format!("{:?}", Gf256::ONE), "Gf256(0x01)");
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Gf256::ONE / Gf256::ZERO;
+    }
+}

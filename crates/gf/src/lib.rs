@@ -1,0 +1,45 @@
+//! Galois-field arithmetic for erasure coding.
+//!
+//! This crate implements everything the Reed-Solomon family of erasure codes
+//! needs from finite-field algebra:
+//!
+//! * [`Gf256`] — scalar arithmetic in GF(2^8) with the AES-friendly
+//!   polynomial `x^8 + x^4 + x^3 + x^2 + 1` (`0x11D`), the same field used by
+//!   Jerasure and most storage systems.
+//! * [`mod@slice`] — bulk kernels (`mul_slice`, `mul_slice_xor`, `xor_slice`)
+//!   that apply one field multiplication across an entire buffer. These are
+//!   the inner loops of encoding and decoding.
+//! * [`Matrix`] — dense matrices over GF(2^8) with Gauss-Jordan inversion
+//!   and the Vandermonde / Cauchy constructions used to derive generator
+//!   matrices.
+//! * [`BitMatrix`] — matrices over GF(2) used by XOR-based codes
+//!   (Cauchy-RS and RAID-6 Liberation), together with conversion from
+//!   GF(2^w) matrices.
+//!
+//! # Example
+//!
+//! ```
+//! use eckv_gf::{Gf256, Matrix};
+//!
+//! let a = Gf256::new(0x53);
+//! let b = Gf256::new(0xCA);
+//! assert_eq!((a * b) / b, a);
+//!
+//! let m = Matrix::vandermonde(5, 3);
+//! assert_eq!(m.rows(), 5);
+//! assert_eq!(m.cols(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitmatrix;
+mod field;
+mod matrix;
+pub mod slice;
+mod tables;
+
+pub use bitmatrix::BitMatrix;
+pub use field::Gf256;
+pub use matrix::{Matrix, SingularMatrixError};
+pub use tables::{exp, log, FIELD_SIZE, GENERATOR_POLY};

@@ -1,0 +1,481 @@
+//! Dense matrices over GF(2^8).
+
+use core::fmt;
+
+use crate::field::Gf256;
+
+/// Error returned when attempting to invert a singular matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError;
+
+impl fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is singular over GF(2^8)")
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+/// A dense row-major matrix over GF(2^8).
+///
+/// This is the workhorse behind generator-matrix construction
+/// ([`Matrix::vandermonde`], [`Matrix::cauchy`]), systematization and
+/// decoding ([`Matrix::invert`]).
+///
+/// # Example
+///
+/// ```
+/// use eckv_gf::Matrix;
+///
+/// let m = Matrix::vandermonde(4, 4);
+/// let inv = m.invert().expect("vandermonde with distinct points is invertible");
+/// assert!(m.mul(&inv).is_identity());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:02x} ", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Builds a matrix from rows of bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or rows have unequal lengths.
+    pub fn from_rows(rows: &[&[u8]]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// A `rows x cols` Vandermonde matrix: entry `(r, c) = r^c` over
+    /// GF(2^8), with the convention `0^0 = 1`.
+    ///
+    /// Any `cols` distinct rows of this matrix are linearly independent,
+    /// which is the MDS property Reed-Solomon relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows > 256` (points must be distinct field elements).
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        assert!(rows <= 256, "at most 256 distinct evaluation points exist");
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            let x = Gf256::new(r as u8);
+            for c in 0..cols {
+                m.set(r, c, x.pow(c).value());
+            }
+        }
+        m
+    }
+
+    /// A `rows x cols` Cauchy matrix: entry `(i, j) = 1 / (x_i + y_j)` with
+    /// `x_i = i + cols` and `y_j = j`, all distinct.
+    ///
+    /// Every square submatrix of a Cauchy matrix is invertible, so the
+    /// systematic generator `[I ; C]` is MDS without further transformation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows + cols > 256`.
+    pub fn cauchy(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows + cols <= 256,
+            "cauchy matrix needs rows + cols distinct elements"
+        );
+        let mut m = Matrix::zero(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let x = Gf256::new((i + cols) as u8);
+                let y = Gf256::new(j as u8);
+                let e = (x + y).inv().expect("x_i + y_j is nonzero by construction");
+                m.set(i, j, e.value());
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Returns row `r` as a byte slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[u8] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matrix product shape mismatch");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for c in 0..rhs.cols {
+                let mut acc = 0u8;
+                for k in 0..self.cols {
+                    acc ^= Gf256::mul_bytes(self.get(r, k), rhs.get(k, c));
+                }
+                out.set(r, c, acc);
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zero(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Rank over GF(2^8) (Gaussian elimination).
+    pub fn rank(&self) -> usize {
+        let mut a = self.clone();
+        let mut rank = 0;
+        for col in 0..self.cols {
+            if rank == self.rows {
+                break;
+            }
+            let Some(pivot) = (rank..self.rows).find(|&r| a.get(r, col) != 0) else {
+                continue;
+            };
+            a.swap_rows(pivot, rank);
+            let pinv = Gf256::new(a.get(rank, col)).inv().expect("pivot nonzero").value();
+            a.scale_row(rank, pinv);
+            for r in 0..self.rows {
+                if r != rank {
+                    let f = a.get(r, col);
+                    if f != 0 {
+                        a.add_scaled_row(rank, r, f);
+                    }
+                }
+            }
+            rank += 1;
+        }
+        rank
+    }
+
+    /// Returns `true` if this is a square identity matrix.
+    pub fn is_identity(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let want = u8::from(r == c);
+                if self.get(r, c) != want {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Extracts the submatrix made of the given rows (in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let selected: Vec<&[u8]> = rows.iter().map(|&r| self.row(r)).collect();
+        Matrix::from_rows(&selected)
+    }
+
+    /// Inverts the matrix via Gauss-Jordan elimination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the matrix is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn invert(&self) -> Result<Matrix, SingularMatrixError> {
+        assert_eq!(self.rows, self.cols, "only square matrices are invertible");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n)
+                .find(|&r| a.get(r, col) != 0)
+                .ok_or(SingularMatrixError)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Scale pivot row to 1.
+            let p = Gf256::new(a.get(col, col));
+            let pinv = p.inv().expect("pivot is nonzero").value();
+            a.scale_row(col, pinv);
+            inv.scale_row(col, pinv);
+            // Eliminate the column everywhere else.
+            for r in 0..n {
+                if r != col {
+                    let f = a.get(r, col);
+                    if f != 0 {
+                        a.add_scaled_row(col, r, f);
+                        inv.add_scaled_row(col, r, f);
+                    }
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Transforms `[top-square | rest]` so the top `cols x cols` block
+    /// becomes the identity, returning the systematized matrix. Used to turn
+    /// an extended Vandermonde matrix into a systematic generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if the top square block is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows < cols`.
+    pub fn systematize(&self) -> Result<Matrix, SingularMatrixError> {
+        assert!(self.rows >= self.cols, "need at least cols rows");
+        let k = self.cols;
+        let top = self.select_rows(&(0..k).collect::<Vec<_>>());
+        let top_inv = top.invert()?;
+        Ok(self.mul(&top_inv))
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let t = self.get(a, c);
+            self.set(a, c, self.get(b, c));
+            self.set(b, c, t);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, f: u8) {
+        for c in 0..self.cols {
+            self.set(r, c, Gf256::mul_bytes(self.get(r, c), f));
+        }
+    }
+
+    /// `row[dst] ^= f * row[src]`.
+    fn add_scaled_row(&mut self, src: usize, dst: usize, f: u8) {
+        for c in 0..self.cols {
+            let v = self.get(dst, c) ^ Gf256::mul_bytes(f, self.get(src, c));
+            self.set(dst, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        assert!(Matrix::identity(5).is_identity());
+        assert!(!Matrix::zero(3, 3).is_identity());
+        assert!(!Matrix::zero(2, 3).is_identity());
+    }
+
+    #[test]
+    fn vandermonde_square_inverts() {
+        for n in 1..=12 {
+            let m = Matrix::vandermonde(n, n);
+            let inv = m.invert().expect("square vandermonde is invertible");
+            assert!(m.mul(&inv).is_identity(), "n={n}");
+            assert!(inv.mul(&m).is_identity(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn cauchy_every_square_submatrix_invertible_small() {
+        // For a 3x3 Cauchy matrix, check all 1x1 and 2x2 minors directly.
+        let m = Matrix::cauchy(3, 3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_ne!(m.get(r, c), 0);
+            }
+        }
+        for r1 in 0..3 {
+            for r2 in (r1 + 1)..3 {
+                for c1 in 0..3 {
+                    for c2 in (c1 + 1)..3 {
+                        let det = Gf256::mul_bytes(m.get(r1, c1), m.get(r2, c2))
+                            ^ Gf256::mul_bytes(m.get(r1, c2), m.get(r2, c1));
+                        assert_ne!(det, 0, "singular 2x2 minor at {r1},{r2} x {c1},{c2}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_reports_error() {
+        let m = Matrix::from_rows(&[&[1, 2], &[2, 4]]);
+        // Over GF(2^8), 2*[1,2] = [2,4], so rows are dependent.
+        assert_eq!(m.invert(), Err(SingularMatrixError));
+    }
+
+    #[test]
+    fn systematize_makes_top_identity() {
+        let m = Matrix::vandermonde(6, 4);
+        let s = m.systematize().expect("vandermonde systematizes");
+        let top = s.select_rows(&[0, 1, 2, 3]);
+        assert!(top.is_identity());
+        // The systematic matrix must still be MDS: every 4 of the 6 rows
+        // must form an invertible matrix.
+        let idx = [0usize, 1, 2, 3, 4, 5];
+        for skip1 in 0..6 {
+            for skip2 in (skip1 + 1)..6 {
+                let rows: Vec<usize> =
+                    idx.iter().copied().filter(|&i| i != skip1 && i != skip2).collect();
+                let sub = s.select_rows(&rows);
+                assert!(sub.invert().is_ok(), "rows {rows:?} should be independent");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_by_identity_is_noop() {
+        let m = Matrix::vandermonde(4, 3);
+        assert_eq!(m.mul(&Matrix::identity(3)), m);
+        assert_eq!(Matrix::identity(4).mul(&m), m);
+    }
+
+    #[test]
+    fn select_rows_picks_in_order() {
+        let m = Matrix::from_rows(&[&[1, 2], &[3, 4], &[5, 6]]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[5, 6]);
+        assert_eq!(s.row(1), &[1, 2]);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let s = format!("{:?}", Matrix::identity(2));
+        assert!(s.contains("Matrix 2x2"));
+    }
+
+    #[test]
+    fn transpose_involutes_and_swaps_shape() {
+        let m = Matrix::vandermonde(5, 3);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 5);
+        assert_eq!(t.transpose(), m);
+        for r in 0..5 {
+            for c in 0..3 {
+                assert_eq!(m.get(r, c), t.get(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_of_constructions() {
+        assert_eq!(Matrix::identity(4).rank(), 4);
+        assert_eq!(Matrix::zero(3, 5).rank(), 0);
+        assert_eq!(Matrix::vandermonde(6, 4).rank(), 4);
+        assert_eq!(Matrix::cauchy(3, 5).rank(), 3);
+        // Dependent rows collapse the rank.
+        let dep = Matrix::from_rows(&[&[1, 2, 3], &[2, 4, 6], &[0, 0, 1]]);
+        assert_eq!(dep.rank(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let _ = Matrix::identity(2).get(2, 0);
+    }
+}

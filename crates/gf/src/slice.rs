@@ -1,0 +1,226 @@
+//! Bulk GF(2^8) kernels operating on byte slices.
+//!
+//! Erasure encoding/decoding is dominated by operations of the form
+//! `dst ^= c * src` applied over whole shards. This module provides those
+//! kernels, using per-multiplier split nibble tables (the classic ISA-L
+//! technique) so the inner loop is two table lookups and an XOR per byte,
+//! and an 8-bytes-at-a-time XOR kernel for the pure-parity case.
+//!
+//! # Example
+//!
+//! ```
+//! let src = [1u8, 2, 3, 4];
+//! let mut dst = [0u8; 4];
+//! eckv_gf::slice::mul_slice(5, &src, &mut dst);
+//! assert_eq!(dst[0], eckv_gf::Gf256::mul_bytes(5, 1));
+//! ```
+
+use std::sync::OnceLock;
+
+use crate::field::Gf256;
+
+/// The full 256x256 product table (64 KiB), built once on first use — the
+/// same "big multiplication table" layout Jerasure uses for w = 8. One L1
+/// lookup per byte makes this the fastest portable scalar kernel.
+fn mul_table() -> &'static [u8; 65536] {
+    static TABLE: OnceLock<Box<[u8; 65536]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = vec![0u8; 65536].into_boxed_slice();
+        for a in 0..256usize {
+            for b in 0..256usize {
+                t[a * 256 + b] = Gf256::mul_bytes(a as u8, b as u8);
+            }
+        }
+        t.try_into().expect("exactly 65536 entries")
+    })
+}
+
+/// The 256-entry product row for multiplier `c`.
+#[inline]
+fn mul_row(c: u8) -> &'static [u8; 256] {
+    let t = mul_table();
+    t[c as usize * 256..c as usize * 256 + 256]
+        .try_into()
+        .expect("row of 256")
+}
+
+/// Precomputed low/high nibble product tables for one multiplier.
+///
+/// `mul(c, b) == low[b & 0xF] ^ high[b >> 4]` because multiplication is
+/// linear over GF(2): `c * b = c * (b_lo ^ (b_hi << 4))`.
+#[derive(Debug, Clone, Copy)]
+pub struct MulTable {
+    low: [u8; 16],
+    high: [u8; 16],
+}
+
+impl MulTable {
+    /// Builds the split tables for multiplier `c`.
+    pub fn new(c: u8) -> Self {
+        let mut low = [0u8; 16];
+        let mut high = [0u8; 16];
+        for i in 0..16u8 {
+            low[i as usize] = Gf256::mul_bytes(c, i);
+            high[i as usize] = Gf256::mul_bytes(c, i << 4);
+        }
+        MulTable { low, high }
+    }
+
+    /// Multiplies a single byte by this table's multiplier.
+    #[inline]
+    pub fn mul(&self, b: u8) -> u8 {
+        self.low[(b & 0x0F) as usize] ^ self.high[(b >> 4) as usize]
+    }
+}
+
+/// `dst[i] = c * src[i]` for all `i`.
+///
+/// # Panics
+///
+/// Panics if `src.len() != dst.len()`.
+pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
+    match c {
+        0 => dst.fill(0),
+        1 => dst.copy_from_slice(src),
+        _ => {
+            let row = mul_row(c);
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = row[*s as usize];
+            }
+        }
+    }
+}
+
+/// `dst[i] ^= c * src[i]` for all `i` — the fused multiply-accumulate that
+/// dominates encode/decode time.
+///
+/// # Panics
+///
+/// Panics if `src.len() != dst.len()`.
+pub fn mul_slice_xor(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "mul_slice_xor length mismatch");
+    match c {
+        0 => {}
+        1 => xor_slice(src, dst),
+        _ => {
+            let row = mul_row(c);
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= row[*s as usize];
+            }
+        }
+    }
+}
+
+/// `dst[i] ^= src[i]` for all `i`, eight bytes at a time.
+///
+/// # Panics
+///
+/// Panics if `src.len() != dst.len()`.
+pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "xor_slice length mismatch");
+    let mut d_chunks = dst.chunks_exact_mut(8);
+    let mut s_chunks = src.chunks_exact(8);
+    for (d, s) in (&mut d_chunks).zip(&mut s_chunks) {
+        let dv = u64::from_ne_bytes(d.try_into().expect("chunk of 8"));
+        let sv = u64::from_ne_bytes(s.try_into().expect("chunk of 8"));
+        d.copy_from_slice(&(dv ^ sv).to_ne_bytes());
+    }
+    for (d, s) in d_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(s_chunks.remainder())
+    {
+        *d ^= *s;
+    }
+}
+
+/// Computes `dst[i] = sum_j coeffs[j] * srcs[j][i]` — one output row of a
+/// matrix-vector product over shards.
+///
+/// # Panics
+///
+/// Panics if `coeffs.len() != srcs.len()` or any source length differs from
+/// `dst`.
+pub fn row_combine(coeffs: &[u8], srcs: &[&[u8]], dst: &mut [u8]) {
+    assert_eq!(coeffs.len(), srcs.len(), "row_combine arity mismatch");
+    dst.fill(0);
+    for (&c, src) in coeffs.iter().zip(srcs) {
+        mul_slice_xor(c, src, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_table_matches_scalar_for_all_multipliers() {
+        for c in 0..=255u8 {
+            let t = MulTable::new(c);
+            for b in 0..=255u8 {
+                assert_eq!(t.mul(b), Gf256::mul_bytes(c, b), "c={c} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_slice_zero_and_one_fast_paths() {
+        let src: Vec<u8> = (0..100).map(|i| i as u8).collect();
+        let mut dst = vec![0xAAu8; 100];
+        mul_slice(0, &src, &mut dst);
+        assert!(dst.iter().all(|&b| b == 0));
+        mul_slice(1, &src, &mut dst);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn mul_slice_xor_accumulates() {
+        let src = vec![3u8; 37];
+        let mut dst = vec![5u8; 37];
+        mul_slice_xor(7, &src, &mut dst);
+        let expect = 5 ^ Gf256::mul_bytes(7, 3);
+        assert!(dst.iter().all(|&b| b == expect));
+    }
+
+    #[test]
+    fn xor_slice_handles_unaligned_tails() {
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 64, 65] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let mut dst: Vec<u8> = (0..len).map(|i| (i * 13) as u8).collect();
+            let expect: Vec<u8> = src.iter().zip(&dst).map(|(a, b)| a ^ b).collect();
+            xor_slice(&src, &mut dst);
+            assert_eq!(dst, expect, "len={len}");
+        }
+    }
+
+    #[test]
+    fn xor_is_an_involution() {
+        let src: Vec<u8> = (0..123).map(|i| (i * 31) as u8).collect();
+        let orig: Vec<u8> = (0..123).map(|i| (i * 17) as u8).collect();
+        let mut dst = orig.clone();
+        xor_slice(&src, &mut dst);
+        xor_slice(&src, &mut dst);
+        assert_eq!(dst, orig);
+    }
+
+    #[test]
+    fn row_combine_matches_manual_sum() {
+        let s1: Vec<u8> = (0..50).map(|i| i as u8).collect();
+        let s2: Vec<u8> = (0..50).map(|i| (i * 3) as u8).collect();
+        let s3: Vec<u8> = (0..50).map(|i| (255 - i) as u8).collect();
+        let mut dst = vec![0u8; 50];
+        row_combine(&[9, 0, 200], &[&s1, &s2, &s3], &mut dst);
+        for i in 0..50 {
+            let want = Gf256::mul_bytes(9, s1[i]) ^ Gf256::mul_bytes(200, s3[i]);
+            assert_eq!(dst[i], want, "i={i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut dst = [0u8; 3];
+        mul_slice(2, &[1, 2], &mut dst);
+    }
+}

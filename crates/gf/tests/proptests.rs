@@ -1,0 +1,131 @@
+//! Property-based tests for the GF(2^8) algebra.
+
+use eckv_gf::{slice, BitMatrix, Gf256, Matrix};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn field_axioms(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        let (a, b, c) = (Gf256::new(a), Gf256::new(b), Gf256::new(c));
+        // Commutativity
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        // Associativity
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        // Distributivity
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        // Identities
+        prop_assert_eq!(a + Gf256::ZERO, a);
+        prop_assert_eq!(a * Gf256::ONE, a);
+        // Characteristic 2
+        prop_assert_eq!(a + a, Gf256::ZERO);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in any::<u8>(), b in 1u8..) {
+        let (a, b) = (Gf256::new(a), Gf256::new(b));
+        prop_assert_eq!((a * b) / b, a);
+    }
+
+    #[test]
+    fn pow_is_homomorphic(a in 1u8.., e1 in 0usize..1000, e2 in 0usize..1000) {
+        let a = Gf256::new(a);
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn mul_slice_xor_matches_scalar(c in any::<u8>(), data in proptest::collection::vec(any::<u8>(), 0..256), acc in any::<u8>()) {
+        let mut dst = vec![acc; data.len()];
+        slice::mul_slice_xor(c, &data, &mut dst);
+        for (i, &s) in data.iter().enumerate() {
+            prop_assert_eq!(dst[i], acc ^ Gf256::mul_bytes(c, s));
+        }
+    }
+
+    #[test]
+    fn xor_slice_matches_scalar(a in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let b: Vec<u8> = a.iter().map(|x| x.wrapping_mul(31).wrapping_add(7)).collect();
+        let mut dst = b.clone();
+        slice::xor_slice(&a, &mut dst);
+        for i in 0..a.len() {
+            prop_assert_eq!(dst[i], a[i] ^ b[i]);
+        }
+    }
+
+    #[test]
+    fn random_invertible_matrix_roundtrips(seed in any::<u64>(), n in 1usize..8) {
+        // Build a random matrix; skip the (rare) singular draws.
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state & 0xFF) as u8
+        };
+        let mut m = Matrix::zero(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                m.set(r, c, next());
+            }
+        }
+        if let Ok(inv) = m.invert() {
+            prop_assert!(m.mul(&inv).is_identity());
+            prop_assert!(inv.mul(&m).is_identity());
+        }
+    }
+
+    #[test]
+    fn bitmatrix_inverse_roundtrips(seed in any::<u64>(), n in 1usize..24) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut m = BitMatrix::zero(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                m.set(r, c, next() & 1 == 1);
+            }
+        }
+        if let Ok(inv) = m.invert() {
+            prop_assert!(m.mul(&inv).is_identity());
+            prop_assert!(inv.mul(&m).is_identity());
+        }
+    }
+
+    #[test]
+    fn gf256_bitmatrix_expansion_respects_products(a in any::<u8>(), b in any::<u8>()) {
+        let mut ma = Matrix::zero(1, 1);
+        ma.set(0, 0, a);
+        let mut mb = Matrix::zero(1, 1);
+        mb.set(0, 0, b);
+        let mut mab = Matrix::zero(1, 1);
+        mab.set(0, 0, Gf256::mul_bytes(a, b));
+        let ba = BitMatrix::from_gf256_matrix(&ma);
+        let bb = BitMatrix::from_gf256_matrix(&mb);
+        let bab = BitMatrix::from_gf256_matrix(&mab);
+        prop_assert_eq!(ba.mul(&bb), bab);
+    }
+
+    #[test]
+    fn vandermonde_any_k_rows_invertible(k in 1usize..6, extra in 0usize..4, pick in any::<u64>()) {
+        let rows = k + extra;
+        let m = Matrix::vandermonde(rows, k);
+        // Pick k distinct rows pseudo-randomly.
+        let mut chosen: Vec<usize> = (0..rows).collect();
+        let mut state = pick | 1;
+        for i in (1..chosen.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state % (i as u64 + 1)) as usize;
+            chosen.swap(i, j);
+        }
+        chosen.truncate(k);
+        let sub = m.select_rows(&chosen);
+        prop_assert!(sub.invert().is_ok(), "rows {:?} must be independent", chosen);
+    }
+}

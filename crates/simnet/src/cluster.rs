@@ -1,0 +1,231 @@
+//! Calibrated profiles for the paper's three evaluation clusters.
+//!
+//! | Profile | Interconnect | CPU | Used for |
+//! |---|---|---|---|
+//! | [`ClusterProfile::RiQdr`] | Mellanox IB QDR (32 Gbps) | Westmere 8-core | Fig. 8, 9, 10, 13 |
+//! | [`ClusterProfile::SdscComet`] | Mellanox IB FDR (56 Gbps) | Haswell 2x12 | Fig. 11(a), 12(a,b) |
+//! | [`ClusterProfile::Ri2Edr`] | Mellanox IB EDR (100 Gbps) | Broadwell 2x14 | Fig. 11(b), 12(c) |
+//!
+//! Constants are calibrated to the published characteristics of these
+//! fabrics (verb latencies of 1–2 µs, effective bandwidth ~80% of the link
+//! rate, the 16 KB eager/rendezvous crossover RDMA-Memcached uses) and to
+//! Figure 4's codec timings; `EXPERIMENTS.md` records the values used for
+//! each reproduced figure.
+
+use crate::compute::ComputeModel;
+use crate::net::NetConfig;
+use crate::time::SimDuration;
+
+/// RDMA verbs or TCP/IP-over-InfiniBand transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportKind {
+    /// Native RDMA verbs (eager/rendezvous, kernel bypass).
+    Rdma,
+    /// IPoIB: TCP/IP emulation over the IB fabric — higher latency, lower
+    /// effective bandwidth, per-message kernel overhead, no rendezvous.
+    Ipoib,
+}
+
+/// CPU characteristics of one node generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuProfile {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Worker threads a server runs on this node type.
+    pub workers_per_node: usize,
+    /// Erasure-coding compute model.
+    pub compute: ComputeModel,
+}
+
+/// One of the paper's three testbeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusterProfile {
+    /// Intel Westmere cluster with IB QDR (32 Gbps), the paper's "RI-QDR".
+    RiQdr,
+    /// SDSC Comet: Haswell with IB FDR (56 Gbps).
+    SdscComet,
+    /// Intel Broadwell cluster with IB EDR (100 Gbps), "RI2-EDR".
+    Ri2Edr,
+}
+
+impl ClusterProfile {
+    /// All profiles in paper order.
+    pub const ALL: [ClusterProfile; 3] = [
+        ClusterProfile::RiQdr,
+        ClusterProfile::SdscComet,
+        ClusterProfile::Ri2Edr,
+    ];
+
+    /// The paper's name for this cluster.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterProfile::RiQdr => "RI-QDR",
+            ClusterProfile::SdscComet => "SDSC-Comet",
+            ClusterProfile::Ri2Edr => "RI2-EDR",
+        }
+    }
+
+    /// CPU profile of this cluster's nodes.
+    pub fn cpu(self) -> CpuProfile {
+        match self {
+            ClusterProfile::RiQdr => CpuProfile {
+                name: "Westmere",
+                workers_per_node: 8,
+                compute: ComputeModel::WESTMERE,
+            },
+            ClusterProfile::SdscComet => CpuProfile {
+                name: "Haswell",
+                workers_per_node: 24,
+                compute: ComputeModel::HASWELL,
+            },
+            ClusterProfile::Ri2Edr => CpuProfile {
+                name: "Broadwell",
+                workers_per_node: 28,
+                compute: ComputeModel::BROADWELL,
+            },
+        }
+    }
+
+    /// Transport calibration for this cluster.
+    pub fn net_config(self, transport: TransportKind) -> NetConfig {
+        match (self, transport) {
+            (ClusterProfile::RiQdr, TransportKind::Rdma) => NetConfig {
+                latency: SimDuration::from_nanos(1_900),
+                bandwidth_gbps: 26.0, // ~3.25 GB/s effective of 32 Gbps QDR
+                eager_threshold: 16 * 1024,
+                eager_copy_gbps: 40.0,
+                rendezvous_handshake: SimDuration::from_micros(4),
+                registration_per_kb: SimDuration::from_nanos(3),
+                post_overhead: SimDuration::from_nanos(300),
+                header_bytes: 64,
+                failure_detect: SimDuration::from_micros(50),
+            },
+            (ClusterProfile::SdscComet, TransportKind::Rdma) => NetConfig {
+                latency: SimDuration::from_nanos(1_500),
+                bandwidth_gbps: 45.0, // FDR 56 Gbps link
+                eager_threshold: 16 * 1024,
+                eager_copy_gbps: 48.0,
+                rendezvous_handshake: SimDuration::from_nanos(3_800),
+                registration_per_kb: SimDuration::from_nanos(2),
+                post_overhead: SimDuration::from_nanos(250),
+                header_bytes: 64,
+                failure_detect: SimDuration::from_micros(50),
+            },
+            (ClusterProfile::Ri2Edr, TransportKind::Rdma) => NetConfig {
+                latency: SimDuration::from_nanos(1_100),
+                bandwidth_gbps: 90.0, // EDR 100 Gbps link
+                eager_threshold: 16 * 1024,
+                eager_copy_gbps: 60.0,
+                rendezvous_handshake: SimDuration::from_nanos(3_200),
+                registration_per_kb: SimDuration::from_nanos(2),
+                post_overhead: SimDuration::from_nanos(200),
+                header_bytes: 64,
+                failure_detect: SimDuration::from_micros(50),
+            },
+            // IPoIB: kernel TCP stack over the same fabric. Everything is
+            // "eager" (socket copies), latency is an order of magnitude
+            // higher and effective bandwidth roughly a third of the link.
+            (ClusterProfile::RiQdr, TransportKind::Ipoib) => NetConfig {
+                latency: SimDuration::from_micros(16),
+                bandwidth_gbps: 10.0,
+                eager_threshold: usize::MAX,
+                eager_copy_gbps: 20.0,
+                rendezvous_handshake: SimDuration::ZERO,
+                registration_per_kb: SimDuration::ZERO,
+                post_overhead: SimDuration::from_nanos(1_800),
+                header_bytes: 128,
+                failure_detect: SimDuration::from_millis(1),
+            },
+            (ClusterProfile::SdscComet, TransportKind::Ipoib) => NetConfig {
+                latency: SimDuration::from_micros(13),
+                bandwidth_gbps: 17.0,
+                eager_threshold: usize::MAX,
+                eager_copy_gbps: 24.0,
+                rendezvous_handshake: SimDuration::ZERO,
+                registration_per_kb: SimDuration::ZERO,
+                post_overhead: SimDuration::from_nanos(1_500),
+                header_bytes: 128,
+                failure_detect: SimDuration::from_millis(1),
+            },
+            (ClusterProfile::Ri2Edr, TransportKind::Ipoib) => NetConfig {
+                latency: SimDuration::from_micros(11),
+                bandwidth_gbps: 26.0,
+                eager_threshold: usize::MAX,
+                eager_copy_gbps: 30.0,
+                rendezvous_handshake: SimDuration::ZERO,
+                registration_per_kb: SimDuration::ZERO,
+                post_overhead: SimDuration::from_nanos(1_300),
+                header_bytes: 128,
+                failure_detect: SimDuration::from_millis(1),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdma_beats_ipoib_on_every_cluster() {
+        for p in ClusterProfile::ALL {
+            let rdma = p.net_config(TransportKind::Rdma);
+            let ipoib = p.net_config(TransportKind::Ipoib);
+            assert!(rdma.latency < ipoib.latency, "{p}");
+            assert!(rdma.bandwidth_gbps > ipoib.bandwidth_gbps, "{p}");
+            for bytes in [512usize, 16 * 1024, 1 << 20] {
+                assert!(rdma.one_way(bytes) < ipoib.one_way(bytes), "{p} {bytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn newer_fabrics_are_faster() {
+        let q = ClusterProfile::RiQdr.net_config(TransportKind::Rdma);
+        let f = ClusterProfile::SdscComet.net_config(TransportKind::Rdma);
+        let e = ClusterProfile::Ri2Edr.net_config(TransportKind::Rdma);
+        for bytes in [1024usize, 64 * 1024, 1 << 20] {
+            assert!(f.one_way(bytes) < q.one_way(bytes));
+            assert!(e.one_way(bytes) < f.one_way(bytes));
+        }
+    }
+
+    #[test]
+    fn rdma_eager_threshold_is_16k() {
+        for p in ClusterProfile::ALL {
+            assert_eq!(p.net_config(TransportKind::Rdma).eager_threshold, 16 * 1024);
+        }
+    }
+
+    #[test]
+    fn qdr_large_transfer_magnitude_is_sane() {
+        // 1 MB at ~3.25 GB/s effective should take roughly 300-350 us one
+        // way; sanity-anchor the calibration.
+        let cfg = ClusterProfile::RiQdr.net_config(TransportKind::Rdma);
+        let t = cfg.one_way(1 << 20).as_micros_f64();
+        assert!((250.0..=450.0).contains(&t), "t={t}us");
+    }
+
+    #[test]
+    fn names_are_the_papers() {
+        assert_eq!(ClusterProfile::RiQdr.to_string(), "RI-QDR");
+        assert_eq!(ClusterProfile::SdscComet.to_string(), "SDSC-Comet");
+        assert_eq!(ClusterProfile::Ri2Edr.to_string(), "RI2-EDR");
+    }
+
+    #[test]
+    fn cpu_profiles_scale_with_generation() {
+        let q = ClusterProfile::RiQdr.cpu();
+        let c = ClusterProfile::SdscComet.cpu();
+        let e = ClusterProfile::Ri2Edr.cpu();
+        assert!(q.workers_per_node < c.workers_per_node);
+        assert!(c.workers_per_node < e.workers_per_node);
+        assert!(q.compute.gf_mul_gbps < e.compute.gf_mul_gbps);
+    }
+}

@@ -1,0 +1,257 @@
+//! The discrete-event engine: a virtual clock and an ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+type Action = Box<dyn FnOnce(&mut Simulation)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // Ties break by insertion order (seq) for determinism.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// Events are closures scheduled at virtual instants; [`Simulation::run`]
+/// executes them in timestamp order (insertion order on ties) while
+/// advancing the clock. Closures receive `&mut Simulation` so they can
+/// schedule follow-up events; shared world state lives in
+/// `Rc<RefCell<...>>` captured by the closures.
+///
+/// # Example
+///
+/// ```
+/// use eckv_simnet::{SimDuration, Simulation};
+/// use std::{cell::RefCell, rc::Rc};
+///
+/// let mut sim = Simulation::new();
+/// let order = Rc::new(RefCell::new(Vec::new()));
+/// for (label, at) in [("b", 20), ("a", 10)] {
+///     let order = order.clone();
+///     sim.schedule_in(SimDuration::from_micros(at), move |_| {
+///         order.borrow_mut().push(label);
+///     });
+/// }
+/// sim.run();
+/// assert_eq!(*order.borrow(), vec!["a", "b"]);
+/// ```
+pub struct Simulation {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`Simulation::now`]).
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut Simulation) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedules `action` to run `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, action: F)
+    where
+        F: FnOnce(&mut Simulation) + 'static,
+    {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Runs until no events remain. Returns the final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Runs until the queue drains or the clock passes `deadline`.
+    /// Events scheduled exactly at `deadline` are executed.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        // If the queue drained early, the clock simply stays at the last
+        // executed event.
+        self.now
+    }
+
+    /// Executes the next event, if any. Returns whether one ran.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now, "clock must be monotonic");
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.action)(self);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order_with_fifo_ties() {
+        let mut sim = Simulation::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (label, at_us) in [("late", 30), ("tie1", 10), ("tie2", 10), ("early", 5)] {
+            let order = order.clone();
+            sim.schedule_in(SimDuration::from_micros(at_us), move |_| {
+                order.borrow_mut().push(label);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["early", "tie1", "tie2", "late"]);
+        assert_eq!(sim.events_executed(), 4);
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut sim = Simulation::new();
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen2 = seen.clone();
+        sim.schedule_in(SimDuration::from_micros(1), move |sim| {
+            let seen3 = seen2.clone();
+            seen2.borrow_mut().push(sim.now().as_nanos());
+            sim.schedule_in(SimDuration::from_micros(2), move |sim| {
+                seen3.borrow_mut().push(sim.now().as_nanos());
+            });
+        });
+        let end = sim.run();
+        assert_eq!(*seen.borrow(), vec![1_000, 3_000]);
+        assert_eq!(end, SimTime::from_nanos(3_000));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new();
+        let count = Rc::new(RefCell::new(0));
+        for us in [1u64, 2, 3, 4, 5] {
+            let count = count.clone();
+            sim.schedule_in(SimDuration::from_micros(us), move |_| {
+                *count.borrow_mut() += 1;
+            });
+        }
+        sim.run_until(SimTime::from_nanos(3_000));
+        assert_eq!(*count.borrow(), 3);
+        assert_eq!(sim.events_pending(), 2);
+        sim.run();
+        assert_eq!(*count.borrow(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule_in(SimDuration::from_micros(10), |sim| {
+            sim.schedule_at(SimTime::from_nanos(1), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn determinism_two_identical_runs() {
+        fn run_once() -> Vec<u64> {
+            let mut sim = Simulation::new();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..50u64 {
+                let log = log.clone();
+                sim.schedule_in(SimDuration::from_nanos((i * 37) % 13), move |sim| {
+                    log.borrow_mut().push(sim.now().as_nanos() * 1000 + i);
+                });
+            }
+            sim.run();
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,465 @@
+//! RDMA-style message transport between simulated nodes.
+//!
+//! Models the communication behaviour the paper's designs exploit:
+//!
+//! * per-node, per-direction NIC bandwidth as FIFO resources, so fan-out
+//!   transfers serialize on the sender and converge flows queue on the
+//!   receiver;
+//! * the **eager** protocol for small messages (single post plus a
+//!   receive-side bounce-buffer copy) and the **rendezvous** protocol for
+//!   large ones (RTS/CTS handshake, buffer registration, zero-copy RDMA),
+//!   with the crossover at 16 KB exactly as RDMA-Memcached uses — the
+//!   mechanism behind the paper's ">16 KB" YCSB findings;
+//! * node failures: messages to a dead node fail after a transport-level
+//!   error delay instead of being delivered.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::engine::Simulation;
+use crate::resource::FifoResource;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a node in the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Which wire protocol a transfer of a given size uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireProtocol {
+    /// Small message: single post, receiver copies out of a bounce buffer.
+    Eager,
+    /// Large message: RTS/CTS handshake + registration + zero-copy RDMA.
+    Rendezvous,
+}
+
+/// Transport calibration for one cluster/interconnect combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// One-way propagation + NIC processing latency.
+    pub latency: SimDuration,
+    /// Per-NIC, per-direction bandwidth in gigabits/second.
+    pub bandwidth_gbps: f64,
+    /// Messages at or below this payload size use the eager protocol.
+    pub eager_threshold: usize,
+    /// Receive-side bounce-buffer copy throughput (eager only), gigabytes/s.
+    pub eager_copy_gbps: f64,
+    /// Extra control round-trip cost for rendezvous (RTS/CTS).
+    pub rendezvous_handshake: SimDuration,
+    /// Registration/rkey cost per KiB of rendezvous payload.
+    pub registration_per_kb: SimDuration,
+    /// CPU cost to post one work request (issue overhead).
+    pub post_overhead: SimDuration,
+    /// Wire header bytes added to every message.
+    pub header_bytes: usize,
+    /// Delay before a send to a dead node reports a transport error.
+    pub failure_detect: SimDuration,
+}
+
+impl NetConfig {
+    /// Protocol chosen for `bytes` of payload.
+    pub fn protocol_for(&self, bytes: usize) -> WireProtocol {
+        if bytes <= self.eager_threshold {
+            WireProtocol::Eager
+        } else {
+            WireProtocol::Rendezvous
+        }
+    }
+
+    /// Pure serialization time of `bytes` on one NIC direction.
+    pub fn wire_time(&self, bytes: usize) -> SimDuration {
+        let bits = ((bytes + self.header_bytes) as f64) * 8.0;
+        SimDuration::from_nanos((bits / self.bandwidth_gbps).round() as u64)
+    }
+
+    /// Protocol-dependent fixed cost of one transfer, excluding
+    /// serialization and propagation.
+    pub fn protocol_overhead(&self, bytes: usize) -> SimDuration {
+        match self.protocol_for(bytes) {
+            WireProtocol::Eager => {
+                let copy_ns = (bytes as f64) / self.eager_copy_gbps;
+                SimDuration::from_nanos(copy_ns.round() as u64)
+            }
+            WireProtocol::Rendezvous => {
+                let kb = bytes.div_ceil(1024) as u64;
+                self.rendezvous_handshake + self.registration_per_kb * kb
+            }
+        }
+    }
+
+    /// Contention-free one-way delivery time for `bytes` (the analytic
+    /// `L + D/B` of the paper's Equation 1, plus protocol costs). Useful
+    /// for model-vs-simulation comparisons.
+    pub fn one_way(&self, bytes: usize) -> SimDuration {
+        self.latency + self.wire_time(bytes) + self.protocol_overhead(bytes)
+    }
+}
+
+/// Outcome of a message send, passed to the completion callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message arrived at the given instant.
+    Delivered(SimTime),
+    /// The target node was dead; the error surfaced at the given instant.
+    TargetDead(SimTime),
+}
+
+impl Delivery {
+    /// The instant the outcome became known to the sender side.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            Delivery::Delivered(t) | Delivery::TargetDead(t) => t,
+        }
+    }
+
+    /// Whether the message arrived.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, Delivery::Delivered(_))
+    }
+}
+
+#[derive(Debug)]
+struct NodeState {
+    tx: FifoResource,
+    rx: FifoResource,
+    alive: bool,
+}
+
+/// The cluster-wide transport: one tx/rx NIC pair per node.
+///
+/// Shared via `Rc<RefCell<...>>`; sends are initiated with
+/// [`Network::send`], which schedules resource usage at the requested start
+/// time and invokes the callback at delivery.
+#[derive(Debug)]
+pub struct Network {
+    cfg: NetConfig,
+    nodes: Vec<NodeState>,
+    messages_sent: u64,
+    bytes_sent: u64,
+}
+
+impl Network {
+    /// Creates a transport for `nodes` nodes.
+    pub fn new(nodes: usize, cfg: NetConfig) -> Rc<RefCell<Network>> {
+        let nodes = (0..nodes)
+            .map(|i| NodeState {
+                tx: FifoResource::new(format!("n{i}.tx")),
+                rx: FifoResource::new(format!("n{i}.rx")),
+                alive: true,
+            })
+            .collect();
+        Rc::new(RefCell::new(Network {
+            cfg,
+            nodes,
+            messages_sent: 0,
+            bytes_sent: 0,
+        }))
+    }
+
+    /// The transport configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Number of nodes (dead or alive).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `node` is alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes[node.0].alive
+    }
+
+    /// Marks `node` as failed; subsequent sends to it error out.
+    pub fn kill(&mut self, node: NodeId) {
+        self.nodes[node.0].alive = false;
+    }
+
+    /// Brings `node` back (for recovery experiments).
+    pub fn revive(&mut self, node: NodeId) {
+        self.nodes[node.0].alive = true;
+    }
+
+    /// Total messages sent so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Total payload bytes sent so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Accumulated NIC busy time of `node`: `(tx, rx)`. Divide by the
+    /// experiment span for utilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn nic_busy(&self, node: NodeId) -> (SimDuration, SimDuration) {
+        let n = &self.nodes[node.0];
+        (n.tx.busy_time(), n.rx.busy_time())
+    }
+
+    /// Sends `bytes` from `from` to `to`, starting no earlier than `start`,
+    /// invoking `on_complete` when the outcome is known.
+    ///
+    /// The sender's tx NIC and receiver's rx NIC are reserved FIFO at
+    /// `start`; propagation latency and protocol overheads are added per
+    /// [`NetConfig`]. If the target is dead when the transfer begins, the
+    /// callback fires after [`NetConfig::failure_detect`] with
+    /// [`Delivery::TargetDead`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is in the past or either node id is out of range.
+    pub fn send<F>(
+        net: &Rc<RefCell<Network>>,
+        sim: &mut Simulation,
+        start: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        on_complete: F,
+    ) where
+        F: FnOnce(&mut Simulation, Delivery) + 'static,
+    {
+        let net = net.clone();
+        sim.schedule_at(start, move |sim| {
+            let now = sim.now();
+            let mut n = net.borrow_mut();
+            assert!(from.0 < n.nodes.len() && to.0 < n.nodes.len(), "bad node id");
+            n.messages_sent += 1;
+            n.bytes_sent += bytes as u64;
+            if !n.nodes[to.0].alive {
+                let at = now + n.cfg.failure_detect;
+                drop(n);
+                sim.schedule_at(at, move |sim| on_complete(sim, Delivery::TargetDead(at)));
+                return;
+            }
+            let wire = n.cfg.wire_time(bytes);
+            let overhead = n.cfg.protocol_overhead(bytes);
+            let latency = n.cfg.latency;
+            // Rendezvous pays its RTS/CTS handshake and registration
+            // *before* the bulk transfer starts; eager pays a receive-side
+            // bounce-buffer copy, which the receiver's polling loop
+            // performs in arrival order (so it serializes on the rx side).
+            let (tx_start, rx_extra) = match n.cfg.protocol_for(bytes) {
+                WireProtocol::Rendezvous => (now + overhead, SimDuration::ZERO),
+                WireProtocol::Eager => (now, overhead),
+            };
+            // Sender serializes the payload onto the wire...
+            let tx_done = n.nodes[from.0].tx.reserve(tx_start, wire);
+            // ...it propagates, then the receiver NIC drains and (for
+            // eager) copies it out.
+            let arrival = tx_done + latency;
+            let delivered = n.nodes[to.0].rx.reserve(arrival, wire + rx_extra);
+            drop(n);
+            sim.schedule_at(delivered, move |sim| {
+                on_complete(sim, Delivery::Delivered(delivered));
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn test_cfg() -> NetConfig {
+        NetConfig {
+            latency: SimDuration::from_micros(2),
+            bandwidth_gbps: 32.0,
+            eager_threshold: 16 * 1024,
+            eager_copy_gbps: 40.0,
+            rendezvous_handshake: SimDuration::from_micros(4),
+            registration_per_kb: SimDuration::from_nanos(3),
+            post_overhead: SimDuration::from_nanos(300),
+            header_bytes: 64,
+            failure_detect: SimDuration::from_micros(50),
+        }
+    }
+
+    #[test]
+    fn protocol_crossover_at_threshold() {
+        let cfg = test_cfg();
+        assert_eq!(cfg.protocol_for(16 * 1024), WireProtocol::Eager);
+        assert_eq!(cfg.protocol_for(16 * 1024 + 1), WireProtocol::Rendezvous);
+    }
+
+    #[test]
+    fn rendezvous_pays_fixed_cost_eager_does_not() {
+        let cfg = test_cfg();
+        // Just below vs just above the threshold: the rendezvous side must
+        // jump by roughly the handshake cost.
+        let below = cfg.one_way(16 * 1024);
+        let above = cfg.one_way(16 * 1024 + 64);
+        assert!(above > below + SimDuration::from_micros(3), "below={below} above={above}");
+    }
+
+    #[test]
+    fn single_send_delivers_at_expected_time() {
+        let cfg = test_cfg();
+        let net = Network::new(2, cfg);
+        let mut sim = Simulation::new();
+        let done: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
+        let d2 = done.clone();
+        Network::send(&net, &mut sim, SimTime::ZERO, NodeId(0), NodeId(1), 1024, move |_, d| {
+            *d2.borrow_mut() = Some(d.at());
+        });
+        sim.run();
+        let expect =
+            SimTime::ZERO + cfg.wire_time(1024) * 2 + cfg.latency + cfg.protocol_overhead(1024);
+        assert_eq!(done.borrow().unwrap(), expect);
+    }
+
+    #[test]
+    fn fanout_serializes_on_sender_nic() {
+        let cfg = test_cfg();
+        let net = Network::new(4, cfg);
+        let mut sim = Simulation::new();
+        let times = Rc::new(RefCell::new(Vec::new()));
+        for dst in 1..4usize {
+            let t = times.clone();
+            Network::send(
+                &net,
+                &mut sim,
+                SimTime::ZERO,
+                NodeId(0),
+                NodeId(dst),
+                1 << 20,
+                move |_, d| t.borrow_mut().push(d.at()),
+            );
+        }
+        sim.run();
+        let times = times.borrow();
+        // Deliveries must be spaced by at least one wire time each: the
+        // sender NIC is shared.
+        let wire = cfg.wire_time(1 << 20);
+        assert!(times[1].since(times[0]) >= wire);
+        assert!(times[2].since(times[1]) >= wire);
+    }
+
+    #[test]
+    fn converging_flows_queue_on_receiver() {
+        let cfg = test_cfg();
+        let net = Network::new(3, cfg);
+        let mut sim = Simulation::new();
+        let times = Rc::new(RefCell::new(Vec::new()));
+        for src in [0usize, 1] {
+            let t = times.clone();
+            Network::send(
+                &net,
+                &mut sim,
+                SimTime::ZERO,
+                NodeId(src),
+                NodeId(2),
+                1 << 20,
+                move |_, d| t.borrow_mut().push(d.at()),
+            );
+        }
+        sim.run();
+        let times = times.borrow();
+        let wire = cfg.wire_time(1 << 20);
+        // Both senders transmit in parallel, but the receiver NIC drains
+        // them one after the other.
+        assert!(times[1].since(times[0]) >= wire);
+    }
+
+    #[test]
+    fn send_to_dead_node_fails_fast() {
+        let cfg = test_cfg();
+        let net = Network::new(2, cfg);
+        net.borrow_mut().kill(NodeId(1));
+        let mut sim = Simulation::new();
+        let outcome = Rc::new(RefCell::new(None));
+        let o2 = outcome.clone();
+        Network::send(&net, &mut sim, SimTime::ZERO, NodeId(0), NodeId(1), 128, move |_, d| {
+            *o2.borrow_mut() = Some(d);
+        });
+        sim.run();
+        let d = outcome.borrow().unwrap();
+        assert!(!d.is_delivered());
+        assert_eq!(d.at(), SimTime::ZERO + cfg.failure_detect);
+        assert!(net.borrow().is_alive(NodeId(0)));
+        assert!(!net.borrow().is_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn revive_restores_delivery() {
+        let cfg = test_cfg();
+        let net = Network::new(2, cfg);
+        net.borrow_mut().kill(NodeId(1));
+        net.borrow_mut().revive(NodeId(1));
+        let mut sim = Simulation::new();
+        let ok = Rc::new(RefCell::new(false));
+        let ok2 = ok.clone();
+        Network::send(&net, &mut sim, SimTime::ZERO, NodeId(0), NodeId(1), 128, move |_, d| {
+            *ok2.borrow_mut() = d.is_delivered();
+        });
+        sim.run();
+        assert!(*ok.borrow());
+    }
+
+    #[test]
+    fn delivery_helpers_and_display() {
+        let t = SimTime::from_nanos(5);
+        assert!(Delivery::Delivered(t).is_delivered());
+        assert!(!Delivery::TargetDead(t).is_delivered());
+        assert_eq!(Delivery::TargetDead(t).at(), t);
+        assert_eq!(NodeId(3).to_string(), "n3");
+    }
+
+    #[test]
+    fn empty_network_reports_no_nodes() {
+        let net = Network::new(1, test_cfg());
+        assert!(!net.borrow().is_empty());
+        assert_eq!(net.borrow().len(), 1);
+    }
+
+    #[test]
+    fn nic_busy_accumulates_per_direction() {
+        let cfg = test_cfg();
+        let net = Network::new(2, cfg);
+        let mut sim = Simulation::new();
+        Network::send(&net, &mut sim, SimTime::ZERO, NodeId(0), NodeId(1), 1 << 20, |_, _| {});
+        sim.run();
+        let (tx0, rx0) = net.borrow().nic_busy(NodeId(0));
+        let (tx1, rx1) = net.borrow().nic_busy(NodeId(1));
+        assert!(tx0 > SimDuration::ZERO);
+        assert_eq!(rx0, SimDuration::ZERO);
+        assert_eq!(tx1, SimDuration::ZERO);
+        assert!(rx1 >= tx0, "rx includes the eager copy");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let cfg = test_cfg();
+        let net = Network::new(2, cfg);
+        let mut sim = Simulation::new();
+        for _ in 0..3 {
+            Network::send(&net, &mut sim, SimTime::ZERO, NodeId(0), NodeId(1), 100, |_, _| {});
+        }
+        sim.run();
+        assert_eq!(net.borrow().messages_sent(), 3);
+        assert_eq!(net.borrow().bytes_sent(), 300);
+    }
+}

@@ -1,0 +1,258 @@
+//! Latency histograms and summary statistics for experiment reporting.
+
+use core::fmt;
+
+use crate::time::SimDuration;
+
+/// A log-bucketed latency histogram with exact min/max/mean tracking.
+///
+/// Buckets grow geometrically (~4.6% per bucket, 64 buckets per decade), so
+/// percentile error is bounded at a few percent — plenty for reproducing
+/// figure-level comparisons.
+///
+/// # Example
+///
+/// ```
+/// use eckv_simnet::{Histogram, SimDuration};
+///
+/// let mut h = Histogram::new();
+/// for us in 1..=100 {
+///     h.record(SimDuration::from_micros(us));
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p50 = h.percentile(50.0).as_micros_f64();
+/// assert!((40.0..=60.0).contains(&p50));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: SimDuration,
+    min: SimDuration,
+    max: SimDuration,
+}
+
+const BUCKETS_PER_DECADE: f64 = 64.0;
+const NUM_BUCKETS: usize = 64 * 12; // 1ns .. ~1000s
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: SimDuration::ZERO,
+            min: SimDuration::from_nanos(u64::MAX),
+            max: SimDuration::ZERO,
+        }
+    }
+
+    fn bucket_for(d: SimDuration) -> usize {
+        let ns = d.as_nanos().max(1) as f64;
+        let idx = (ns.log10() * BUCKETS_PER_DECADE) as usize;
+        idx.min(NUM_BUCKETS - 1)
+    }
+
+    fn bucket_value(idx: usize) -> SimDuration {
+        // Midpoint of the bucket in log space.
+        let ns = 10f64.powf((idx as f64 + 0.5) / BUCKETS_PER_DECADE);
+        SimDuration::from_nanos(ns.round() as u64)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.buckets[Self::bucket_for(d)] += 1;
+        self.count += 1;
+        self.sum += d;
+        if d < self.min {
+            self.min = d;
+        }
+        if d > self.max {
+            self.max = d;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean of recorded samples (zero if empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Exact minimum (zero if empty).
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (zero if empty).
+    pub fn max(&self) -> SimDuration {
+        self.max
+    }
+
+    /// Approximate percentile `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(idx).max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+    }
+
+    /// Produces a compact summary snapshot.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+        }
+    }
+}
+
+/// A point-in-time digest of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: SimDuration,
+    /// Minimum sample.
+    pub min: SimDuration,
+    /// Maximum sample.
+    pub max: SimDuration,
+    /// Median (approximate).
+    pub p50: SimDuration,
+    /// 95th percentile (approximate).
+    pub p95: SimDuration,
+    /// 99th percentile (approximate).
+    pub p99: SimDuration,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p95={} p99={} max={}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.percentile(50.0), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(10));
+        h.record(SimDuration::from_micros(20));
+        h.record(SimDuration::from_micros(30));
+        assert_eq!(h.mean(), SimDuration::from_micros(20));
+        assert_eq!(h.min(), SimDuration::from_micros(10));
+        assert_eq!(h.max(), SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(SimDuration::from_nanos(i * 100));
+        }
+        let mut last = SimDuration::ZERO;
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            assert!(v >= last, "p{p} not monotone");
+            assert!(v >= h.min() && v <= h.max());
+            last = v;
+        }
+        // p50 within ~10% of true median (500_000 ns).
+        let p50 = h.percentile(50.0).as_nanos() as f64;
+        assert!((450_000.0..=550_000.0).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(SimDuration::from_micros(1));
+        b.record(SimDuration::from_micros(100));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), SimDuration::from_micros(1));
+        assert_eq!(a.max(), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn summary_display_is_informative() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(5));
+        let s = h.summary().to_string();
+        assert!(s.contains("n=1"));
+        assert!(s.contains("mean=5.000us"));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn out_of_range_percentile_panics() {
+        Histogram::new().percentile(101.0);
+    }
+}

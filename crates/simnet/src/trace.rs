@@ -1,0 +1,123 @@
+//! Per-operation phase accounting for the paper's time-wise breakdown
+//! (Figure 9): request-issue time, response-wait time, and
+//! encode/decode computation time.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign};
+
+use crate::time::SimDuration;
+
+/// Time spent in each phase of one Set/Get operation (or summed over many).
+///
+/// The paper's client-side breakdown distinguishes three phases:
+///
+/// * `request` — issuing requests (posting non-blocking sends),
+/// * `wait_response` — blocked in `memcached_wait` for completions,
+/// * `compute` — Reed-Solomon encode/decode on the critical path.
+///
+/// # Example
+///
+/// ```
+/// use eckv_simnet::{PhaseBreakdown, SimDuration};
+///
+/// let a = PhaseBreakdown {
+///     request: SimDuration::from_micros(2),
+///     wait_response: SimDuration::from_micros(10),
+///     compute: SimDuration::from_micros(5),
+/// };
+/// let total = a + a;
+/// assert_eq!(total.total(), SimDuration::from_micros(34));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseBreakdown {
+    /// Time spent issuing requests.
+    pub request: SimDuration,
+    /// Time spent waiting for responses/completions.
+    pub wait_response: SimDuration,
+    /// Encode/decode computation time on the critical path.
+    pub compute: SimDuration,
+}
+
+impl PhaseBreakdown {
+    /// A zeroed breakdown.
+    pub const ZERO: PhaseBreakdown = PhaseBreakdown {
+        request: SimDuration::ZERO,
+        wait_response: SimDuration::ZERO,
+        compute: SimDuration::ZERO,
+    };
+
+    /// Sum of all phases.
+    pub fn total(&self) -> SimDuration {
+        self.request + self.wait_response + self.compute
+    }
+
+    /// Divides each phase by `n` (for averaging over operations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn averaged(&self, n: u64) -> PhaseBreakdown {
+        PhaseBreakdown {
+            request: self.request / n,
+            wait_response: self.wait_response / n,
+            compute: self.compute / n,
+        }
+    }
+}
+
+impl Add for PhaseBreakdown {
+    type Output = PhaseBreakdown;
+    fn add(self, rhs: PhaseBreakdown) -> PhaseBreakdown {
+        PhaseBreakdown {
+            request: self.request + rhs.request,
+            wait_response: self.wait_response + rhs.wait_response,
+            compute: self.compute + rhs.compute,
+        }
+    }
+}
+
+impl AddAssign for PhaseBreakdown {
+    fn add_assign(&mut self, rhs: PhaseBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for PhaseBreakdown {
+    fn sum<I: Iterator<Item = PhaseBreakdown>>(iter: I) -> PhaseBreakdown {
+        iter.fold(PhaseBreakdown::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for PhaseBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "request={} wait={} compute={}",
+            self.request, self.wait_response, self.compute
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_average_roundtrip() {
+        let one = PhaseBreakdown {
+            request: SimDuration::from_micros(1),
+            wait_response: SimDuration::from_micros(2),
+            compute: SimDuration::from_micros(3),
+        };
+        let total: PhaseBreakdown = (0..10).map(|_| one).sum();
+        assert_eq!(total.averaged(10), one);
+        assert_eq!(total.total(), SimDuration::from_micros(60));
+    }
+
+    #[test]
+    fn display_labels_all_phases() {
+        let s = PhaseBreakdown::ZERO.to_string();
+        assert!(s.contains("request=") && s.contains("wait=") && s.contains("compute="));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the simulation substrate.
+
+use eckv_simnet::{
+    FifoResource, Histogram, SimDuration, SimRng, SimTime, Simulation, WorkerPool,
+};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #[test]
+    fn events_always_execute_in_nondecreasing_time_order(
+        delays in proptest::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let mut sim = Simulation::new();
+        let times: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for d in &delays {
+            let times = times.clone();
+            sim.schedule_in(SimDuration::from_nanos(*d), move |sim| {
+                times.borrow_mut().push(sim.now().as_nanos());
+            });
+        }
+        sim.run();
+        let times = times.borrow();
+        prop_assert_eq!(times.len(), delays.len());
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn fifo_resource_never_overlaps_reservations(
+        jobs in proptest::collection::vec((0u64..10_000, 1u64..5_000), 1..100),
+    ) {
+        let mut r = FifoResource::new("r");
+        let mut intervals: Vec<(u64, u64)> = Vec::new();
+        // Submissions must arrive in nondecreasing time order (as they do
+        // from the event loop).
+        let mut jobs = jobs;
+        jobs.sort_by_key(|j| j.0);
+        for (at, dur) in jobs {
+            let end = r.reserve(SimTime::from_nanos(at), SimDuration::from_nanos(dur));
+            let start = end.as_nanos() - dur;
+            intervals.push((start, end.as_nanos()));
+        }
+        for w in intervals.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn worker_pool_busy_time_is_conserved(
+        jobs in proptest::collection::vec(1u64..10_000, 1..80),
+        workers in 1usize..8,
+    ) {
+        let mut p = WorkerPool::new("p", workers);
+        let mut total = 0u64;
+        for d in &jobs {
+            p.reserve(SimTime::ZERO, SimDuration::from_nanos(*d));
+            total += d;
+        }
+        prop_assert_eq!(p.busy_time().as_nanos(), total);
+        prop_assert_eq!(p.reservations(), jobs.len() as u64);
+    }
+
+    #[test]
+    fn pool_with_more_workers_finishes_no_later(
+        jobs in proptest::collection::vec(1u64..10_000, 1..60),
+    ) {
+        fn makespan(workers: usize, jobs: &[u64]) -> u64 {
+            let mut p = WorkerPool::new("p", workers);
+            jobs.iter()
+                .map(|&d| p.reserve(SimTime::ZERO, SimDuration::from_nanos(d)).as_nanos())
+                .max()
+                .unwrap_or(0)
+        }
+        let narrow = makespan(1, &jobs);
+        let wide = makespan(4, &jobs);
+        prop_assert!(wide <= narrow);
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_all_samples(
+        samples in proptest::collection::vec(1u64..10_000_000_000, 1..200),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(SimDuration::from_nanos(s));
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let p0 = h.percentile(0.0);
+        let p100 = h.percentile(100.0);
+        prop_assert!(p0 >= h.min());
+        prop_assert!(p100 <= h.max());
+        // Mean must be exact.
+        let exact: u64 = samples.iter().sum::<u64>() / samples.len() as u64;
+        prop_assert_eq!(h.mean().as_nanos(), exact);
+    }
+
+    #[test]
+    fn same_pair_messages_deliver_in_send_order(
+        sizes in proptest::collection::vec(64usize..100_000, 1..30),
+    ) {
+        use eckv_simnet::{ClusterProfile, Network, NodeId, TransportKind};
+        let cfg = ClusterProfile::RiQdr.net_config(TransportKind::Rdma);
+        let net = Network::new(2, cfg);
+        let mut sim = Simulation::new();
+        let order: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let order = order.clone();
+            Network::send(
+                &net,
+                &mut sim,
+                SimTime::ZERO,
+                NodeId(0),
+                NodeId(1),
+                bytes,
+                move |_, d| {
+                    assert!(d.is_delivered());
+                    order.borrow_mut().push(i);
+                },
+            );
+        }
+        sim.run();
+        let order = order.borrow();
+        prop_assert_eq!(order.len(), sizes.len());
+        // FIFO NICs on both ends: no reordering between one sender/receiver
+        // pair, regardless of message sizes and protocols.
+        prop_assert!(order.windows(2).all(|w| w[0] < w[1]), "reordered: {:?}", order);
+    }
+
+    #[test]
+    fn rng_fork_streams_do_not_collide(seed in any::<u64>()) {
+        let mut parent = SimRng::seed_from_u64(seed);
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        prop_assert_ne!(va, vb);
+    }
+}

@@ -1,0 +1,273 @@
+//! Deployment wiring: an `S`-server, `C`-client simulated KV cluster.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use eckv_simnet::{
+    ClusterProfile, ComputeModel, NetConfig, Network, NodeId, TransportKind,
+};
+
+use crate::hashring::HashRing;
+use crate::server::{KvServer, ServerCosts};
+use crate::ssd::SsdSpec;
+use crate::store_node::StoreStats;
+
+/// Parameters of a simulated deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Which of the paper's testbeds to model.
+    pub profile: ClusterProfile,
+    /// RDMA verbs or IPoIB.
+    pub transport: TransportKind,
+    /// Number of KV server nodes.
+    pub servers: usize,
+    /// Number of client *processes*.
+    pub clients: usize,
+    /// Number of physical client nodes the processes share (the paper runs
+    /// 150 clients on 10 compute nodes; NIC contention between co-located
+    /// clients matters).
+    pub client_nodes: usize,
+    /// Cache memory per server, bytes.
+    pub server_memory: u64,
+    /// Virtual nodes per server on the consistent-hash ring.
+    pub vnodes: usize,
+    /// Worker threads per server (defaults to the profile's core count
+    /// when `None`).
+    pub workers: Option<usize>,
+    /// SSD overflow tier per server (`None` = RAM-only, the paper's
+    /// micro-benchmark configuration; `Some` = SSD-assisted, the Boldio
+    /// storage nodes).
+    pub ssd: Option<SsdSpec>,
+}
+
+impl ClusterConfig {
+    /// A 5-server deployment on the given profile — the paper's standard
+    /// micro-benchmark setup.
+    pub fn new(profile: ClusterProfile, servers: usize, clients: usize) -> Self {
+        ClusterConfig {
+            profile,
+            transport: TransportKind::Rdma,
+            servers,
+            clients,
+            client_nodes: clients.max(1),
+            server_memory: 20 << 30,
+            vnodes: 160,
+            workers: None,
+            ssd: None,
+        }
+    }
+
+    /// Sets the transport (builder style).
+    pub fn transport(mut self, t: TransportKind) -> Self {
+        self.transport = t;
+        self
+    }
+
+    /// Sets per-server memory (builder style).
+    pub fn server_memory(mut self, bytes: u64) -> Self {
+        self.server_memory = bytes;
+        self
+    }
+
+    /// Packs the clients onto `nodes` physical nodes (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn client_nodes(mut self, nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one client node");
+        self.client_nodes = nodes;
+        self
+    }
+
+    /// Overrides the per-server worker count (builder style).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Attaches an SSD overflow tier to every server (builder style).
+    pub fn ssd(mut self, spec: SsdSpec) -> Self {
+        self.ssd = Some(spec);
+        self
+    }
+}
+
+/// A wired-up cluster: transport, servers, and the hash ring.
+///
+/// Node ids: servers occupy `0..servers`, client nodes
+/// `servers..servers + client_nodes`.
+///
+/// # Example
+///
+/// ```
+/// use eckv_simnet::ClusterProfile;
+/// use eckv_store::{ClusterConfig, KvCluster};
+///
+/// let cluster = KvCluster::build(ClusterConfig::new(ClusterProfile::RiQdr, 5, 1));
+/// assert_eq!(cluster.servers.len(), 5);
+/// assert_eq!(cluster.client_node(0).0, 5);
+/// ```
+#[derive(Debug)]
+pub struct KvCluster {
+    /// The shared transport.
+    pub net: Rc<RefCell<Network>>,
+    /// Server processes, indexed by server id.
+    pub servers: Vec<Rc<RefCell<KvServer>>>,
+    /// Consistent-hash ring over the servers.
+    pub ring: HashRing,
+    cfg: ClusterConfig,
+}
+
+impl KvCluster {
+    /// Builds the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.servers == 0`.
+    pub fn build(cfg: ClusterConfig) -> Self {
+        assert!(cfg.servers > 0, "cluster needs at least one server");
+        let nodes = cfg.servers + cfg.client_nodes;
+        let net = Network::new(nodes, cfg.profile.net_config(cfg.transport));
+        let workers = cfg.workers.unwrap_or(cfg.profile.cpu().workers_per_node);
+        let servers = (0..cfg.servers)
+            .map(|i| {
+                let mut server = KvServer::new(
+                    NodeId(i),
+                    workers,
+                    cfg.server_memory,
+                    ServerCosts::default(),
+                );
+                if let Some(spec) = cfg.ssd {
+                    server = server.with_ssd(spec);
+                }
+                Rc::new(RefCell::new(server))
+            })
+            .collect();
+        let ring = HashRing::new(cfg.servers, cfg.vnodes);
+        KvCluster {
+            net,
+            servers,
+            ring,
+            cfg,
+        }
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> ClusterConfig {
+        self.cfg
+    }
+
+    /// Simulated node of server `i`.
+    pub fn server_node(&self, i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Simulated node that client process `i` runs on (round-robin over the
+    /// client nodes).
+    pub fn client_node(&self, client: usize) -> NodeId {
+        NodeId(self.cfg.servers + client % self.cfg.client_nodes)
+    }
+
+    /// Marks server `i` failed at the transport level.
+    pub fn kill_server(&self, i: usize) {
+        self.net.borrow_mut().kill(NodeId(i));
+    }
+
+    /// Whether server `i` is alive.
+    pub fn is_server_alive(&self, i: usize) -> bool {
+        self.net.borrow().is_alive(NodeId(i))
+    }
+
+    /// Indices of currently-alive servers.
+    pub fn alive_servers(&self) -> Vec<usize> {
+        (0..self.cfg.servers)
+            .filter(|&i| self.is_server_alive(i))
+            .collect()
+    }
+
+    /// The compute model of this cluster's CPUs.
+    pub fn compute(&self) -> ComputeModel {
+        self.cfg.profile.cpu().compute
+    }
+
+    /// The transport calibration in effect.
+    pub fn net_config(&self) -> NetConfig {
+        self.cfg.profile.net_config(self.cfg.transport)
+    }
+
+    /// Aggregated storage statistics across all servers.
+    pub fn aggregate_stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for s in &self.servers {
+            let st = s.borrow().stats();
+            total.items += st.items;
+            total.used_bytes += st.used_bytes;
+            total.capacity_bytes += st.capacity_bytes;
+            total.hits += st.hits;
+            total.misses += st.misses;
+            total.sets += st.sets;
+            total.evictions += st.evictions;
+            total.evicted_bytes += st.evicted_bytes;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_layout_is_servers_then_clients() {
+        let c = KvCluster::build(
+            ClusterConfig::new(ClusterProfile::RiQdr, 5, 15).client_nodes(3),
+        );
+        assert_eq!(c.server_node(4), NodeId(4));
+        assert_eq!(c.client_node(0), NodeId(5));
+        assert_eq!(c.client_node(1), NodeId(6));
+        assert_eq!(c.client_node(2), NodeId(7));
+        assert_eq!(c.client_node(3), NodeId(5)); // wraps round-robin
+        assert_eq!(c.net.borrow().len(), 8);
+    }
+
+    #[test]
+    fn kill_and_alive_tracking() {
+        let c = KvCluster::build(ClusterConfig::new(ClusterProfile::RiQdr, 5, 1));
+        assert_eq!(c.alive_servers(), vec![0, 1, 2, 3, 4]);
+        c.kill_server(1);
+        c.kill_server(3);
+        assert_eq!(c.alive_servers(), vec![0, 2, 4]);
+        assert!(!c.is_server_alive(1));
+    }
+
+    #[test]
+    fn aggregate_stats_sums_servers() {
+        use crate::payload::Payload;
+        let c = KvCluster::build(ClusterConfig::new(ClusterProfile::RiQdr, 3, 1));
+        c.servers[0]
+            .borrow_mut()
+            .store_mut()
+            .set("a".into(), Payload::synthetic(100, 0));
+        c.servers[2]
+            .borrow_mut()
+            .store_mut()
+            .set("b".into(), Payload::synthetic(100, 1));
+        let agg = c.aggregate_stats();
+        assert_eq!(agg.items, 2);
+        assert_eq!(agg.capacity_bytes, 3 * (20 << 30));
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let cfg = ClusterConfig::new(ClusterProfile::SdscComet, 5, 150)
+            .transport(TransportKind::Ipoib)
+            .server_memory(64 << 30)
+            .client_nodes(10)
+            .workers(16);
+        assert_eq!(cfg.transport, TransportKind::Ipoib);
+        assert_eq!(cfg.server_memory, 64 << 30);
+        assert_eq!(cfg.client_nodes, 10);
+        assert_eq!(cfg.workers, Some(16));
+    }
+}

@@ -1,0 +1,175 @@
+//! Consistent hashing with virtual nodes (libmemcached-ketama style).
+
+use crate::payload::fnv1a_64;
+
+/// Ring hash: FNV-1a finalized with a SplitMix64 avalanche. FNV alone has
+/// biased high bits on short inputs (e.g. "k42"), which would cluster such
+/// keys on a few servers; the finalizer restores uniformity across the
+/// full 64-bit ring.
+fn ring_hash(data: &[u8]) -> u64 {
+    let mut z = fnv1a_64(data).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring mapping keys to server indices.
+///
+/// Each server contributes `vnodes` points on a 64-bit ring; a key is owned
+/// by the server whose point follows the key's hash. The paper's chunk
+/// placement rule — "locate the originally designated server, and then
+/// choose N-1 following servers in the Memcached server cluster list" — is
+/// implemented by [`HashRing::servers_for`].
+///
+/// # Example
+///
+/// ```
+/// use eckv_store::HashRing;
+///
+/// let ring = HashRing::new(5, 160);
+/// let primary = ring.primary_for(b"some-key");
+/// let five = ring.servers_for(b"some-key", 5);
+/// assert_eq!(five[0], primary);
+/// assert_eq!(five.len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted (point, server) pairs.
+    points: Vec<(u64, usize)>,
+    servers: usize,
+}
+
+impl HashRing {
+    /// Builds a ring of `servers` servers with `vnodes` virtual nodes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0` or `vnodes == 0`.
+    pub fn new(servers: usize, vnodes: usize) -> Self {
+        assert!(servers > 0, "ring needs at least one server");
+        assert!(vnodes > 0, "ring needs at least one virtual node");
+        let mut points = Vec::with_capacity(servers * vnodes);
+        for s in 0..servers {
+            for v in 0..vnodes {
+                let label = format!("server-{s}-vnode-{v}");
+                points.push((ring_hash(label.as_bytes()), s));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        HashRing { points, servers }
+    }
+
+    /// Number of servers on the ring.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// The server that owns `key` (the "originally designated server").
+    pub fn primary_for(&self, key: &[u8]) -> usize {
+        let h = ring_hash(key);
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let idx = if idx == self.points.len() { 0 } else { idx };
+        self.points[idx].1
+    }
+
+    /// The `n` servers used to house a key's chunks/replicas: the primary
+    /// plus the `n - 1` following servers in the cluster list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > servers` (the paper's designs never exceed the
+    /// cluster size).
+    pub fn servers_for(&self, key: &[u8], n: usize) -> Vec<usize> {
+        assert!(
+            n <= self.servers,
+            "cannot place {n} chunks on {} servers",
+            self.servers
+        );
+        let primary = self.primary_for(key);
+        (0..n).map(|i| (primary + i) % self.servers).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_is_stable() {
+        let ring = HashRing::new(5, 160);
+        let a = ring.primary_for(b"key-1");
+        assert_eq!(a, ring.primary_for(b"key-1"));
+    }
+
+    #[test]
+    fn short_sequential_keys_are_balanced() {
+        // Regression: plain FNV clusters "k0".."k199" onto 2 of 5 servers.
+        let ring = HashRing::new(5, 160);
+        let mut counts = [0usize; 5];
+        for i in 0..200 {
+            counts[ring.primary_for(format!("k{i}").as_bytes())] += 1;
+        }
+        for &c in &counts {
+            assert!((15..=90).contains(&c), "unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_balanced() {
+        let ring = HashRing::new(5, 160);
+        let mut counts = [0usize; 5];
+        for i in 0..10_000 {
+            counts[ring.primary_for(format!("key-{i}").as_bytes())] += 1;
+        }
+        for &c in &counts {
+            assert!((1_000..3_400).contains(&c), "unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn servers_for_wraps_around_the_list() {
+        let ring = HashRing::new(5, 160);
+        // Find a key whose primary is server 3, then expect 3,4,0,1.
+        let key = (0..10_000)
+            .map(|i| format!("probe-{i}"))
+            .find(|k| ring.primary_for(k.as_bytes()) == 3)
+            .expect("some key lands on server 3");
+        assert_eq!(ring.servers_for(key.as_bytes(), 4), vec![3, 4, 0, 1]);
+    }
+
+    #[test]
+    fn servers_for_are_distinct() {
+        let ring = HashRing::new(7, 64);
+        for i in 0..100 {
+            let key = format!("k{i}");
+            let s = ring.servers_for(key.as_bytes(), 7);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 7, "duplicates in {s:?}");
+        }
+    }
+
+    #[test]
+    fn adding_a_server_moves_few_keys() {
+        // The consistent-hashing property: growing the cluster by one server
+        // should remap roughly 1/(n+1) of keys, not all of them.
+        let small = HashRing::new(5, 160);
+        let large = HashRing::new(6, 160);
+        let moved = (0..10_000)
+            .filter(|i| {
+                let k = format!("key-{i}");
+                small.primary_for(k.as_bytes()) != large.primary_for(k.as_bytes())
+            })
+            .count();
+        assert!(moved < 4_000, "too many keys moved: {moved}");
+        assert!(moved > 500, "suspiciously few keys moved: {moved}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn oversubscribed_placement_panics() {
+        HashRing::new(3, 16).servers_for(b"k", 4);
+    }
+}

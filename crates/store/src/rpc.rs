@@ -1,0 +1,282 @@
+//! Client-visible Set/Get RPCs composed over the simulated transport.
+//!
+//! Each RPC is request transfer → server worker processing → response
+//! transfer. The non-blocking engine in `eckv-core` issues many of these
+//! concurrently and reaps completions through its window, exactly like the
+//! `memcached_iset`/`iget` + `memcached_wait` APIs the paper builds on.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use eckv_simnet::{Delivery, Network, NodeId, SimTime, Simulation};
+
+use crate::payload::Payload;
+use crate::server::KvServer;
+use crate::store_node::SetOutcome;
+
+/// Wire size of a Set/Get request header (opcode, key length, flags, cas).
+pub const REQUEST_OVERHEAD: usize = 48;
+/// Wire size of a status-only response (ack / miss).
+pub const ACK_BYTES: usize = 32;
+
+/// Errors surfaced to the RPC caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// The target server is dead; the error surfaced at the given time.
+    ServerDead(SimTime),
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::ServerDead(t) => write!(f, "server unreachable (detected at {t})"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// Reply to a Set RPC: when it completed and what the store did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetReply {
+    /// Completion instant at the client.
+    pub at: SimTime,
+    /// What the server's store did with the item.
+    pub outcome: SetOutcome,
+}
+
+/// Reply to a Get RPC: when it completed and the value, if any.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GetReply {
+    /// Completion instant at the client.
+    pub at: SimTime,
+    /// The value, or `None` on miss.
+    pub value: Option<Payload>,
+}
+
+/// Issues a Set of (`key`, `payload`) from `client` to `server`, starting
+/// no earlier than `start`.
+///
+/// `on_reply` fires when the ack arrives back at the client (or when the
+/// failure is detected).
+#[allow(clippy::too_many_arguments)] // an RPC is naturally wide: route + payload + continuation
+pub fn set<F>(
+    net: &Rc<RefCell<Network>>,
+    server: &Rc<RefCell<KvServer>>,
+    sim: &mut Simulation,
+    start: SimTime,
+    client: NodeId,
+    key: Arc<str>,
+    payload: Payload,
+    on_reply: F,
+) where
+    F: FnOnce(&mut Simulation, Result<SetReply, RpcError>) + 'static,
+{
+    let server_node = server.borrow().node();
+    let request_bytes = REQUEST_OVERHEAD + key.len() + payload.len() as usize;
+    let net2 = net.clone();
+    let server = server.clone();
+    Network::send(
+        net,
+        sim,
+        start,
+        client,
+        server_node,
+        request_bytes,
+        move |sim, delivery| match delivery {
+            Delivery::TargetDead(t) => on_reply(sim, Err(RpcError::ServerDead(t))),
+            Delivery::Delivered(at) => {
+                let (done, outcome) = server.borrow_mut().process_set(at, key, payload);
+                Network::send(
+                    &net2,
+                    sim,
+                    done,
+                    server_node,
+                    client,
+                    ACK_BYTES,
+                    move |sim, d2| match d2 {
+                        Delivery::TargetDead(t) => on_reply(sim, Err(RpcError::ServerDead(t))),
+                        Delivery::Delivered(at) => on_reply(sim, Ok(SetReply { at, outcome })),
+                    },
+                );
+            }
+        },
+    );
+}
+
+/// Issues a Get of `key` from `client` to `server`, starting no earlier
+/// than `start`.
+pub fn get<F>(
+    net: &Rc<RefCell<Network>>,
+    server: &Rc<RefCell<KvServer>>,
+    sim: &mut Simulation,
+    start: SimTime,
+    client: NodeId,
+    key: Arc<str>,
+    on_reply: F,
+) where
+    F: FnOnce(&mut Simulation, Result<GetReply, RpcError>) + 'static,
+{
+    let server_node = server.borrow().node();
+    let request_bytes = REQUEST_OVERHEAD + key.len();
+    let net2 = net.clone();
+    let server = server.clone();
+    Network::send(
+        net,
+        sim,
+        start,
+        client,
+        server_node,
+        request_bytes,
+        move |sim, delivery| match delivery {
+            Delivery::TargetDead(t) => on_reply(sim, Err(RpcError::ServerDead(t))),
+            Delivery::Delivered(at) => {
+                let (done, value) = server.borrow_mut().process_get(at, &key);
+                let response_bytes =
+                    ACK_BYTES + value.as_ref().map_or(0, |v| v.len() as usize);
+                Network::send(
+                    &net2,
+                    sim,
+                    done,
+                    server_node,
+                    client,
+                    response_bytes,
+                    move |sim, d2| match d2 {
+                        Delivery::TargetDead(t) => on_reply(sim, Err(RpcError::ServerDead(t))),
+                        Delivery::Delivered(at) => on_reply(sim, Ok(GetReply { at, value })),
+                    },
+                );
+            }
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerCosts;
+    use eckv_simnet::{ClusterProfile, TransportKind};
+
+    fn setup() -> (Rc<RefCell<Network>>, Rc<RefCell<KvServer>>, Simulation) {
+        let cfg = ClusterProfile::RiQdr.net_config(TransportKind::Rdma);
+        let net = Network::new(2, cfg);
+        let server = Rc::new(RefCell::new(KvServer::new(
+            NodeId(0),
+            4,
+            1 << 30,
+            ServerCosts::default(),
+        )));
+        (net, server, Simulation::new())
+    }
+
+    #[test]
+    fn set_then_get_roundtrip_over_the_wire() {
+        let (net, server, mut sim) = setup();
+        let client = NodeId(1);
+        let value = Payload::inline(vec![42u8; 4096]);
+        let got: Rc<RefCell<Option<GetReply>>> = Rc::new(RefCell::new(None));
+        let got2 = got.clone();
+
+        let net2 = net.clone();
+        let server2 = server.clone();
+        set(
+            &net,
+            &server,
+            &mut sim,
+            SimTime::ZERO,
+            client,
+            "k".into(),
+            value.clone(),
+            move |sim, reply| {
+                let reply = reply.expect("server is alive");
+                assert_eq!(reply.outcome, SetOutcome::Stored);
+                get(
+                    &net2,
+                    &server2,
+                    sim,
+                    reply.at,
+                    client,
+                    "k".into(),
+                    move |_, reply| {
+                        *got2.borrow_mut() = Some(reply.expect("alive"));
+                    },
+                );
+            },
+        );
+        sim.run();
+        let reply = got.borrow().clone().expect("get completed");
+        assert_eq!(reply.value.unwrap(), value);
+    }
+
+    #[test]
+    fn get_miss_returns_none() {
+        let (net, server, mut sim) = setup();
+        let seen = Rc::new(RefCell::new(false));
+        let seen2 = seen.clone();
+        get(
+            &net,
+            &server,
+            &mut sim,
+            SimTime::ZERO,
+            NodeId(1),
+            "ghost".into(),
+            move |_, reply| {
+                assert!(reply.unwrap().value.is_none());
+                *seen2.borrow_mut() = true;
+            },
+        );
+        sim.run();
+        assert!(*seen.borrow());
+    }
+
+    #[test]
+    fn rpc_to_dead_server_errors() {
+        let (net, server, mut sim) = setup();
+        net.borrow_mut().kill(NodeId(0));
+        let seen = Rc::new(RefCell::new(false));
+        let seen2 = seen.clone();
+        set(
+            &net,
+            &server,
+            &mut sim,
+            SimTime::ZERO,
+            NodeId(1),
+            "k".into(),
+            Payload::synthetic(100, 0),
+            move |_, reply| {
+                assert!(matches!(reply, Err(RpcError::ServerDead(_))));
+                *seen2.borrow_mut() = true;
+            },
+        );
+        sim.run();
+        assert!(*seen.borrow());
+    }
+
+    #[test]
+    fn bigger_values_take_longer_on_the_wire() {
+        fn set_latency(bytes: usize) -> u64 {
+            let (net, server, mut sim) = setup();
+            let done = Rc::new(RefCell::new(SimTime::ZERO));
+            let d2 = done.clone();
+            set(
+                &net,
+                &server,
+                &mut sim,
+                SimTime::ZERO,
+                NodeId(1),
+                "k".into(),
+                Payload::synthetic(bytes as u64, 0),
+                move |_, reply| {
+                    *d2.borrow_mut() = reply.unwrap().at;
+                },
+            );
+            sim.run();
+            let t = done.borrow().as_nanos();
+            t
+        }
+        let small = set_latency(1024);
+        let large = set_latency(1 << 20);
+        assert!(large > small * 5, "small={small} large={large}");
+    }
+}

@@ -1,0 +1,218 @@
+//! The server process model: storage plus worker-pool processing costs.
+
+use std::sync::Arc;
+
+use eckv_simnet::{NodeId, SimDuration, SimTime, WorkerPool};
+
+use crate::payload::Payload;
+use crate::ssd::{SsdSpec, SsdTier};
+use crate::store_node::{SetOutcome, StoreNode, StoreStats};
+
+/// Software costs of one request on a server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerCosts {
+    /// Fixed per-request cost: dispatch, hash lookup, item bookkeeping.
+    pub base_op: SimDuration,
+    /// Throughput of copying the value into/out of cache memory, GB/s.
+    pub memcpy_gbps: f64,
+}
+
+impl Default for ServerCosts {
+    fn default() -> Self {
+        ServerCosts {
+            base_op: SimDuration::from_nanos(1_500),
+            memcpy_gbps: 5.0,
+        }
+    }
+}
+
+impl ServerCosts {
+    /// Processing time for a request touching `bytes` of value data.
+    pub fn op_time(&self, bytes: u64) -> SimDuration {
+        self.base_op + SimDuration::from_nanos((bytes as f64 / self.memcpy_gbps).round() as u64)
+    }
+}
+
+/// A simulated Memcached server: a [`StoreNode`] behind a pool of worker
+/// threads.
+///
+/// Requests are served FCFS by the earliest-free worker; the returned
+/// completion instant is when the response can be handed to the NIC.
+/// Multi-threaded scaling (the paper's "benefits of parallel executing
+/// server-side workers") emerges from the pool width.
+#[derive(Debug)]
+pub struct KvServer {
+    node: NodeId,
+    store: StoreNode,
+    ssd: Option<SsdTier>,
+    cpu: WorkerPool,
+    costs: ServerCosts,
+}
+
+impl KvServer {
+    /// Creates a server bound to simulated node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(node: NodeId, workers: usize, capacity_bytes: u64, costs: ServerCosts) -> Self {
+        KvServer {
+            node,
+            store: StoreNode::new(capacity_bytes),
+            ssd: None,
+            cpu: WorkerPool::new(format!("{node}.workers"), workers),
+            costs,
+        }
+    }
+
+    /// Attaches an SSD overflow tier (the paper's "SSD-assisted" servers):
+    /// RAM eviction victims spill to flash, and reads fall through to it.
+    pub fn with_ssd(mut self, spec: SsdSpec) -> Self {
+        self.ssd = Some(SsdTier::new(spec));
+        self
+    }
+
+    /// The simulated node this server runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Processes a Set arriving at `now`; returns the completion instant
+    /// and the storage outcome.
+    pub fn process_set(
+        &mut self,
+        now: SimTime,
+        key: Arc<str>,
+        payload: Payload,
+    ) -> (SimTime, SetOutcome) {
+        let service = self.costs.op_time(payload.len());
+        let done = self.cpu.reserve(now, service);
+        let outcome = match &mut self.ssd {
+            Some(ssd) => {
+                // Eviction victims overflow to flash; the flash writes are
+                // asynchronous write-behind and do not extend `done`.
+                let store = &mut self.store;
+                store.set_spilling(key, payload, None, &mut |k, p| {
+                    ssd.spill(done, k, p);
+                })
+            }
+            None => self.store.set(key, payload),
+        };
+        (done, outcome)
+    }
+
+    /// Processes a Get arriving at `now`; returns the completion instant
+    /// and the value, if present.
+    pub fn process_get(&mut self, now: SimTime, key: &str) -> (SimTime, Option<Payload>) {
+        let mut value = self.store.get_at(key, now);
+        let mut flash_done = now;
+        if value.is_none() {
+            if let Some(ssd) = &mut self.ssd {
+                let (done, v) = ssd.read(now, key);
+                flash_done = done;
+                value = v;
+            }
+        }
+        let bytes = value.as_ref().map_or(0, Payload::len);
+        let service = self.costs.op_time(bytes);
+        let done = self.cpu.reserve(now, service).max(flash_done);
+        (done, value)
+    }
+
+    /// Reserves `service` time on this server's workers without touching
+    /// storage — used by server-side ARPE work (encode/decode offload).
+    pub fn reserve_cpu(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        self.cpu.reserve(now, service)
+    }
+
+    /// Storage statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Direct storage access (tests and cluster tooling).
+    pub fn store_mut(&mut self) -> &mut StoreNode {
+        &mut self.store
+    }
+
+    /// Direct storage access, read-only.
+    pub fn store(&self) -> &StoreNode {
+        &self.store
+    }
+
+    /// The server's cost configuration.
+    pub fn costs(&self) -> ServerCosts {
+        self.costs
+    }
+
+    /// Worker-pool utilization accumulated so far.
+    pub fn cpu_busy(&self) -> SimDuration {
+        self.cpu.busy_time()
+    }
+
+    /// Flash-tier statistics, if the server is SSD-assisted.
+    pub fn ssd_stats(&self) -> Option<StoreStats> {
+        self.ssd.as_ref().map(SsdTier::stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(workers: usize) -> KvServer {
+        KvServer::new(NodeId(0), workers, 1 << 30, ServerCosts::default())
+    }
+
+    #[test]
+    fn set_then_get_roundtrips() {
+        let mut s = server(4);
+        let t0 = SimTime::ZERO;
+        let (done, out) = s.process_set(t0, "k".into(), Payload::synthetic(1024, 7));
+        assert_eq!(out, SetOutcome::Stored);
+        assert!(done > t0);
+        let (done2, v) = s.process_get(done, "k");
+        assert!(done2 > done);
+        assert_eq!(v.unwrap().digest(), Payload::synthetic(1024, 7).digest());
+    }
+
+    #[test]
+    fn larger_values_cost_more() {
+        let mut s = server(1);
+        let (d_small, _) = s.process_set(SimTime::ZERO, "a".into(), Payload::synthetic(1024, 0));
+        let mut s2 = server(1);
+        let (d_large, _) =
+            s2.process_set(SimTime::ZERO, "b".into(), Payload::synthetic(1 << 20, 0));
+        assert!(d_large.since(SimTime::ZERO) > d_small.since(SimTime::ZERO) * 10);
+    }
+
+    #[test]
+    fn worker_pool_parallelism_shows() {
+        // 8 simultaneous requests on 8 workers finish together; on 1 worker
+        // they serialize.
+        let t0 = SimTime::ZERO;
+        let mut wide = server(8);
+        let mut narrow = server(1);
+        let mut wide_last = t0;
+        let mut narrow_last = t0;
+        for i in 0..8 {
+            let key: Arc<str> = format!("k{i}").into();
+            let (d, _) = wide.process_set(t0, key.clone(), Payload::synthetic(64 * 1024, 0));
+            wide_last = wide_last.max(d);
+            let (d, _) = narrow.process_set(t0, key, Payload::synthetic(64 * 1024, 0));
+            narrow_last = narrow_last.max(d);
+        }
+        let wide_span = wide_last.since(t0);
+        let narrow_span = narrow_last.since(t0);
+        assert!(narrow_span.as_nanos() >= wide_span.as_nanos() * 7, "{wide_span} vs {narrow_span}");
+    }
+
+    #[test]
+    fn get_miss_is_cheap_and_counted() {
+        let mut s = server(2);
+        let (done, v) = s.process_get(SimTime::ZERO, "ghost");
+        assert!(v.is_none());
+        assert_eq!(done.since(SimTime::ZERO), ServerCosts::default().base_op);
+        assert_eq!(s.stats().misses, 1);
+    }
+}

@@ -1,0 +1,385 @@
+//! One server's storage: hash table + LRU eviction + slab accounting.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use eckv_simnet::SimTime;
+
+use crate::payload::Payload;
+use crate::slab::{SlabConfig, ITEM_OVERHEAD};
+
+/// Result of a Set on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOutcome {
+    /// Item stored without displacing anything.
+    Stored,
+    /// Item stored after evicting older items to make room. Carries the
+    /// number of bytes evicted (counted as cache data loss).
+    StoredWithEviction {
+        /// Charged bytes of evicted items.
+        evicted_bytes: u64,
+    },
+    /// Item larger than the node's whole capacity; rejected.
+    TooLarge,
+}
+
+/// Running statistics of one store node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Current number of items.
+    pub items: u64,
+    /// Charged (slab-rounded) bytes currently used.
+    pub used_bytes: u64,
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Get hits.
+    pub hits: u64,
+    /// Get misses.
+    pub misses: u64,
+    /// Total Sets processed.
+    pub sets: u64,
+    /// Items evicted by the LRU.
+    pub evictions: u64,
+    /// Charged bytes evicted (the paper's "data loss" under memory
+    /// pressure, Figure 10).
+    pub evicted_bytes: u64,
+    /// Items dropped because their TTL elapsed (lazy expiry on access).
+    pub expired: u64,
+}
+
+#[derive(Debug)]
+struct Item {
+    payload: Payload,
+    charged: u64,
+    seq: u64,
+    /// Absolute expiry instant; `None` = never (memcached `exptime 0`).
+    expires_at: Option<SimTime>,
+}
+
+/// An LRU key-value store with slab-class memory accounting.
+///
+/// # Example
+///
+/// ```
+/// use eckv_store::{Payload, SetOutcome, StoreNode};
+///
+/// let mut node = StoreNode::new(1 << 20);
+/// let out = node.set("k1".into(), Payload::inline(vec![0u8; 100]));
+/// assert_eq!(out, SetOutcome::Stored);
+/// assert!(node.get("k1").is_some());
+/// assert!(node.get("nope").is_none());
+/// ```
+#[derive(Debug)]
+pub struct StoreNode {
+    items: HashMap<Arc<str>, Item>,
+    /// Recency order: seq -> key; smallest seq is least recently used.
+    lru: BTreeMap<u64, Arc<str>>,
+    next_seq: u64,
+    stats: StoreStats,
+    slab: SlabConfig,
+}
+
+impl StoreNode {
+    /// Creates a node with `capacity_bytes` of cache memory.
+    pub fn new(capacity_bytes: u64) -> Self {
+        StoreNode {
+            items: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_seq: 0,
+            stats: StoreStats {
+                capacity_bytes,
+                ..StoreStats::default()
+            },
+            slab: SlabConfig::default(),
+        }
+    }
+
+    fn bump(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Stores `payload` under `key` with no expiry, evicting LRU items if
+    /// needed.
+    pub fn set(&mut self, key: Arc<str>, payload: Payload) -> SetOutcome {
+        self.set_with_expiry(key, payload, None)
+    }
+
+    /// Stores `payload` under `key`, optionally expiring at `expires_at`
+    /// (memcached `exptime` semantics; expiry is lazy, on access).
+    pub fn set_with_expiry(
+        &mut self,
+        key: Arc<str>,
+        payload: Payload,
+        expires_at: Option<SimTime>,
+    ) -> SetOutcome {
+        self.set_spilling(key, payload, expires_at, &mut |_, _| {})
+    }
+
+    /// Like [`StoreNode::set_with_expiry`], but hands every LRU victim to
+    /// `spill` (an SSD overflow tier, in the paper's "SSD-assisted"
+    /// deployments) instead of silently dropping it.
+    pub fn set_spilling(
+        &mut self,
+        key: Arc<str>,
+        payload: Payload,
+        expires_at: Option<SimTime>,
+        spill: &mut dyn FnMut(Arc<str>, Payload),
+    ) -> SetOutcome {
+        self.stats.sets += 1;
+        let need = self
+            .slab
+            .chunk_size(payload.len() + key.len() as u64 + ITEM_OVERHEAD);
+        if need > self.stats.capacity_bytes {
+            return SetOutcome::TooLarge;
+        }
+        // Replace an existing item first so its charge is released.
+        if let Some(old) = self.items.remove(&key) {
+            self.lru.remove(&old.seq);
+            self.stats.used_bytes -= old.charged;
+            self.stats.items -= 1;
+        }
+        let mut evicted = 0u64;
+        while self.stats.used_bytes + need > self.stats.capacity_bytes {
+            let (&seq, _) = self
+                .lru
+                .iter()
+                .next()
+                .expect("used_bytes > 0 implies the LRU is non-empty");
+            let victim_key = self.lru.remove(&seq).expect("seq just observed");
+            let victim = self
+                .items
+                .remove(&victim_key)
+                .expect("lru and table are in sync");
+            self.stats.used_bytes -= victim.charged;
+            self.stats.items -= 1;
+            self.stats.evictions += 1;
+            evicted += victim.charged;
+            spill(victim_key, victim.payload);
+        }
+        let seq = self.bump();
+        self.items.insert(
+            key.clone(),
+            Item {
+                payload,
+                charged: need,
+                seq,
+                expires_at,
+            },
+        );
+        self.lru.insert(seq, key);
+        self.stats.used_bytes += need;
+        self.stats.items += 1;
+        if evicted > 0 {
+            self.stats.evicted_bytes += evicted;
+            SetOutcome::StoredWithEviction {
+                evicted_bytes: evicted,
+            }
+        } else {
+            SetOutcome::Stored
+        }
+    }
+
+    /// Looks up `key` at instant `now`, refreshing its LRU position on hit
+    /// and lazily dropping it if its TTL elapsed.
+    pub fn get_at(&mut self, key: &str, now: SimTime) -> Option<Payload> {
+        // Borrow dance: find the seq first, then update.
+        let (seq, expired) = match self.items.get(key) {
+            Some(item) => (item.seq, item.expires_at.is_some_and(|t| now >= t)),
+            None => {
+                self.stats.misses += 1;
+                return None;
+            }
+        };
+        if expired {
+            self.delete(key);
+            self.stats.expired += 1;
+            self.stats.misses += 1;
+            return None;
+        }
+        let new_seq = self.bump();
+        let key_arc = self.lru.remove(&seq).expect("lru in sync");
+        self.lru.insert(new_seq, key_arc);
+        let item = self.items.get_mut(key).expect("checked above");
+        item.seq = new_seq;
+        self.stats.hits += 1;
+        Some(item.payload.clone())
+    }
+
+    /// Looks up `key` ignoring expiry (legacy callers and tests).
+    pub fn get(&mut self, key: &str) -> Option<Payload> {
+        self.get_at(key, SimTime::ZERO)
+    }
+
+    /// Removes `key`, returning whether it existed.
+    pub fn delete(&mut self, key: &str) -> bool {
+        match self.items.remove(key) {
+            Some(item) => {
+                self.lru.remove(&item.seq);
+                self.stats.used_bytes -= item.charged;
+                self.stats.items -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops every item (the memcached `flush_all`).
+    pub fn flush_all(&mut self) {
+        self.items.clear();
+        self.lru.clear();
+        self.stats.used_bytes = 0;
+        self.stats.items = 0;
+    }
+
+    /// Whether `key` is present (no LRU refresh).
+    pub fn contains(&self, key: &str) -> bool {
+        self.items.contains_key(key)
+    }
+
+    /// Reads `key` without refreshing its LRU position or counting a
+    /// hit/miss (inspection, not a cache access).
+    pub fn peek(&self, key: &str) -> Option<Payload> {
+        self.items.get(key).map(|i| i.payload.clone())
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(i: usize) -> (Arc<str>, Payload) {
+        (
+            format!("key-{i}").into(),
+            Payload::synthetic(1000, i as u64),
+        )
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut n = StoreNode::new(1 << 20);
+        let (k, v) = kv(1);
+        n.set(k.clone(), v.clone());
+        assert_eq!(n.get(&k), Some(v));
+        let s = n.stats();
+        assert_eq!(s.items, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 0);
+    }
+
+    #[test]
+    fn replacement_releases_old_charge() {
+        let mut n = StoreNode::new(1 << 20);
+        n.set("k".into(), Payload::synthetic(1000, 1));
+        let used_small = n.stats().used_bytes;
+        n.set("k".into(), Payload::synthetic(100_000, 2));
+        let used_large = n.stats().used_bytes;
+        assert!(used_large > used_small);
+        n.set("k".into(), Payload::synthetic(1000, 3));
+        assert_eq!(n.stats().used_bytes, used_small);
+        assert_eq!(n.stats().items, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Capacity for ~3 items of charged size.
+        let charged = crate::slab::chunk_size_for(1000 + 5 + ITEM_OVERHEAD);
+        let mut n = StoreNode::new(charged * 3);
+        n.set("key-0".into(), Payload::synthetic(1000, 0));
+        n.set("key-1".into(), Payload::synthetic(1000, 1));
+        n.set("key-2".into(), Payload::synthetic(1000, 2));
+        // Touch key-0 so key-1 becomes the LRU victim.
+        assert!(n.get("key-0").is_some());
+        let out = n.set("key-3".into(), Payload::synthetic(1000, 3));
+        assert!(matches!(out, SetOutcome::StoredWithEviction { .. }));
+        assert!(n.contains("key-0"));
+        assert!(!n.contains("key-1"));
+        assert!(n.contains("key-2"));
+        assert!(n.contains("key-3"));
+        assert_eq!(n.stats().evictions, 1);
+        assert!(n.stats().evicted_bytes >= 1000);
+    }
+
+    #[test]
+    fn used_never_exceeds_capacity() {
+        let mut n = StoreNode::new(50_000);
+        for i in 0..100 {
+            let (k, v) = kv(i);
+            n.set(k, v);
+            assert!(n.stats().used_bytes <= n.stats().capacity_bytes);
+        }
+        assert!(n.stats().evictions > 0);
+    }
+
+    #[test]
+    fn oversized_item_rejected() {
+        let mut n = StoreNode::new(10_000);
+        let out = n.set("big".into(), Payload::synthetic(1 << 20, 0));
+        assert_eq!(out, SetOutcome::TooLarge);
+        assert_eq!(n.stats().items, 0);
+    }
+
+    #[test]
+    fn delete_and_flush() {
+        let mut n = StoreNode::new(1 << 20);
+        let (k, v) = kv(0);
+        n.set(k.clone(), v);
+        assert!(n.delete(&k));
+        assert!(!n.delete(&k));
+        assert_eq!(n.stats().used_bytes, 0);
+        for i in 0..10 {
+            let (k, v) = kv(i);
+            n.set(k, v);
+        }
+        n.flush_all();
+        assert_eq!(n.stats().items, 0);
+        assert_eq!(n.stats().used_bytes, 0);
+    }
+
+    #[test]
+    fn ttl_expires_lazily_on_access() {
+        let mut n = StoreNode::new(1 << 20);
+        let t = |us: u64| SimTime::from_nanos(us * 1000);
+        n.set_with_expiry("ttl".into(), Payload::synthetic(100, 1), Some(t(50)));
+        n.set("forever".into(), Payload::synthetic(100, 2));
+        assert!(n.get_at("ttl", t(10)).is_some(), "before expiry");
+        assert!(n.get_at("ttl", t(50)).is_none(), "at expiry");
+        assert!(n.get_at("forever", t(1_000_000)).is_some());
+        let st = n.stats();
+        assert_eq!(st.expired, 1);
+        assert_eq!(st.items, 1, "expired item is removed");
+    }
+
+    #[test]
+    fn expired_item_frees_its_memory_charge() {
+        let mut n = StoreNode::new(1 << 20);
+        let t = |us: u64| SimTime::from_nanos(us * 1000);
+        n.set_with_expiry("e".into(), Payload::synthetic(10_000, 1), Some(t(1)));
+        let before = n.stats().used_bytes;
+        assert!(before > 0);
+        assert!(n.get_at("e", t(5)).is_none());
+        assert_eq!(n.stats().used_bytes, 0);
+    }
+
+    #[test]
+    fn overwrite_clears_expiry() {
+        let mut n = StoreNode::new(1 << 20);
+        let t = |us: u64| SimTime::from_nanos(us * 1000);
+        n.set_with_expiry("k".into(), Payload::synthetic(10, 1), Some(t(5)));
+        n.set("k".into(), Payload::synthetic(10, 2)); // no expiry
+        assert!(n.get_at("k", t(100)).is_some());
+    }
+
+    #[test]
+    fn miss_counts() {
+        let mut n = StoreNode::new(1 << 20);
+        assert!(n.get("ghost").is_none());
+        assert_eq!(n.stats().misses, 1);
+    }
+}

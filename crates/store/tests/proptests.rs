@@ -1,0 +1,144 @@
+//! Model-based property tests: the slab/LRU store against a naive
+//! reference model, and ring invariants.
+
+use std::sync::Arc;
+
+use eckv_simnet::SimTime;
+use eckv_store::{chunk_size_for, HashRing, Payload, StoreNode, ITEM_OVERHEAD};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum StoreOp {
+    Set { key: u8, len: u16 },
+    Get { key: u8 },
+    Delete { key: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        (any::<u8>(), 1u16..5000).prop_map(|(key, len)| StoreOp::Set { key, len }),
+        any::<u8>().prop_map(|key| StoreOp::Get { key }),
+        any::<u8>().prop_map(|key| StoreOp::Delete { key }),
+    ]
+}
+
+/// A naive reference: ordered list of (key, len), most recent last.
+#[derive(Default)]
+struct ModelLru {
+    entries: Vec<(u8, u16)>,
+    capacity: u64,
+}
+
+impl ModelLru {
+    fn charged(key: u8, len: u16) -> u64 {
+        chunk_size_for(len as u64 + format!("key-{key}").len() as u64 + ITEM_OVERHEAD)
+    }
+
+    fn used(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|&(k, l)| Self::charged(k, l))
+            .sum()
+    }
+
+    fn set(&mut self, key: u8, len: u16) {
+        self.entries.retain(|&(k, _)| k != key);
+        if Self::charged(key, len) > self.capacity {
+            return; // too large
+        }
+        self.entries.push((key, len));
+        while self.used() > self.capacity {
+            self.entries.remove(0);
+        }
+    }
+
+    fn get(&mut self, key: u8) -> Option<u16> {
+        let pos = self.entries.iter().position(|&(k, _)| k == key)?;
+        let e = self.entries.remove(pos);
+        self.entries.push(e);
+        Some(e.1)
+    }
+
+    fn delete(&mut self, key: u8) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|&(k, _)| k != key);
+        self.entries.len() != before
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn store_matches_reference_lru_model(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        capacity_kb in 8u64..64,
+    ) {
+        let capacity = capacity_kb * 1024;
+        let mut store = StoreNode::new(capacity);
+        let mut model = ModelLru {
+            capacity,
+            ..ModelLru::default()
+        };
+        for op in ops {
+            match op {
+                StoreOp::Set { key, len } => {
+                    let k: Arc<str> = format!("key-{key}").into();
+                    store.set(k, Payload::synthetic(len as u64, key as u64));
+                    model.set(key, len);
+                }
+                StoreOp::Get { key } => {
+                    let got = store.get_at(&format!("key-{key}"), SimTime::ZERO);
+                    let want = model.get(key);
+                    prop_assert_eq!(
+                        got.map(|p| p.len()),
+                        want.map(u64::from),
+                        "get({}) diverged", key
+                    );
+                }
+                StoreOp::Delete { key } => {
+                    let got = store.delete(&format!("key-{key}"));
+                    let want = model.delete(key);
+                    prop_assert_eq!(got, want, "delete({}) diverged", key);
+                }
+            }
+            // Accounting invariants hold after every op.
+            let st = store.stats();
+            prop_assert!(st.used_bytes <= st.capacity_bytes);
+            prop_assert_eq!(st.used_bytes, model.used());
+            prop_assert_eq!(st.items, model.entries.len() as u64);
+        }
+    }
+
+    #[test]
+    fn ring_lookup_agrees_with_linear_scan(
+        servers in 1usize..12,
+        keys in proptest::collection::vec(proptest::string::string_regex("[a-z0-9]{1,24}").unwrap(), 1..50),
+    ) {
+        let ring = HashRing::new(servers, 64);
+        for key in &keys {
+            let p = ring.primary_for(key.as_bytes());
+            prop_assert!(p < servers);
+            // servers_for is the primary followed by consecutive indices.
+            let n = servers.min(4);
+            let s = ring.servers_for(key.as_bytes(), n);
+            for (i, &srv) in s.iter().enumerate() {
+                prop_assert_eq!(srv, (p + i) % servers);
+            }
+        }
+    }
+
+    #[test]
+    fn payload_shards_are_injective_per_index(
+        len in 1u64..1_000_000,
+        seed in any::<u64>(),
+        shard_len in 1u64..100_000,
+    ) {
+        let v = Payload::synthetic(len, seed);
+        let digests: Vec<u64> = (0..8).map(|i| v.shard(i, shard_len).digest()).collect();
+        let mut unique = digests.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), digests.len(), "shard digests must differ");
+    }
+}

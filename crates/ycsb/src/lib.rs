@@ -1,0 +1,46 @@
+//! YCSB-style workloads for the resilient key-value store.
+//!
+//! Reimplements the parts of the Yahoo! Cloud Serving Benchmark the paper
+//! uses (Section VI-C): the Zipfian request-key distribution with the
+//! classic Gray et al. generator, the scrambled variant YCSB actually
+//! applies, and the standard mixes — **A** (50:50 read:update), **B**
+//! (95:5) and **C** (read-only) — driven by many concurrent clients.
+//!
+//! # Example
+//!
+//! ```
+//! use eckv_ycsb::{Workload, YcsbConfig};
+//! use eckv_core::{EngineConfig, Scheme, World};
+//! use eckv_simnet::{ClusterProfile, Simulation};
+//! use eckv_store::ClusterConfig;
+//!
+//! let world = World::new(
+//!     EngineConfig::new(
+//!         ClusterConfig::new(ClusterProfile::SdscComet, 5, 4),
+//!         Scheme::era_ce_cd(3, 2),
+//!     )
+//!     .validate(false), // concurrent updates make stale reads legitimate
+//! );
+//! let cfg = YcsbConfig {
+//!     workload: Workload::A,
+//!     record_count: 100,
+//!     ops_per_client: 25,
+//!     clients: 4,
+//!     value_len: 1024,
+//!     seed: 7,
+//! };
+//! let mut sim = Simulation::new();
+//! let report = eckv_ycsb::run(&world, &mut sim, &cfg);
+//! assert_eq!(report.ops, 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod workload;
+mod zipfian;
+
+pub use driver::{run, YcsbConfig, YcsbReport};
+pub use workload::{KeyChooser, Workload};
+pub use zipfian::{Latest, ScrambledZipfian, Zipfian};

@@ -1,0 +1,135 @@
+//! The standard YCSB workload mixes.
+
+use core::fmt;
+
+use eckv_simnet::SimRng;
+
+use crate::zipfian::{Latest, ScrambledZipfian};
+
+/// How request keys are chosen.
+#[derive(Debug, Clone)]
+pub enum KeyChooser {
+    /// Uniformly random over the loaded records.
+    Uniform {
+        /// Number of records.
+        records: u64,
+    },
+    /// Scrambled Zipfian (the YCSB default for A/B/C).
+    Zipfian(ScrambledZipfian),
+    /// Recency-skewed (workload D: "read latest").
+    Latest(Latest),
+}
+
+impl KeyChooser {
+    /// Draws a record id.
+    pub fn next(&mut self, rng: &mut SimRng) -> u64 {
+        match self {
+            KeyChooser::Uniform { records } => rng.next_below(*records),
+            KeyChooser::Zipfian(z) => z.next(rng),
+            KeyChooser::Latest(l) => l.next(rng),
+        }
+    }
+}
+
+/// A YCSB core workload mix.
+///
+/// | Workload | Read | Update | Distribution |
+/// |---|---|---|---|
+/// | A (update heavy) | 50% | 50% | Zipfian |
+/// | B (read heavy) | 95% | 5% | Zipfian |
+/// | C (read only) | 100% | 0% | Zipfian |
+/// | D (read latest) | 95% | 5% (inserts) | Latest |
+///
+/// # Example
+///
+/// ```
+/// use eckv_ycsb::Workload;
+///
+/// assert_eq!(Workload::A.read_proportion(), 0.5);
+/// assert_eq!(Workload::B.read_proportion(), 0.95);
+/// assert_eq!(Workload::C.read_proportion(), 1.0);
+/// assert_eq!(Workload::A.to_string(), "YCSB-A (50:50)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Update heavy: 50% reads, 50% updates.
+    A,
+    /// Read heavy: 95% reads, 5% updates.
+    B,
+    /// Read only.
+    C,
+    /// Read latest: 95% reads skewed to recent records, 5% inserts.
+    D,
+}
+
+impl Workload {
+    /// Fraction of operations that are reads.
+    pub fn read_proportion(self) -> f64 {
+        match self {
+            Workload::A => 0.50,
+            Workload::B => 0.95,
+            Workload::C => 1.0,
+            Workload::D => 0.95,
+        }
+    }
+
+    /// The `read:write` label the paper uses.
+    pub fn ratio_label(self) -> &'static str {
+        match self {
+            Workload::A => "50:50",
+            Workload::B => "95:5",
+            Workload::C => "100:0",
+            Workload::D => "95:5 latest",
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "YCSB-{:?} ({})", self, self.ratio_label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chooser_respects_record_bound() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut u = KeyChooser::Uniform { records: 10 };
+        let mut z = KeyChooser::Zipfian(ScrambledZipfian::new(10));
+        for _ in 0..1000 {
+            assert!(u.next(&mut rng) < 10);
+            assert!(z.next(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn uniform_chooser_is_not_skewed() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut u = KeyChooser::Uniform { records: 100 };
+        let mut counts = [0u32; 100];
+        for _ in 0..100_000 {
+            counts[u.next(&mut rng) as usize] += 1;
+        }
+        let (min, max) = (
+            *counts.iter().min().unwrap(),
+            *counts.iter().max().unwrap(),
+        );
+        assert!(max < min * 2, "uniform chooser skewed: {min}..{max}");
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Workload::D.to_string(), "YCSB-D (95:5 latest)");
+    }
+
+    #[test]
+    fn proportions_sum_to_one() {
+        for w in [Workload::A, Workload::B, Workload::C, Workload::D] {
+            let r = w.read_proportion();
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+}

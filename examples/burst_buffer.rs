@@ -1,0 +1,55 @@
+//! Offline analytics scenario: Hadoop TestDFSIO through the Boldio burst
+//! buffer over Lustre (the paper's Section V / Figure 13), comparing
+//! direct parallel-filesystem I/O against the resilient key-value buffer.
+//!
+//! ```text
+//! cargo run --release --example burst_buffer
+//! ```
+
+use eckv::boldio::{testdfsio, DfsioConfig, LustreConfig};
+use eckv::prelude::*;
+
+fn main() {
+    // A 4 GB TestDFSIO job: 32 map tasks on 8 DataNodes for Boldio,
+    // 48 maps on 12 DataNodes for Lustre-Direct (the paper's fair split).
+    let cfg = DfsioConfig::paper(4 << 30);
+    let lustre = LustreConfig::RI_QDR;
+
+    println!("TestDFSIO, 4 GB job, RI-QDR cluster:\n");
+    let direct = testdfsio::run_lustre_direct(&cfg, &lustre);
+    println!(
+        "{:<18} write {:>6.0} MB/s   read {:>6.0} MB/s",
+        "Lustre-Direct", direct.write_mbps, direct.read_mbps
+    );
+
+    for (label, scheme) in [
+        ("Boldio_Async-Rep", Scheme::AsyncRep { replicas: 3 }),
+        ("Boldio_Era-CE-CD", Scheme::era_ce_cd(3, 2)),
+        ("Boldio_Era-SE-CD", Scheme::era_se_cd(3, 2)),
+    ] {
+        let world = World::new(
+            EngineConfig::new(
+                ClusterConfig::new(ClusterProfile::RiQdr, 5, cfg.buffer_maps())
+                    .client_nodes(cfg.buffer_hosts)
+                    .server_memory(24 << 30),
+                scheme,
+            )
+            .window(cfg.pipeline)
+            .validate(false),
+        );
+        let mut sim = Simulation::new();
+        let r = testdfsio::run_boldio(&world, &mut sim, &cfg, &lustre);
+        println!(
+            "{label:<18} write {:>6.0} MB/s   read {:>6.0} MB/s   buffer {:>5.1} GB   flush {}",
+            r.write_mbps,
+            r.read_mbps,
+            r.buffer_memory_used as f64 / (1u64 << 30) as f64,
+            r.flush_time,
+        );
+    }
+
+    println!(
+        "\nThe burst buffer accelerates both phases; erasure coding matches\n\
+         replication's speed while holding ~1.8x less buffer memory."
+    );
+}

@@ -1,0 +1,50 @@
+//! Iterative (Spark-style) analytics over the resilient cache: the
+//! paper's future-work scenario where erasure coding's memory efficiency
+//! becomes iteration speed.
+//!
+//! ```text
+//! cargo run --release --example iterative_analytics
+//! ```
+
+use eckv::boldio::{run_iterative, IterativeConfig, LustreConfig};
+use eckv::prelude::*;
+
+fn main() {
+    // A 160 MB working set swept 3 times against 5 x 64 MB of cache.
+    // 3x replication wants ~490 MB (thrashes); RS(3,2) wants ~280 MB (fits).
+    let cfg = IterativeConfig::new(160 << 20);
+    let mem = 64u64 << 20;
+
+    println!(
+        "3-iteration sweep, {} MB working set, {} MB aggregate cache:\n",
+        cfg.working_set >> 20,
+        (mem * 5) >> 20
+    );
+    for (label, scheme) in [
+        ("Async-Rep=3", Scheme::AsyncRep { replicas: 3 }),
+        ("Era-CE-CD", Scheme::era_ce_cd(3, 2)),
+    ] {
+        let world = World::new(
+            EngineConfig::new(
+                ClusterConfig::new(ClusterProfile::RiQdr, 5, cfg.tasks)
+                    .client_nodes(cfg.hosts)
+                    .server_memory(mem),
+                scheme,
+            )
+            .window(8)
+            .validate(false),
+        );
+        let mut sim = Simulation::new();
+        let r = run_iterative(&world, &mut sim, &cfg, &LustreConfig::RI_QDR);
+        print!("{label:<12} mean {}  misses/iter", r.mean_iteration);
+        for (t, m) in r.iteration_times.iter().zip(&r.misses_per_iteration) {
+            print!("  [{t}, {m} misses]");
+        }
+        println!();
+    }
+    println!(
+        "\nReplication's 3x footprint overflows the cache, so every sweep\n\
+         refetches evicted blocks from the parallel filesystem; the erasure-\n\
+         coded cache holds the whole set and every iteration runs from RAM."
+    );
+}

@@ -1,0 +1,179 @@
+//! Chaos testing with an exact oracle: random interleavings of writes,
+//! reads, failures and replacements, checked against a chunk-presence
+//! model of the engine's placement/degradation/repair rules.
+//!
+//! Invariants:
+//!
+//! 1. validated reads NEVER return corrupt data;
+//! 2. read success/failure matches the model *exactly* (a read succeeds
+//!    iff at least `k` of the key's surviving chunks sit on reachable
+//!    servers — late binding tops up from parity);
+//! 3. write success matches the model (at least `k` reachable holders).
+
+use std::collections::{HashMap, HashSet};
+
+use eckv::prelude::*;
+use proptest::prelude::*;
+
+const SERVERS: usize = 5;
+const K: usize = 3;
+
+#[derive(Debug, Clone)]
+enum ChaosEvent {
+    Write { key: u8, len: u16 },
+    Read { key: u8 },
+    Kill { server: u8 },
+    Repair { server: u8 },
+}
+
+fn event_strategy() -> impl Strategy<Value = ChaosEvent> {
+    prop_oneof![
+        4 => (0u8..32, 64u16..8192).prop_map(|(key, len)| ChaosEvent::Write { key, len }),
+        4 => (0u8..32).prop_map(|key| ChaosEvent::Read { key }),
+        1 => (0u8..SERVERS as u8).prop_map(|server| ChaosEvent::Kill { server }),
+        1 => (0u8..SERVERS as u8).prop_map(|server| ChaosEvent::Repair { server }),
+    ]
+}
+
+/// The oracle: which servers hold a live chunk of each key.
+#[derive(Default)]
+struct ChunkModel {
+    /// key -> servers currently holding one of its chunks.
+    has_chunk: HashMap<u8, HashSet<usize>>,
+    alive: [bool; SERVERS],
+}
+
+impl ChunkModel {
+    fn new() -> Self {
+        ChunkModel {
+            has_chunk: HashMap::new(),
+            alive: [true; SERVERS],
+        }
+    }
+
+    fn reachable(&self, key: u8, targets: &[usize]) -> usize {
+        let _ = targets;
+        self.has_chunk
+            .get(&key)
+            .map_or(0, |h| h.iter().filter(|&&s| self.alive[s]).count())
+    }
+
+    fn write(&mut self, key: u8, targets: &[usize]) -> bool {
+        let stored: HashSet<usize> = targets
+            .iter()
+            .copied()
+            .filter(|&s| self.alive[s])
+            .collect();
+        if stored.len() >= K {
+            self.has_chunk.insert(key, stored);
+            true
+        } else {
+            // The engine leaves any previously stored chunks in place when
+            // a rewrite fails; the old version remains readable. Model the
+            // key as unchanged.
+            false
+        }
+    }
+
+    fn read_ok(&self, key: u8, targets: &[usize]) -> bool {
+        self.reachable(key, targets) >= K
+    }
+
+    fn kill(&mut self, server: usize) {
+        self.alive[server] = false;
+    }
+
+    fn repair(&mut self, server: usize, targets_of: impl Fn(u8) -> Vec<usize>) {
+        // Replacement wipes the node, then rebuilds every rebuildable chunk.
+        for holders in self.has_chunk.values_mut() {
+            holders.remove(&server);
+        }
+        self.alive[server] = true;
+        let keys: Vec<u8> = self.has_chunk.keys().copied().collect();
+        for key in keys {
+            let targets = targets_of(key);
+            if targets.contains(&server) {
+                let holders = self.has_chunk.get(&key).expect("key present");
+                let reachable = holders.iter().filter(|&&s| self.alive[s]).count();
+                if reachable >= K {
+                    self.has_chunk.get_mut(&key).expect("present").insert(server);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn chaos_matches_the_chunk_presence_oracle(
+        events in proptest::collection::vec(event_strategy(), 10..80),
+        seed in any::<u64>(),
+    ) {
+        let world = World::new(EngineConfig::new(
+            ClusterConfig::new(ClusterProfile::RiQdr, SERVERS, 1),
+            Scheme::era_ce_cd(3, 2),
+        ));
+        let mut sim = Simulation::new();
+        let mut model = ChunkModel::new();
+        let mut version: u64 = seed;
+        let targets_of = |world: &std::rc::Rc<World>, key: u8| -> Vec<usize> {
+            world
+                .cluster
+                .ring
+                .servers_for(format!("x{key}").as_bytes(), SERVERS)
+        };
+
+        for event in events {
+            match event {
+                ChaosEvent::Write { key, len } => {
+                    version = version.wrapping_add(1);
+                    world.reset_metrics();
+                    eckv::core::driver::run_workload(
+                        &world,
+                        &mut sim,
+                        vec![vec![Op::set_synthetic(format!("x{key}"), len as u64, version)]],
+                    );
+                    let engine_ok = world.metrics.borrow().errors == 0;
+                    let model_ok = model.write(key, &targets_of(&world, key));
+                    prop_assert_eq!(
+                        engine_ok, model_ok,
+                        "write({}) diverged from the oracle", key
+                    );
+                    prop_assert_eq!(world.metrics.borrow().integrity_errors, 0);
+                }
+                ChaosEvent::Read { key } => {
+                    world.reset_metrics();
+                    eckv::core::driver::run_workload(
+                        &world,
+                        &mut sim,
+                        vec![vec![Op::get(format!("x{key}"))]],
+                    );
+                    let m = world.metrics.borrow();
+                    prop_assert_eq!(m.integrity_errors, 0, "corruption on read({})", key);
+                    let engine_ok = m.errors == 0;
+                    let model_ok = model.read_ok(key, &targets_of(&world, key));
+                    prop_assert_eq!(
+                        engine_ok, model_ok,
+                        "read({}) diverged from the oracle (reachable chunks: {})",
+                        key, model.reachable(key, &targets_of(&world, key))
+                    );
+                }
+                ChaosEvent::Kill { server } => {
+                    let s = server as usize;
+                    if world.cluster.is_server_alive(s) {
+                        world.cluster.kill_server(s);
+                        model.kill(s);
+                    }
+                }
+                ChaosEvent::Repair { server } => {
+                    let s = server as usize;
+                    eckv::core::repair_server(&world, &mut sim, s);
+                    let w = world.clone();
+                    model.repair(s, |key| targets_of(&w, key));
+                }
+            }
+        }
+    }
+}

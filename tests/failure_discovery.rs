@@ -1,0 +1,184 @@
+//! Failure discovery and fail-over: clients do not know about failures
+//! until an operation trips over one; the engine retries against the
+//! updated view transparently.
+
+use eckv::prelude::*;
+
+fn loaded(scheme: Scheme) -> (std::rc::Rc<World>, Simulation) {
+    let world = World::new(EngineConfig::new(
+        ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+        scheme,
+    ));
+    let mut sim = Simulation::new();
+    let writes: Vec<Op> = (0..40)
+        .map(|i| Op::set_synthetic(format!("k{i}"), 32 << 10, i))
+        .collect();
+    eckv::core::driver::run_workload(&world, &mut sim, vec![writes]);
+    assert_eq!(world.metrics.borrow().errors, 0);
+    (world, sim)
+}
+
+#[test]
+fn first_reads_after_a_failure_discover_and_retry() {
+    // Replication and SD reads go through a single server and fail over by
+    // retrying the whole op; CD reads top up from parity *within* the op,
+    // so they recover without a driver-level retry.
+    for (scheme, retries_expected) in [
+        (Scheme::AsyncRep { replicas: 3 }, true),
+        (Scheme::era_ce_cd(3, 2), false),
+        (Scheme::era_se_sd(3, 2), true),
+    ] {
+        let (world, mut sim) = loaded(scheme);
+        world.cluster.kill_server(2);
+        world.reset_metrics();
+        let reads: Vec<Op> = (0..40).map(|i| Op::get(format!("k{i}"))).collect();
+        eckv::core::driver::run_workload(&world, &mut sim, vec![reads]);
+        let m = world.metrics.borrow();
+        assert_eq!(m.errors, 0, "{scheme}: fail-over must hide the failure");
+        assert_eq!(m.integrity_errors, 0, "{scheme}");
+        if retries_expected {
+            assert!(
+                m.retries > 0,
+                "{scheme}: at least one op must have tripped over the dead server"
+            );
+            // Discovery happens once: far fewer retries than operations
+            // that touch the dead server.
+            assert!(m.retries < 40, "{scheme}: retries should not repeat per op");
+        } else {
+            assert_eq!(
+                m.retries, 0,
+                "{scheme}: CD top-up should make driver retries unnecessary"
+            );
+        }
+    }
+}
+
+#[test]
+fn discovery_penalty_is_paid_once_per_client() {
+    // Two reads of the same dead-primary key: the first pays the transport
+    // failure-detection delay, the second routes around immediately.
+    let (world, mut sim) = loaded(Scheme::AsyncRep { replicas: 3 });
+    // Find a key whose primary we then kill.
+    let key = (0..40)
+        .map(|i| format!("k{i}"))
+        .find(|k| world.cluster.ring.primary_for(k.as_bytes()) == 3)
+        .expect("some key lands on server 3");
+    world.cluster.kill_server(3);
+
+    // Recorded latency covers only the final (successful) attempt; the
+    // discovery cost shows up in wall time (admission to completion).
+    world.reset_metrics();
+    eckv::core::driver::run_workload(&world, &mut sim, vec![vec![Op::get(key.clone())]]);
+    let first_wall = world.metrics.borrow().elapsed();
+
+    world.reset_metrics();
+    eckv::core::driver::run_workload(&world, &mut sim, vec![vec![Op::get(key)]]);
+    let second_wall = world.metrics.borrow().elapsed();
+
+    let detect = world.cluster.net_config().failure_detect;
+    assert!(
+        first_wall >= detect,
+        "first read ({first_wall}) must pay the detection delay ({detect})"
+    );
+    assert!(
+        second_wall < first_wall,
+        "second read ({second_wall}) must be faster than discovery ({first_wall})"
+    );
+}
+
+#[test]
+fn views_are_per_client() {
+    // Client 0 discovers the failure; client 1 still pays its own
+    // discovery on its first affected read.
+    let world = World::new(EngineConfig::new(
+        ClusterConfig::new(ClusterProfile::RiQdr, 5, 2),
+        Scheme::AsyncRep { replicas: 3 },
+    ));
+    let mut sim = Simulation::new();
+    eckv::core::driver::run_workload(
+        &world,
+        &mut sim,
+        vec![vec![Op::set_synthetic("shared", 8 << 10, 1)], vec![]],
+    );
+    let primary = world.cluster.ring.primary_for(b"shared");
+    world.cluster.kill_server(primary);
+
+    world.reset_metrics();
+    eckv::core::driver::run_workload(&world, &mut sim, vec![vec![Op::get("shared")], vec![]]);
+    assert_eq!(world.metrics.borrow().retries, 1, "client 0 discovers");
+
+    world.reset_metrics();
+    eckv::core::driver::run_workload(&world, &mut sim, vec![vec![], vec![Op::get("shared")]]);
+    assert_eq!(world.metrics.borrow().retries, 1, "client 1 discovers separately");
+
+    world.reset_metrics();
+    eckv::core::driver::run_workload(&world, &mut sim, vec![vec![], vec![Op::get("shared")]]);
+    assert_eq!(world.metrics.borrow().retries, 0, "then remembers");
+}
+
+#[test]
+fn degraded_writes_succeed_with_reduced_redundancy() {
+    // With one chunk holder down, an erasure Set still lands k+m-1 >= k
+    // chunks and succeeds; the data must then be readable.
+    let world = World::new(EngineConfig::new(
+        ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+        Scheme::era_ce_cd(3, 2),
+    ));
+    let mut sim = Simulation::new();
+    world.cluster.kill_server(1);
+    let writes: Vec<Op> = (0..20)
+        .map(|i| Op::set_synthetic(format!("w{i}"), 16 << 10, i))
+        .collect();
+    eckv::core::driver::run_workload(&world, &mut sim, vec![writes]);
+    assert_eq!(
+        world.metrics.borrow().errors,
+        0,
+        "writes must degrade gracefully past one failure"
+    );
+
+    world.reset_metrics();
+    let reads: Vec<Op> = (0..20).map(|i| Op::get(format!("w{i}"))).collect();
+    eckv::core::driver::run_workload(&world, &mut sim, vec![reads]);
+    let m = world.metrics.borrow();
+    assert_eq!(m.errors, 0);
+    assert_eq!(m.integrity_errors, 0);
+}
+
+#[test]
+fn writes_beyond_budget_fail_cleanly() {
+    let world = World::new(EngineConfig::new(
+        ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+        Scheme::era_ce_cd(3, 2),
+    ));
+    let mut sim = Simulation::new();
+    for s in [0, 1, 2] {
+        world.cluster.kill_server(s);
+    }
+    eckv::core::driver::run_workload(
+        &world,
+        &mut sim,
+        vec![vec![Op::set_synthetic("doomed", 4 << 10, 1)]],
+    );
+    let m = world.metrics.borrow();
+    assert_eq!(m.errors, 1, "fewer than k reachable holders cannot store");
+}
+
+#[test]
+fn replicated_write_with_one_dead_target_still_succeeds() {
+    let world = World::new(EngineConfig::new(
+        ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+        Scheme::AsyncRep { replicas: 3 },
+    ));
+    let mut sim = Simulation::new();
+    world.cluster.kill_server(0);
+    world.cluster.kill_server(1);
+    let writes: Vec<Op> = (0..20)
+        .map(|i| Op::set_synthetic(format!("r{i}"), 4 << 10, i))
+        .collect();
+    eckv::core::driver::run_workload(&world, &mut sim, vec![writes]);
+    assert_eq!(world.metrics.borrow().errors, 0);
+    world.reset_metrics();
+    let reads: Vec<Op> = (0..20).map(|i| Op::get(format!("r{i}"))).collect();
+    eckv::core::driver::run_workload(&world, &mut sim, vec![reads]);
+    assert_eq!(world.metrics.borrow().errors, 0);
+}

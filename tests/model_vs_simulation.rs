@@ -1,0 +1,129 @@
+//! The analytic model (paper Equations 1-8) against the simulator in
+//! contention-free single-client scenarios: the simulator should land
+//! between the naive and ideal closed forms, and agree on orderings.
+
+use eckv::core::model::LatencyModel;
+use eckv::prelude::*;
+use eckv::simnet::ComputeModel;
+
+fn measured_set_us(scheme: Scheme, size: u64, window: usize) -> f64 {
+    let world = World::new(
+        EngineConfig::new(
+            ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+            scheme,
+        )
+        .window(window),
+    );
+    let mut sim = Simulation::new();
+    // A single operation: no pipelining, directly comparable to the
+    // per-operation closed forms.
+    eckv::core::driver::run_workload(
+        &world,
+        &mut sim,
+        vec![vec![Op::set_synthetic("probe", size, 1)]],
+    );
+    let m = world.metrics.borrow();
+    assert_eq!(m.errors, 0);
+    m.set_latency.mean().as_micros_f64()
+}
+
+fn model() -> LatencyModel {
+    LatencyModel::new(
+        ClusterProfile::RiQdr.net_config(TransportKind::Rdma),
+        ComputeModel::WESTMERE,
+    )
+}
+
+#[test]
+fn sync_rep_set_tracks_equation_2() {
+    let m = model();
+    for size in [4u64 << 10, 256 << 10, 1 << 20] {
+        let sim_us = measured_set_us(Scheme::SyncRep { replicas: 3 }, size, 1);
+        let eq2_us = m.rep_set_sync(3, size).as_micros_f64();
+        // The simulator adds server processing and acks the model omits,
+        // so it must be >= the one-way closed form but within ~3x.
+        assert!(
+            sim_us >= eq2_us * 0.9 && sim_us <= eq2_us * 3.0,
+            "size={size}: sim {sim_us:.1}us vs Eq2 {eq2_us:.1}us"
+        );
+    }
+}
+
+#[test]
+fn era_set_lands_between_naive_and_server_processing_bound() {
+    let m = model();
+    for size in [64u64 << 10, 1 << 20] {
+        let sim_us = measured_set_us(Scheme::era_ce_cd(3, 2), size, 1);
+        let ideal_us = m.era_set_ideal(3, 2, size).as_micros_f64();
+        let naive_us = m.era_set(3, 2, size).as_micros_f64();
+        assert!(
+            sim_us >= ideal_us * 0.9,
+            "size={size}: sim {sim_us:.1} below ideal {ideal_us:.1}"
+        );
+        assert!(
+            sim_us <= naive_us * 2.0,
+            "size={size}: sim {sim_us:.1} way above naive {naive_us:.1}"
+        );
+    }
+}
+
+#[test]
+fn simulator_preserves_the_models_scheme_ordering_at_1mb() {
+    // At 1 MB, both the model (Eq 7 < Eq 2) and the paper agree the
+    // overlapped erasure Set beats synchronous replication.
+    let size = 1 << 20;
+    let sync = measured_set_us(Scheme::SyncRep { replicas: 3 }, size, 1);
+    let era = measured_set_us(Scheme::era_ce_cd(3, 2), size, 16);
+    assert!(
+        era < sync,
+        "era {era:.1}us should beat sync-rep {sync:.1}us at 1MB"
+    );
+}
+
+#[test]
+fn eager_rendezvous_crossover_is_visible() {
+    // Equation 1's protocol term: a one-way transfer just above 16 KB pays
+    // the rendezvous handshake that one just below does not.
+    let cfg = ClusterProfile::RiQdr.net_config(TransportKind::Rdma);
+    let below = cfg.one_way(16 << 10);
+    let above = cfg.one_way((16 << 10) + 256);
+    let jump = above.as_micros_f64() - below.as_micros_f64();
+    assert!(jump > 2.0, "crossover jump was only {jump:.2}us");
+}
+
+#[test]
+fn get_paths_match_equation_ordering() {
+    // Equation 4 vs 5: healthy replication and erasure reads are close;
+    // both well below the degraded erasure read with decode.
+    fn measured_get_us(scheme: Scheme, failures: &[usize]) -> f64 {
+        let world = World::new(EngineConfig::new(
+            ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+            scheme,
+        ));
+        let mut sim = Simulation::new();
+        eckv::core::driver::run_workload(
+            &world,
+            &mut sim,
+            vec![vec![Op::set_synthetic("probe", 1 << 20, 1)]],
+        );
+        for &f in failures {
+            world.cluster.kill_server(f);
+        }
+        world.reset_metrics();
+        eckv::core::driver::run_workload(&world, &mut sim, vec![vec![Op::get("probe")]]);
+        let m = world.metrics.borrow();
+        assert_eq!(m.errors, 0);
+        m.get_latency.mean().as_micros_f64()
+    }
+    let rep = measured_get_us(Scheme::AsyncRep { replicas: 3 }, &[]);
+    let era = measured_get_us(Scheme::era_ce_cd(3, 2), &[]);
+    let era_degraded = measured_get_us(Scheme::era_ce_cd(3, 2), &[1, 3]);
+    assert!(
+        (0.5..=2.0).contains(&(era / rep)),
+        "healthy era {era:.1} vs rep {rep:.1}"
+    );
+    assert!(
+        era_degraded > era,
+        "degraded {era_degraded:.1} must exceed healthy {era:.1}"
+    );
+}
