@@ -13,11 +13,9 @@ fn bench_encode(c: &mut Criterion) {
         for bytes in SIZES {
             let value = vec![0xA5u8; bytes as usize];
             g.throughput(Throughput::Bytes(bytes));
-            g.bench_with_input(
-                BenchmarkId::new(kind.label(), bytes),
-                &value,
-                |b, value| b.iter(|| striper.encode_value(std::hint::black_box(value))),
-            );
+            g.bench_with_input(BenchmarkId::new(kind.label(), bytes), &value, |b, value| {
+                b.iter(|| striper.encode_value(std::hint::black_box(value)))
+            });
         }
     }
     g.finish();
@@ -95,5 +93,10 @@ fn bench_lrc_repair(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_decode_two_failures, bench_lrc_repair);
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode_two_failures,
+    bench_lrc_repair
+);
 criterion_main!(benches);

@@ -15,11 +15,9 @@ fn bench_kernels(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("xor_slice", bytes), &bytes, |b, _| {
             b.iter(|| slice::xor_slice(std::hint::black_box(&src), &mut dst))
         });
-        g.bench_with_input(
-            BenchmarkId::new("mul_slice_xor", bytes),
-            &bytes,
-            |b, _| b.iter(|| slice::mul_slice_xor(0x1D, std::hint::black_box(&src), &mut dst)),
-        );
+        g.bench_with_input(BenchmarkId::new("mul_slice_xor", bytes), &bytes, |b, _| {
+            b.iter(|| slice::mul_slice_xor(0x1D, std::hint::black_box(&src), &mut dst))
+        });
         g.bench_with_input(BenchmarkId::new("mul_slice", bytes), &bytes, |b, _| {
             b.iter(|| slice::mul_slice(0x1D, std::hint::black_box(&src), &mut dst))
         });

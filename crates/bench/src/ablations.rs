@@ -10,8 +10,7 @@ use crate::{size_label, Table};
 
 fn per_op_us(scheme: Scheme, window: usize, size: u64, ops: usize) -> f64 {
     let world = World::new(
-        EngineConfig::new(ClusterConfig::new(ClusterProfile::RiQdr, 9, 1), scheme)
-            .window(window),
+        EngineConfig::new(ClusterConfig::new(ClusterProfile::RiQdr, 9, 1), scheme).window(window),
     );
     let mut sim = Simulation::new();
     let stream: Vec<Op> = (0..ops)
@@ -48,7 +47,9 @@ pub fn window_sweep(quick: bool) -> Table {
 pub fn km_sweep(quick: bool) -> Table {
     let mut t = Table::new(
         "Ablation - RS(k,m) shape sweep, Era-CE-CD Set us/op (9 servers)",
-        &["size", "RS(2,2)", "RS(3,2)", "RS(4,2)", "RS(6,2)", "RS(6,3)", "RS(4,4)"],
+        &[
+            "size", "RS(2,2)", "RS(3,2)", "RS(4,2)", "RS(6,2)", "RS(6,3)", "RS(4,4)",
+        ],
     );
     let ops = if quick { 100 } else { 500 };
     let shapes = [(2usize, 2usize), (3, 2), (4, 2), (6, 2), (6, 3), (4, 4)];
@@ -176,10 +177,7 @@ pub fn availability_timeline(quick: bool) -> Table {
         let before: f64 = walls[..half].iter().sum::<f64>() / half as f64;
         // The discovery read is the first post-failure read that touches
         // the dead server — take the max in the transition window.
-        let discovery = walls[half..]
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let discovery = walls[half..].iter().copied().fold(0.0f64, f64::max);
         let tail = &walls[walls.len() - half / 2..];
         let after: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
         t.row(vec![
@@ -199,7 +197,14 @@ pub fn iterative_table(quick: bool) -> Table {
     use eckv_boldio::{run_iterative, IterativeConfig, LustreConfig};
     let mut t = Table::new(
         "Extension - Iterative analytics: 3-iteration sweep over a cached working set",
-        &["scheme", "mean iter", "misses/iter", "iter1", "iter2", "iter3"],
+        &[
+            "scheme",
+            "mean iter",
+            "misses/iter",
+            "iter1",
+            "iter2",
+            "iter3",
+        ],
     );
     // Aggregate cache = 5 x 64 MB (quick) or 5 x 2 GB; working set sized
     // so RS(3,2) fits and 3x replication does not.
@@ -222,8 +227,8 @@ pub fn iterative_table(quick: bool) -> Table {
         );
         let mut sim = Simulation::new();
         let r = run_iterative(&world, &mut sim, &cfg, &LustreConfig::RI_QDR);
-        let avg_miss = r.misses_per_iteration.iter().sum::<u64>() as f64
-            / r.misses_per_iteration.len() as f64;
+        let avg_miss =
+            r.misses_per_iteration.iter().sum::<u64>() as f64 / r.misses_per_iteration.len() as f64;
         let mut row = vec![
             scheme.label(),
             r.mean_iteration.to_string(),
@@ -278,7 +283,10 @@ pub fn ssd_table(quick: bool) -> Table {
     let ram = if quick { 64u64 << 20 } else { 256 << 20 };
     for (label, ssd) in [
         ("RAM only", None),
-        ("RAM + PCIe-SSD", Some(SsdSpec::RI_QDR_PCIE.with_capacity(8 << 30))),
+        (
+            "RAM + PCIe-SSD",
+            Some(SsdSpec::RI_QDR_PCIE.with_capacity(8 << 30)),
+        ),
     ] {
         let mut cluster = ClusterConfig::new(ClusterProfile::RiQdr, 5, 2)
             .client_nodes(2)
@@ -319,7 +327,12 @@ pub fn lrc_locality_table() -> Table {
     use eckv_erasure::{ErasureCodec, Lrc, RsVandermonde};
     let mut t = Table::new(
         "Extension - Single-failure repair locality: shards read per lost shard",
-        &["code", "storage overhead", "reads (data shard)", "reads (parity)"],
+        &[
+            "code",
+            "storage overhead",
+            "reads (data shard)",
+            "reads (parity)",
+        ],
     );
     let rs = RsVandermonde::new(6, 4).expect("valid");
     t.row(vec![
@@ -425,7 +438,10 @@ mod tests {
         // and not pay erasure's chunking overhead.
         let rep: f64 = t.value("1K", "Async-Rep=3").unwrap();
         let hyb_small: f64 = t.value("1K", "Hybrid@16K").unwrap();
-        assert!(hyb_small <= rep * 1.3, "hybrid small {hyb_small} vs rep {rep}");
+        assert!(
+            hyb_small <= rep * 1.3,
+            "hybrid small {hyb_small} vs rep {rep}"
+        );
         // At 1 MB the hybrid erasure-codes: close to Era-CE-CD, well below
         // replication.
         let rep_l: f64 = t.value("1M", "Async-Rep=3").unwrap();

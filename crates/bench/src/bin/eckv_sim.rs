@@ -9,8 +9,22 @@
 //!          [--ops 1000] [--size 64K] [--window 16]
 //!          [--workload setget|ycsb-a|ycsb-b|ycsb-c|ycsb-d]
 //!          [--kill 1,3] [--repair FAILED]
-//!          [--ssd CAPACITY] [--timeline out.csv]
+//!          [--ssd CAPACITY]
+//!          [--trace out.jsonl] [--timeline out.csv]
+//!          [--stats-interval 10ms] [--report]
 //! ```
+//!
+//! Observability flags (all feed the deterministic TraceBus — identical
+//! seeds and flags produce byte-identical output files):
+//!
+//! * `--trace out.jsonl` — full structured event stream as JSON lines.
+//! * `--timeline out.csv` — the same stream as CSV (historically this flag
+//!   wrote ad-hoc per-op samples; it is now an alias for a TraceBus CSV
+//!   sink and carries every event class, not just completions).
+//! * `--stats-interval 10ms` — windowed time series (throughput, p50/p99,
+//!   wire bytes, codec busy) printed after the run.
+//! * `--report` — per-node counter registry (NIC busy/queue high-water,
+//!   codec invocations, repair traffic, SSD spills) printed after the run.
 //!
 //! Examples:
 //!
@@ -18,12 +32,17 @@
 //! eckv-sim --scheme era-ce-cd --size 1M --ops 500
 //! eckv-sim --scheme async-rep --workload ycsb-a --clients 30 --size 32K
 //! eckv-sim --scheme era-ce-cd --kill 1,3 --repair 1
+//! eckv-sim --scheme era-ce-cd --ops 1000 --trace out.jsonl --stats-interval 10ms --report
 //! ```
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use eckv_core::{driver, ops::Op, repair, EngineConfig, Scheme, World};
-use eckv_simnet::{ClusterProfile, Simulation, TransportKind};
+use eckv_simnet::{
+    ClusterProfile, CsvSink, JsonlSink, SimDuration, Simulation, TimeSeries, Trace, TraceBus,
+    TransportKind,
+};
 use eckv_store::ClusterConfig;
 use eckv_ycsb::{Workload, YcsbConfig};
 
@@ -46,6 +65,9 @@ struct Args {
     kill: Vec<usize>,
     repair: Option<usize>,
     timeline: Option<String>,
+    trace: Option<String>,
+    stats_interval: Option<SimDuration>,
+    report: bool,
     ssd: Option<u64>,
 }
 
@@ -63,6 +85,29 @@ fn parse_size(s: &str) -> Result<u64, String> {
     num.parse::<u64>()
         .map(|v| v * mult)
         .map_err(|e| format!("bad size '{s}': {e}"))
+}
+
+fn parse_duration(s: &str) -> Result<SimDuration, String> {
+    let s = s.trim();
+    let (num, mult) = if let Some(n) = s.strip_suffix("ns") {
+        (n, 1u64)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1_000)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1_000_000)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000_000_000)
+    } else {
+        return Err(format!("duration '{s}' needs a unit suffix (ns|us|ms|s)"));
+    };
+    let v: u64 = num
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad duration '{s}': {e}"))?;
+    if v == 0 {
+        return Err(format!("duration '{s}' must be positive"));
+    }
+    Ok(SimDuration::from_nanos(v * mult))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -84,6 +129,9 @@ fn parse_args() -> Result<Args, String> {
         kill: Vec::new(),
         repair: None,
         timeline: None,
+        trace: None,
+        stats_interval: None,
+        report: false,
         ssd: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -121,8 +169,11 @@ fn parse_args() -> Result<Args, String> {
             "--servers" => a.servers = value(i)?.parse().map_err(|e| format!("--servers: {e}"))?,
             "--clients" => a.clients = value(i)?.parse().map_err(|e| format!("--clients: {e}"))?,
             "--client-nodes" => {
-                a.client_nodes =
-                    Some(value(i)?.parse().map_err(|e| format!("--client-nodes: {e}"))?)
+                a.client_nodes = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|e| format!("--client-nodes: {e}"))?,
+                )
             }
             "--ops" => a.ops = value(i)?.parse().map_err(|e| format!("--ops: {e}"))?,
             "--size" => a.size = parse_size(value(i)?)?,
@@ -136,6 +187,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--repair" => a.repair = Some(value(i)?.parse().map_err(|e| format!("--repair: {e}"))?),
             "--timeline" => a.timeline = Some(value(i)?.to_owned()),
+            "--trace" => a.trace = Some(value(i)?.to_owned()),
+            "--stats-interval" => a.stats_interval = Some(parse_duration(value(i)?)?),
+            "--report" => {
+                a.report = true;
+                i += 1;
+                continue;
+            }
             "--ssd" => a.ssd = Some(parse_size(value(i)?)?),
             "--help" | "-h" => {
                 println!("see the module docs at the top of eckv_sim.rs for usage");
@@ -173,7 +231,10 @@ fn print_report(world: &Rc<World>) {
     println!("errors            : {}", m.errors);
     println!("integrity errors  : {}", m.integrity_errors);
     println!("virtual elapsed   : {}", m.elapsed());
-    println!("throughput        : {:.0} ops/s", m.throughput_ops_per_sec());
+    println!(
+        "throughput        : {:.0} ops/s",
+        m.throughput_ops_per_sec()
+    );
     if m.set_count > 0 {
         println!("set latency       : {}", m.set_summary());
         println!("set breakdown/op  : {}", m.avg_set_breakdown());
@@ -245,11 +306,36 @@ fn main() {
     if let Some(capacity) = args.ssd {
         cluster = cluster.ssd(eckv_store::SsdSpec::RI_QDR_PCIE.with_capacity(capacity));
     }
-    let world = World::new(
+    // Observability: any of --trace/--timeline/--stats-interval/--report
+    // turns the TraceBus on; without them the stack keeps its disabled
+    // (zero-event, zero-counter) handle.
+    let tracing = args.trace.is_some()
+        || args.timeline.is_some()
+        || args.stats_interval.is_some()
+        || args.report;
+    let jsonl_sink = Rc::new(RefCell::new(JsonlSink::new()));
+    let csv_sink = Rc::new(RefCell::new(CsvSink::new()));
+    let trace = if tracing {
+        let mut bus = TraceBus::new();
+        if args.trace.is_some() {
+            bus.add_sink(jsonl_sink.clone());
+        }
+        if args.timeline.is_some() {
+            bus.add_sink(csv_sink.clone());
+        }
+        if let Some(w) = args.stats_interval {
+            bus.enable_series(w);
+        }
+        Trace::from_bus(bus)
+    } else {
+        Trace::disabled()
+    };
+
+    let world = World::new_traced(
         EngineConfig::new(cluster, scheme)
             .window(args.window)
-            .validate(args.workload == "setget")
-            .record_timeline(args.timeline.is_some()),
+            .validate(args.workload == "setget"),
+        trace.clone(),
     );
     let mut sim = Simulation::new();
 
@@ -302,7 +388,11 @@ fn main() {
 
             world.reset_metrics();
             let reads: Vec<Vec<Op>> = (0..args.clients)
-                .map(|c| (0..args.ops).map(|i| Op::get(format!("c{c}-k{i}"))).collect())
+                .map(|c| {
+                    (0..args.ops)
+                        .map(|i| Op::get(format!("c{c}-k{i}")))
+                        .collect()
+                })
                 .collect();
             driver::run_workload(&world, &mut sim, reads);
             println!("\n== read phase ==");
@@ -337,25 +427,33 @@ fn main() {
         }
     }
 
-    if let Some(path) = &args.timeline {
-        let m = world.metrics.borrow();
-        let Some(points) = &m.timeline else {
-            eprintln!("timeline recording was not enabled");
-            return;
-        };
-        let mut csv = String::from("at_us,kind,latency_us,ok\n");
-        for p in points {
-            csv.push_str(&format!(
-                "{:.3},{:?},{:.3},{}\n",
-                p.at.as_nanos() as f64 / 1e3,
-                p.kind,
-                p.latency.as_micros_f64(),
-                p.ok,
-            ));
-        }
-        match std::fs::write(path, csv) {
-            Ok(()) => println!("\nwrote {} timeline samples to {path}", points.len()),
+    if let Some(path) = &args.trace {
+        let sink = jsonl_sink.borrow();
+        match std::fs::write(path, sink.contents()) {
+            Ok(()) => println!("\nwrote {} trace events to {path}", sink.events()),
             Err(e) => eprintln!("failed to write {path}: {e}"),
         }
+    }
+    if let Some(path) = &args.timeline {
+        let sink = csv_sink.borrow();
+        match std::fs::write(path, sink.contents()) {
+            Ok(()) => println!("\nwrote {} trace rows to {path}", sink.events()),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    if args.stats_interval.is_some() {
+        if let Some(csv) = trace.with_bus(|bus| bus.series().map(TimeSeries::to_csv)) {
+            println!("\n== time series ==");
+            print!("{}", csv.unwrap_or_default());
+        }
+    }
+    if args.report {
+        println!("\n== trace counters ==");
+        trace.with_bus(|bus| {
+            println!("events emitted    : {}", bus.events_emitted());
+            for (node, name, v) in bus.counters() {
+                println!("  node {:>3}  {:<20} {}", node.0, name, v);
+            }
+        });
     }
 }

@@ -41,11 +41,7 @@ pub fn run_point(
         .map(|c| {
             (0..ops)
                 .map(|i| {
-                    Op::set_synthetic(
-                        format!("mem-c{c}-k{i}"),
-                        value_len,
-                        (c * ops + i) as u64,
-                    )
+                    Op::set_synthetic(format!("mem-c{c}-k{i}"), value_len, (c * ops + i) as u64)
                 })
                 .collect()
         })

@@ -136,7 +136,13 @@ pub fn latency_table(profile: ClusterProfile, workload: Workload, scale: &Scale)
             "Fig. 11 - YCSB-{workload:?} ({}) avg latency on {profile}, us",
             workload.ratio_label()
         ),
-        &["variant/size", "read us", "read p99", "write us", "write p99"],
+        &[
+            "variant/size",
+            "read us",
+            "read p99",
+            "write us",
+            "write p99",
+        ],
     );
     for v in variants() {
         for &size in &scale.sizes {

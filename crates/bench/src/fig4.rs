@@ -9,14 +9,7 @@ use eckv_erasure::{CodecKind, Striper};
 use crate::{size_label, Table};
 
 /// Key-value pair sizes the paper sweeps (1 KB – 1 MB).
-pub const SIZES: [u64; 6] = [
-    1 << 10,
-    8 << 10,
-    64 << 10,
-    256 << 10,
-    512 << 10,
-    1 << 20,
-];
+pub const SIZES: [u64; 6] = [1 << 10, 8 << 10, 64 << 10, 256 << 10, 512 << 10, 1 << 20];
 
 fn iterations(bytes: u64, quick: bool) -> u32 {
     let base = match bytes {
@@ -119,7 +112,13 @@ pub fn decode_table(quick: bool) -> Table {
 pub fn tuned_packet_table(quick: bool) -> Table {
     let mut t = Table::new(
         "Fig. 4 ablation - Encode time with tuned (whole-packet) XOR segments, us",
-        &["size", "RS_Van", "CRS(tuned)", "CRS(sched)", "R6-Lib(tuned)"],
+        &[
+            "size",
+            "RS_Van",
+            "CRS(tuned)",
+            "CRS(sched)",
+            "R6-Lib(tuned)",
+        ],
     );
     let rs = Striper::from(CodecKind::RsVan.build(3, 2).expect("valid"));
     let crs = Striper::new(std::sync::Arc::new(
@@ -181,7 +180,10 @@ mod tests {
         let small = t.value("1K", "RS_Van").unwrap();
         let large = t.value("1M", "RS_Van").unwrap();
         assert!(small > 0.0);
-        assert!(large > small, "1M ({large}) should cost more than 1K ({small})");
+        assert!(
+            large > small,
+            "1M ({large}) should cost more than 1K ({small})"
+        );
     }
 
     #[test]

@@ -91,7 +91,14 @@ pub fn run_gets(world: &Rc<World>, sim: &mut Simulation, ops: usize, failures: u
 pub fn set_table(quick: bool) -> Table {
     let mut t = Table::new(
         "Fig. 8(a) - Set latency on RI-QDR, us/op (5 servers, 1 client)",
-        &["size", "Sync-Rep=3", "Async-Rep=3", "Era-CE-CD", "Era-SE-SD", "Era-SE-CD"],
+        &[
+            "size",
+            "Sync-Rep=3",
+            "Async-Rep=3",
+            "Era-CE-CD",
+            "Era-SE-SD",
+            "Era-SE-CD",
+        ],
     );
     for size in sizes(quick) {
         let mut row = vec![size_label(size)];
@@ -109,7 +116,14 @@ pub fn get_table(quick: bool, failures: usize) -> Table {
     let which = if failures == 0 { "8(b)" } else { "8(c)" };
     let mut t = Table::new(
         format!("Fig. {which} - Get latency on RI-QDR, us/op ({failures} node failures)"),
-        &["size", "Sync-Rep=3", "Async-Rep=3", "Era-CE-CD", "Era-SE-SD", "Era-SE-CD"],
+        &[
+            "size",
+            "Sync-Rep=3",
+            "Async-Rep=3",
+            "Era-CE-CD",
+            "Era-SE-SD",
+            "Era-SE-CD",
+        ],
     );
     for size in sizes(quick) {
         let mut row = vec![size_label(size)];

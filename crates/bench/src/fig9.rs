@@ -40,7 +40,9 @@ fn effective_breakdown(world: &Rc<World>, set: bool) -> PhaseBreakdown {
     PhaseBreakdown {
         request: avg.request,
         compute: avg.compute,
-        wait_response: per_op.saturating_sub(avg.request).saturating_sub(avg.compute),
+        wait_response: per_op
+            .saturating_sub(avg.request)
+            .saturating_sub(avg.compute),
     }
 }
 

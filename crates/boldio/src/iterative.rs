@@ -134,8 +134,7 @@ pub fn run_iterative(
         misses_per_iteration.push(misses);
     }
 
-    let mean = iteration_times.iter().copied().sum::<SimDuration>()
-        / cfg.iterations.max(1) as u64;
+    let mean = iteration_times.iter().copied().sum::<SimDuration>() / cfg.iterations.max(1) as u64;
     IterativeReport {
         iteration_times,
         misses_per_iteration,

@@ -75,7 +75,9 @@ impl DfsioConfig {
     }
 
     fn blocks_per_map(&self, maps: usize) -> u64 {
-        self.total_bytes.div_ceil(self.block_bytes).div_ceil(maps as u64)
+        self.total_bytes
+            .div_ceil(self.block_bytes)
+            .div_ceil(maps as u64)
     }
 }
 
@@ -120,11 +122,7 @@ struct DirectMap {
     last_done: SimTime,
 }
 
-fn run_direct_phase(
-    cfg: &DfsioConfig,
-    lustre: &Rc<RefCell<Lustre>>,
-    write: bool,
-) -> SimDuration {
+fn run_direct_phase(cfg: &DfsioConfig, lustre: &Rc<RefCell<Lustre>>, write: bool) -> SimDuration {
     let maps = cfg.direct_maps();
     let blocks = cfg.blocks_per_map(maps);
     let think = if write {
@@ -253,11 +251,7 @@ pub fn run_boldio(
         .map(|m| {
             (0..blocks)
                 .map(|b| {
-                    Op::set_synthetic(
-                        format!("f{m}.b{b}"),
-                        cfg.block_bytes,
-                        (m as u64) << 32 | b,
-                    )
+                    Op::set_synthetic(format!("f{m}.b{b}"), cfg.block_bytes, (m as u64) << 32 | b)
                 })
                 .collect()
         })

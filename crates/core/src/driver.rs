@@ -9,11 +9,18 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use eckv_simnet::Simulation;
+use eckv_simnet::{OpClass, Simulation, TraceEvent};
 
-use crate::ops::Op;
+use crate::ops::{Op, OpKind};
 use crate::world::World;
 use crate::{get_path, set_path};
+
+fn op_class(kind: OpKind) -> OpClass {
+    match kind {
+        OpKind::Set => OpClass::Set,
+        OpKind::Get => OpClass::Get,
+    }
+}
 
 struct ClientState {
     queue: VecDeque<(Op, usize)>,
@@ -62,6 +69,15 @@ fn pump(world: &Rc<World>, sim: &mut Simulation, client: usize, state: &Rc<RefCe
             s.queue.pop_front().expect("checked non-empty")
         };
         world.metrics.borrow_mut().note_admission(sim.now());
+        if world.trace.is_enabled() {
+            world.trace.emit(
+                sim.now(),
+                TraceEvent::OpAdmitted {
+                    client: world.cluster.client_node(client),
+                    op: op_class(op.kind()),
+                },
+            );
+        }
         let think = world.client_think.get();
         if think > eckv_simnet::SimDuration::ZERO {
             // The application produces/consumes the payload before the KV
@@ -122,17 +138,40 @@ fn dispatch_with_retry(
 ) {
     let world2 = world.clone();
     let retry_op = op.clone();
-    let done = Box::new(move |sim: &mut Simulation, result: crate::metrics::OpResult| {
-        if result.retryable && retries_left > 0 {
-            // The failure view was just updated; re-dispatch against the
-            // survivors instead of recording a failure.
-            world2.metrics.borrow_mut().retries += 1;
-            dispatch_with_retry(&world2, sim, client, retry_op, retries_left - 1, on_final);
-        } else {
-            world2.metrics.borrow_mut().record(&result);
-            on_final(sim);
-        }
-    });
+    let done = Box::new(
+        move |sim: &mut Simulation, result: crate::metrics::OpResult| {
+            if result.retryable && retries_left > 0 {
+                // The failure view was just updated; re-dispatch against the
+                // survivors instead of recording a failure.
+                world2.metrics.borrow_mut().retries += 1;
+                if world2.trace.is_enabled() {
+                    world2.trace.emit(
+                        result.at,
+                        TraceEvent::Retry {
+                            client: world2.cluster.client_node(client),
+                            op: op_class(result.kind),
+                        },
+                    );
+                }
+                dispatch_with_retry(&world2, sim, client, retry_op, retries_left - 1, on_final);
+            } else {
+                world2.metrics.borrow_mut().record(&result);
+                if world2.trace.is_enabled() {
+                    world2.trace.emit(
+                        result.at,
+                        TraceEvent::OpCompleted {
+                            client: world2.cluster.client_node(client),
+                            op: op_class(result.kind),
+                            latency: result.latency,
+                            ok: result.ok,
+                            bytes: if result.ok { result.value_len } else { 0 },
+                        },
+                    );
+                }
+                on_final(sim);
+            }
+        },
+    );
     match op {
         Op::Set { key, payload } => set_path::start_set(world, sim, client, key, payload, done),
         Op::Get { key } => get_path::start_get(world, sim, client, key, done),
@@ -157,9 +196,7 @@ mod tests {
 
     fn set_ops(client: usize, n: usize, len: u64) -> Vec<Op> {
         (0..n)
-            .map(|i| {
-                Op::set_synthetic(format!("c{client}-k{i}"), len, (client * 1000 + i) as u64)
-            })
+            .map(|i| Op::set_synthetic(format!("c{client}-k{i}"), len, (client * 1000 + i) as u64))
             .collect()
     }
 

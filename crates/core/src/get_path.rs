@@ -8,7 +8,9 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::Arc;
 
-use eckv_simnet::{Delivery, Network, PhaseBreakdown, SimDuration, SimTime, Simulation};
+use eckv_simnet::{
+    trace_codec, CodecOp, Delivery, Network, PhaseBreakdown, SimDuration, SimTime, Simulation,
+};
 use eckv_store::{rpc, Payload};
 
 use crate::flow::{DoneCb, Pending};
@@ -97,10 +99,7 @@ fn get_hybrid(
     let client_node = world.cluster.client_node(client);
     let rep_targets: Vec<usize> = world.targets(&key).into_iter().take(replicas).collect();
 
-    let Some(&srv) = rep_targets
-        .iter()
-        .find(|&&s| world.view_alive(client, s))
-    else {
+    let Some(&srv) = rep_targets.iter().find(|&&s| world.view_alive(client, s)) else {
         // No replica holder is reachable; the chunk path may still work.
         get_era_client_decode(world, sim, client, key, op_start, check, done);
         return;
@@ -138,15 +137,7 @@ fn get_hybrid(
             // phase.
             Ok(r) => {
                 debug_assert!(r.value.is_none());
-                get_era_client_decode(
-                    &world2,
-                    sim,
-                    client,
-                    key,
-                    op_start,
-                    check + post,
-                    done,
-                )
+                get_era_client_decode(&world2, sim, client, key, op_start, check + post, done)
             }
             // A dead replica holder is a view update, not evidence the
             // value was chunked: retry so the probe hits the next replica.
@@ -195,14 +186,20 @@ fn get_replicated(
     let post = cfg.post_overhead;
     let client_node = world.cluster.client_node(client);
 
-    let Some(&srv) = targets
-        .iter()
-        .find(|&&s| world.view_alive(client, s))
-    else {
+    let Some(&srv) = targets.iter().find(|&&s| world.view_alive(client, s)) else {
         // All replicas believed down: the operation fails for good.
         let at = world.reserve_client_cpu(client, sim.now(), check);
         finish(
-            sim, op_start, at, check, SimDuration::ZERO, false, true, false, 0, done,
+            sim,
+            op_start,
+            at,
+            check,
+            SimDuration::ZERO,
+            false,
+            true,
+            false,
+            0,
+            done,
         );
         return;
     };
@@ -346,7 +343,15 @@ fn get_era_client_decode(
         let check = world.cfg.liveness_check;
         let at = world.reserve_client_cpu(client, now, check);
         finish(
-            sim, op_start, at, request_base + check, SimDuration::ZERO, false, true, false, 0,
+            sim,
+            op_start,
+            at,
+            request_base + check,
+            SimDuration::ZERO,
+            false,
+            true,
+            false,
+            0,
             done,
         );
         return;
@@ -455,9 +460,7 @@ fn settle_cd(
             st.targets
                 .iter()
                 .enumerate()
-                .filter(|&(i, &srv)| {
-                    !st.tried.contains(&i) && world.view_alive(client, srv)
-                })
+                .filter(|&(i, &srv)| !st.tried.contains(&i) && world.view_alive(client, srv))
                 .take(missing)
                 .map(|(i, &srv)| (i, srv))
                 .collect()
@@ -490,10 +493,7 @@ fn settle_cd(
     let post = world.cluster.net_config().post_overhead;
     let ok = good.len() >= k;
     let expected = world.expected.borrow().get(&key).copied();
-    let value_len = expected.map_or_else(
-        || good.iter().map(|(_, c)| c.len()).sum(),
-        |w| w.len,
-    );
+    let value_len = expected.map_or_else(|| good.iter().map(|(_, c)| c.len()).sum(), |w| w.len);
     let now = sim.now();
     if !ok {
         finish(
@@ -522,6 +522,14 @@ fn settle_cd(
     let (at, compute) = if erased_data > 0 {
         let t_dec = world.decode_time(value_len, erased_data);
         let dec_done = world.reserve_client_cpu(client, now, t_dec);
+        trace_codec(
+            &world.trace,
+            world.cluster.client_node(client),
+            CodecOp::Decode,
+            now,
+            t_dec,
+            value_len,
+        );
         (dec_done, t_dec)
     } else {
         (now, SimDuration::ZERO)
@@ -561,7 +569,16 @@ fn get_era_server_decode(
     let Some(chosen) = choose_chunks(world, client, &targets, k) else {
         let at = world.reserve_client_cpu(client, op_start, check);
         finish(
-            sim, op_start, at, check, SimDuration::ZERO, false, true, false, 0, done,
+            sim,
+            op_start,
+            at,
+            check,
+            SimDuration::ZERO,
+            false,
+            true,
+            false,
+            0,
+            done,
         );
         return;
     };
@@ -591,7 +608,15 @@ fn get_era_server_decode(
                 Delivery::TargetDead(t) => {
                     world2.mark_dead(client, agg_srv);
                     finish(
-                        sim, op_start, t, check + post, SimDuration::ZERO, false, true, true, 0,
+                        sim,
+                        op_start,
+                        t,
+                        check + post,
+                        SimDuration::ZERO,
+                        false,
+                        true,
+                        true,
+                        0,
                         done,
                     );
                     return;
@@ -621,8 +646,19 @@ fn get_era_server_decode(
                     drop(p);
                     if is_last {
                         finish_sd(
-                            &world2, sim, &key, &pending, op_start, check, post, erased_data,
-                            &discovered, &aggregator, agg_node, client_node, &net,
+                            &world2,
+                            sim,
+                            &key,
+                            &pending,
+                            op_start,
+                            check,
+                            post,
+                            erased_data,
+                            &discovered,
+                            &aggregator,
+                            agg_node,
+                            client_node,
+                            &net,
                         );
                     }
                 } else {
@@ -659,9 +695,19 @@ fn get_era_server_decode(
                             };
                             if is_last {
                                 finish_sd(
-                                    &world3, sim, &key2, &pending2, op_start, check, post,
-                                    erased_data, &discovered2, &aggregator2, agg_node,
-                                    client_node, &net2,
+                                    &world3,
+                                    sim,
+                                    &key2,
+                                    &pending2,
+                                    op_start,
+                                    check,
+                                    post,
+                                    erased_data,
+                                    &discovered2,
+                                    &aggregator2,
+                                    agg_node,
+                                    client_node,
+                                    &net2,
                                 );
                             }
                         },
@@ -714,7 +760,16 @@ fn finish_sd(
     // Server-side decode if a data chunk is missing.
     let respond_at = if ok && erased_data > 0 {
         let t_dec = world.decode_time(value_len, erased_data);
-        aggregator.borrow_mut().reserve_cpu(last, t_dec)
+        let dec_done = aggregator.borrow_mut().reserve_cpu(last, t_dec);
+        trace_codec(
+            &world.trace,
+            agg_node,
+            CodecOp::Decode,
+            last,
+            t_dec,
+            value_len,
+        );
+        dec_done
     } else {
         last
     };
@@ -726,18 +781,26 @@ fn finish_sd(
             .sum::<usize>()
             .min(value_len as usize + rpc::ACK_BYTES);
     let retryable = discovered.get();
-    Network::send(net, sim, respond_at, agg_node, client_node, resp_bytes, move |sim, d| {
-        finish(
-            sim,
-            op_start,
-            d.at(),
-            check + post,
-            SimDuration::ZERO,
-            ok && d.is_delivered(),
-            integrity,
-            retryable,
-            value_len,
-            done,
-        );
-    });
+    Network::send(
+        net,
+        sim,
+        respond_at,
+        agg_node,
+        client_node,
+        resp_bytes,
+        move |sim, d| {
+            finish(
+                sim,
+                op_start,
+                d.at(),
+                check + post,
+                SimDuration::ZERO,
+                ok && d.is_delivered(),
+                integrity,
+                retryable,
+                value_len,
+                done,
+            );
+        },
+    );
 }

@@ -49,8 +49,8 @@
 #![warn(missing_docs)]
 
 mod costs;
-mod flow;
 pub mod driver;
+mod flow;
 mod get_path;
 pub mod metrics;
 pub mod model;

@@ -73,10 +73,13 @@ pub struct Metrics {
     /// Transparent retries after a dead-server discovery (the retried
     /// attempt is not otherwise recorded).
     pub retries: u64,
-    /// Bytes written (values, not counting redundancy).
+    /// Bytes written by successful Sets (values, not counting redundancy).
     pub bytes_written: u64,
-    /// Bytes read.
+    /// Bytes read by successful Gets.
     pub bytes_read: u64,
+    /// Value bytes attached to failed operations (these used to be
+    /// miscounted into `bytes_written`/`bytes_read`, inflating goodput).
+    pub failed_bytes: u64,
     /// First operation admission time.
     pub started_at: Option<SimTime>,
     /// Last operation completion time.
@@ -100,17 +103,22 @@ impl Metrics {
                 self.set_latency.record(r.latency);
                 self.set_breakdown += r.breakdown;
                 self.set_count += 1;
-                self.bytes_written += r.value_len;
+                if r.ok {
+                    self.bytes_written += r.value_len;
+                }
             }
             OpKind::Get => {
                 self.get_latency.record(r.latency);
                 self.get_breakdown += r.breakdown;
                 self.get_count += 1;
-                self.bytes_read += r.value_len;
+                if r.ok {
+                    self.bytes_read += r.value_len;
+                }
             }
         }
         if !r.ok {
             self.errors += 1;
+            self.failed_bytes += r.value_len;
         }
         if !r.integrity_ok {
             self.integrity_errors += 1;
@@ -236,6 +244,21 @@ mod tests {
         m.record(&r);
         assert_eq!(m.errors, 1);
         assert_eq!(m.integrity_errors, 1);
+    }
+
+    #[test]
+    fn failed_ops_do_not_inflate_goodput_bytes() {
+        let mut m = Metrics::default();
+        let mut w = result(OpKind::Set, 1, 1);
+        w.ok = false;
+        let mut r = result(OpKind::Get, 2, 1);
+        r.ok = false;
+        m.record(&w);
+        m.record(&r);
+        m.record(&result(OpKind::Set, 3, 1));
+        assert_eq!(m.bytes_written, 1024, "only the successful set counts");
+        assert_eq!(m.bytes_read, 0);
+        assert_eq!(m.failed_bytes, 2048);
     }
 
     #[test]

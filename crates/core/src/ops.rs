@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
+use eckv_store::Bytes;
 use eckv_store::Payload;
 
 /// Kind of key-value operation.

@@ -17,8 +17,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use bytes::Bytes;
-use eckv_simnet::{SimDuration, SimTime, Simulation};
+use eckv_simnet::{trace_codec, CodecOp, SimDuration, SimTime, Simulation, TraceEvent};
+use eckv_store::Bytes;
 use eckv_store::{rpc, Payload};
 
 use crate::scheme::Scheme;
@@ -57,8 +57,15 @@ struct RepairState {
 pub fn repair_server(world: &Rc<World>, sim: &mut Simulation, failed: usize) -> RepairReport {
     // The operator swapped the dead node for an empty one and announced it
     // in the server list (every client's view sees it alive again).
-    world.cluster.servers[failed].borrow_mut().store_mut().flush_all();
-    world.cluster.net.borrow_mut().revive(world.cluster.server_node(failed));
+    world.cluster.servers[failed]
+        .borrow_mut()
+        .store_mut()
+        .flush_all();
+    world
+        .cluster
+        .net
+        .borrow_mut()
+        .revive(world.cluster.server_node(failed));
     for c in 0..world.cfg.cluster.clients {
         world.mark_alive(c, failed);
     }
@@ -136,11 +143,7 @@ fn pump_repair(
             } => {
                 // How the key was protected depends on its size at write
                 // time.
-                let len = world
-                    .expected
-                    .borrow()
-                    .get(&key)
-                    .map_or(0, |w| w.len);
+                let len = world.expected.borrow().get(&key).map_or(0, |w| w.len);
                 if len <= threshold {
                     let targets: Vec<usize> =
                         world.targets(&key).into_iter().take(replicas).collect();
@@ -249,10 +252,22 @@ fn repair_erasure_key(
                     return;
                 };
                 let rebuilt = rebuild_shard(&world2, &chunks, lost_shard, w.len, w.digest);
-                let t_dec = world2.decode_time(w.len, 1).max(world2.encode_time(w.len) / 2);
-                let dec_done = world2.reserve_client_cpu(0, *last_at.borrow(), t_dec);
+                let t_dec = world2
+                    .decode_time(w.len, 1)
+                    .max(world2.encode_time(w.len) / 2);
+                let dec_started = *last_at.borrow();
+                let dec_done = world2.reserve_client_cpu(0, dec_started, t_dec);
+                trace_codec(
+                    &world2.trace,
+                    client_node,
+                    CodecOp::Decode,
+                    dec_started,
+                    t_dec,
+                    w.len,
+                );
                 let written = rebuilt.len();
                 let replacement = world2.cluster.servers[failed].clone();
+                let world3 = world2.clone();
                 rpc::set(
                     &world2.cluster.net,
                     &replacement,
@@ -262,6 +277,22 @@ fn repair_erasure_key(
                     World::shard_key(&key2, lost_shard),
                     rebuilt,
                     move |sim, reply| {
+                        if reply.is_ok() && world3.trace.is_enabled() {
+                            let node = world3.cluster.server_node(failed);
+                            world3.trace.emit(
+                                sim.now(),
+                                TraceEvent::RepairShard {
+                                    node,
+                                    bytes: written,
+                                },
+                            );
+                            world3
+                                .trace
+                                .counter_add(client_node, "repair_read_bytes", read);
+                            world3
+                                .trace
+                                .counter_add(node, "repair_write_bytes", written);
+                        }
                         done(sim, reply.is_ok(), read, written);
                     },
                 );
@@ -406,7 +437,10 @@ mod tests {
         let reads: Vec<Op> = (0..30).map(|i| Op::get(format!("r{i}"))).collect();
         run_workload(&world, &mut sim, vec![reads]);
         let m = world.metrics.borrow();
-        assert_eq!(m.errors, 0, "repaired cluster must survive 2 fresh failures");
+        assert_eq!(
+            m.errors, 0,
+            "repaired cluster must survive 2 fresh failures"
+        );
         assert_eq!(m.integrity_errors, 0);
     }
 

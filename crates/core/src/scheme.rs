@@ -294,7 +294,11 @@ mod tests {
     #[test]
     fn hybrid_threshold_is_inclusive() {
         let s = Scheme::hybrid(4096, 3, 2);
-        assert_eq!(s.storage_factor_for(4096), 3.0, "at the threshold: replicate");
+        assert_eq!(
+            s.storage_factor_for(4096),
+            3.0,
+            "at the threshold: replicate"
+        );
         assert!(s.storage_factor_for(4097) < 2.0, "above: erasure-code");
     }
 

@@ -10,8 +10,10 @@
 use std::rc::Rc;
 use std::sync::Arc;
 
-use bytes::Bytes;
-use eckv_simnet::{Delivery, Network, PhaseBreakdown, SimDuration, SimTime, Simulation};
+use eckv_simnet::{
+    trace_codec, CodecOp, Delivery, Network, PhaseBreakdown, SimDuration, SimTime, Simulation,
+};
+use eckv_store::Bytes;
 use eckv_store::{rpc, Payload};
 
 use crate::flow::{DoneCb, Pending};
@@ -145,8 +147,17 @@ fn set_parallel_replicated(
         // Every believed-alive replica holder is gone; nothing new to
         // discover, so this is final.
         finish(
-            world, sim, op_start, op_start, SimDuration::ZERO, SimDuration::ZERO, false, false,
-            value_len, None, done,
+            world,
+            sim,
+            op_start,
+            op_start,
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            false,
+            false,
+            value_len,
+            None,
+            done,
         );
         return;
     }
@@ -221,8 +232,17 @@ fn set_sync_replicated(
     if targets.is_empty() {
         let value_len = payload.len();
         finish(
-            world, sim, op_start, op_start, SimDuration::ZERO, SimDuration::ZERO, false, false,
-            value_len, None, done,
+            world,
+            sim,
+            op_start,
+            op_start,
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            false,
+            false,
+            value_len,
+            None,
+            done,
         );
         return;
     }
@@ -278,7 +298,15 @@ fn sync_step(
         payload.clone(),
         move |sim, reply| match reply {
             Ok(_) => sync_step(
-                &world2, sim, client, key2, payload2, targets, idx + 1, op_start, done,
+                &world2,
+                sim,
+                client,
+                key2,
+                payload2,
+                targets,
+                idx + 1,
+                op_start,
+                done,
             ),
             Err(rpc::RpcError::ServerDead(t)) => {
                 // Blocking semantics: the op fails here; the retry (with
@@ -333,8 +361,17 @@ fn set_era_client_encode(
         .collect();
     if live.len() < k {
         finish(
-            world, sim, op_start, op_start, SimDuration::ZERO, SimDuration::ZERO, false, false,
-            value_len, None, done,
+            world,
+            sim,
+            op_start,
+            op_start,
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            false,
+            false,
+            value_len,
+            None,
+            done,
         );
         return;
     }
@@ -343,6 +380,14 @@ fn set_era_client_encode(
     // Encoding occupies the client's ARPE thread, then the posts go out
     // back to back.
     world.reserve_client_cpu(client, op_start, t_enc);
+    trace_codec(
+        &world.trace,
+        client_node,
+        CodecOp::Encode,
+        op_start,
+        t_enc,
+        value_len,
+    );
 
     let n = live.len();
     let pending = Pending::new(n, done);
@@ -427,8 +472,17 @@ fn set_era_server_encode(
         .collect();
     if live.len() < k {
         finish(
-            world, sim, op_start, op_start, SimDuration::ZERO, SimDuration::ZERO, false, false,
-            value_len, None, done,
+            world,
+            sim,
+            op_start,
+            op_start,
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            false,
+            false,
+            value_len,
+            None,
+            done,
         );
         return;
     }
@@ -455,8 +509,17 @@ fn set_era_server_encode(
                 Delivery::TargetDead(t) => {
                     world2.mark_dead(client, encoder_srv);
                     finish(
-                        &world2, sim, op_start, t, post, SimDuration::ZERO, false, true,
-                        value_len, None, done,
+                        &world2,
+                        sim,
+                        op_start,
+                        t,
+                        post,
+                        SimDuration::ZERO,
+                        false,
+                        true,
+                        value_len,
+                        None,
+                        done,
                     );
                     return;
                 }
@@ -468,7 +531,16 @@ fn set_era_server_encode(
                 let mut p = encoder.borrow_mut();
                 let costs = p.costs();
                 let ingest_done = p.reserve_cpu(at, costs.op_time(value_len));
-                p.reserve_cpu(ingest_done, t_enc)
+                let enc_done = p.reserve_cpu(ingest_done, t_enc);
+                trace_codec(
+                    &world2.trace,
+                    encoder_node,
+                    CodecOp::Encode,
+                    ingest_done,
+                    t_enc,
+                    value_len,
+                );
+                enc_done
             };
             let mut shards = shards;
             let own_chunk = std::mem::replace(&mut shards[encoder_pos], Payload::synthetic(0, 0));
@@ -492,9 +564,17 @@ fn set_era_server_encode(
                     rpc::ACK_BYTES,
                     move |sim, d| {
                         finish(
-                            &world4, sim, op_start, d.at(), post, SimDuration::ZERO,
-                            ok && d.is_delivered(), false, value_len,
-                            Some((key3, digest)), done,
+                            &world4,
+                            sim,
+                            op_start,
+                            d.at(),
+                            post,
+                            SimDuration::ZERO,
+                            ok && d.is_delivered(),
+                            false,
+                            value_len,
+                            Some((key3, digest)),
+                            done,
                         );
                     },
                 );

@@ -6,7 +6,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use eckv_erasure::Striper;
-use eckv_simnet::{SimDuration, SimTime, WorkerPool};
+use eckv_simnet::{SimDuration, SimTime, Trace, WorkerPool};
 use eckv_store::{ClusterConfig, KvCluster};
 
 use crate::costs;
@@ -121,6 +121,9 @@ pub struct World {
     /// clients fail over the same way); ground truth lives in the
     /// transport.
     views: RefCell<Vec<Vec<bool>>>,
+    /// TraceBus handle shared with the transport and servers. Disabled
+    /// (zero-cost) unless the world was built with [`World::new_traced`].
+    pub trace: Trace,
 }
 
 impl World {
@@ -131,7 +134,19 @@ impl World {
     /// Panics if the scheme needs more servers per key than the cluster
     /// has, or if the erasure parameters are invalid.
     pub fn new(cfg: EngineConfig) -> Rc<World> {
+        Self::new_traced(cfg, Trace::disabled())
+    }
+
+    /// Builds the world with a TraceBus attached: the engine's op paths,
+    /// the transport, and every server emit structured events through
+    /// `trace`. Passing [`Trace::disabled`] is equivalent to [`World::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`World::new`].
+    pub fn new_traced(cfg: EngineConfig, trace: Trace) -> Rc<World> {
         let cluster = KvCluster::build(cfg.cluster);
+        cluster.set_trace(&trace);
         assert!(
             cfg.scheme.servers_per_key() <= cfg.cluster.servers,
             "{} needs {} servers but the cluster has {}",
@@ -160,6 +175,7 @@ impl World {
             client_think: std::cell::Cell::new(cfg.client_think),
             expected: RefCell::new(HashMap::new()),
             views: RefCell::new(views),
+            trace,
         })
     }
 
@@ -260,7 +276,9 @@ impl World {
 
     /// Records what a successful Set wrote, for later validation.
     pub(crate) fn note_written(&self, key: Arc<str>, len: u64, digest: u64) {
-        self.expected.borrow_mut().insert(key, Written { len, digest });
+        self.expected
+            .borrow_mut()
+            .insert(key, Written { len, digest });
     }
 
     /// Memory usage report across the server cluster (Figure 10).

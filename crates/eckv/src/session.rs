@@ -66,11 +66,7 @@ pub struct KvSession {
 
 impl KvSession {
     /// Opens a session against a fresh `servers`-node cluster.
-    pub fn new(
-        profile: eckv_simnet::ClusterProfile,
-        scheme: Scheme,
-        servers: usize,
-    ) -> KvSession {
+    pub fn new(profile: eckv_simnet::ClusterProfile, scheme: Scheme, servers: usize) -> KvSession {
         let world = World::new(EngineConfig::new(
             ClusterConfig::new(profile, servers, 1),
             scheme,
@@ -217,7 +213,10 @@ mod tests {
         kv.kill_server(0);
         kv.kill_server(2);
         for i in 0..10 {
-            assert_eq!(kv.get(&format!("k{i}")).unwrap().unwrap(), vec![i as u8; 1000]);
+            assert_eq!(
+                kv.get(&format!("k{i}")).unwrap().unwrap(),
+                vec![i as u8; 1000]
+            );
         }
         let report = kv.repair_server(0);
         assert_eq!(report.keys_lost, 0);

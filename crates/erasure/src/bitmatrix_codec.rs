@@ -173,8 +173,7 @@ impl BitMatrixEngine {
                             // Column j is packet j of the chosen sequence.
                             let shard = chosen[j / self.w];
                             let packet = j % self.w;
-                            let src_shard =
-                                shards[shard].as_deref().expect("chosen shard present");
+                            let src_shard = shards[shard].as_deref().expect("chosen shard present");
                             let s = packet * ps + off;
                             slice::xor_slice(
                                 &src_shard[s..s + chunk],

@@ -104,12 +104,7 @@ impl Lrc {
                     generator.set(k + l + p, c, e.value());
                 }
             }
-            let candidate = Lrc {
-                k,
-                l,
-                r,
-                generator,
-            };
+            let candidate = Lrc { k, l, r, generator };
             if candidate.all_small_patterns_recoverable() {
                 return Ok(candidate);
             }
@@ -173,7 +168,9 @@ impl Lrc {
         let group = self.k / self.l;
         if lost < self.k {
             let g = lost / group;
-            let mut set: Vec<usize> = (g * group..(g + 1) * group).filter(|&i| i != lost).collect();
+            let mut set: Vec<usize> = (g * group..(g + 1) * group)
+                .filter(|&i| i != lost)
+                .collect();
             set.push(self.k + g);
             set
         } else if lost < self.k + self.l {
@@ -400,8 +397,7 @@ mod tests {
         for a in 0..n {
             for b in (a + 1)..n {
                 for c in (b + 1)..n {
-                    let mut shards: Vec<Option<Vec<u8>>> =
-                        all.iter().cloned().map(Some).collect();
+                    let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
                     shards[a] = None;
                     shards[b] = None;
                     shards[c] = None;
@@ -455,8 +451,7 @@ mod tests {
             for b in (a + 1)..n {
                 for c in (b + 1)..n {
                     let lost = [a, b, c];
-                    let mut shards: Vec<Option<Vec<u8>>> =
-                        all.iter().cloned().map(Some).collect();
+                    let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
                     for &x in &lost {
                         shards[x] = None;
                     }
@@ -522,14 +517,17 @@ mod tests {
     fn works_with_striper() {
         use crate::stripe::Striper;
         use std::sync::Arc;
-        let striper = Striper::new(Arc::new(Lrc::new(4, 2, 2).unwrap())
-            as Arc<dyn crate::codec::ErasureCodec>);
+        let striper = Striper::new(
+            Arc::new(Lrc::new(4, 2, 2).unwrap()) as Arc<dyn crate::codec::ErasureCodec>
+        );
         let value: Vec<u8> = (0..5000u32).map(|i| (i % 253) as u8).collect();
         let stripe = striper.encode_value(&value);
         let mut shards: Vec<Option<Vec<u8>>> = stripe.shards.iter().cloned().map(Some).collect();
         shards[1] = None;
         shards[5] = None;
-        let got = striper.decode_value(&mut shards, stripe.original_len).unwrap();
+        let got = striper
+            .decode_value(&mut shards, stripe.original_len)
+            .unwrap();
         assert_eq!(got, value);
     }
 }

@@ -6,7 +6,7 @@
 //! module fans that work out across threads — codecs are `Sync`, so one
 //! instance serves all workers.
 
-use crossbeam::thread;
+use std::thread;
 
 use crate::stripe::{EncodedStripe, Striper};
 
@@ -54,14 +54,13 @@ pub fn encode_batch(striper: &Striper, values: &[&[u8]], threads: usize) -> Vec<
             rest = tail;
             let my_values = &values[start..start + take];
             start += take;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, v) in mine.iter_mut().zip(my_values) {
                     *slot = Some(striper.encode_value(v));
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     out.into_iter()
         .map(|s| s.expect("every slot is filled"))

@@ -40,10 +40,7 @@ impl XorSchedule {
     /// XOR operations the schedule performs (a copy is free; each extra
     /// source costs one XOR pass).
     pub fn xor_count(&self) -> u64 {
-        self.steps
-            .iter()
-            .map(|s| (s.srcs.len() - 1) as u64)
-            .sum()
+        self.steps.iter().map(|s| (s.srcs.len() - 1) as u64).sum()
     }
 
     /// XOR operations a naive (per-set-bit) encode of `coding` performs.
@@ -140,10 +137,7 @@ pub fn optimize(coding: &BitMatrix) -> XorSchedule {
     for row in rows {
         let srcs: Vec<usize> = row.into_iter().collect();
         assert!(!srcs.is_empty(), "a coding row cannot be empty");
-        steps.push(ScheduleStep {
-            dst: next_id,
-            srcs,
-        });
+        steps.push(ScheduleStep { dst: next_id, srcs });
         next_id += 1;
     }
     XorSchedule {

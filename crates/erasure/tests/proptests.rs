@@ -1,3 +1,7 @@
+// The proptest suites need the external `proptest` crate, which cannot be
+// fetched in offline builds. They are gated behind the off-by-default
+// `extern-dev-deps` cargo feature; see the workspace Cargo.toml to re-enable.
+#![cfg(feature = "extern-dev-deps")]
 //! Property tests: encode -> erase (<= m) -> reconstruct == identity.
 
 use eckv_erasure::{CodecKind, Striper};

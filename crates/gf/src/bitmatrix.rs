@@ -50,7 +50,10 @@ impl BitMatrix {
     ///
     /// Panics if either dimension is zero.
     pub fn zero(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "bitmatrix dimensions must be positive");
+        assert!(
+            rows > 0 && cols > 0,
+            "bitmatrix dimensions must be positive"
+        );
         let words_per_row = cols.div_ceil(64);
         BitMatrix {
             rows,
@@ -113,7 +116,10 @@ impl BitMatrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> bool {
-        assert!(r < self.rows && c < self.cols, "bitmatrix index out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "bitmatrix index out of bounds"
+        );
         let w = self.bits[r * self.words_per_row + c / 64];
         (w >> (c % 64)) & 1 == 1
     }
@@ -125,7 +131,10 @@ impl BitMatrix {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: bool) {
-        assert!(r < self.rows && c < self.cols, "bitmatrix index out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "bitmatrix index out of bounds"
+        );
         let word = &mut self.bits[r * self.words_per_row + c / 64];
         if v {
             *word |= 1 << (c % 64);
@@ -263,7 +272,10 @@ impl BitMatrix {
     ///
     /// Panics if the matrix is not square.
     pub fn invert(&self) -> Result<BitMatrix, SingularMatrixError> {
-        assert_eq!(self.rows, self.cols, "only square bitmatrices are invertible");
+        assert_eq!(
+            self.rows, self.cols,
+            "only square bitmatrices are invertible"
+        );
         let n = self.rows;
         let mut a = self.clone();
         let mut inv = BitMatrix::identity(n);
@@ -290,7 +302,8 @@ impl BitMatrix {
             return;
         }
         for w in 0..self.words_per_row {
-            self.bits.swap(a * self.words_per_row + w, b * self.words_per_row + w);
+            self.bits
+                .swap(a * self.words_per_row + w, b * self.words_per_row + w);
         }
     }
 
@@ -360,7 +373,9 @@ mod tests {
         let mut gm = Matrix::zero(1, 1);
         gm.set(0, 0, 0x53);
         let bm = BitMatrix::from_gf256_matrix(&gm);
-        let inv = bm.invert().expect("nonzero element expansion is invertible");
+        let inv = bm
+            .invert()
+            .expect("nonzero element expansion is invertible");
         assert!(bm.mul(&inv).is_identity());
 
         let mut gm_inv = Matrix::zero(1, 1);

@@ -229,7 +229,10 @@ impl Matrix {
                 continue;
             };
             a.swap_rows(pivot, rank);
-            let pinv = Gf256::new(a.get(rank, col)).inv().expect("pivot nonzero").value();
+            let pinv = Gf256::new(a.get(rank, col))
+                .inv()
+                .expect("pivot nonzero")
+                .value();
             a.scale_row(rank, pinv);
             for r in 0..self.rows {
                 if r != rank {
@@ -419,8 +422,11 @@ mod tests {
         let idx = [0usize, 1, 2, 3, 4, 5];
         for skip1 in 0..6 {
             for skip2 in (skip1 + 1)..6 {
-                let rows: Vec<usize> =
-                    idx.iter().copied().filter(|&i| i != skip1 && i != skip2).collect();
+                let rows: Vec<usize> = idx
+                    .iter()
+                    .copied()
+                    .filter(|&i| i != skip1 && i != skip2)
+                    .collect();
                 let sub = s.select_rows(&rows);
                 assert!(sub.invert().is_ok(), "rows {rows:?} should be independent");
             }

@@ -1,3 +1,7 @@
+// The proptest suites need the external `proptest` crate, which cannot be
+// fetched in offline builds. They are gated behind the off-by-default
+// `extern-dev-deps` cargo feature; see the workspace Cargo.toml to re-enable.
+#![cfg(feature = "extern-dev-deps")]
 //! Property-based tests for the GF(2^8) algebra.
 
 use eckv_gf::{slice, BitMatrix, Gf256, Matrix};

@@ -15,7 +15,9 @@
 //!   finds `RS_Van` fastest for 1 KB–1 MB values while the XOR codes only
 //!   amortize at very large objects.
 
-use crate::time::SimDuration;
+use crate::net::NodeId;
+use crate::time::{SimDuration, SimTime};
+use crate::tracebus::{CodecOp, Trace, TraceEvent};
 
 /// Throughput/overhead constants for one CPU generation.
 ///
@@ -108,9 +110,64 @@ impl ComputeModel {
     }
 }
 
+/// Records one codec invocation on the TraceBus: a start/end event pair
+/// spanning `[start, start + took)` plus the per-node codec counters. The
+/// engine's encode/decode paths call this wherever they charge codec time
+/// to a CPU. No-op when tracing is disabled.
+pub fn trace_codec(
+    trace: &Trace,
+    node: NodeId,
+    op: CodecOp,
+    start: SimTime,
+    took: SimDuration,
+    bytes: u64,
+) {
+    if !trace.is_enabled() {
+        return;
+    }
+    trace.emit(start, TraceEvent::CodecStart { node, op, bytes });
+    trace.emit(start + took, TraceEvent::CodecEnd { node, op, took });
+    trace.counter_add(node, "codec_invocations", 1);
+    trace.counter_add(node, "codec_busy_ns", took.as_nanos());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_codec_emits_span_and_counters() {
+        use crate::tracebus::{RingBufferSink, TraceBus};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let ring = Rc::new(RefCell::new(RingBufferSink::new(8)));
+        let mut bus = TraceBus::new();
+        bus.add_sink(ring.clone());
+        let trace = Trace::from_bus(bus);
+        let start = SimTime::from_nanos(100);
+        let took = SimDuration::from_micros(3);
+        trace_codec(&trace, NodeId(1), CodecOp::Encode, start, took, 4096);
+        let recs: Vec<_> = ring.borrow().records().copied().collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].event.name(), "encode_start");
+        assert_eq!(recs[0].at, start);
+        assert_eq!(recs[1].event.name(), "encode_end");
+        assert_eq!(recs[1].at, start + took);
+        trace.with_bus(|bus| {
+            assert_eq!(bus.counter(NodeId(1), "codec_invocations"), 1);
+            assert_eq!(bus.counter(NodeId(1), "codec_busy_ns"), took.as_nanos());
+        });
+        // Disabled handle: nothing happens, nothing panics.
+        trace_codec(
+            &Trace::disabled(),
+            NodeId(1),
+            CodecOp::Decode,
+            start,
+            took,
+            1,
+        );
+    }
 
     #[test]
     fn mul_cost_is_linear_in_bytes() {

@@ -37,14 +37,21 @@ mod resource;
 mod rng;
 mod stats;
 mod time;
+mod timeseries;
 mod trace;
+mod tracebus;
 
 pub use cluster::{ClusterProfile, CpuProfile, TransportKind};
-pub use compute::ComputeModel;
+pub use compute::{trace_codec, ComputeModel};
 pub use engine::Simulation;
 pub use net::{Delivery, NetConfig, Network, NodeId, WireProtocol};
 pub use resource::{FifoResource, WorkerPool};
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary};
 pub use time::{SimDuration, SimTime};
+pub use timeseries::{SeriesWindow, TimeSeries};
 pub use trace::PhaseBreakdown;
+pub use tracebus::{
+    escape_json_into, CodecOp, CsvSink, JsonlSink, NicDir, OpClass, RingBufferSink, Trace,
+    TraceBus, TraceEvent, TraceRecord, TraceSink,
+};

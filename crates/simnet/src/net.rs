@@ -19,6 +19,7 @@ use std::rc::Rc;
 use crate::engine::Simulation;
 use crate::resource::FifoResource;
 use crate::time::{SimDuration, SimTime};
+use crate::tracebus::{NicDir, Trace, TraceEvent};
 
 /// Identifies a node in the simulated cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -142,6 +143,7 @@ pub struct Network {
     nodes: Vec<NodeState>,
     messages_sent: u64,
     bytes_sent: u64,
+    trace: Trace,
 }
 
 impl Network {
@@ -159,7 +161,15 @@ impl Network {
             nodes,
             messages_sent: 0,
             bytes_sent: 0,
+            trace: Trace::disabled(),
         }))
+    }
+
+    /// Attaches a TraceBus handle; every subsequent send emits transport
+    /// events ([`TraceEvent::ShardSend`]/[`TraceEvent::ShardRecv`], NIC
+    /// queue enter/exit, failure detection) and per-node NIC counters.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
     }
 
     /// The transport configuration.
@@ -244,14 +254,33 @@ impl Network {
         sim.schedule_at(start, move |sim| {
             let now = sim.now();
             let mut n = net.borrow_mut();
-            assert!(from.0 < n.nodes.len() && to.0 < n.nodes.len(), "bad node id");
+            assert!(
+                from.0 < n.nodes.len() && to.0 < n.nodes.len(),
+                "bad node id"
+            );
             n.messages_sent += 1;
             n.bytes_sent += bytes as u64;
             if !n.nodes[to.0].alive {
                 let at = now + n.cfg.failure_detect;
+                if n.trace.is_enabled() {
+                    n.trace
+                        .emit(at, TraceEvent::FailureDetected { node: to, by: from });
+                    n.trace.counter_add(from, "failure_detects", 1);
+                }
                 drop(n);
                 sim.schedule_at(at, move |sim| on_complete(sim, Delivery::TargetDead(at)));
                 return;
+            }
+            let traced = n.trace.is_enabled();
+            if traced {
+                n.trace.emit(
+                    now,
+                    TraceEvent::ShardSend {
+                        from,
+                        to,
+                        bytes: bytes as u64,
+                    },
+                );
             }
             let wire = n.cfg.wire_time(bytes);
             let overhead = n.cfg.protocol_overhead(bytes);
@@ -265,13 +294,75 @@ impl Network {
                 WireProtocol::Eager => (now, overhead),
             };
             // Sender serializes the payload onto the wire...
+            let tx_free = n.nodes[from.0].tx.free_at();
             let tx_done = n.nodes[from.0].tx.reserve(tx_start, wire);
+            if traced {
+                let depth = n.nodes[from.0].tx.queue_depth();
+                let hwm = n.nodes[from.0].tx.queue_hwm();
+                let waited = tx_free.max(tx_start).since(tx_start);
+                n.trace.emit(
+                    tx_start,
+                    TraceEvent::NicQueueEnter {
+                        node: from,
+                        dir: NicDir::Tx,
+                        depth,
+                    },
+                );
+                n.trace.emit(
+                    tx_done,
+                    TraceEvent::NicQueueExit {
+                        node: from,
+                        dir: NicDir::Tx,
+                        waited,
+                    },
+                );
+                n.trace.counter_add(from, "nic_tx_msgs", 1);
+                n.trace.counter_add(from, "nic_tx_bytes", bytes as u64);
+                n.trace.counter_add(from, "nic_tx_busy_ns", wire.as_nanos());
+                n.trace.counter_max(from, "nic_tx_queue_hwm", hwm);
+            }
             // ...it propagates, then the receiver NIC drains and (for
             // eager) copies it out.
             let arrival = tx_done + latency;
+            let rx_free = n.nodes[to.0].rx.free_at();
             let delivered = n.nodes[to.0].rx.reserve(arrival, wire + rx_extra);
+            if traced {
+                let depth = n.nodes[to.0].rx.queue_depth();
+                let hwm = n.nodes[to.0].rx.queue_hwm();
+                let waited = rx_free.max(arrival).since(arrival);
+                n.trace.emit(
+                    arrival,
+                    TraceEvent::NicQueueEnter {
+                        node: to,
+                        dir: NicDir::Rx,
+                        depth,
+                    },
+                );
+                n.trace.emit(
+                    delivered,
+                    TraceEvent::NicQueueExit {
+                        node: to,
+                        dir: NicDir::Rx,
+                        waited,
+                    },
+                );
+                n.trace.counter_add(to, "nic_rx_msgs", 1);
+                n.trace.counter_add(to, "nic_rx_bytes", bytes as u64);
+                n.trace
+                    .counter_add(to, "nic_rx_busy_ns", (wire + rx_extra).as_nanos());
+                n.trace.counter_max(to, "nic_rx_queue_hwm", hwm);
+            }
+            let trace = n.trace.clone();
             drop(n);
             sim.schedule_at(delivered, move |sim| {
+                trace.emit(
+                    delivered,
+                    TraceEvent::ShardRecv {
+                        from,
+                        to,
+                        bytes: bytes as u64,
+                    },
+                );
                 on_complete(sim, Delivery::Delivered(delivered));
             });
         });
@@ -312,7 +403,10 @@ mod tests {
         // jump by roughly the handshake cost.
         let below = cfg.one_way(16 * 1024);
         let above = cfg.one_way(16 * 1024 + 64);
-        assert!(above > below + SimDuration::from_micros(3), "below={below} above={above}");
+        assert!(
+            above > below + SimDuration::from_micros(3),
+            "below={below} above={above}"
+        );
     }
 
     #[test]
@@ -322,9 +416,17 @@ mod tests {
         let mut sim = Simulation::new();
         let done: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
         let d2 = done.clone();
-        Network::send(&net, &mut sim, SimTime::ZERO, NodeId(0), NodeId(1), 1024, move |_, d| {
-            *d2.borrow_mut() = Some(d.at());
-        });
+        Network::send(
+            &net,
+            &mut sim,
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            1024,
+            move |_, d| {
+                *d2.borrow_mut() = Some(d.at());
+            },
+        );
         sim.run();
         let expect =
             SimTime::ZERO + cfg.wire_time(1024) * 2 + cfg.latency + cfg.protocol_overhead(1024);
@@ -392,9 +494,17 @@ mod tests {
         let mut sim = Simulation::new();
         let outcome = Rc::new(RefCell::new(None));
         let o2 = outcome.clone();
-        Network::send(&net, &mut sim, SimTime::ZERO, NodeId(0), NodeId(1), 128, move |_, d| {
-            *o2.borrow_mut() = Some(d);
-        });
+        Network::send(
+            &net,
+            &mut sim,
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            128,
+            move |_, d| {
+                *o2.borrow_mut() = Some(d);
+            },
+        );
         sim.run();
         let d = outcome.borrow().unwrap();
         assert!(!d.is_delivered());
@@ -412,9 +522,17 @@ mod tests {
         let mut sim = Simulation::new();
         let ok = Rc::new(RefCell::new(false));
         let ok2 = ok.clone();
-        Network::send(&net, &mut sim, SimTime::ZERO, NodeId(0), NodeId(1), 128, move |_, d| {
-            *ok2.borrow_mut() = d.is_delivered();
-        });
+        Network::send(
+            &net,
+            &mut sim,
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            128,
+            move |_, d| {
+                *ok2.borrow_mut() = d.is_delivered();
+            },
+        );
         sim.run();
         assert!(*ok.borrow());
     }
@@ -440,7 +558,15 @@ mod tests {
         let cfg = test_cfg();
         let net = Network::new(2, cfg);
         let mut sim = Simulation::new();
-        Network::send(&net, &mut sim, SimTime::ZERO, NodeId(0), NodeId(1), 1 << 20, |_, _| {});
+        Network::send(
+            &net,
+            &mut sim,
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            1 << 20,
+            |_, _| {},
+        );
         sim.run();
         let (tx0, rx0) = net.borrow().nic_busy(NodeId(0));
         let (tx1, rx1) = net.borrow().nic_busy(NodeId(1));
@@ -451,12 +577,69 @@ mod tests {
     }
 
     #[test]
+    fn traced_send_emits_transport_events_and_counters() {
+        use crate::tracebus::{RingBufferSink, TraceBus};
+
+        let ring = Rc::new(RefCell::new(RingBufferSink::new(64)));
+        let mut bus = TraceBus::new();
+        bus.add_sink(ring.clone());
+        let trace = Trace::from_bus(bus);
+
+        let net = Network::new(3, test_cfg());
+        net.borrow_mut().set_trace(trace.clone());
+        net.borrow_mut().kill(NodeId(2));
+        let mut sim = Simulation::new();
+        Network::send(
+            &net,
+            &mut sim,
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            1024,
+            |_, _| {},
+        );
+        Network::send(
+            &net,
+            &mut sim,
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(2),
+            1024,
+            |_, _| {},
+        );
+        sim.run();
+
+        let names: Vec<&str> = ring.borrow().records().map(|r| r.event.name()).collect();
+        assert!(names.contains(&"shard_send"));
+        assert!(names.contains(&"shard_recv"));
+        assert!(names.contains(&"nic_queue_enter"));
+        assert!(names.contains(&"nic_queue_exit"));
+        assert!(names.contains(&"failure_detected"));
+        trace.with_bus(|bus| {
+            assert_eq!(bus.counter(NodeId(0), "nic_tx_msgs"), 1);
+            assert_eq!(bus.counter(NodeId(0), "nic_tx_bytes"), 1024);
+            assert_eq!(bus.counter(NodeId(1), "nic_rx_msgs"), 1);
+            assert_eq!(bus.counter(NodeId(0), "failure_detects"), 1);
+            assert_eq!(bus.counter(NodeId(0), "nic_tx_queue_hwm"), 1);
+            assert!(bus.counter(NodeId(0), "nic_tx_busy_ns") > 0);
+        });
+    }
+
+    #[test]
     fn counters_accumulate() {
         let cfg = test_cfg();
         let net = Network::new(2, cfg);
         let mut sim = Simulation::new();
         for _ in 0..3 {
-            Network::send(&net, &mut sim, SimTime::ZERO, NodeId(0), NodeId(1), 100, |_, _| {});
+            Network::send(
+                &net,
+                &mut sim,
+                SimTime::ZERO,
+                NodeId(0),
+                NodeId(1),
+                100,
+                |_, _| {},
+            );
         }
         sim.run();
         assert_eq!(net.borrow().messages_sent(), 3);

@@ -32,6 +32,8 @@ pub struct FifoResource {
     free_at: SimTime,
     busy: SimDuration,
     reservations: u64,
+    pending: BinaryHeap<Reverse<SimTime>>,
+    queue_hwm: u64,
 }
 
 impl FifoResource {
@@ -42,6 +44,8 @@ impl FifoResource {
             free_at: SimTime::ZERO,
             busy: SimDuration::ZERO,
             reservations: 0,
+            pending: BinaryHeap::new(),
+            queue_hwm: 0,
         }
     }
 
@@ -53,7 +57,23 @@ impl FifoResource {
         self.free_at = end;
         self.busy += service;
         self.reservations += 1;
+        while matches!(self.pending.peek(), Some(&Reverse(t)) if t <= now) {
+            self.pending.pop();
+        }
+        self.pending.push(Reverse(end));
+        self.queue_hwm = self.queue_hwm.max(self.pending.len() as u64);
         end
+    }
+
+    /// Outstanding reservations (queued or in service) as of the last
+    /// [`FifoResource::reserve`] call, including that reservation itself.
+    pub fn queue_depth(&self) -> u64 {
+        self.pending.len() as u64
+    }
+
+    /// Highest queue depth ever observed.
+    pub fn queue_hwm(&self) -> u64 {
+        self.queue_hwm
     }
 
     /// The instant this resource next becomes idle.
@@ -103,6 +123,8 @@ pub struct WorkerPool {
     workers: usize,
     busy: SimDuration,
     reservations: u64,
+    pending: BinaryHeap<Reverse<SimTime>>,
+    queue_hwm: u64,
 }
 
 impl WorkerPool {
@@ -123,6 +145,8 @@ impl WorkerPool {
             workers,
             busy: SimDuration::ZERO,
             reservations: 0,
+            pending: BinaryHeap::new(),
+            queue_hwm: 0,
         }
     }
 
@@ -135,7 +159,23 @@ impl WorkerPool {
         self.free_at.push(Reverse(end));
         self.busy += service;
         self.reservations += 1;
+        while matches!(self.pending.peek(), Some(&Reverse(t)) if t <= now) {
+            self.pending.pop();
+        }
+        self.pending.push(Reverse(end));
+        self.queue_hwm = self.queue_hwm.max(self.pending.len() as u64);
         end
+    }
+
+    /// Outstanding reservations (queued or running) as of the last
+    /// [`WorkerPool::reserve`] call, including that reservation itself.
+    pub fn queue_depth(&self) -> u64 {
+        self.pending.len() as u64
+    }
+
+    /// Highest queue depth ever observed.
+    pub fn queue_hwm(&self) -> u64 {
+        self.queue_hwm
     }
 
     /// Number of workers in the pool.
@@ -200,7 +240,7 @@ mod tests {
         let d = |us| SimDuration::from_micros(us);
         p.reserve(t(0), d(100)); // worker A busy until 100
         p.reserve(t(0), d(10)); // worker B busy until 10
-        // Next job at t=20 should land on B (free at 10), done at 30.
+                                // Next job at t=20 should land on B (free at 10), done at 30.
         assert_eq!(p.reserve(t(20), d(10)), t(30));
     }
 
@@ -208,5 +248,36 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_worker_pool_panics() {
         let _ = WorkerPool::new("cpu", 0);
+    }
+
+    #[test]
+    fn fifo_queue_depth_tracks_backlog_and_hwm() {
+        let mut r = FifoResource::new("link");
+        let d = SimDuration::from_micros(10);
+        r.reserve(SimTime::ZERO, d);
+        r.reserve(SimTime::ZERO, d);
+        r.reserve(SimTime::ZERO, d);
+        assert_eq!(r.queue_depth(), 3);
+        assert_eq!(r.queue_hwm(), 3);
+        // By t=25us two reservations have drained; only the third plus the
+        // new one remain outstanding.
+        r.reserve(SimTime::from_nanos(25_000), d);
+        assert_eq!(r.queue_depth(), 2);
+        assert_eq!(r.queue_hwm(), 3, "high-water mark is sticky");
+    }
+
+    #[test]
+    fn pool_queue_depth_counts_running_and_queued() {
+        let mut p = WorkerPool::new("cpu", 2);
+        let d = SimDuration::from_micros(10);
+        for _ in 0..4 {
+            p.reserve(SimTime::ZERO, d);
+        }
+        assert_eq!(p.queue_depth(), 4, "two running + two queued");
+        // By t=35us all four are done (first wave at 10us, second at 20us),
+        // so only the new reservation is outstanding.
+        p.reserve(SimTime::from_nanos(35_000), d);
+        assert_eq!(p.queue_depth(), 1);
+        assert_eq!(p.queue_hwm(), 4);
     }
 }

@@ -1,0 +1,844 @@
+//! TraceBus: a deterministic, zero-cost-when-disabled structured event
+//! stream threaded through the whole simulator stack.
+//!
+//! Every layer (transport, compute, servers, the engine's op paths) emits
+//! typed [`TraceEvent`]s through a cheaply-clonable [`Trace`] handle. A
+//! disabled handle is `None` inside — every emission site branches on that
+//! and pays nothing else. An enabled handle fans events out to pluggable
+//! [`TraceSink`]s (in-memory ring buffer, JSONL/CSV text exporters), feeds
+//! the windowed [`TimeSeries`](crate::TimeSeries) aggregator, and maintains
+//! a per-node counter registry.
+//!
+//! Determinism is a hard requirement: events carry only virtual timestamps
+//! and a monotonically increasing sequence number, sinks buffer into
+//! in-memory strings, and the counter registry is a `BTreeMap` — so two
+//! runs with identical seeds produce byte-identical exports.
+//!
+//! # Example
+//!
+//! ```
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//! use eckv_simnet::{JsonlSink, NodeId, SimTime, Trace, TraceBus, TraceEvent};
+//!
+//! let sink = Rc::new(RefCell::new(JsonlSink::new()));
+//! let mut bus = TraceBus::new();
+//! bus.add_sink(sink.clone());
+//! let trace = Trace::from_bus(bus);
+//! trace.emit(
+//!     SimTime::from_nanos(10),
+//!     TraceEvent::ShardSend { from: NodeId(0), to: NodeId(1), bytes: 4096 },
+//! );
+//! assert!(sink.borrow().contents().contains("\"event\":\"shard_send\""));
+//! ```
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::net::NodeId;
+use crate::time::{SimDuration, SimTime};
+use crate::timeseries::TimeSeries;
+
+/// Which kind of client operation an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// A write.
+    Set,
+    /// A read (bulk-get sub-reads included).
+    Get,
+}
+
+impl OpClass {
+    /// Stable lowercase label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Set => "set",
+            OpClass::Get => "get",
+        }
+    }
+}
+
+/// NIC direction of a queue event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NicDir {
+    /// Transmit side.
+    Tx,
+    /// Receive side.
+    Rx,
+}
+
+impl NicDir {
+    /// Stable lowercase label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            NicDir::Tx => "tx",
+            NicDir::Rx => "rx",
+        }
+    }
+}
+
+/// Which codec kernel a codec span ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecOp {
+    /// Erasure encode.
+    Encode,
+    /// Erasure decode (degraded read or repair reconstruction).
+    Decode,
+}
+
+/// One structured trace event. Timestamps live on the enclosing
+/// [`TraceRecord`]; durations and byte counts ride on the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The driver admitted an operation into a client's window.
+    OpAdmitted {
+        /// Node the issuing client runs on.
+        client: NodeId,
+        /// Set or Get.
+        op: OpClass,
+    },
+    /// An operation completed (after any transparent retries).
+    OpCompleted {
+        /// Node the issuing client runs on.
+        client: NodeId,
+        /// Set or Get.
+        op: OpClass,
+        /// Client-observed latency.
+        latency: SimDuration,
+        /// Whether the operation succeeded.
+        ok: bool,
+        /// Value bytes moved (zero for failures).
+        bytes: u64,
+    },
+    /// A message (shard, request, or ack) entered the transport.
+    ShardSend {
+        /// Sender node.
+        from: NodeId,
+        /// Receiver node.
+        to: NodeId,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A message was delivered to its receiver.
+    ShardRecv {
+        /// Sender node.
+        from: NodeId,
+        /// Receiver node.
+        to: NodeId,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A transfer joined a NIC's FIFO queue.
+    NicQueueEnter {
+        /// The NIC's node.
+        node: NodeId,
+        /// Direction.
+        dir: NicDir,
+        /// Queue depth including this transfer.
+        depth: u64,
+    },
+    /// A transfer finished serializing through a NIC.
+    NicQueueExit {
+        /// The NIC's node.
+        node: NodeId,
+        /// Direction.
+        dir: NicDir,
+        /// Time spent queued behind earlier transfers.
+        waited: SimDuration,
+    },
+    /// A codec kernel started on a node's CPU.
+    CodecStart {
+        /// Node running the kernel.
+        node: NodeId,
+        /// Encode or decode.
+        op: CodecOp,
+        /// Value bytes processed.
+        bytes: u64,
+    },
+    /// A codec kernel finished.
+    CodecEnd {
+        /// Node that ran the kernel.
+        node: NodeId,
+        /// Encode or decode.
+        op: CodecOp,
+        /// Kernel duration.
+        took: SimDuration,
+    },
+    /// A sender observed a transport error against a dead node.
+    FailureDetected {
+        /// The dead node.
+        node: NodeId,
+        /// The node that discovered it.
+        by: NodeId,
+    },
+    /// The driver transparently re-dispatched an operation after a
+    /// dead-server discovery.
+    Retry {
+        /// Node the issuing client runs on.
+        client: NodeId,
+        /// Set or Get.
+        op: OpClass,
+    },
+    /// Repair reconstructed a lost shard onto a replacement server.
+    RepairShard {
+        /// The replacement server's node.
+        node: NodeId,
+        /// Rebuilt shard bytes.
+        bytes: u64,
+    },
+    /// A RAM eviction victim spilled to a server's flash tier.
+    SsdSpill {
+        /// The server's node.
+        node: NodeId,
+        /// Spilled bytes.
+        bytes: u64,
+    },
+    /// A read missed RAM and was served from flash.
+    SsdRead {
+        /// The server's node.
+        node: NodeId,
+        /// Bytes read from flash.
+        bytes: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event name used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::OpAdmitted { .. } => "op_admitted",
+            TraceEvent::OpCompleted { .. } => "op_completed",
+            TraceEvent::ShardSend { .. } => "shard_send",
+            TraceEvent::ShardRecv { .. } => "shard_recv",
+            TraceEvent::NicQueueEnter { .. } => "nic_queue_enter",
+            TraceEvent::NicQueueExit { .. } => "nic_queue_exit",
+            TraceEvent::CodecStart {
+                op: CodecOp::Encode,
+                ..
+            } => "encode_start",
+            TraceEvent::CodecStart {
+                op: CodecOp::Decode,
+                ..
+            } => "decode_start",
+            TraceEvent::CodecEnd {
+                op: CodecOp::Encode,
+                ..
+            } => "encode_end",
+            TraceEvent::CodecEnd {
+                op: CodecOp::Decode,
+                ..
+            } => "decode_end",
+            TraceEvent::FailureDetected { .. } => "failure_detected",
+            TraceEvent::Retry { .. } => "retry",
+            TraceEvent::RepairShard { .. } => "repair_shard",
+            TraceEvent::SsdSpill { .. } => "ssd_spill",
+            TraceEvent::SsdRead { .. } => "ssd_read",
+        }
+    }
+}
+
+/// One emitted event with its virtual timestamp and sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time the event is stamped with. Span-end events
+    /// ([`TraceEvent::CodecEnd`], [`TraceEvent::NicQueueExit`]) may be
+    /// stamped in the future of the event that scheduled them.
+    pub at: SimTime,
+    /// Emission order, monotonically increasing per bus.
+    pub seq: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Appends `s` to `out` as a JSON string literal (quotes included), with
+/// hand-rolled escaping — no external serialization crate.
+pub fn escape_json_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The shared flat field layout used by the generic exporters: every event
+/// maps onto `(node, peer, kind, bytes, dur_ns, ok)`, with unused fields
+/// `None`.
+struct FlatFields {
+    node: Option<NodeId>,
+    peer: Option<NodeId>,
+    kind: Option<&'static str>,
+    bytes: Option<u64>,
+    dur_ns: Option<u64>,
+    ok: Option<bool>,
+}
+
+impl TraceRecord {
+    fn flat(&self) -> FlatFields {
+        let mut f = FlatFields {
+            node: None,
+            peer: None,
+            kind: None,
+            bytes: None,
+            dur_ns: None,
+            ok: None,
+        };
+        match self.event {
+            TraceEvent::OpAdmitted { client, op } => {
+                f.node = Some(client);
+                f.kind = Some(op.label());
+            }
+            TraceEvent::OpCompleted {
+                client,
+                op,
+                latency,
+                ok,
+                bytes,
+            } => {
+                f.node = Some(client);
+                f.kind = Some(op.label());
+                f.bytes = Some(bytes);
+                f.dur_ns = Some(latency.as_nanos());
+                f.ok = Some(ok);
+            }
+            TraceEvent::ShardSend { from, to, bytes }
+            | TraceEvent::ShardRecv { from, to, bytes } => {
+                f.node = Some(from);
+                f.peer = Some(to);
+                f.bytes = Some(bytes);
+            }
+            TraceEvent::NicQueueEnter { node, dir, depth } => {
+                f.node = Some(node);
+                f.kind = Some(dir.label());
+                f.bytes = Some(depth);
+            }
+            TraceEvent::NicQueueExit { node, dir, waited } => {
+                f.node = Some(node);
+                f.kind = Some(dir.label());
+                f.dur_ns = Some(waited.as_nanos());
+            }
+            TraceEvent::CodecStart { node, bytes, .. } => {
+                f.node = Some(node);
+                f.bytes = Some(bytes);
+            }
+            TraceEvent::CodecEnd { node, took, .. } => {
+                f.node = Some(node);
+                f.dur_ns = Some(took.as_nanos());
+            }
+            TraceEvent::FailureDetected { node, by } => {
+                f.node = Some(node);
+                f.peer = Some(by);
+            }
+            TraceEvent::Retry { client, op } => {
+                f.node = Some(client);
+                f.kind = Some(op.label());
+            }
+            TraceEvent::RepairShard { node, bytes }
+            | TraceEvent::SsdSpill { node, bytes }
+            | TraceEvent::SsdRead { node, bytes } => {
+                f.node = Some(node);
+                f.bytes = Some(bytes);
+            }
+        }
+        f
+    }
+
+    /// Appends this record to `out` as one JSONL line (newline included).
+    pub fn write_jsonl(&self, out: &mut String) {
+        use fmt::Write;
+        let f = self.flat();
+        let _ = write!(
+            out,
+            "{{\"at_ns\":{},\"seq\":{},\"event\":",
+            self.at.as_nanos(),
+            self.seq
+        );
+        escape_json_into(self.event.name(), out);
+        if let Some(n) = f.node {
+            let _ = write!(out, ",\"node\":{}", n.0);
+        }
+        if let Some(p) = f.peer {
+            let _ = write!(out, ",\"peer\":{}", p.0);
+        }
+        if let Some(k) = f.kind {
+            out.push_str(",\"kind\":");
+            escape_json_into(k, out);
+        }
+        if let Some(b) = f.bytes {
+            let _ = write!(out, ",\"bytes\":{b}");
+        }
+        if let Some(d) = f.dur_ns {
+            let _ = write!(out, ",\"dur_ns\":{d}");
+        }
+        if let Some(ok) = f.ok {
+            let _ = write!(out, ",\"ok\":{ok}");
+        }
+        out.push_str("}\n");
+    }
+
+    /// The header row matching [`TraceRecord::write_csv`].
+    pub const CSV_HEADER: &'static str = "at_ns,seq,event,node,peer,kind,bytes,dur_ns,ok\n";
+
+    /// Appends this record to `out` as one CSV row (newline included);
+    /// inapplicable columns are left empty.
+    pub fn write_csv(&self, out: &mut String) {
+        use fmt::Write;
+        let f = self.flat();
+        let _ = write!(
+            out,
+            "{},{},{}",
+            self.at.as_nanos(),
+            self.seq,
+            self.event.name()
+        );
+        match f.node {
+            Some(n) => {
+                let _ = write!(out, ",{}", n.0);
+            }
+            None => out.push(','),
+        }
+        match f.peer {
+            Some(p) => {
+                let _ = write!(out, ",{}", p.0);
+            }
+            None => out.push(','),
+        }
+        match f.kind {
+            Some(k) => {
+                let _ = write!(out, ",{k}");
+            }
+            None => out.push(','),
+        }
+        match f.bytes {
+            Some(b) => {
+                let _ = write!(out, ",{b}");
+            }
+            None => out.push(','),
+        }
+        match f.dur_ns {
+            Some(d) => {
+                let _ = write!(out, ",{d}");
+            }
+            None => out.push(','),
+        }
+        match f.ok {
+            Some(ok) => {
+                let _ = write!(out, ",{ok}");
+            }
+            None => out.push(','),
+        }
+        out.push('\n');
+    }
+}
+
+/// A consumer of trace records. Sinks are registered on the
+/// [`TraceBus`] behind `Rc<RefCell<...>>` so callers keep a handle and can
+/// read the buffered output after the run.
+pub trait TraceSink {
+    /// Called once per emitted record, in emission order.
+    fn on_event(&mut self, rec: &TraceRecord);
+}
+
+/// A bounded in-memory ring of the most recent records.
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    cap: usize,
+    buf: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// Creates a ring holding at most `cap` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring buffer needs capacity");
+        RingBufferSink {
+            cap,
+            buf: VecDeque::with_capacity(cap),
+            dropped: 0,
+        }
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn on_event(&mut self, rec: &TraceRecord) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(*rec);
+    }
+}
+
+/// Buffers the trace as JSON Lines text (one object per event). The caller
+/// writes [`JsonlSink::contents`] to a file after the run — keeping file
+/// I/O out of the simulator guarantees byte-identical output across runs.
+#[derive(Debug, Clone, Default)]
+pub struct JsonlSink {
+    out: String,
+    events: u64,
+}
+
+impl JsonlSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffered JSONL text.
+    pub fn contents(&self) -> &str {
+        &self.out
+    }
+
+    /// Number of events written so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn on_event(&mut self, rec: &TraceRecord) {
+        rec.write_jsonl(&mut self.out);
+        self.events += 1;
+    }
+}
+
+/// Buffers the trace as CSV text with a fixed header row.
+#[derive(Debug, Clone)]
+pub struct CsvSink {
+    out: String,
+    events: u64,
+}
+
+impl Default for CsvSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CsvSink {
+    /// Creates a sink holding just the header row.
+    pub fn new() -> Self {
+        CsvSink {
+            out: TraceRecord::CSV_HEADER.to_string(),
+            events: 0,
+        }
+    }
+
+    /// The buffered CSV text.
+    pub fn contents(&self) -> &str {
+        &self.out
+    }
+
+    /// Number of events written so far (excluding the header).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+impl TraceSink for CsvSink {
+    fn on_event(&mut self, rec: &TraceRecord) {
+        rec.write_csv(&mut self.out);
+        self.events += 1;
+    }
+}
+
+/// The event hub: sequence numbering, sink fan-out, the windowed
+/// time-series aggregator, and the per-node counter registry.
+#[derive(Default)]
+pub struct TraceBus {
+    seq: u64,
+    sinks: Vec<Rc<RefCell<dyn TraceSink>>>,
+    counters: BTreeMap<(usize, &'static str), u64>,
+    series: Option<TimeSeries>,
+}
+
+impl fmt::Debug for TraceBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceBus")
+            .field("seq", &self.seq)
+            .field("sinks", &self.sinks.len())
+            .field("counters", &self.counters.len())
+            .field("series", &self.series.is_some())
+            .finish()
+    }
+}
+
+impl TraceBus {
+    /// Creates a bus with no sinks, no aggregator, empty counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a sink; every subsequent event is forwarded to it.
+    pub fn add_sink(&mut self, sink: Rc<RefCell<dyn TraceSink>>) {
+        self.sinks.push(sink);
+    }
+
+    /// Enables the windowed time-series aggregator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn enable_series(&mut self, window: SimDuration) {
+        self.series = Some(TimeSeries::new(window));
+    }
+
+    /// The aggregator, if enabled.
+    pub fn series(&self) -> Option<&TimeSeries> {
+        self.series.as_ref()
+    }
+
+    /// Emits one event: aggregates it, stamps it, and fans it out.
+    pub fn emit(&mut self, at: SimTime, event: TraceEvent) {
+        if let Some(series) = &mut self.series {
+            series.observe(at, &event);
+        }
+        let rec = TraceRecord {
+            at,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        for sink in &self.sinks {
+            sink.borrow_mut().on_event(&rec);
+        }
+    }
+
+    /// Number of events emitted so far.
+    pub fn events_emitted(&self) -> u64 {
+        self.seq
+    }
+
+    /// Adds `v` to counter `name` of `node`, saturating at `u64::MAX`.
+    pub fn counter_add(&mut self, node: NodeId, name: &'static str, v: u64) {
+        let c = self.counters.entry((node.0, name)).or_insert(0);
+        *c = c.saturating_add(v);
+    }
+
+    /// Raises counter `name` of `node` to at least `v` (high-water mark).
+    pub fn counter_max(&mut self, node: NodeId, name: &'static str, v: u64) {
+        let c = self.counters.entry((node.0, name)).or_insert(0);
+        *c = (*c).max(v);
+    }
+
+    /// Reads one counter (zero if never touched).
+    pub fn counter(&self, node: NodeId, name: &'static str) -> u64 {
+        self.counters.get(&(node.0, name)).copied().unwrap_or(0)
+    }
+
+    /// The full registry, deterministically ordered by `(node, name)`.
+    pub fn counters(&self) -> impl Iterator<Item = (NodeId, &'static str, u64)> + '_ {
+        self.counters
+            .iter()
+            .map(|(&(n, name), &v)| (NodeId(n), name, v))
+    }
+}
+
+/// The handle every layer holds: `None` inside when tracing is disabled,
+/// making every emission site a single branch. Cloning shares the bus.
+#[derive(Debug, Clone, Default)]
+pub struct Trace(Option<Rc<RefCell<TraceBus>>>);
+
+impl Trace {
+    /// The disabled handle — all operations are no-ops.
+    pub fn disabled() -> Self {
+        Trace(None)
+    }
+
+    /// Wraps a configured bus into an enabled handle.
+    pub fn from_bus(bus: TraceBus) -> Self {
+        Trace(Some(Rc::new(RefCell::new(bus))))
+    }
+
+    /// Whether events will be recorded. Hot paths check this before
+    /// constructing event payloads.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Emits one event (no-op when disabled).
+    pub fn emit(&self, at: SimTime, event: TraceEvent) {
+        if let Some(bus) = &self.0 {
+            bus.borrow_mut().emit(at, event);
+        }
+    }
+
+    /// Adds to a per-node counter (no-op when disabled; saturating).
+    pub fn counter_add(&self, node: NodeId, name: &'static str, v: u64) {
+        if let Some(bus) = &self.0 {
+            bus.borrow_mut().counter_add(node, name, v);
+        }
+    }
+
+    /// Raises a per-node high-water mark (no-op when disabled).
+    pub fn counter_max(&self, node: NodeId, name: &'static str, v: u64) {
+        if let Some(bus) = &self.0 {
+            bus.borrow_mut().counter_max(node, name, v);
+        }
+    }
+
+    /// Runs `f` against the bus; returns `None` when disabled. Used by
+    /// reporting code to read counters and the aggregator after a run.
+    pub fn with_bus<R>(&self, f: impl FnOnce(&TraceBus) -> R) -> Option<R> {
+        self.0.as_ref().map(|bus| f(&bus.borrow()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_ns: u64, seq: u64) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_nanos(at_ns),
+            seq,
+            event: TraceEvent::ShardSend {
+                from: NodeId(0),
+                to: NodeId(1),
+                bytes: 64,
+            },
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = Trace::disabled();
+        assert!(!t.is_enabled());
+        t.emit(SimTime::ZERO, rec(0, 0).event);
+        t.counter_add(NodeId(0), "x", 1);
+        assert!(t.with_bus(|_| ()).is_none());
+    }
+
+    #[test]
+    fn jsonl_line_shape() {
+        let mut out = String::new();
+        rec(1500, 3).write_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"at_ns\":1500,\"seq\":3,\"event\":\"shard_send\",\"node\":0,\"peer\":1,\"bytes\":64}\n"
+        );
+    }
+
+    #[test]
+    fn csv_line_shape() {
+        let mut out = String::new();
+        rec(1500, 3).write_csv(&mut out);
+        assert_eq!(out, "1500,3,shard_send,0,1,,64,,\n");
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        let mut out = String::new();
+        escape_json_into("a\"b\\c\nd\te\u{1}", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn ring_buffer_wraps_and_counts_drops() {
+        let mut ring = RingBufferSink::new(3);
+        for i in 0..5 {
+            ring.on_event(&rec(i * 100, i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let seqs: Vec<u64> = ring.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest records evicted first");
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_overflowing() {
+        let mut bus = TraceBus::new();
+        bus.counter_add(NodeId(2), "bytes", u64::MAX - 1);
+        bus.counter_add(NodeId(2), "bytes", 5);
+        assert_eq!(bus.counter(NodeId(2), "bytes"), u64::MAX);
+        bus.counter_max(NodeId(2), "hwm", 7);
+        bus.counter_max(NodeId(2), "hwm", 3);
+        assert_eq!(bus.counter(NodeId(2), "hwm"), 7);
+        assert_eq!(bus.counter(NodeId(9), "bytes"), 0);
+    }
+
+    #[test]
+    fn counter_registry_iterates_in_key_order() {
+        let mut bus = TraceBus::new();
+        bus.counter_add(NodeId(3), "b", 1);
+        bus.counter_add(NodeId(0), "z", 1);
+        bus.counter_add(NodeId(3), "a", 1);
+        let keys: Vec<(usize, &str)> = bus.counters().map(|(n, name, _)| (n.0, name)).collect();
+        assert_eq!(keys, vec![(0, "z"), (3, "a"), (3, "b")]);
+    }
+
+    #[test]
+    fn bus_fans_out_to_all_sinks_with_monotone_seq() {
+        let ring = Rc::new(RefCell::new(RingBufferSink::new(10)));
+        let jsonl = Rc::new(RefCell::new(JsonlSink::new()));
+        let mut bus = TraceBus::new();
+        bus.add_sink(ring.clone());
+        bus.add_sink(jsonl.clone());
+        let trace = Trace::from_bus(bus);
+        for i in 0..4u64 {
+            trace.emit(
+                SimTime::from_nanos(i * 10),
+                TraceEvent::SsdSpill {
+                    node: NodeId(1),
+                    bytes: i,
+                },
+            );
+        }
+        let seqs: Vec<u64> = ring.borrow().records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        assert_eq!(jsonl.borrow().contents().lines().count(), 4);
+        assert_eq!(trace.with_bus(TraceBus::events_emitted), Some(4));
+    }
+
+    #[test]
+    fn event_names_are_stable() {
+        let e = TraceEvent::CodecStart {
+            node: NodeId(0),
+            op: CodecOp::Decode,
+            bytes: 1,
+        };
+        assert_eq!(e.name(), "decode_start");
+        let e = TraceEvent::CodecEnd {
+            node: NodeId(0),
+            op: CodecOp::Encode,
+            took: SimDuration::ZERO,
+        };
+        assert_eq!(e.name(), "encode_end");
+    }
+}

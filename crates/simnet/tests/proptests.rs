@@ -1,8 +1,10 @@
+// The proptest suites need the external `proptest` crate, which cannot be
+// fetched in offline builds. They are gated behind the off-by-default
+// `extern-dev-deps` cargo feature; see the workspace Cargo.toml to re-enable.
+#![cfg(feature = "extern-dev-deps")]
 //! Property tests for the simulation substrate.
 
-use eckv_simnet::{
-    FifoResource, Histogram, SimDuration, SimRng, SimTime, Simulation, WorkerPool,
-};
+use eckv_simnet::{FifoResource, Histogram, SimDuration, SimRng, SimTime, Simulation, WorkerPool};
 use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;

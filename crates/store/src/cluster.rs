@@ -3,9 +3,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use eckv_simnet::{
-    ClusterProfile, ComputeModel, NetConfig, Network, NodeId, TransportKind,
-};
+use eckv_simnet::{ClusterProfile, ComputeModel, NetConfig, Network, NodeId, Trace, TransportKind};
 
 use crate::hashring::HashRing;
 use crate::server::{KvServer, ServerCosts};
@@ -158,6 +156,15 @@ impl KvCluster {
         self.cfg
     }
 
+    /// Attaches a TraceBus handle to the transport and every server (and,
+    /// through them, the flash tiers). Call once, right after `build`.
+    pub fn set_trace(&self, trace: &Trace) {
+        self.net.borrow_mut().set_trace(trace.clone());
+        for s in &self.servers {
+            s.borrow_mut().set_trace(trace.clone());
+        }
+    }
+
     /// Simulated node of server `i`.
     pub fn server_node(&self, i: usize) -> NodeId {
         NodeId(i)
@@ -220,9 +227,7 @@ mod tests {
 
     #[test]
     fn node_layout_is_servers_then_clients() {
-        let c = KvCluster::build(
-            ClusterConfig::new(ClusterProfile::RiQdr, 5, 15).client_nodes(3),
-        );
+        let c = KvCluster::build(ClusterConfig::new(ClusterProfile::RiQdr, 5, 15).client_nodes(3));
         assert_eq!(c.server_node(4), NodeId(4));
         assert_eq!(c.client_node(0), NodeId(5));
         assert_eq!(c.client_node(1), NodeId(6));

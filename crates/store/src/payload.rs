@@ -1,8 +1,15 @@
 //! Values: real bytes for correctness tests, synthetic descriptors for
 //! terabyte-scale experiments.
 
-use bytes::Bytes;
 use core::fmt;
+
+/// Cheaply-clonable immutable byte buffer.
+///
+/// A stand-in for the external `bytes::Bytes` type (which cannot be fetched
+/// in offline builds): an `Arc<[u8]>` clones by reference-count bump,
+/// derefs to `&[u8]`, and converts from `Vec<u8>`/`&[u8]` — everything the
+/// store and engine need from a shared value buffer.
+pub type Bytes = std::sync::Arc<[u8]>;
 
 /// FNV-1a 64-bit hash, the digest used for end-to-end integrity checks and
 /// for consistent hashing.

@@ -133,8 +133,7 @@ pub fn get<F>(
             Delivery::TargetDead(t) => on_reply(sim, Err(RpcError::ServerDead(t))),
             Delivery::Delivered(at) => {
                 let (done, value) = server.borrow_mut().process_get(at, &key);
-                let response_bytes =
-                    ACK_BYTES + value.as_ref().map_or(0, |v| v.len() as usize);
+                let response_bytes = ACK_BYTES + value.as_ref().map_or(0, |v| v.len() as usize);
                 Network::send(
                     &net2,
                     sim,

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use eckv_simnet::{NodeId, SimDuration, SimTime, WorkerPool};
+use eckv_simnet::{NodeId, SimDuration, SimTime, Trace, WorkerPool};
 
 use crate::payload::Payload;
 use crate::ssd::{SsdSpec, SsdTier};
@@ -47,6 +47,7 @@ pub struct KvServer {
     ssd: Option<SsdTier>,
     cpu: WorkerPool,
     costs: ServerCosts,
+    trace: Trace,
 }
 
 impl KvServer {
@@ -62,6 +63,25 @@ impl KvServer {
             ssd: None,
             cpu: WorkerPool::new(format!("{node}.workers"), workers),
             costs,
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Attaches a TraceBus handle: the flash tier (if any) emits
+    /// spill/read events, and the worker pool's queue-depth high-water mark
+    /// is tracked in the per-node counter registry.
+    pub fn set_trace(&mut self, trace: Trace) {
+        if let Some(ssd) = &mut self.ssd {
+            ssd.set_trace(self.node, trace.clone());
+        }
+        self.trace = trace;
+    }
+
+    /// Publishes worker-pool counters to the registry after a reservation.
+    fn note_cpu(&self) {
+        if self.trace.is_enabled() {
+            self.trace
+                .counter_max(self.node, "cpu_queue_hwm", self.cpu.queue_hwm());
         }
     }
 
@@ -98,6 +118,7 @@ impl KvServer {
             }
             None => self.store.set(key, payload),
         };
+        self.note_cpu();
         (done, outcome)
     }
 
@@ -116,13 +137,16 @@ impl KvServer {
         let bytes = value.as_ref().map_or(0, Payload::len);
         let service = self.costs.op_time(bytes);
         let done = self.cpu.reserve(now, service).max(flash_done);
+        self.note_cpu();
         (done, value)
     }
 
     /// Reserves `service` time on this server's workers without touching
     /// storage — used by server-side ARPE work (encode/decode offload).
     pub fn reserve_cpu(&mut self, now: SimTime, service: SimDuration) -> SimTime {
-        self.cpu.reserve(now, service)
+        let done = self.cpu.reserve(now, service);
+        self.note_cpu();
+        done
     }
 
     /// Storage statistics.
@@ -204,7 +228,10 @@ mod tests {
         }
         let wide_span = wide_last.since(t0);
         let narrow_span = narrow_last.since(t0);
-        assert!(narrow_span.as_nanos() >= wide_span.as_nanos() * 7, "{wide_span} vs {narrow_span}");
+        assert!(
+            narrow_span.as_nanos() >= wide_span.as_nanos() * 7,
+            "{wide_span} vs {narrow_span}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use eckv_simnet::{FifoResource, SimDuration, SimTime};
+use eckv_simnet::{FifoResource, NodeId, SimDuration, SimTime, Trace, TraceEvent};
 
 use crate::payload::Payload;
 use crate::store_node::{StoreNode, StoreStats};
@@ -52,6 +52,8 @@ pub struct SsdTier {
     device: FifoResource,
     reads: u64,
     writes: u64,
+    trace: Trace,
+    node: NodeId,
 }
 
 impl SsdTier {
@@ -63,21 +65,42 @@ impl SsdTier {
             device: FifoResource::new("ssd"),
             reads: 0,
             writes: 0,
+            trace: Trace::disabled(),
+            node: NodeId(0),
         }
     }
 
+    /// Attaches a TraceBus handle; spills and flash reads emit
+    /// [`TraceEvent::SsdSpill`]/[`TraceEvent::SsdRead`] attributed to
+    /// `node` (the owning server).
+    pub fn set_trace(&mut self, node: NodeId, trace: Trace) {
+        self.node = node;
+        self.trace = trace;
+    }
+
     fn xfer(&self, gbps: f64, bytes: u64) -> SimDuration {
-        self.spec.op_latency
-            + SimDuration::from_nanos((bytes as f64 * 8.0 / gbps).round() as u64)
+        self.spec.op_latency + SimDuration::from_nanos((bytes as f64 * 8.0 / gbps).round() as u64)
     }
 
     /// Spills a RAM eviction victim to flash; returns when the device
     /// write completes. Flash overflow evicts (permanently) in LRU order.
     pub fn spill(&mut self, now: SimTime, key: Arc<str>, payload: Payload) -> SimTime {
-        let service = self.xfer(self.spec.write_gbps, payload.len());
+        let bytes = payload.len();
+        let service = self.xfer(self.spec.write_gbps, bytes);
         let done = self.device.reserve(now, service);
         self.store.set(key, payload);
         self.writes += 1;
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                now,
+                TraceEvent::SsdSpill {
+                    node: self.node,
+                    bytes,
+                },
+            );
+            self.trace.counter_add(self.node, "ssd_spill_bytes", bytes);
+            self.trace.counter_add(self.node, "ssd_writes", 1);
+        }
         done
     }
 
@@ -86,9 +109,21 @@ impl SsdTier {
     pub fn read(&mut self, now: SimTime, key: &str) -> (SimTime, Option<Payload>) {
         match self.store.get_at(key, now) {
             Some(p) => {
-                let service = self.xfer(self.spec.read_gbps, p.len());
+                let bytes = p.len();
+                let service = self.xfer(self.spec.read_gbps, bytes);
                 let done = self.device.reserve(now, service);
                 self.reads += 1;
+                if self.trace.is_enabled() {
+                    self.trace.emit(
+                        now,
+                        TraceEvent::SsdRead {
+                            node: self.node,
+                            bytes,
+                        },
+                    );
+                    self.trace.counter_add(self.node, "ssd_read_bytes", bytes);
+                    self.trace.counter_add(self.node, "ssd_reads", 1);
+                }
                 (done, Some(p))
             }
             None => (now, None),
@@ -143,7 +178,10 @@ mod tests {
         let mut t = tier(1 << 30);
         let first = t.spill(SimTime::ZERO, "a".into(), Payload::synthetic(4 << 20, 1));
         let second = t.spill(SimTime::ZERO, "b".into(), Payload::synthetic(4 << 20, 2));
-        assert!(second.since(SimTime::ZERO) >= first.since(SimTime::ZERO) * 2 - SimDuration::from_micros(80));
+        assert!(
+            second.since(SimTime::ZERO)
+                >= first.since(SimTime::ZERO) * 2 - SimDuration::from_micros(80)
+        );
     }
 
     #[test]

@@ -113,10 +113,7 @@ mod tests {
         for _ in 0..100_000 {
             counts[u.next(&mut rng) as usize] += 1;
         }
-        let (min, max) = (
-            *counts.iter().min().unwrap(),
-            *counts.iter().max().unwrap(),
-        );
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
         assert!(max < min * 2, "uniform chooser skewed: {min}..{max}");
     }
 

@@ -53,7 +53,10 @@ impl Zipfian {
     /// Panics if `n == 0` or `theta` is outside `(0, 1)`.
     pub fn with_theta(n: u64, theta: f64) -> Self {
         assert!(n > 0, "zipfian needs a non-empty item set");
-        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&theta) && theta > 0.0,
+            "theta must be in (0, 1)"
+        );
         let zetan = zeta(n, theta);
         let zeta2theta = zeta(2, theta);
         Zipfian {

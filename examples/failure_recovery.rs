@@ -45,8 +45,10 @@ fn demo(label: &str, scheme: Scheme) {
     // A third failure exceeds every scheme's budget here.
     world.cluster.kill_server(0);
     let (errors, _) = read_all(&world, &mut sim);
-    println!("{label:<12} 3 failures: {errors:>3} errors (tolerance is {})\n",
-        scheme.fault_tolerance());
+    println!(
+        "{label:<12} 3 failures: {errors:>3} errors (tolerance is {})\n",
+        scheme.fault_tolerance()
+    );
 }
 
 fn main() {

@@ -25,7 +25,10 @@ fn main() -> Result<(), eckv::session::SessionError> {
     kv.kill_server(0);
     kv.kill_server(4);
     let alice = kv.get("user:1001")?.expect("decoded from surviving chunks");
-    println!("after 2 failures, user:1001 = {:?}", String::from_utf8(alice).unwrap());
+    println!(
+        "after 2 failures, user:1001 = {:?}",
+        String::from_utf8(alice).unwrap()
+    );
 
     // ...swap in a replacement node and re-protect everything.
     let report = kv.repair_server(0);

@@ -19,7 +19,12 @@ fn main() {
 
     // Write a handful of real values (non-blocking, pipelined), then wait.
     let writes: Vec<Op> = (0..8)
-        .map(|i| Op::set_inline(format!("user:{i}"), format!("profile data for user {i}")))
+        .map(|i| {
+            Op::set_inline(
+                format!("user:{i}"),
+                format!("profile data for user {i}").into_bytes(),
+            )
+        })
         .collect();
     run_workload(&world, &mut sim, vec![writes]);
     println!(

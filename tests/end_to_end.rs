@@ -51,7 +51,10 @@ fn mixed_value_sizes_roundtrip() {
         .collect();
     eckv::core::driver::run_workload(&world, &mut sim, vec![writes]);
     world.reset_metrics();
-    let reads: Vec<Op> = sizes.iter().map(|len| Op::get(format!("size-{len}"))).collect();
+    let reads: Vec<Op> = sizes
+        .iter()
+        .map(|len| Op::get(format!("size-{len}")))
+        .collect();
     eckv::core::driver::run_workload(&world, &mut sim, vec![reads]);
     let m = world.metrics.borrow();
     assert_eq!(m.errors, 0);

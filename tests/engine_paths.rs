@@ -61,11 +61,7 @@ fn se_designs_charge_no_client_compute_ce_designs_do() {
     ] {
         let world = world_for(scheme);
         let mut sim = Simulation::new();
-        run_ops(
-            &world,
-            &mut sim,
-            vec![Op::set_synthetic("z", 1 << 20, 1)],
-        );
+        run_ops(&world, &mut sim, vec![Op::set_synthetic("z", 1 << 20, 1)]);
         let b = world.metrics.borrow().avg_set_breakdown();
         assert_eq!(
             b.compute.as_nanos() > 0,
@@ -189,7 +185,10 @@ fn era_se_set_ships_full_value_once_from_client() {
     let ce = client_tx_bytes(Scheme::era_ce_cd(3, 2));
     // SE: D (client->primary) + 4 chunks (primary->peers) = D + 1.33 D.
     // CE: 5 chunks from the client = 1.67 D. Total wire bytes differ:
-    assert!(se > ce, "SE moves more total bytes (two hops): {se} vs {ce}");
+    assert!(
+        se > ce,
+        "SE moves more total bytes (two hops): {se} vs {ce}"
+    );
     let d = 300_000f64;
     assert!((se as f64) > d * 2.2 && (se as f64) < d * 2.5, "se={se}");
     assert!((ce as f64) > d * 1.6 && (ce as f64) < d * 1.9, "ce={ce}");

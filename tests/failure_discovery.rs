@@ -109,7 +109,11 @@ fn views_are_per_client() {
 
     world.reset_metrics();
     eckv::core::driver::run_workload(&world, &mut sim, vec![vec![], vec![Op::get("shared")]]);
-    assert_eq!(world.metrics.borrow().retries, 1, "client 1 discovers separately");
+    assert_eq!(
+        world.metrics.borrow().retries,
+        1,
+        "client 1 discovers separately"
+    );
 
     world.reset_metrics();
     eckv::core::driver::run_workload(&world, &mut sim, vec![vec![], vec![Op::get("shared")]]);

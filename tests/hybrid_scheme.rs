@@ -58,7 +58,10 @@ fn small_values_are_replicated_large_are_chunked() {
         .contains("big"));
     for (i, &s) in big_targets.iter().enumerate() {
         assert!(
-            world.cluster.servers[s].borrow().store().contains(&format!("big.s{i}")),
+            world.cluster.servers[s]
+                .borrow()
+                .store()
+                .contains(&format!("big.s{i}")),
             "chunk {i} missing on server {s}"
         );
     }

@@ -8,11 +8,7 @@ use eckv::simnet::ComputeModel;
 
 fn measured_set_us(scheme: Scheme, size: u64, window: usize) -> f64 {
     let world = World::new(
-        EngineConfig::new(
-            ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
-            scheme,
-        )
-        .window(window),
+        EngineConfig::new(ClusterConfig::new(ClusterProfile::RiQdr, 5, 1), scheme).window(window),
     );
     let mut sim = Simulation::new();
     // A single operation: no pipelining, directly comparable to the

@@ -1,0 +1,132 @@
+//! End-to-end TraceBus guarantees: a traced run emits the full event
+//! vocabulary with virtual timestamps, two identical runs produce
+//! byte-identical trace text, and a disabled trace stays invisible.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use eckv::prelude::*;
+use eckv::simnet::{JsonlSink, SimDuration, Trace, TraceBus};
+
+/// Runs the canonical Era-CE-CD write/kill/read workload with a JSONL sink
+/// attached and returns (trace text, events emitted, series CSV).
+fn traced_run(ops: usize) -> (String, u64, String) {
+    let sink = Rc::new(RefCell::new(JsonlSink::new()));
+    let mut bus = TraceBus::new();
+    bus.add_sink(sink.clone());
+    bus.enable_series(SimDuration::from_millis(10));
+    let trace = Trace::from_bus(bus);
+
+    let world = World::new_traced(
+        EngineConfig::new(
+            ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+            Scheme::era_ce_cd(3, 2),
+        ),
+        trace.clone(),
+    );
+    let mut sim = Simulation::new();
+    let writes: Vec<Op> = (0..ops)
+        .map(|i| Op::set_synthetic(format!("k{i}"), 64 << 10, i as u64))
+        .collect();
+    run_workload(&world, &mut sim, vec![writes]);
+    world.cluster.kill_server(1);
+    world.reset_metrics();
+    let reads: Vec<Op> = (0..ops).map(|i| Op::get(format!("k{i}"))).collect();
+    run_workload(&world, &mut sim, vec![reads]);
+    assert_eq!(world.metrics.borrow().errors, 0);
+
+    let text = sink.borrow().contents().to_string();
+    let emitted = trace
+        .with_bus(|bus| bus.events_emitted())
+        .expect("trace is enabled");
+    let series = trace
+        .with_bus(|bus| bus.series().expect("series enabled").to_csv())
+        .expect("trace is enabled");
+    (text, emitted, series)
+}
+
+#[test]
+fn traced_run_emits_full_event_vocabulary() {
+    let (text, emitted, _) = traced_run(50);
+    assert!(emitted > 0);
+    assert_eq!(text.lines().count() as u64, emitted);
+    // Degraded reads past the killed server force decodes; writes encode.
+    for needle in [
+        "\"event\":\"op_admitted\"",
+        "\"event\":\"op_completed\"",
+        "\"event\":\"shard_send\"",
+        "\"event\":\"shard_recv\"",
+        "\"event\":\"nic_queue_enter\"",
+        "\"event\":\"nic_queue_exit\"",
+        "\"event\":\"encode_start\"",
+        "\"event\":\"encode_end\"",
+        "\"event\":\"decode_start\"",
+        "\"event\":\"decode_end\"",
+        "\"event\":\"failure_detected\"",
+    ] {
+        assert!(text.contains(needle), "missing {needle}");
+    }
+    // Every line carries a virtual timestamp and a sequence number.
+    for line in text.lines().take(100) {
+        assert!(line.starts_with("{\"at_ns\":"), "malformed line: {line}");
+        assert!(line.contains("\"seq\":"), "malformed line: {line}");
+    }
+}
+
+#[test]
+fn identical_runs_produce_byte_identical_traces() {
+    let (a, emitted_a, series_a) = traced_run(40);
+    let (b, emitted_b, series_b) = traced_run(40);
+    assert_eq!(emitted_a, emitted_b);
+    assert_eq!(a, b, "same seed must reproduce the trace byte-for-byte");
+    assert_eq!(series_a, series_b);
+}
+
+#[test]
+fn series_covers_multiple_windows_with_nonzero_throughput() {
+    let (_, _, series) = traced_run(300);
+    let busy_windows = series
+        .lines()
+        .skip(1)
+        .filter(|row| {
+            let ops: u64 = row.split(',').nth(2).unwrap().parse().unwrap();
+            ops > 0
+        })
+        .count();
+    assert!(
+        busy_windows >= 2,
+        "expected >=2 windows with completions, got {busy_windows}:\n{series}"
+    );
+}
+
+#[test]
+fn disabled_trace_adds_no_events_and_changes_no_results() {
+    // Same workload, one traced world and one plain one: the trace must not
+    // perturb the simulation, and the disabled handle must never fire.
+    let (_, emitted, _) = traced_run(25);
+    assert!(emitted > 0);
+
+    let plain = Trace::disabled();
+    assert!(!plain.is_enabled());
+    assert!(plain.with_bus(|b| b.events_emitted()).is_none());
+
+    let run = |trace: Trace| {
+        let world = World::new_traced(
+            EngineConfig::new(
+                ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+                Scheme::era_ce_cd(3, 2),
+            ),
+            trace,
+        );
+        let mut sim = Simulation::new();
+        let writes: Vec<Op> = (0..25)
+            .map(|i| Op::set_synthetic(format!("k{i}"), 64 << 10, i as u64))
+            .collect();
+        run_workload(&world, &mut sim, vec![writes]);
+        let m = world.metrics.borrow();
+        (m.ops(), m.bytes_written, m.elapsed())
+    };
+    let traced = run(Trace::from_bus(TraceBus::new()));
+    let untraced = run(Trace::disabled());
+    assert_eq!(traced, untraced, "tracing must not perturb the simulation");
+}

@@ -24,7 +24,8 @@ fn run_matrix_case(scheme: Scheme, servers: usize, failures: &[usize]) {
     eckv::core::driver::run_workload(&world, &mut sim, vec![reads]);
     let m = world.metrics.borrow();
     assert_eq!(
-        m.errors, 0,
+        m.errors,
+        0,
         "{scheme} with {} failures on {servers} servers",
         failures.len()
     );
@@ -83,10 +84,7 @@ fn all_codec_families_drive_the_engine() {
 #[test]
 fn replication_matrix() {
     for replicas in [2usize, 3, 4] {
-        for scheme in [
-            Scheme::SyncRep { replicas },
-            Scheme::AsyncRep { replicas },
-        ] {
+        for scheme in [Scheme::SyncRep { replicas }, Scheme::AsyncRep { replicas }] {
             run_matrix_case(scheme, 5, &[]);
             let kills: Vec<usize> = (0..replicas - 1).collect();
             run_matrix_case(scheme, 5, &kills);

@@ -38,13 +38,12 @@ fn ram_overflow_spills_to_flash_instead_of_losing_data() {
     // 2 x 150 x 1 MB x3 replication = ~900 MB charged into 5 x 64 MB RAM.
     let ram_only = world(Scheme::AsyncRep { replicas: 3 }, 64 << 20, None);
     let (lost_reads, _) = write_then_read_all(&ram_only, 150, 1 << 20);
-    assert!(lost_reads > 0, "RAM-only must lose data under this pressure");
-
-    let assisted = world(
-        Scheme::AsyncRep { replicas: 3 },
-        64 << 20,
-        Some(4 << 30),
+    assert!(
+        lost_reads > 0,
+        "RAM-only must lose data under this pressure"
     );
+
+    let assisted = world(Scheme::AsyncRep { replicas: 3 }, 64 << 20, Some(4 << 30));
     let (errors, _) = write_then_read_all(&assisted, 150, 1 << 20);
     assert_eq!(errors, 0, "the flash tier must absorb the overflow");
     // And the spill really lives on flash:
