@@ -9,10 +9,25 @@
 //!          [--ops 1000] [--size 64K] [--window 16]
 //!          [--workload setget|ycsb-a|ycsb-b|ycsb-c|ycsb-d]
 //!          [--kill 1,3] [--repair FAILED]
+//!          [--straggler 1x8,3x2] [--straggler-jitter 300us]
+//!          [--hedge-after p95|50us] [--deadline 2ms]
 //!          [--ssd CAPACITY]
 //!          [--trace out.jsonl] [--timeline out.csv]
 //!          [--stats-interval 10ms] [--report]
 //! ```
+//!
+//! Fault-injection and tail-latency flags:
+//!
+//! * `--straggler 1x8` — degrade server 1 by 8x (its side of every
+//!   transfer and its codec throughput) for the whole run; comma-separated
+//!   for several stragglers. The node stays alive, just slow.
+//! * `--straggler-jitter 300us` — add a seeded, uniformly drawn extra
+//!   latency in `[0, 300us]` to each straggler transfer.
+//! * `--hedge-after p95` — hedge erasure reads when the first wave is
+//!   slower than 2x the observed first-chunk p95 (`pNN` selects the
+//!   percentile); a duration (`--hedge-after 50us`) uses a fixed trigger.
+//! * `--deadline 2ms` — per-operation deadline: retries stop once it has
+//!   passed and late completions count as deadline misses.
 //!
 //! Observability flags (all feed the deterministic TraceBus — identical
 //! seeds and flags produce byte-identical output files):
@@ -38,7 +53,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use eckv_core::{driver, ops::Op, repair, EngineConfig, Scheme, World};
+use eckv_core::{driver, ops::Op, repair, EngineConfig, HedgeConfig, Scheme, World};
 use eckv_simnet::{
     ClusterProfile, CsvSink, JsonlSink, SimDuration, Simulation, TimeSeries, Trace, TraceBus,
     TransportKind,
@@ -64,6 +79,10 @@ struct Args {
     workload: String,
     kill: Vec<usize>,
     repair: Option<usize>,
+    straggler: Vec<(usize, f64)>,
+    straggler_jitter: SimDuration,
+    hedge_after: Option<HedgeConfig>,
+    deadline: Option<SimDuration>,
     timeline: Option<String>,
     trace: Option<String>,
     stats_interval: Option<SimDuration>,
@@ -110,6 +129,42 @@ fn parse_duration(s: &str) -> Result<SimDuration, String> {
     Ok(SimDuration::from_nanos(v * mult))
 }
 
+/// Parses one `--straggler` entry of the form `<server>x<factor>`,
+/// e.g. `1x8` or `3x2.5`.
+fn parse_straggler(s: &str) -> Result<(usize, f64), String> {
+    let (srv, factor) = s
+        .trim()
+        .split_once(['x', 'X'])
+        .ok_or_else(|| format!("straggler '{s}' must look like <server>x<factor>, e.g. 1x8"))?;
+    let srv: usize = srv
+        .parse()
+        .map_err(|e| format!("bad straggler server '{srv}': {e}"))?;
+    let factor: f64 = factor
+        .parse()
+        .map_err(|e| format!("bad straggler factor '{factor}': {e}"))?;
+    if !factor.is_finite() || factor < 1.0 {
+        return Err(format!("straggler factor {factor} must be >= 1"));
+    }
+    Ok((srv, factor))
+}
+
+/// Parses `--hedge-after`: `pNN` arms the adaptive trigger at 2x the
+/// observed first-chunk latency percentile NN; a duration (`50us`) sets a
+/// fixed trigger.
+fn parse_hedge(s: &str) -> Result<HedgeConfig, String> {
+    if let Some(p) = s.strip_prefix(['p', 'P']) {
+        let p: f64 = p
+            .parse()
+            .map_err(|e| format!("bad hedge percentile '{s}': {e}"))?;
+        if !(0.0..=100.0).contains(&p) || p == 0.0 {
+            return Err(format!("hedge percentile {p} must be in (0, 100]"));
+        }
+        Ok(HedgeConfig::at_percentile(p, 2.0))
+    } else {
+        Ok(HedgeConfig::after(parse_duration(s)?))
+    }
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut a = Args {
         scheme: "era-ce-cd".into(),
@@ -128,6 +183,10 @@ fn parse_args() -> Result<Args, String> {
         workload: "setget".into(),
         kill: Vec::new(),
         repair: None,
+        straggler: Vec::new(),
+        straggler_jitter: SimDuration::ZERO,
+        hedge_after: None,
+        deadline: None,
         timeline: None,
         trace: None,
         stats_interval: None,
@@ -186,6 +245,15 @@ fn parse_args() -> Result<Args, String> {
                     .collect::<Result<_, _>>()?
             }
             "--repair" => a.repair = Some(value(i)?.parse().map_err(|e| format!("--repair: {e}"))?),
+            "--straggler" => {
+                a.straggler = value(i)?
+                    .split(',')
+                    .map(parse_straggler)
+                    .collect::<Result<_, _>>()?
+            }
+            "--straggler-jitter" => a.straggler_jitter = parse_duration(value(i)?)?,
+            "--hedge-after" => a.hedge_after = Some(parse_hedge(value(i)?)?),
+            "--deadline" => a.deadline = Some(parse_duration(value(i)?)?),
             "--timeline" => a.timeline = Some(value(i)?.to_owned()),
             "--trace" => a.trace = Some(value(i)?.to_owned()),
             "--stats-interval" => a.stats_interval = Some(parse_duration(value(i)?)?),
@@ -242,6 +310,12 @@ fn print_report(world: &Rc<World>) {
     if m.get_count > 0 {
         println!("get latency       : {}", m.get_summary());
         println!("get breakdown/op  : {}", m.avg_get_breakdown());
+    }
+    if m.hedges_fired > 0 || m.hedges_won > 0 {
+        println!("hedges fired/won  : {} / {}", m.hedges_fired, m.hedges_won);
+    }
+    if m.deadline_misses > 0 {
+        println!("deadline misses   : {}", m.deadline_misses);
     }
     drop(m);
     let mem = world.memory_report();
@@ -331,13 +405,30 @@ fn main() {
         Trace::disabled()
     };
 
-    let world = World::new_traced(
-        EngineConfig::new(cluster, scheme)
-            .window(args.window)
-            .validate(args.workload == "setget"),
-        trace.clone(),
-    );
+    let mut engine = EngineConfig::new(cluster, scheme)
+        .window(args.window)
+        .validate(args.workload == "setget");
+    if let Some(h) = args.hedge_after {
+        engine = engine.hedge(h);
+    }
+    if let Some(d) = args.deadline {
+        engine = engine.deadline(d);
+    }
+    let world = World::new_traced(engine, trace.clone());
     let mut sim = Simulation::new();
+    for &(srv, factor) in &args.straggler {
+        if srv >= args.servers {
+            eprintln!("error: --straggler server {srv} out of range");
+            std::process::exit(2);
+        }
+        world
+            .cluster
+            .slow_server(sim.now(), srv, factor, args.straggler_jitter);
+        println!(
+            "straggler: server {srv} degraded {factor}x (jitter up to {})",
+            args.straggler_jitter
+        );
+    }
 
     println!(
         "scheme={} profile={} transport={:?} servers={} clients={} ops={} size={}B window={}",

@@ -1,14 +1,14 @@
 //! Regenerates the paper's tables and figures on the simulated clusters.
 //!
 //! ```text
-//! paper-figures [fig4|fig8|fig9|fig10|fig11|fig12|fig13|all] [--quick]
+//! paper-figures [fig4|fig8|fig9|fig10|fig11|fig12|fig13|tail|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks client counts/op counts for a fast smoke run; omit it
 //! to reproduce the paper-scale sweeps (minutes of wall time; build with
 //! `--release`).
 
-use eckv_bench::{ablations, fig10, fig11_12, fig13, fig4, fig8, fig9, model_check};
+use eckv_bench::{ablations, fig10, fig11_12, fig13, fig4, fig8, fig9, model_check, tail_latency};
 use eckv_simnet::ClusterProfile;
 use eckv_ycsb::Workload;
 
@@ -67,6 +67,10 @@ fn main() {
         ran = true;
         println!("{}", fig13::dfsio_table(quick));
     }
+    if all || which == "tail" {
+        ran = true;
+        println!("{}", tail_latency::tail_latency_table(quick));
+    }
     if all || which == "model" {
         ran = true;
         println!("{}", model_check::table());
@@ -87,7 +91,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown figure '{which}'; expected fig4, fig8, fig9, fig10, fig11, fig12, fig13, model, ablations or all"
+            "unknown figure '{which}'; expected fig4, fig8, fig9, fig10, fig11, fig12, fig13, tail, model, ablations or all"
         );
         std::process::exit(2);
     }

@@ -19,6 +19,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod model_check;
 mod table;
+pub mod tail_latency;
 
 pub use table::Table;
 

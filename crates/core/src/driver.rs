@@ -9,7 +9,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use eckv_simnet::{OpClass, Simulation, TraceEvent};
+use eckv_simnet::{OpClass, SimTime, Simulation, TraceEvent};
 
 use crate::ops::{Op, OpKind};
 use crate::world::World;
@@ -92,6 +92,7 @@ fn pump(world: &Rc<World>, sim: &mut Simulation, client: usize, state: &Rc<RefCe
             state_slot.borrow_mut().in_flight -= 1;
             pump(&world_slot, sim, client, &state_slot);
         });
+        let admitted_at = sim.now();
         match op {
             Op::MGet { keys } => {
                 // One slot, many overlapped sub-gets (`memcached_mget`).
@@ -104,7 +105,7 @@ fn pump(world: &Rc<World>, sim: &mut Simulation, client: usize, state: &Rc<RefCe
                         sim,
                         client,
                         Op::Get { key },
-                        retries_left,
+                        Attempt::first(admitted_at, retries_left),
                         Box::new(move |sim| {
                             *remaining.borrow_mut() -= 1;
                             if *remaining.borrow() == 0 {
@@ -119,30 +120,57 @@ fn pump(world: &Rc<World>, sim: &mut Simulation, client: usize, state: &Rc<RefCe
                 sim,
                 client,
                 single,
-                retries_left,
+                Attempt::first(admitted_at, retries_left),
                 Box::new(move |sim| free_slot(sim)),
             ),
         }
     }
 }
 
-/// Runs one Set/Get, transparently retrying on dead-server discoveries,
-/// recording the final result, then invoking `on_final`.
+/// Retry bookkeeping for one logical operation across its re-dispatches.
+#[derive(Debug, Clone, Copy)]
+struct Attempt {
+    /// When the logical operation was admitted (deadline anchor).
+    admitted_at: SimTime,
+    /// Zero-based attempt index (drives the exponential backoff).
+    index: u32,
+    /// Re-dispatches still allowed.
+    retries_left: usize,
+}
+
+impl Attempt {
+    fn first(admitted_at: SimTime, retries_left: usize) -> Self {
+        Attempt {
+            admitted_at,
+            index: 0,
+            retries_left,
+        }
+    }
+}
+
+/// Runs one Set/Get, transparently retrying on dead-server discoveries
+/// with exponential backoff, recording the final result, then invoking
+/// `on_final`. When the engine has a per-op deadline, retrying stops once
+/// the deadline has passed, and any completion past it (successful or
+/// not) counts as a deadline miss.
 fn dispatch_with_retry(
     world: &Rc<World>,
     sim: &mut Simulation,
     client: usize,
     op: Op,
-    retries_left: usize,
+    attempt: Attempt,
     on_final: Box<dyn FnOnce(&mut Simulation)>,
 ) {
     let world2 = world.clone();
     let retry_op = op.clone();
     let done = Box::new(
         move |sim: &mut Simulation, result: crate::metrics::OpResult| {
-            if result.retryable && retries_left > 0 {
+            let deadline_at = world2.cfg.deadline.map(|d| attempt.admitted_at + d);
+            let before_deadline = deadline_at.is_none_or(|d| result.at <= d);
+            if result.retryable && attempt.retries_left > 0 && before_deadline {
                 // The failure view was just updated; re-dispatch against the
-                // survivors instead of recording a failure.
+                // survivors instead of recording a failure, after a bounded
+                // exponential backoff (base doubles per attempt).
                 world2.metrics.borrow_mut().retries += 1;
                 if world2.trace.is_enabled() {
                     world2.trace.emit(
@@ -153,9 +181,33 @@ fn dispatch_with_retry(
                         },
                     );
                 }
-                dispatch_with_retry(&world2, sim, client, retry_op, retries_left - 1, on_final);
+                let backoff = world2.cfg.retry_backoff * (1u64 << attempt.index.min(10));
+                let next = Attempt {
+                    admitted_at: attempt.admitted_at,
+                    index: attempt.index + 1,
+                    retries_left: attempt.retries_left - 1,
+                };
+                let world3 = world2.clone();
+                sim.schedule_in(backoff, move |sim| {
+                    dispatch_with_retry(&world3, sim, client, retry_op, next, on_final);
+                });
             } else {
                 world2.metrics.borrow_mut().record(&result);
+                if let Some(d) = deadline_at {
+                    if result.at > d {
+                        world2.metrics.borrow_mut().deadline_misses += 1;
+                        if world2.trace.is_enabled() {
+                            world2.trace.emit(
+                                result.at,
+                                TraceEvent::DeadlineExceeded {
+                                    client: world2.cluster.client_node(client),
+                                    op: op_class(result.kind),
+                                    latency: result.at.since(attempt.admitted_at),
+                                },
+                            );
+                        }
+                    }
+                }
                 if world2.trace.is_enabled() {
                     world2.trace.emit(
                         result.at,
@@ -442,5 +494,123 @@ mod tests {
         let world = small_world(Scheme::NoRep, 1);
         let mut sim = Simulation::new();
         run_workload(&world, &mut sim, vec![vec![], vec![]]);
+    }
+
+    #[test]
+    fn hedges_fire_and_win_against_a_straggler() {
+        use crate::world::HedgeConfig;
+        use eckv_simnet::SimDuration;
+        let world = World::new(
+            EngineConfig::new(
+                ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+                Scheme::era_ce_cd(3, 2),
+            )
+            // Depth 1 keeps client-side queueing out of the op latencies,
+            // so the straggler's delay is what the hedge timer sees; the
+            // fixed trigger needs no estimator warmup.
+            .window(1)
+            .hedge(HedgeConfig::after(SimDuration::from_micros(50))),
+        );
+        let mut sim = Simulation::new();
+        run_workload(&world, &mut sim, vec![set_ops(0, 40, 65536)]);
+        // One slow server: its chunk fetches straggle but never fail.
+        world
+            .cluster
+            .slow_server(sim.now(), 0, 8.0, SimDuration::ZERO);
+        world.reset_metrics();
+        run_workload(&world, &mut sim, vec![get_ops(0, 40)]);
+        let m = world.metrics.borrow();
+        assert_eq!(m.get_count, 40);
+        assert_eq!(m.errors, 0, "hedged reads must still all succeed");
+        assert_eq!(m.integrity_errors, 0, "hedged reads must return good data");
+        assert!(m.hedges_fired > 0, "the straggler should trigger hedges");
+        assert!(
+            m.hedges_won > 0 && m.hedges_won <= m.hedges_fired,
+            "fired={} won={}",
+            m.hedges_fired,
+            m.hedges_won
+        );
+        drop(m);
+        world.cluster.restore_server_speed(0);
+        assert_eq!(world.cluster.server_slow_factor(0), 1.0);
+    }
+
+    #[test]
+    fn hedging_disabled_fires_nothing() {
+        let world = small_world(Scheme::era_ce_cd(3, 2), 1);
+        let mut sim = Simulation::new();
+        run_workload(&world, &mut sim, vec![set_ops(0, 10, 65536)]);
+        run_workload(&world, &mut sim, vec![get_ops(0, 10)]);
+        let m = world.metrics.borrow();
+        assert_eq!(m.hedges_fired, 0);
+        assert_eq!(m.hedges_won, 0);
+        assert_eq!(m.deadline_misses, 0);
+    }
+
+    #[test]
+    fn deadline_misses_are_counted_once_per_op() {
+        use eckv_simnet::SimDuration;
+        // A 1ns deadline: every op completes late and counts as a miss,
+        // but still completes (deadlines bound retrying, not service).
+        let world = World::new(
+            EngineConfig::new(
+                ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+                Scheme::era_ce_cd(3, 2),
+            )
+            .deadline(SimDuration::from_nanos(1)),
+        );
+        let mut sim = Simulation::new();
+        run_workload(&world, &mut sim, vec![set_ops(0, 8, 4096)]);
+        let m = world.metrics.borrow();
+        assert_eq!(m.set_count, 8);
+        assert_eq!(m.errors, 0);
+        assert_eq!(m.deadline_misses, 8);
+    }
+
+    #[test]
+    fn deadline_stops_retrying_against_dead_servers() {
+        use eckv_simnet::SimDuration;
+        let world = World::new(
+            EngineConfig::new(
+                ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+                Scheme::era_ce_cd(3, 2),
+            )
+            .deadline(SimDuration::from_nanos(1)),
+        );
+        let mut sim = Simulation::new();
+        run_workload(&world, &mut sim, vec![set_ops(0, 5, 4096)]);
+        world.cluster.kill_server(0);
+        world.cluster.kill_server(1);
+        world.cluster.kill_server(2);
+        world.reset_metrics();
+        run_workload(&world, &mut sim, vec![get_ops(0, 5)]);
+        let m = world.metrics.borrow();
+        // Past the (instant) deadline, a retryable failure records
+        // immediately instead of re-dispatching.
+        assert_eq!(m.retries, 0, "no retry budget past the deadline");
+        assert_eq!(m.errors, 5);
+    }
+
+    #[test]
+    fn backoff_retries_still_route_around_failures() {
+        use eckv_simnet::SimDuration;
+        // Async replication reads one replica at a time, so a dead first
+        // replica surfaces as a retryable error the driver must back off
+        // and re-dispatch (erasure reads would instead top up in-op).
+        let world = World::new(
+            EngineConfig::new(
+                ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+                Scheme::AsyncRep { replicas: 3 },
+            )
+            .retry_backoff(SimDuration::from_micros(50)),
+        );
+        let mut sim = Simulation::new();
+        run_workload(&world, &mut sim, vec![set_ops(0, 10, 8 << 10)]);
+        world.cluster.kill_server(2);
+        world.reset_metrics();
+        run_workload(&world, &mut sim, vec![get_ops(0, 10)]);
+        let m = world.metrics.borrow();
+        assert_eq!(m.errors, 0, "backoff retries must still fail over");
+        assert!(m.retries > 0, "killing a holder forces discovery retries");
     }
 }

@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use eckv_simnet::{
     trace_codec, CodecOp, Delivery, Network, PhaseBreakdown, SimDuration, SimTime, Simulation,
+    TraceEvent,
 };
 use eckv_store::{rpc, Payload};
 
@@ -367,9 +368,82 @@ fn get_era_client_decode(
         outstanding: chosen.len(),
         posts: 0,
         discovered: false,
+        settled: false,
+        fetch_start: now,
+        hedged: Vec::new(),
+        hedge_fired_at: None,
+        cancel: rpc::CancelToken::new(),
         done: Some(done),
     }));
-    issue_cd_fetches(world, sim, client, op_start, request_base, &state, chosen);
+    // The hedge clock starts when the first fetch actually hits the wire,
+    // not at op admission: an op whose issue waited behind a previous
+    // decode on the client CPU would otherwise feed inflated first-chunk
+    // samples into the estimator and push the trigger past every real
+    // straggler.
+    let wave_start = issue_cd_fetches(world, sim, client, op_start, request_base, &state, chosen);
+    if let Some(t) = wave_start {
+        state.borrow_mut().fetch_start = t;
+    }
+    maybe_arm_hedge(world, sim, client, op_start, request_base, &state);
+}
+
+/// Arms the hedge timer for a client-decode read: if the first wave has
+/// not produced `k` chunks by the trigger delay, speculatively fetch the
+/// missing count from untried holders the client believes alive
+/// (generalising the failure-only top-up to slow-but-alive servers).
+fn maybe_arm_hedge(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    client: usize,
+    op_start: SimTime,
+    request_base: SimDuration,
+    state: &Rc<RefCell<CdState>>,
+) {
+    let Some(delay) = world.hedge_delay() else {
+        return;
+    };
+    let fire_at = state.borrow().fetch_start + delay;
+    let world2 = world.clone();
+    let state2 = state.clone();
+    sim.schedule_at(fire_at, move |sim| {
+        let batch: Vec<(usize, usize)> = {
+            let st = state2.borrow();
+            if st.settled || st.good.len() >= st.k {
+                return;
+            }
+            let missing = st.k - st.good.len();
+            st.targets
+                .iter()
+                .enumerate()
+                .filter(|&(i, &srv)| !st.tried.contains(&i) && world2.view_alive(client, srv))
+                .take(missing)
+                .map(|(i, &srv)| (i, srv))
+                .collect()
+        };
+        if batch.is_empty() {
+            return; // every holder is already in play; nothing to hedge to
+        }
+        {
+            let mut st = state2.borrow_mut();
+            for &(i, _) in &batch {
+                st.tried.push(i);
+                st.hedged.push(i);
+            }
+            st.outstanding += batch.len();
+            st.hedge_fired_at = Some(sim.now());
+        }
+        world2.metrics.borrow_mut().hedges_fired += 1;
+        if world2.trace.is_enabled() {
+            world2.trace.emit(
+                sim.now(),
+                TraceEvent::HedgeFired {
+                    client: world2.cluster.client_node(client),
+                    extra: batch.len() as u64,
+                },
+            );
+        }
+        issue_cd_fetches(&world2, sim, client, op_start, request_base, &state2, batch);
+    });
 }
 
 /// In-flight state of one client-decode Get.
@@ -384,6 +458,18 @@ struct CdState {
     outstanding: usize,
     posts: u64,
     discovered: bool,
+    /// The read finished (early-settled with `k` chunks or failed);
+    /// replies still in flight are ignored from here on.
+    settled: bool,
+    /// When the first wave of fetches was issued, for the first-chunk
+    /// latency sample feeding the hedge estimator.
+    fetch_start: SimTime,
+    /// Shard positions fetched speculatively by the hedge timer.
+    hedged: Vec<usize>,
+    /// When the hedge fired, if it did.
+    hedge_fired_at: Option<SimTime>,
+    /// Cancels in-flight losers once the race is decided.
+    cancel: rpc::CancelToken,
     done: Option<DoneCb>,
 }
 
@@ -395,30 +481,44 @@ fn issue_cd_fetches(
     request_base: SimDuration,
     state: &Rc<RefCell<CdState>>,
     batch: Vec<(usize, usize)>,
-) {
+) -> Option<SimTime> {
     let post = world.cluster.net_config().post_overhead;
     let client_node = world.cluster.client_node(client);
     state.borrow_mut().posts += batch.len() as u64;
+    let mut first_issue = None;
     for (shard_idx, srv) in batch {
         let issue_at = world.reserve_client_cpu(client, sim.now(), post);
+        first_issue.get_or_insert(issue_at);
         let server = world.cluster.servers[srv].clone();
         let world2 = world.clone();
         let state2 = state.clone();
-        let key = state.borrow().key.clone();
-        rpc::get(
+        let (key, cancel) = {
+            let st = state.borrow();
+            (st.key.clone(), st.cancel.clone())
+        };
+        rpc::get_with_cancel(
             &world.cluster.net,
             &server,
             sim,
             issue_at,
             client_node,
             World::shard_key(&key, shard_idx),
+            cancel,
             move |sim, reply| {
                 {
                     let mut st = state2.borrow_mut();
+                    if st.settled {
+                        // A straggler's reply arriving after the race was
+                        // decided: the result is already recorded.
+                        return;
+                    }
                     st.outstanding -= 1;
                     match reply {
                         Ok(r) => {
                             if let Some(chunk) = r.value {
+                                if st.good.is_empty() {
+                                    world2.note_first_chunk_latency(r.at.since(st.fetch_start));
+                                }
                                 st.good.push((shard_idx, chunk));
                             }
                         }
@@ -427,7 +527,10 @@ fn issue_cd_fetches(
                             st.discovered = true;
                         }
                     }
-                    if st.outstanding > 0 {
+                    // Settle as soon as any `k` chunks are in hand (a
+                    // hedged read need not wait for its slowest fetch), or
+                    // when everything outstanding has answered.
+                    if st.good.len() < st.k && st.outstanding > 0 {
                         return;
                     }
                 }
@@ -435,6 +538,7 @@ fn issue_cd_fetches(
             },
         );
     }
+    first_issue
 }
 
 /// All outstanding fetches returned: finish, or top up from untried
@@ -478,14 +582,20 @@ fn settle_cd(
         }
     }
 
-    // No more candidates (or enough chunks): evaluate.
-    let (key, good, posts, discovered, done) = {
+    // No more candidates (or enough chunks): evaluate. Mark the race
+    // decided and cancel in-flight losers — a hedged read that already
+    // holds `k` chunks drops its stragglers at their servers.
+    let (key, good, posts, discovered, hedged, hedge_fired_at, done) = {
         let mut st = state.borrow_mut();
+        st.settled = true;
+        st.cancel.cancel();
         (
             st.key.clone(),
             std::mem::take(&mut st.good),
             st.posts,
             st.discovered,
+            std::mem::take(&mut st.hedged),
+            st.hedge_fired_at,
             st.done.take().expect("settles once"),
         )
     };
@@ -515,16 +625,33 @@ fn settle_cd(
         .take(k)
         .map(|(i, c)| (i, Some(c)))
         .collect();
+    // The hedge won if a speculative fetch supplied one of the k chunks
+    // actually used — the read would otherwise still be waiting.
+    if let Some(fired_at) = hedge_fired_at {
+        if used.iter().any(|&(idx, _)| hedged.contains(&idx)) {
+            world.metrics.borrow_mut().hedges_won += 1;
+            if world.trace.is_enabled() {
+                world.trace.emit(
+                    now,
+                    TraceEvent::HedgeWon {
+                        client: world.cluster.client_node(client),
+                        waited: now.since(fired_at),
+                    },
+                );
+            }
+        }
+    }
     let erased_data = (0..k)
         .filter(|i| !used.iter().any(|&(idx, _)| idx == *i))
         .count();
     let integrity = check_chunks(world, expected, &used);
     let (at, compute) = if erased_data > 0 {
-        let t_dec = world.decode_time(value_len, erased_data);
+        let client_node = world.cluster.client_node(client);
+        let t_dec = world.decode_time_at(client_node, value_len, erased_data);
         let dec_done = world.reserve_client_cpu(client, now, t_dec);
         trace_codec(
             &world.trace,
-            world.cluster.client_node(client),
+            client_node,
             CodecOp::Decode,
             now,
             t_dec,
@@ -757,9 +884,10 @@ fn finish_sd(
         },
         |w| w.len,
     );
-    // Server-side decode if a data chunk is missing.
+    // Server-side decode if a data chunk is missing; a straggling
+    // aggregator decodes proportionally slower.
     let respond_at = if ok && erased_data > 0 {
-        let t_dec = world.decode_time(value_len, erased_data);
+        let t_dec = world.decode_time_at(agg_node, value_len, erased_data);
         let dec_done = aggregator.borrow_mut().reserve_cpu(last, t_dec);
         trace_codec(
             &world.trace,

@@ -64,4 +64,4 @@ pub use metrics::{Metrics, OpResult, TimelinePoint};
 pub use ops::{Op, OpKind};
 pub use repair::{repair_server, RepairReport};
 pub use scheme::{Scheme, Side};
-pub use world::{EngineConfig, World};
+pub use world::{EngineConfig, HedgeConfig, World};

@@ -73,6 +73,15 @@ pub struct Metrics {
     /// Transparent retries after a dead-server discovery (the retried
     /// attempt is not otherwise recorded).
     pub retries: u64,
+    /// Speculative (hedged) chunk-fetch batches issued because a read's
+    /// first wave looked slow.
+    pub hedges_fired: u64,
+    /// Hedges whose speculative chunk ended up among the `k` used for the
+    /// read — the hedge actually rescued the tail.
+    pub hedges_won: u64,
+    /// Operations that completed (successfully or not) after their
+    /// per-operation deadline had already passed.
+    pub deadline_misses: u64,
     /// Bytes written by successful Sets (values, not counting redundancy).
     pub bytes_written: u64,
     /// Bytes read by successful Gets.

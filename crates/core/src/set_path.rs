@@ -344,7 +344,6 @@ fn set_era_client_encode(
     let value_len = payload.len();
     let digest = payload.digest();
     let shard_len = world.shard_len(value_len);
-    let t_enc = world.encode_time(value_len);
     let (k, m, _, _, _) = world.scheme.erasure_params().expect("erasure or hybrid");
     let mut targets = world.targets(&key);
     targets.truncate(k + m);
@@ -379,6 +378,7 @@ fn set_era_client_encode(
     let shards = build_shards(world, &payload, shard_len);
     // Encoding occupies the client's ARPE thread, then the posts go out
     // back to back.
+    let t_enc = world.encode_time_at(client_node, value_len);
     world.reserve_client_cpu(client, op_start, t_enc);
     trace_codec(
         &world.trace,
@@ -455,7 +455,6 @@ fn set_era_server_encode(
     let value_len = payload.len();
     let digest = payload.digest();
     let shard_len = world.shard_len(value_len);
-    let t_enc = world.encode_time(value_len);
     let (k, m, _, _, _) = world.scheme.erasure_params().expect("erasure scheme");
     let mut targets = world.targets(&key);
     targets.truncate(k + m);
@@ -492,6 +491,8 @@ fn set_era_server_encode(
     let shards = build_shards(world, &payload, shard_len);
     let encoder = world.cluster.servers[encoder_srv].clone();
     let encoder_node = encoder.borrow().node();
+    // A straggling encoder pays for its degraded codec throughput.
+    let t_enc = world.encode_time_at(encoder_node, value_len);
 
     let issue_at = world.reserve_client_cpu(client, op_start, post);
     let req_bytes = rpc::REQUEST_OVERHEAD + key.len() + value_len as usize;

@@ -6,12 +6,83 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use eckv_erasure::Striper;
-use eckv_simnet::{SimDuration, SimTime, Trace, WorkerPool};
+use eckv_simnet::{Histogram, NodeId, SimDuration, SimTime, Trace, WorkerPool};
 use eckv_store::{ClusterConfig, KvCluster};
 
 use crate::costs;
 use crate::metrics::Metrics;
 use crate::scheme::Scheme;
+
+/// Policy for hedged chunk reads (the "Tail at Scale" defence applied to
+/// erasure Gets): after the first wave of `k` chunk fetches has been
+/// outstanding for a while, speculatively fetch from untried parity
+/// holders and finish with whichever `k` chunks arrive first.
+///
+/// The trigger delay adapts to the observed distribution: the client
+/// records the latency of each read's *first*-arriving chunk (stragglers
+/// rarely win that race, so the estimate is not poisoned by the very tail
+/// it defends against) and hedges after `multiplier ×` its `percentile`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Percentile of the first-chunk latency distribution the delay is
+    /// derived from (e.g. `95.0`).
+    pub percentile: f64,
+    /// Safety factor applied to the percentile: hedging at exactly p95
+    /// would fire on 5% of healthy reads.
+    pub multiplier: f64,
+    /// First-chunk samples required before adaptive hedging arms; until
+    /// then reads run unhedged (nothing meaningful to estimate from).
+    pub min_samples: u64,
+    /// Fixed trigger delay overriding the adaptive estimate (the
+    /// `--hedge-after 50us` form). Arms immediately, no warm-up.
+    pub fixed: Option<SimDuration>,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            percentile: 95.0,
+            multiplier: 2.0,
+            min_samples: 16,
+            fixed: None,
+        }
+    }
+}
+
+impl HedgeConfig {
+    /// Adaptive policy triggering at `multiplier × p(percentile)` of the
+    /// observed first-chunk latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < percentile <= 100` and `multiplier >= 1`.
+    pub fn at_percentile(percentile: f64, multiplier: f64) -> Self {
+        assert!(
+            percentile > 0.0 && percentile <= 100.0,
+            "percentile must be in (0, 100]"
+        );
+        assert!(multiplier >= 1.0, "multiplier must be at least 1");
+        HedgeConfig {
+            percentile,
+            multiplier,
+            ..Default::default()
+        }
+    }
+
+    /// Fixed-delay policy: hedge any read whose first wave is still
+    /// incomplete `delay` after issue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is zero.
+    pub fn after(delay: SimDuration) -> Self {
+        assert!(delay > SimDuration::ZERO, "hedge delay must be positive");
+        HedgeConfig {
+            fixed: Some(delay),
+            ..Default::default()
+        }
+    }
+}
 
 /// Configuration of one engine deployment.
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +107,16 @@ pub struct EngineConfig {
     /// Record a per-operation timeline in [`crate::Metrics::timeline`]
     /// (off by default: large runs produce millions of samples).
     pub record_timeline: bool,
+    /// Hedged-read policy for client-decode erasure Gets (`None` = never
+    /// hedge, the paper's baseline behaviour).
+    pub hedge: Option<HedgeConfig>,
+    /// Per-operation deadline: an operation that has not completed this
+    /// long after admission stops retrying, and its completion counts as a
+    /// deadline miss. `None` = unbounded (retries limited by count only).
+    pub deadline: Option<SimDuration>,
+    /// Base delay of the exponential backoff between transparent retries
+    /// (doubles per attempt).
+    pub retry_backoff: SimDuration,
 }
 
 impl EngineConfig {
@@ -50,6 +131,9 @@ impl EngineConfig {
             validate: true,
             client_think: SimDuration::ZERO,
             record_timeline: false,
+            hedge: None,
+            deadline: None,
+            retry_backoff: SimDuration::from_micros(2),
         }
     }
 
@@ -79,6 +163,29 @@ impl EngineConfig {
     /// Enables per-operation timeline recording (builder style).
     pub fn record_timeline(mut self, on: bool) -> Self {
         self.record_timeline = on;
+        self
+    }
+
+    /// Enables hedged chunk reads with the given policy (builder style).
+    pub fn hedge(mut self, policy: HedgeConfig) -> Self {
+        self.hedge = Some(policy);
+        self
+    }
+
+    /// Sets a per-operation deadline (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn deadline(mut self, d: SimDuration) -> Self {
+        assert!(d > SimDuration::ZERO, "deadline must be positive");
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Sets the base retry backoff (builder style).
+    pub fn retry_backoff(mut self, d: SimDuration) -> Self {
+        self.retry_backoff = d;
         self
     }
 }
@@ -121,6 +228,9 @@ pub struct World {
     /// clients fail over the same way); ground truth lives in the
     /// transport.
     views: RefCell<Vec<Vec<bool>>>,
+    /// First-arriving-chunk latency of past erasure reads, feeding the
+    /// adaptive hedge trigger. Only populated when hedging is enabled.
+    chunk_latency: RefCell<Histogram>,
     /// TraceBus handle shared with the transport and servers. Disabled
     /// (zero-cost) unless the world was built with [`World::new_traced`].
     pub trace: Trace,
@@ -175,6 +285,7 @@ impl World {
             client_think: std::cell::Cell::new(cfg.client_think),
             expected: RefCell::new(HashMap::new()),
             views: RefCell::new(views),
+            chunk_latency: RefCell::new(Histogram::default()),
             trace,
         })
     }
@@ -247,6 +358,46 @@ impl World {
     pub(crate) fn decode_time(&self, len: u64, erased_data: usize) -> SimDuration {
         let striper = self.striper.as_ref().expect("erasure scheme");
         costs::decode_time(&self.cluster.compute(), striper, len, erased_data)
+    }
+
+    /// Like [`World::encode_time`], but charged at `node`'s CPU: a
+    /// degraded (straggling) node encodes proportionally slower.
+    pub(crate) fn encode_time_at(&self, node: NodeId, len: u64) -> SimDuration {
+        let striper = self.striper.as_ref().expect("erasure scheme");
+        let f = self.cluster.net.borrow().slow_factor(node);
+        costs::encode_time(&self.cluster.compute().slowed(f), striper, len)
+    }
+
+    /// Like [`World::decode_time`], but charged at `node`'s CPU.
+    pub(crate) fn decode_time_at(&self, node: NodeId, len: u64, erased_data: usize) -> SimDuration {
+        let striper = self.striper.as_ref().expect("erasure scheme");
+        let f = self.cluster.net.borrow().slow_factor(node);
+        costs::decode_time(&self.cluster.compute().slowed(f), striper, len, erased_data)
+    }
+
+    /// Feeds one first-chunk latency sample into the hedge estimator.
+    /// No-op when hedging is disabled, so baseline runs stay untouched.
+    pub(crate) fn note_first_chunk_latency(&self, d: SimDuration) {
+        if self.cfg.hedge.is_some() {
+            self.chunk_latency.borrow_mut().record(d);
+        }
+    }
+
+    /// The hedge trigger delay for the next read, or `None` when hedging
+    /// is disabled or the adaptive estimator has not warmed up yet.
+    pub(crate) fn hedge_delay(&self) -> Option<SimDuration> {
+        let h = self.cfg.hedge?;
+        if let Some(fixed) = h.fixed {
+            return Some(fixed);
+        }
+        let hist = self.chunk_latency.borrow();
+        if hist.count() < h.min_samples {
+            return None;
+        }
+        let base = hist.percentile(h.percentile);
+        let scaled =
+            SimDuration::from_nanos((base.as_nanos() as f64 * h.multiplier).round() as u64);
+        Some(scaled.max(SimDuration::from_nanos(1)))
     }
 
     /// Whether `client` currently believes server `srv` is alive. The
@@ -374,5 +525,62 @@ mod tests {
         let r = w.memory_report();
         assert_eq!(r.pct_used(), 0.0);
         assert_eq!(r.capacity_bytes, 5 * (20 << 30));
+    }
+
+    #[test]
+    fn hedge_delay_is_none_until_warm() {
+        let w = World::new(cfg(Scheme::era_ce_cd(3, 2)).hedge(HedgeConfig::default()));
+        assert_eq!(w.hedge_delay(), None, "no samples yet");
+        for i in 0..16 {
+            w.note_first_chunk_latency(SimDuration::from_micros(10 + i));
+        }
+        let d = w.hedge_delay().expect("warmed up");
+        // 2 × p95 of a 10..26us distribution lands near 50us.
+        assert!(
+            d >= SimDuration::from_micros(40) && d <= SimDuration::from_micros(60),
+            "unexpected hedge delay {d}"
+        );
+    }
+
+    #[test]
+    fn fixed_hedge_delay_needs_no_warmup() {
+        let w = World::new(
+            cfg(Scheme::era_ce_cd(3, 2)).hedge(HedgeConfig::after(SimDuration::from_micros(7))),
+        );
+        assert_eq!(w.hedge_delay(), Some(SimDuration::from_micros(7)));
+    }
+
+    #[test]
+    fn disabled_hedging_records_no_samples() {
+        let w = World::new(cfg(Scheme::era_ce_cd(3, 2)));
+        w.note_first_chunk_latency(SimDuration::from_micros(10));
+        assert_eq!(w.chunk_latency.borrow().count(), 0);
+        assert_eq!(w.hedge_delay(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn bad_hedge_percentile_panics() {
+        let _ = HedgeConfig::at_percentile(0.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn zero_deadline_panics() {
+        let _ = cfg(Scheme::NoRep).deadline(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn straggling_node_degrades_codec_throughput() {
+        let w = World::new(cfg(Scheme::era_ce_cd(3, 2)));
+        let healthy = w.decode_time_at(NodeId(1), 1 << 20, 1);
+        w.cluster
+            .slow_server(SimTime::ZERO, 1, 8.0, SimDuration::ZERO);
+        let degraded = w.decode_time_at(NodeId(1), 1 << 20, 1);
+        let ratio = degraded.as_nanos() as f64 / healthy.as_nanos() as f64;
+        assert!((7.5..=8.5).contains(&ratio), "ratio={ratio}");
+        // Other nodes are unaffected.
+        assert_eq!(w.decode_time_at(NodeId(2), 1 << 20, 1), healthy);
+        assert_eq!(w.encode_time_at(NodeId(2), 1 << 20), w.encode_time(1 << 20));
     }
 }

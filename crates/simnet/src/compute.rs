@@ -77,6 +77,31 @@ impl ComputeModel {
         SimDuration::from_nanos((bytes as f64 / gbps).round() as u64)
     }
 
+    /// A degraded copy of this model: throughputs divided by `factor`,
+    /// fixed costs multiplied by it. Used by the straggler fault-injection
+    /// layer to model a node whose codec work (thermal throttling, noisy
+    /// neighbour, failing DIMM) runs `factor`× slower. `factor == 1.0`
+    /// returns the model unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0` or `factor` is not finite.
+    pub fn slowed(&self, factor: f64) -> ComputeModel {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "slowdown factor must be finite and >= 1"
+        );
+        let scale =
+            |d: SimDuration| SimDuration::from_nanos((d.as_nanos() as f64 * factor).round() as u64);
+        ComputeModel {
+            gf_mul_gbps: self.gf_mul_gbps / factor,
+            xor_strided_gbps: self.xor_strided_gbps / factor,
+            per_xor_op: scale(self.per_xor_op),
+            fixed_encode: scale(self.fixed_encode),
+            fixed_decode: scale(self.fixed_decode),
+        }
+    }
+
     /// Time for a GF multiply-accumulate pass over `bytes` total bytes
     /// (no fixed overhead).
     pub fn mul_work(&self, bytes: u64) -> SimDuration {
@@ -201,6 +226,29 @@ mod tests {
         let many_ops = m.xor_work(1024, 500);
         let few_ops = m.xor_work(1024, 5);
         assert!(many_ops > few_ops * 10);
+    }
+
+    #[test]
+    fn slowed_model_scales_all_cost_components() {
+        let m = ComputeModel::WESTMERE;
+        let s = m.slowed(8.0);
+        let bytes = 1 << 20;
+        let base = m.encode_mul(bytes).as_nanos() as f64;
+        let slow = s.encode_mul(bytes).as_nanos() as f64;
+        assert!(
+            (7.9..=8.1).contains(&(slow / base)),
+            "8x slowdown gave {:.2}x",
+            slow / base
+        );
+        assert_eq!(s.per_xor_op, m.per_xor_op * 8);
+        // Identity factor is exactly the original model.
+        assert_eq!(m.slowed(1.0), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor")]
+    fn sub_unity_slowdown_panics() {
+        let _ = ComputeModel::WESTMERE.slowed(0.5);
     }
 
     #[test]

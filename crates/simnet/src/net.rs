@@ -11,13 +11,18 @@
 //!   with the crossover at 16 KB exactly as RDMA-Memcached uses — the
 //!   mechanism behind the paper's ">16 KB" YCSB findings;
 //! * node failures: messages to a dead node fail after a transport-level
-//!   error delay instead of being delivered.
+//!   error delay instead of being delivered;
+//! * stragglers: a node can be marked *degraded* rather than dead — its
+//!   side of every transfer is scaled by a slowdown factor and gets a
+//!   seeded latency jitter, modelling the slow-but-alive nodes that
+//!   dominate tail latency in real clusters.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::engine::Simulation;
 use crate::resource::FifoResource;
+use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::tracebus::{NicDir, Trace, TraceEvent};
 
@@ -125,11 +130,43 @@ impl Delivery {
     }
 }
 
+/// Per-node partial-degradation state (straggler fault injection).
+#[derive(Debug)]
+struct Straggler {
+    /// Multiplier on this node's share of every transfer's serialization
+    /// and protocol costs.
+    factor: f64,
+    /// Upper bound of the uniformly drawn extra propagation latency this
+    /// node adds to each of its transfers.
+    jitter: SimDuration,
+    /// Dedicated generator for the jitter draws; the single-threaded event
+    /// loop fixes the draw order, so same-seed runs are bit-identical.
+    rng: SimRng,
+}
+
 #[derive(Debug)]
 struct NodeState {
     tx: FifoResource,
     rx: FifoResource,
     alive: bool,
+    straggler: Option<Straggler>,
+}
+
+fn scale_duration(d: SimDuration, factor: f64) -> SimDuration {
+    if factor == 1.0 {
+        d
+    } else {
+        SimDuration::from_nanos((d.as_nanos() as f64 * factor).round() as u64)
+    }
+}
+
+fn draw_jitter(st: &mut Option<Straggler>) -> SimDuration {
+    match st {
+        Some(s) if s.jitter > SimDuration::ZERO => {
+            SimDuration::from_nanos(s.rng.next_below(s.jitter.as_nanos() + 1))
+        }
+        _ => SimDuration::ZERO,
+    }
 }
 
 /// The cluster-wide transport: one tx/rx NIC pair per node.
@@ -154,6 +191,7 @@ impl Network {
                 tx: FifoResource::new(format!("n{i}.tx")),
                 rx: FifoResource::new(format!("n{i}.rx")),
                 alive: true,
+                straggler: None,
             })
             .collect();
         Rc::new(RefCell::new(Network {
@@ -206,6 +244,69 @@ impl Network {
         self.nodes[node.0].alive = true;
     }
 
+    /// Configures `node` as a straggler: its side of every subsequent
+    /// transfer (serialization and protocol costs) is scaled by `factor`,
+    /// and each of its transfers gains an extra propagation latency drawn
+    /// uniformly from `[0, jitter]` by a generator seeded with `seed`.
+    /// The node stays alive — requests still succeed, just slowly.
+    ///
+    /// Emits [`TraceEvent::NodeDegraded`] at `at` when tracing is on.
+    /// Healthy nodes never touch the jitter RNG, so a run with no
+    /// stragglers is bit-identical to one on a build without them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range, or `factor` is not finite or is
+    /// below 1.
+    pub fn set_straggler(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        factor: f64,
+        jitter: SimDuration,
+        seed: u64,
+    ) {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "slowdown factor must be finite and >= 1"
+        );
+        self.nodes[node.0].straggler = Some(Straggler {
+            factor,
+            jitter,
+            rng: SimRng::seed_from_u64(seed),
+        });
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                at,
+                TraceEvent::NodeDegraded {
+                    node,
+                    factor_x100: (factor * 100.0).round() as u64,
+                },
+            );
+        }
+    }
+
+    /// Restores `node` to full speed (clears straggler state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn clear_straggler(&mut self, node: NodeId) {
+        self.nodes[node.0].straggler = None;
+    }
+
+    /// The slowdown factor currently applied to `node` (1.0 when healthy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn slow_factor(&self, node: NodeId) -> f64 {
+        self.nodes[node.0]
+            .straggler
+            .as_ref()
+            .map_or(1.0, |s| s.factor)
+    }
+
     /// Total messages sent so far.
     pub fn messages_sent(&self) -> u64 {
         self.messages_sent
@@ -230,9 +331,10 @@ impl Network {
     /// Sends `bytes` from `from` to `to`, starting no earlier than `start`,
     /// invoking `on_complete` when the outcome is known.
     ///
-    /// The sender's tx NIC and receiver's rx NIC are reserved FIFO at
-    /// `start`; propagation latency and protocol overheads are added per
-    /// [`NetConfig`]. If the target is dead when the transfer begins, the
+    /// The sender's tx NIC is reserved FIFO at `start`; the receiver's rx
+    /// NIC is reserved FIFO when the bytes arrive (so converging flows are
+    /// drained in arrival order); propagation latency and protocol
+    /// overheads are added per [`NetConfig`]. If the target is dead when the transfer begins, the
     /// callback fires after [`NetConfig::failure_detect`] with
     /// [`Delivery::TargetDead`].
     ///
@@ -285,17 +387,35 @@ impl Network {
             let wire = n.cfg.wire_time(bytes);
             let overhead = n.cfg.protocol_overhead(bytes);
             let latency = n.cfg.latency;
+            // Straggler injection: each endpoint's share of the transfer is
+            // scaled by that node's slowdown factor, and degraded endpoints
+            // add a seeded jitter to propagation. Healthy transfers take
+            // the `factor == 1.0` fast path and draw no random numbers.
+            let from_slow = n.slow_factor(from);
+            let to_slow = n.slow_factor(to);
+            let jitter = {
+                let mut j = draw_jitter(&mut n.nodes[from.0].straggler);
+                if to != from {
+                    j += draw_jitter(&mut n.nodes[to.0].straggler);
+                }
+                j
+            };
+            let tx_wire = scale_duration(wire, from_slow);
+            let rx_wire = scale_duration(wire, to_slow);
             // Rendezvous pays its RTS/CTS handshake and registration
-            // *before* the bulk transfer starts; eager pays a receive-side
-            // bounce-buffer copy, which the receiver's polling loop
-            // performs in arrival order (so it serializes on the rx side).
+            // *before* the bulk transfer starts (sender side); eager pays a
+            // receive-side bounce-buffer copy, which the receiver's polling
+            // loop performs in arrival order (so it serializes on the rx
+            // side).
             let (tx_start, rx_extra) = match n.cfg.protocol_for(bytes) {
-                WireProtocol::Rendezvous => (now + overhead, SimDuration::ZERO),
-                WireProtocol::Eager => (now, overhead),
+                WireProtocol::Rendezvous => {
+                    (now + scale_duration(overhead, from_slow), SimDuration::ZERO)
+                }
+                WireProtocol::Eager => (now, scale_duration(overhead, to_slow)),
             };
             // Sender serializes the payload onto the wire...
             let tx_free = n.nodes[from.0].tx.free_at();
-            let tx_done = n.nodes[from.0].tx.reserve(tx_start, wire);
+            let tx_done = n.nodes[from.0].tx.reserve(tx_start, tx_wire);
             if traced {
                 let depth = n.nodes[from.0].tx.queue_depth();
                 let hwm = n.nodes[from.0].tx.queue_hwm();
@@ -318,52 +438,62 @@ impl Network {
                 );
                 n.trace.counter_add(from, "nic_tx_msgs", 1);
                 n.trace.counter_add(from, "nic_tx_bytes", bytes as u64);
-                n.trace.counter_add(from, "nic_tx_busy_ns", wire.as_nanos());
+                n.trace
+                    .counter_add(from, "nic_tx_busy_ns", tx_wire.as_nanos());
                 n.trace.counter_max(from, "nic_tx_queue_hwm", hwm);
             }
             // ...it propagates, then the receiver NIC drains and (for
-            // eager) copies it out.
-            let arrival = tx_done + latency;
-            let rx_free = n.nodes[to.0].rx.free_at();
-            let delivered = n.nodes[to.0].rx.reserve(arrival, wire + rx_extra);
-            if traced {
-                let depth = n.nodes[to.0].rx.queue_depth();
-                let hwm = n.nodes[to.0].rx.queue_hwm();
-                let waited = rx_free.max(arrival).since(arrival);
-                n.trace.emit(
-                    arrival,
-                    TraceEvent::NicQueueEnter {
-                        node: to,
-                        dir: NicDir::Rx,
-                        depth,
-                    },
-                );
-                n.trace.emit(
-                    delivered,
-                    TraceEvent::NicQueueExit {
-                        node: to,
-                        dir: NicDir::Rx,
-                        waited,
-                    },
-                );
-                n.trace.counter_add(to, "nic_rx_msgs", 1);
-                n.trace.counter_add(to, "nic_rx_bytes", bytes as u64);
-                n.trace
-                    .counter_add(to, "nic_rx_busy_ns", (wire + rx_extra).as_nanos());
-                n.trace.counter_max(to, "nic_rx_queue_hwm", hwm);
-            }
-            let trace = n.trace.clone();
+            // eager) copies it out. The rx reservation is made *when the
+            // bytes arrive*, not at send time: the receiver NIC serves
+            // flows in arrival order, so a slow sender's late transfer
+            // cannot head-of-line-block a faster one issued after it.
+            let arrival = tx_done + latency + jitter;
+            let rx_cost = rx_wire + rx_extra;
             drop(n);
-            sim.schedule_at(delivered, move |sim| {
-                trace.emit(
-                    delivered,
-                    TraceEvent::ShardRecv {
-                        from,
-                        to,
-                        bytes: bytes as u64,
-                    },
-                );
-                on_complete(sim, Delivery::Delivered(delivered));
+            let net = net.clone();
+            sim.schedule_at(arrival, move |sim| {
+                let mut n = net.borrow_mut();
+                let rx_free = n.nodes[to.0].rx.free_at();
+                let delivered = n.nodes[to.0].rx.reserve(arrival, rx_cost);
+                if traced {
+                    let depth = n.nodes[to.0].rx.queue_depth();
+                    let hwm = n.nodes[to.0].rx.queue_hwm();
+                    let waited = rx_free.max(arrival).since(arrival);
+                    n.trace.emit(
+                        arrival,
+                        TraceEvent::NicQueueEnter {
+                            node: to,
+                            dir: NicDir::Rx,
+                            depth,
+                        },
+                    );
+                    n.trace.emit(
+                        delivered,
+                        TraceEvent::NicQueueExit {
+                            node: to,
+                            dir: NicDir::Rx,
+                            waited,
+                        },
+                    );
+                    n.trace.counter_add(to, "nic_rx_msgs", 1);
+                    n.trace.counter_add(to, "nic_rx_bytes", bytes as u64);
+                    n.trace
+                        .counter_add(to, "nic_rx_busy_ns", rx_cost.as_nanos());
+                    n.trace.counter_max(to, "nic_rx_queue_hwm", hwm);
+                }
+                let trace = n.trace.clone();
+                drop(n);
+                sim.schedule_at(delivered, move |sim| {
+                    trace.emit(
+                        delivered,
+                        TraceEvent::ShardRecv {
+                            from,
+                            to,
+                            bytes: bytes as u64,
+                        },
+                    );
+                    on_complete(sim, Delivery::Delivered(delivered));
+                });
             });
         });
     }
@@ -623,6 +753,110 @@ mod tests {
             assert_eq!(bus.counter(NodeId(0), "nic_tx_queue_hwm"), 1);
             assert!(bus.counter(NodeId(0), "nic_tx_busy_ns") > 0);
         });
+    }
+
+    fn timed_send(net: &Rc<RefCell<Network>>, bytes: usize) -> SimTime {
+        let mut sim = Simulation::new();
+        let done: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
+        let d2 = done.clone();
+        Network::send(
+            net,
+            &mut sim,
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            bytes,
+            move |_, d| {
+                *d2.borrow_mut() = Some(d.at());
+            },
+        );
+        sim.run();
+        let t = done.borrow().expect("delivered");
+        t
+    }
+
+    #[test]
+    fn straggler_slows_its_side_of_transfers() {
+        let cfg = test_cfg();
+        let bytes = 1 << 20; // rendezvous: wire time dominates
+        let healthy = timed_send(&Network::new(2, cfg), bytes);
+
+        let slow_rx = Network::new(2, cfg);
+        slow_rx
+            .borrow_mut()
+            .set_straggler(SimTime::ZERO, NodeId(1), 8.0, SimDuration::ZERO, 7);
+        let degraded = timed_send(&slow_rx, bytes);
+        // Only the receive-side serialization is scaled, so the transfer
+        // is clearly slower but less than the full 8x.
+        assert!(
+            degraded.since(SimTime::ZERO) > healthy.since(SimTime::ZERO) * 3,
+            "healthy={healthy} degraded={degraded}"
+        );
+        assert_eq!(slow_rx.borrow().slow_factor(NodeId(1)), 8.0);
+        assert_eq!(slow_rx.borrow().slow_factor(NodeId(0)), 1.0);
+        assert!(slow_rx.borrow().is_alive(NodeId(1)), "slow is not dead");
+
+        // Clearing restores the healthy timing (fresh net: NIC FIFO state
+        // is cumulative, so reuse would queue behind the first transfer).
+        let cleared = Network::new(2, cfg);
+        cleared
+            .borrow_mut()
+            .set_straggler(SimTime::ZERO, NodeId(1), 8.0, SimDuration::ZERO, 7);
+        cleared.borrow_mut().clear_straggler(NodeId(1));
+        assert_eq!(timed_send(&cleared, bytes), healthy);
+    }
+
+    #[test]
+    fn straggler_jitter_is_bounded_and_seed_deterministic() {
+        let cfg = test_cfg();
+        let bytes = 4096;
+        let healthy = timed_send(&Network::new(2, cfg), bytes);
+        let jitter = SimDuration::from_micros(5);
+        let run = |seed: u64| {
+            let net = Network::new(2, cfg);
+            net.borrow_mut()
+                .set_straggler(SimTime::ZERO, NodeId(1), 1.0, jitter, seed);
+            timed_send(&net, bytes)
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed must reproduce the same jitter");
+        assert!(a >= healthy && a.since(healthy) <= jitter);
+    }
+
+    #[test]
+    fn set_straggler_emits_node_degraded() {
+        use crate::tracebus::{RingBufferSink, TraceBus};
+        let ring = Rc::new(RefCell::new(RingBufferSink::new(8)));
+        let mut bus = TraceBus::new();
+        bus.add_sink(ring.clone());
+        let net = Network::new(2, test_cfg());
+        net.borrow_mut().set_trace(Trace::from_bus(bus));
+        net.borrow_mut().set_straggler(
+            SimTime::from_nanos(9),
+            NodeId(1),
+            2.5,
+            SimDuration::ZERO,
+            0,
+        );
+        let recs: Vec<_> = ring.borrow().records().copied().collect();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].at, SimTime::from_nanos(9));
+        assert_eq!(
+            recs[0].event,
+            TraceEvent::NodeDegraded {
+                node: NodeId(1),
+                factor_x100: 250
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor")]
+    fn sub_unity_straggler_factor_panics() {
+        let net = Network::new(2, test_cfg());
+        net.borrow_mut()
+            .set_straggler(SimTime::ZERO, NodeId(0), 0.5, SimDuration::ZERO, 0);
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
     sum: SimDuration,
-    min: SimDuration,
+    /// `None` until the first sample — an explicit empty state instead of a
+    /// `u64::MAX` sentinel, so no accessor can ever leak the sentinel value.
+    min: Option<SimDuration>,
     max: SimDuration,
 }
 
@@ -48,7 +50,7 @@ impl Histogram {
             buckets: vec![0; NUM_BUCKETS],
             count: 0,
             sum: SimDuration::ZERO,
-            min: SimDuration::from_nanos(u64::MAX),
+            min: None,
             max: SimDuration::ZERO,
         }
     }
@@ -70,9 +72,7 @@ impl Histogram {
         self.buckets[Self::bucket_for(d)] += 1;
         self.count += 1;
         self.sum += d;
-        if d < self.min {
-            self.min = d;
-        }
+        self.min = Some(self.min.map_or(d, |m| m.min(d)));
         if d > self.max {
             self.max = d;
         }
@@ -94,11 +94,7 @@ impl Histogram {
 
     /// Exact minimum (zero if empty).
     pub fn min(&self) -> SimDuration {
-        if self.count == 0 {
-            SimDuration::ZERO
-        } else {
-            self.min
-        }
+        self.min.unwrap_or(SimDuration::ZERO)
     }
 
     /// Exact maximum (zero if empty).
@@ -121,10 +117,20 @@ impl Histogram {
         for (idx, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Self::bucket_value(idx).max(self.min).min(self.max);
+                return Self::bucket_value(idx).max(self.min()).min(self.max);
             }
         }
         self.max
+    }
+
+    /// Approximate percentiles for a batch of `ps` (each in `[0, 100]`), in
+    /// the order given. One pass per percentile; fine for reporting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `p` is outside `[0, 100]`.
+    pub fn percentiles(&self, ps: &[f64]) -> Vec<SimDuration> {
+        ps.iter().map(|&p| self.percentile(p)).collect()
     }
 
     /// Merges another histogram into this one.
@@ -134,13 +140,11 @@ impl Histogram {
         }
         self.count += other.count;
         self.sum += other.sum;
-        if other.count > 0 {
-            if other.min < self.min {
-                self.min = other.min;
-            }
-            if other.max > self.max {
-                self.max = other.max;
-            }
+        if let Some(om) = other.min {
+            self.min = Some(self.min.map_or(om, |m| m.min(om)));
+        }
+        if other.max > self.max {
+            self.max = other.max;
         }
     }
 
@@ -177,6 +181,32 @@ pub struct Summary {
     pub p99: SimDuration,
 }
 
+impl Summary {
+    /// Returns the digested percentile `p` for the tails this summary
+    /// carries: 0 → min, 50 → p50, 95 → p95, 99 → p99, 100 → max. Hedge
+    /// policies key off these; for arbitrary percentiles query the
+    /// [`Histogram`] directly via [`Histogram::percentile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other `p` — a summary is a digest, not the histogram.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        if p == 0.0 {
+            self.min
+        } else if p == 50.0 {
+            self.p50
+        } else if p == 95.0 {
+            self.p95
+        } else if p == 99.0 {
+            self.p99
+        } else if p == 100.0 {
+            self.max
+        } else {
+            panic!("Summary digests only p0/p50/p95/p99/p100, not p{p}")
+        }
+    }
+}
+
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -198,6 +228,62 @@ mod tests {
         assert_eq!(h.mean(), SimDuration::ZERO);
         assert_eq!(h.percentile(50.0), SimDuration::ZERO);
         assert_eq!(h.min(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn empty_summary_never_leaks_a_sentinel_min() {
+        // Regression: min used to be a u64::MAX sentinel internally; make
+        // sure no summary field or its rendering can ever surface it.
+        let s = Histogram::new().summary();
+        assert_eq!(s.min, SimDuration::ZERO);
+        assert_eq!(s.percentile(0.0), SimDuration::ZERO);
+        assert_eq!(s.percentile(95.0), SimDuration::ZERO);
+        let text = s.to_string();
+        assert!(
+            !text.contains("18446744073709"),
+            "sentinel leaked into display: {text}"
+        );
+        // Merging an empty histogram must not disturb real extrema either.
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(7));
+        h.merge(&Histogram::new());
+        assert_eq!(h.min(), SimDuration::from_micros(7));
+        let mut empty = Histogram::new();
+        empty.merge(&h);
+        assert_eq!(empty.min(), SimDuration::from_micros(7));
+    }
+
+    #[test]
+    fn summary_percentile_exposes_the_hedge_tails() {
+        let mut h = Histogram::new();
+        for us in 1..=100 {
+            h.record(SimDuration::from_micros(us));
+        }
+        let s = h.summary();
+        assert_eq!(s.percentile(50.0), s.p50);
+        assert_eq!(s.percentile(95.0), s.p95);
+        assert_eq!(s.percentile(99.0), s.p99);
+        assert_eq!(s.percentile(100.0), s.max);
+        assert!(s.p95 >= s.p50 && s.p99 >= s.p95);
+    }
+
+    #[test]
+    #[should_panic(expected = "digests only")]
+    fn summary_percentile_rejects_undigested_tails() {
+        let _ = Histogram::new().summary().percentile(97.5);
+    }
+
+    #[test]
+    fn percentiles_batch_matches_single_queries() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_nanos(i * 50));
+        }
+        let batch = h.percentiles(&[50.0, 95.0, 99.0]);
+        assert_eq!(
+            batch,
+            vec![h.percentile(50.0), h.percentile(95.0), h.percentile(99.0)]
+        );
     }
 
     #[test]

@@ -202,6 +202,40 @@ pub enum TraceEvent {
         /// Bytes read from flash.
         bytes: u64,
     },
+    /// A hedge timer expired and speculative chunk fetches were issued to
+    /// untried holders.
+    HedgeFired {
+        /// Node the issuing client runs on.
+        client: NodeId,
+        /// Number of speculative fetches issued.
+        extra: u64,
+    },
+    /// A speculative (hedged) chunk was among the `k` used to complete the
+    /// read.
+    HedgeWon {
+        /// Node the issuing client runs on.
+        client: NodeId,
+        /// Time from hedge firing to operation completion.
+        waited: SimDuration,
+    },
+    /// An operation's total latency exceeded the configured per-op
+    /// deadline (it still ran to its final outcome).
+    DeadlineExceeded {
+        /// Node the issuing client runs on.
+        client: NodeId,
+        /// Set or Get.
+        op: OpClass,
+        /// The operation's final latency.
+        latency: SimDuration,
+    },
+    /// A node was configured as a straggler by the fault-injection layer.
+    NodeDegraded {
+        /// The degraded node.
+        node: NodeId,
+        /// Slowdown factor in fixed-point hundredths (800 = 8.00×), kept
+        /// integral so the event stays `Eq`/hashable.
+        factor_x100: u64,
+    },
 }
 
 impl TraceEvent {
@@ -235,6 +269,10 @@ impl TraceEvent {
             TraceEvent::RepairShard { .. } => "repair_shard",
             TraceEvent::SsdSpill { .. } => "ssd_spill",
             TraceEvent::SsdRead { .. } => "ssd_read",
+            TraceEvent::HedgeFired { .. } => "hedge_fired",
+            TraceEvent::HedgeWon { .. } => "hedge_won",
+            TraceEvent::DeadlineExceeded { .. } => "deadline_exceeded",
+            TraceEvent::NodeDegraded { .. } => "node_degraded",
         }
     }
 }
@@ -349,6 +387,27 @@ impl TraceRecord {
             | TraceEvent::SsdRead { node, bytes } => {
                 f.node = Some(node);
                 f.bytes = Some(bytes);
+            }
+            TraceEvent::HedgeFired { client, extra } => {
+                f.node = Some(client);
+                f.bytes = Some(extra);
+            }
+            TraceEvent::HedgeWon { client, waited } => {
+                f.node = Some(client);
+                f.dur_ns = Some(waited.as_nanos());
+            }
+            TraceEvent::DeadlineExceeded {
+                client,
+                op,
+                latency,
+            } => {
+                f.node = Some(client);
+                f.kind = Some(op.label());
+                f.dur_ns = Some(latency.as_nanos());
+            }
+            TraceEvent::NodeDegraded { node, factor_x100 } => {
+                f.node = Some(node);
+                f.bytes = Some(factor_x100);
             }
         }
         f
@@ -824,6 +883,52 @@ mod tests {
         assert_eq!(seqs, vec![0, 1, 2, 3]);
         assert_eq!(jsonl.borrow().contents().lines().count(), 4);
         assert_eq!(trace.with_bus(TraceBus::events_emitted), Some(4));
+    }
+
+    #[test]
+    fn straggler_and_hedge_events_flatten_into_the_fixed_columns() {
+        let mut out = String::new();
+        TraceRecord {
+            at: SimTime::from_nanos(500),
+            seq: 0,
+            event: TraceEvent::NodeDegraded {
+                node: NodeId(1),
+                factor_x100: 800,
+            },
+        }
+        .write_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"at_ns\":500,\"seq\":0,\"event\":\"node_degraded\",\"node\":1,\"bytes\":800}\n"
+        );
+        let mut out = String::new();
+        TraceRecord {
+            at: SimTime::from_nanos(900),
+            seq: 1,
+            event: TraceEvent::DeadlineExceeded {
+                client: NodeId(5),
+                op: OpClass::Get,
+                latency: SimDuration::from_micros(2),
+            },
+        }
+        .write_csv(&mut out);
+        assert_eq!(out, "900,1,deadline_exceeded,5,,get,,2000,\n");
+        assert_eq!(
+            TraceEvent::HedgeFired {
+                client: NodeId(0),
+                extra: 2
+            }
+            .name(),
+            "hedge_fired"
+        );
+        assert_eq!(
+            TraceEvent::HedgeWon {
+                client: NodeId(0),
+                waited: SimDuration::ZERO
+            }
+            .name(),
+            "hedge_won"
+        );
     }
 
     #[test]

@@ -3,7 +3,10 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use eckv_simnet::{ClusterProfile, ComputeModel, NetConfig, Network, NodeId, Trace, TransportKind};
+use eckv_simnet::{
+    ClusterProfile, ComputeModel, NetConfig, Network, NodeId, SimDuration, SimTime, Trace,
+    TransportKind,
+};
 
 use crate::hashring::HashRing;
 use crate::server::{KvServer, ServerCosts};
@@ -181,6 +184,29 @@ impl KvCluster {
         self.net.borrow_mut().kill(NodeId(i));
     }
 
+    /// Degrades server `i` to a straggler from `at` on: its side of every
+    /// transfer runs `factor`× slower with up to `jitter` extra seeded
+    /// latency per transfer. The seed is derived deterministically from
+    /// the server index, so same-configuration runs reproduce exactly.
+    pub fn slow_server(&self, at: SimTime, i: usize, factor: f64, jitter: SimDuration) {
+        // Arbitrary fixed salt, xor'd with the index for distinct streams.
+        let seed = 0x57A6_617E_5EED_0001u64 ^ (i as u64);
+        self.net
+            .borrow_mut()
+            .set_straggler(at, NodeId(i), factor, jitter, seed);
+    }
+
+    /// Restores a degraded server `i` to full speed.
+    pub fn restore_server_speed(&self, i: usize) {
+        self.net.borrow_mut().clear_straggler(NodeId(i));
+    }
+
+    /// The slowdown factor currently applied to server `i` (1.0 when
+    /// healthy).
+    pub fn server_slow_factor(&self, i: usize) -> f64 {
+        self.net.borrow().slow_factor(NodeId(i))
+    }
+
     /// Whether server `i` is alive.
     pub fn is_server_alive(&self, i: usize) -> bool {
         self.net.borrow().is_alive(NodeId(i))
@@ -244,6 +270,17 @@ mod tests {
         c.kill_server(3);
         assert_eq!(c.alive_servers(), vec![0, 2, 4]);
         assert!(!c.is_server_alive(1));
+    }
+
+    #[test]
+    fn slow_server_roundtrip() {
+        let c = KvCluster::build(ClusterConfig::new(ClusterProfile::RiQdr, 3, 1));
+        assert_eq!(c.server_slow_factor(1), 1.0);
+        c.slow_server(SimTime::ZERO, 1, 8.0, SimDuration::from_micros(2));
+        assert_eq!(c.server_slow_factor(1), 8.0);
+        assert!(c.is_server_alive(1), "a straggler is alive, just slow");
+        c.restore_server_speed(1);
+        assert_eq!(c.server_slow_factor(1), 1.0);
     }
 
     #[test]

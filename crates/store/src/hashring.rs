@@ -1,5 +1,7 @@
 //! Consistent hashing with virtual nodes (libmemcached-ketama style).
 
+use std::collections::HashSet;
+
 use crate::payload::fnv1a_64;
 
 /// Ring hash: FNV-1a finalized with a SplitMix64 avalanche. FNV alone has
@@ -11,6 +13,27 @@ fn ring_hash(data: &[u8]) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Claims a distinct ring point for `(server, vnode)`: the unsalted label
+/// hash when free, otherwise linear salt probing until an unused point is
+/// found. The old `dedup_by_key` resolution silently dropped the
+/// later-sorted server's vnode on a collision, skewing its ring share;
+/// rehashing keeps every server at exactly `vnodes` points.
+fn claim_point(used: &mut HashSet<u64>, server: usize, vnode: usize) -> u64 {
+    let mut salt = 0u64;
+    loop {
+        let label = if salt == 0 {
+            format!("server-{server}-vnode-{vnode}")
+        } else {
+            format!("server-{server}-vnode-{vnode}-salt-{salt}")
+        };
+        let h = ring_hash(label.as_bytes());
+        if used.insert(h) {
+            return h;
+        }
+        salt += 1;
+    }
 }
 
 /// A consistent-hash ring mapping keys to server indices.
@@ -48,21 +71,26 @@ impl HashRing {
     pub fn new(servers: usize, vnodes: usize) -> Self {
         assert!(servers > 0, "ring needs at least one server");
         assert!(vnodes > 0, "ring needs at least one virtual node");
+        let mut used = HashSet::with_capacity(servers * vnodes);
         let mut points = Vec::with_capacity(servers * vnodes);
         for s in 0..servers {
             for v in 0..vnodes {
-                let label = format!("server-{s}-vnode-{v}");
-                points.push((ring_hash(label.as_bytes()), s));
+                points.push((claim_point(&mut used, s, v), s));
             }
         }
         points.sort_unstable();
-        points.dedup_by_key(|p| p.0);
         HashRing { points, servers }
     }
 
     /// Number of servers on the ring.
     pub fn servers(&self) -> usize {
         self.servers
+    }
+
+    /// Number of ring points; always exactly `servers * vnodes`, since
+    /// colliding points are rehashed rather than dropped.
+    pub fn ring_points(&self) -> usize {
+        self.points.len()
     }
 
     /// The server that owns `key` (the "originally designated server").
@@ -171,5 +199,31 @@ mod tests {
     #[should_panic(expected = "cannot place")]
     fn oversubscribed_placement_panics() {
         HashRing::new(3, 16).servers_for(b"k", 4);
+    }
+
+    #[test]
+    fn every_server_keeps_its_full_vnode_share() {
+        for (servers, vnodes) in [(5, 160), (7, 64), (12, 100)] {
+            let ring = HashRing::new(servers, vnodes);
+            assert_eq!(ring.ring_points(), servers * vnodes);
+        }
+    }
+
+    #[test]
+    fn colliding_vnode_is_rehashed_not_dropped() {
+        // 64-bit collisions never occur naturally at ring sizes, so force
+        // one: pre-claim the point "server-1-vnode-0" would take, as if an
+        // earlier server's vnode had hashed there. The old dedup_by_key
+        // behaviour would have dropped server 1's vnode entirely.
+        let mut used = HashSet::new();
+        let natural = claim_point(&mut used, 1, 0);
+        let rehashed = claim_point(&mut used, 1, 0);
+        assert_ne!(rehashed, natural, "collision must probe to a new point");
+        assert!(used.contains(&natural) && used.contains(&rehashed));
+        // Probing is deterministic: the same collision resolves to the
+        // same salted point every time.
+        let mut used2 = HashSet::new();
+        let _ = claim_point(&mut used2, 1, 0);
+        assert_eq!(claim_point(&mut used2, 1, 0), rehashed);
     }
 }

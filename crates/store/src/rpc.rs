@@ -5,7 +5,7 @@
 //! concurrently and reaps completions through its window, exactly like the
 //! `memcached_iset`/`iget` + `memcached_wait` APIs the paper builds on.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -105,6 +105,32 @@ pub fn set<F>(
     );
 }
 
+/// A shared cancellation flag for speculative (hedged) requests. The
+/// issuer keeps a clone; once the race is decided it calls
+/// [`CancelToken::cancel`], and any losing request whose server has not
+/// started processing yet is dropped there — no worker time, no response
+/// bytes. Models piggy-backed cancellation à la "The Tail at Scale".
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Rc<Cell<bool>>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the race as decided; in-flight requests carrying this token
+    /// are dropped at the server if they have not been processed yet.
+    pub fn cancel(&self) {
+        self.0.set(true);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.get()
+    }
+}
+
 /// Issues a Get of `key` from `client` to `server`, starting no earlier
 /// than `start`.
 pub fn get<F>(
@@ -114,6 +140,35 @@ pub fn get<F>(
     start: SimTime,
     client: NodeId,
     key: Arc<str>,
+    on_reply: F,
+) where
+    F: FnOnce(&mut Simulation, Result<GetReply, RpcError>) + 'static,
+{
+    get_with_cancel(
+        net,
+        server,
+        sim,
+        start,
+        client,
+        key,
+        CancelToken::new(),
+        on_reply,
+    );
+}
+
+/// Like [`get`], but the request carries `cancel`: if the token is
+/// cancelled before the request reaches the server, the server drops it —
+/// no processing, no response, and **`on_reply` never fires**. Callers
+/// must not rely on the callback for accounting of cancelled requests.
+#[allow(clippy::too_many_arguments)] // an RPC is naturally wide: route + payload + continuation
+pub fn get_with_cancel<F>(
+    net: &Rc<RefCell<Network>>,
+    server: &Rc<RefCell<KvServer>>,
+    sim: &mut Simulation,
+    start: SimTime,
+    client: NodeId,
+    key: Arc<str>,
+    cancel: CancelToken,
     on_reply: F,
 ) where
     F: FnOnce(&mut Simulation, Result<GetReply, RpcError>) + 'static,
@@ -132,6 +187,9 @@ pub fn get<F>(
         move |sim, delivery| match delivery {
             Delivery::TargetDead(t) => on_reply(sim, Err(RpcError::ServerDead(t))),
             Delivery::Delivered(at) => {
+                if cancel.is_cancelled() {
+                    return;
+                }
                 let (done, value) = server.borrow_mut().process_get(at, &key);
                 let response_bytes = ACK_BYTES + value.as_ref().map_or(0, |v| v.len() as usize);
                 Network::send(
@@ -250,6 +308,57 @@ mod tests {
         );
         sim.run();
         assert!(*seen.borrow());
+    }
+
+    #[test]
+    fn cancelled_get_is_dropped_at_the_server() {
+        let (net, server, mut sim) = setup();
+        // Store a value directly so a get would otherwise hit.
+        server
+            .borrow_mut()
+            .store_mut()
+            .set("k".into(), Payload::synthetic(4096, 1));
+        let fired = Rc::new(RefCell::new(false));
+        let f2 = fired.clone();
+        let token = CancelToken::new();
+        get_with_cancel(
+            &net,
+            &server,
+            &mut sim,
+            SimTime::ZERO,
+            NodeId(1),
+            "k".into(),
+            token.clone(),
+            move |_, _| {
+                *f2.borrow_mut() = true;
+            },
+        );
+        // Cancel before the request can reach the server.
+        token.cancel();
+        assert!(token.is_cancelled());
+        sim.run();
+        assert!(!*fired.borrow(), "cancelled get must not call back");
+        // Only the request crossed the wire; the response was never sent.
+        assert_eq!(net.borrow().messages_sent(), 1);
+
+        // An uncancelled token leaves the RPC untouched.
+        let (net, server, mut sim) = setup();
+        let fired = Rc::new(RefCell::new(false));
+        let f2 = fired.clone();
+        get_with_cancel(
+            &net,
+            &server,
+            &mut sim,
+            SimTime::ZERO,
+            NodeId(1),
+            "k".into(),
+            CancelToken::new(),
+            move |_, _| {
+                *f2.borrow_mut() = true;
+            },
+        );
+        sim.run();
+        assert!(*fired.borrow());
     }
 
     #[test]

@@ -28,7 +28,6 @@ pub struct Zipfian {
     alpha: f64,
     zetan: f64,
     eta: f64,
-    #[allow(dead_code)] // retained for the incremental-n extension & tests
     zeta2theta: f64,
 }
 
@@ -72,6 +71,28 @@ impl Zipfian {
     /// Number of items.
     pub fn items(&self) -> u64 {
         self.n
+    }
+
+    /// Grows the item set to `n`, recomputing `zetan` incrementally by
+    /// appending the terms for the new items — the same ascending
+    /// summation order as [`zeta`], so an expanded generator is
+    /// bit-identical to one constructed at the larger size directly.
+    ///
+    /// Shrinking is not supported; `n` at or below the current size is a
+    /// no-op. Without this, a generator whose population grows (YCSB
+    /// insert-heavy workloads, the `Latest` distribution) keeps drawing
+    /// from the stale, smaller range: `zetan` and `eta` stay frozen and
+    /// every item past the original `n` has probability zero.
+    pub fn expand_to(&mut self, n: u64) {
+        if n <= self.n {
+            return;
+        }
+        for i in (self.n + 1)..=n {
+            self.zetan += 1.0 / (i as f64).powf(self.theta);
+        }
+        self.n = n;
+        self.eta =
+            (1.0 - (2.0 / n as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta2theta / self.zetan);
     }
 
     /// Draws the next item (0 is the hottest).
@@ -165,8 +186,14 @@ impl Latest {
     }
 
     /// Notes that a new record was inserted (shifts the hot set forward).
+    ///
+    /// The underlying Zipfian expands with the population, so recency
+    /// ranks cover *all* records: older records keep a (small, properly
+    /// normalised) probability instead of the hot window staying frozen
+    /// at the initial size and older records becoming unreachable.
     pub fn record_inserted(&mut self) {
         self.max_record += 1;
+        self.inner.expand_to(self.max_record + 1);
     }
 
     /// Draws the next record id; `max_record` is the hottest.
@@ -259,6 +286,55 @@ mod tests {
         }
         let max_seen = (0..1000).map(|_| l.next(&mut rng)).max().unwrap();
         assert_eq!(max_seen, 109);
+    }
+
+    #[test]
+    fn expanded_generator_is_bit_identical_to_fresh() {
+        let mut grown = Zipfian::new(10);
+        grown.expand_to(1000);
+        let fresh = Zipfian::new(1000);
+        // The incremental zetan appends terms in the same ascending order
+        // as the direct sum, so every derived constant matches exactly.
+        assert_eq!(grown.items(), fresh.items());
+        assert_eq!(grown.zetan.to_bits(), fresh.zetan.to_bits());
+        assert_eq!(grown.eta.to_bits(), fresh.eta.to_bits());
+        assert_eq!(grown.alpha.to_bits(), fresh.alpha.to_bits());
+        // Identical state means identical draws.
+        let mut r1 = SimRng::seed_from_u64(11);
+        let mut r2 = SimRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            assert_eq!(grown.next(&mut r1), fresh.clone().next(&mut r2));
+        }
+    }
+
+    #[test]
+    fn expand_never_shrinks() {
+        let mut z = Zipfian::new(100);
+        let zetan = z.zetan;
+        z.expand_to(10);
+        assert_eq!(z.items(), 100);
+        assert_eq!(z.zetan.to_bits(), zetan.to_bits());
+    }
+
+    #[test]
+    fn latest_hot_set_follows_insertions() {
+        // Regression: `record_inserted` used to advance `max_record` while
+        // the inner Zipfian stayed at the initial size, so after many
+        // inserts the oldest records could never be drawn and the "hot
+        // window" stayed frozen at 100 recency ranks.
+        let mut l = Latest::new(100);
+        for _ in 0..10_000 {
+            l.record_inserted();
+        }
+        let mut rng = SimRng::seed_from_u64(10);
+        let draws: Vec<u64> = (0..10_000).map(|_| l.next(&mut rng)).collect();
+        // Recent records stay hottest...
+        let recent = draws.iter().filter(|&&d| d > 10_000).count();
+        assert!(recent > 4_000, "recent draws: {recent}/10000");
+        // ...but the expanded tail is reachable: with the stale-n bug,
+        // every draw landed within 100 of max_record and this was zero.
+        let old = draws.iter().filter(|&&d| d <= 9_000).count();
+        assert!(old > 500, "old-record draws: {old}/10000");
     }
 
     #[test]

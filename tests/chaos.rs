@@ -3,8 +3,10 @@
 // `extern-dev-deps` cargo feature; see the workspace Cargo.toml to re-enable.
 #![cfg(feature = "extern-dev-deps")]
 //! Chaos testing with an exact oracle: random interleavings of writes,
-//! reads, failures and replacements, checked against a chunk-presence
-//! model of the engine's placement/degradation/repair rules.
+//! reads, failures, slowdowns and replacements, checked against a
+//! chunk-presence model of the engine's placement/degradation/repair
+//! rules. The engine runs with hedged reads enabled, so the oracle also
+//! pins down hedging: a slow server is NOT a dead one.
 //!
 //! Invariants:
 //!
@@ -12,7 +14,10 @@
 //! 2. read success/failure matches the model *exactly* (a read succeeds
 //!    iff at least `k` of the key's surviving chunks sit on reachable
 //!    servers — late binding tops up from parity);
-//! 3. write success matches the model (at least `k` reachable holders).
+//! 3. write success matches the model (at least `k` reachable holders);
+//! 4. slowing a server (straggler injection) changes NO outcome — reads
+//!    and writes behave exactly as on a healthy holder, merely later, and
+//!    hedged fetches never corrupt data or flip a result.
 
 use std::collections::{HashMap, HashSet};
 
@@ -28,6 +33,8 @@ enum ChaosEvent {
     Read { key: u8 },
     Kill { server: u8 },
     Repair { server: u8 },
+    Slow { server: u8, factor: u8 },
+    Restore { server: u8 },
 }
 
 fn event_strategy() -> impl Strategy<Value = ChaosEvent> {
@@ -36,6 +43,11 @@ fn event_strategy() -> impl Strategy<Value = ChaosEvent> {
         4 => (0u8..32).prop_map(|key| ChaosEvent::Read { key }),
         1 => (0u8..SERVERS as u8).prop_map(|server| ChaosEvent::Kill { server }),
         1 => (0u8..SERVERS as u8).prop_map(|server| ChaosEvent::Repair { server }),
+        1 => (0u8..SERVERS as u8, 2u8..10).prop_map(|(server, factor)| ChaosEvent::Slow {
+            server,
+            factor
+        }),
+        1 => (0u8..SERVERS as u8).prop_map(|server| ChaosEvent::Restore { server }),
     ]
 }
 
@@ -114,10 +126,15 @@ proptest! {
         events in proptest::collection::vec(event_strategy(), 10..80),
         seed in any::<u64>(),
     ) {
-        let world = World::new(EngineConfig::new(
-            ClusterConfig::new(ClusterProfile::RiQdr, SERVERS, 1),
-            Scheme::era_ce_cd(3, 2),
-        ));
+        // Hedging on: speculative fetches race the injected stragglers,
+        // and must never corrupt data or flip an outcome vs the oracle.
+        let world = World::new(
+            EngineConfig::new(
+                ClusterConfig::new(ClusterProfile::RiQdr, SERVERS, 1),
+                Scheme::era_ce_cd(3, 2),
+            )
+            .hedge(HedgeConfig::after(SimDuration::from_micros(50))),
+        );
         let mut sim = Simulation::new();
         let mut model = ChunkModel::new();
         let mut version: u64 = seed;
@@ -175,6 +192,18 @@ proptest! {
                     eckv::core::repair_server(&world, &mut sim, s);
                     let w = world.clone();
                     model.repair(s, |key| targets_of(&w, key));
+                }
+                ChaosEvent::Slow { server, factor } => {
+                    // A straggler is alive: the oracle is untouched.
+                    world.cluster.slow_server(
+                        sim.now(),
+                        server as usize,
+                        factor as f64,
+                        SimDuration::from_micros(100),
+                    );
+                }
+                ChaosEvent::Restore { server } => {
+                    world.cluster.restore_server_speed(server as usize);
                 }
             }
         }

@@ -1,0 +1,156 @@
+//! Straggler fault-injection and hedged-read guarantees, end to end:
+//! a slow-but-alive server never corrupts or fails reads, hedging routes
+//! the tail around it, same-seed degraded runs are byte-identical, and
+//! per-op deadlines surface as metrics plus trace events.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use eckv::prelude::*;
+use eckv::simnet::{JsonlSink, Trace, TraceBus};
+
+const SLOW_FACTOR: f64 = 8.0;
+const JITTER: SimDuration = SimDuration::from_micros(300);
+
+fn engine(hedged: bool) -> EngineConfig {
+    let mut cfg = EngineConfig::new(
+        ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+        Scheme::era_ce_cd(3, 2),
+    )
+    .window(1);
+    if hedged {
+        cfg = cfg.hedge(HedgeConfig::default());
+    }
+    cfg
+}
+
+/// Loads `ops` keys, degrades server 0, warms the hedge estimator, then
+/// runs a measured GET pass. Returns the world for metric inspection.
+fn degraded_run(world: &Rc<World>, sim: &mut Simulation, ops: usize) {
+    let writes: Vec<Op> = (0..ops)
+        .map(|i| Op::set_synthetic(format!("k{i}"), 64 << 10, i as u64))
+        .collect();
+    run_workload(world, sim, vec![writes]);
+    world.cluster.slow_server(sim.now(), 0, SLOW_FACTOR, JITTER);
+    let warm: Vec<Op> = (0..ops / 4).map(|i| Op::get(format!("k{i}"))).collect();
+    run_workload(world, sim, vec![warm]);
+    world.reset_metrics();
+    let reads: Vec<Op> = (0..ops).map(|i| Op::get(format!("k{i}"))).collect();
+    run_workload(world, sim, vec![reads]);
+}
+
+#[test]
+fn hedged_reads_survive_a_straggler_intact() {
+    let world = World::new(engine(true));
+    let mut sim = Simulation::new();
+    degraded_run(&world, &mut sim, 80);
+    let m = world.metrics.borrow();
+    assert_eq!(m.get_count, 80);
+    assert_eq!(m.errors, 0, "slow is not dead: every read must succeed");
+    assert_eq!(m.integrity_errors, 0, "hedged reads must never corrupt");
+    assert!(m.hedges_fired > 0, "the straggler should trigger hedges");
+    assert!(
+        m.hedges_won > 0 && m.hedges_won <= m.hedges_fired,
+        "fired={} won={}",
+        m.hedges_fired,
+        m.hedges_won
+    );
+}
+
+#[test]
+fn hedging_improves_the_degraded_tail() {
+    let run = |hedged: bool| {
+        let world = World::new(engine(hedged));
+        let mut sim = Simulation::new();
+        degraded_run(&world, &mut sim, 80);
+        let m = world.metrics.borrow();
+        assert_eq!(m.errors, 0);
+        m.get_summary().percentile(99.0)
+    };
+    let unhedged = run(false);
+    let hedged = run(true);
+    assert!(
+        hedged < unhedged,
+        "hedged p99 {hedged} must beat unhedged p99 {unhedged}"
+    );
+}
+
+#[test]
+fn straggler_slows_the_unhedged_tail() {
+    let run = |slow: bool| {
+        let world = World::new(engine(false));
+        let mut sim = Simulation::new();
+        let writes: Vec<Op> = (0..60)
+            .map(|i| Op::set_synthetic(format!("k{i}"), 64 << 10, i as u64))
+            .collect();
+        run_workload(&world, &mut sim, vec![writes]);
+        if slow {
+            world.cluster.slow_server(sim.now(), 0, SLOW_FACTOR, JITTER);
+        }
+        world.reset_metrics();
+        let reads: Vec<Op> = (0..60).map(|i| Op::get(format!("k{i}"))).collect();
+        run_workload(&world, &mut sim, vec![reads]);
+        let m = world.metrics.borrow();
+        assert_eq!(m.errors, 0);
+        m.get_summary().percentile(99.0)
+    };
+    let healthy = run(false);
+    let degraded = run(true);
+    assert!(
+        degraded > healthy * 2,
+        "an 8x straggler should at least double the p99: healthy {healthy}, degraded {degraded}"
+    );
+}
+
+/// A traced degraded+hedged run; returns the JSONL text.
+fn traced_degraded_run(ops: usize) -> String {
+    let sink = Rc::new(RefCell::new(JsonlSink::new()));
+    let mut bus = TraceBus::new();
+    bus.add_sink(sink.clone());
+    let world = World::new_traced(engine(true), Trace::from_bus(bus));
+    let mut sim = Simulation::new();
+    degraded_run(&world, &mut sim, ops);
+    assert_eq!(world.metrics.borrow().errors, 0);
+    let text = sink.borrow().contents().to_string();
+    text
+}
+
+#[test]
+fn same_seed_degraded_runs_are_byte_identical() {
+    let a = traced_degraded_run(60);
+    let b = traced_degraded_run(60);
+    assert_eq!(
+        a, b,
+        "straggler jitter and hedging must stay deterministic under the same seed"
+    );
+    for needle in [
+        "\"event\":\"node_degraded\"",
+        "\"event\":\"hedge_fired\"",
+        "\"event\":\"hedge_won\"",
+    ] {
+        assert!(a.contains(needle), "missing {needle}");
+    }
+}
+
+#[test]
+fn deadline_misses_surface_in_metrics_and_trace() {
+    let sink = Rc::new(RefCell::new(JsonlSink::new()));
+    let mut bus = TraceBus::new();
+    bus.add_sink(sink.clone());
+    let world = World::new_traced(
+        engine(false).deadline(SimDuration::from_nanos(1)),
+        Trace::from_bus(bus),
+    );
+    let mut sim = Simulation::new();
+    let writes: Vec<Op> = (0..10)
+        .map(|i| Op::set_synthetic(format!("k{i}"), 64 << 10, i as u64))
+        .collect();
+    run_workload(&world, &mut sim, vec![writes]);
+    let m = world.metrics.borrow();
+    // A 1ns deadline is unmeetable: every op completes but is late.
+    assert_eq!(m.errors, 0, "a missed deadline is late, not failed");
+    assert_eq!(m.deadline_misses, 10);
+    drop(m);
+    let text = sink.borrow().contents().to_string();
+    assert!(text.contains("\"event\":\"deadline_exceeded\""));
+}
