@@ -9,6 +9,7 @@
 //!          [--ops 1000] [--size 64K] [--window 16]
 //!          [--workload setget|ycsb-a|ycsb-b|ycsb-c|ycsb-d]
 //!          [--kill 1,3] [--repair FAILED]
+//!          [--repair-online FAILED] [--repair-bandwidth 400M] [--repair-window 4]
 //!          [--straggler 1x8,3x2] [--straggler-jitter 300us]
 //!          [--hedge-after p95|50us] [--deadline 2ms]
 //!          [--ssd CAPACITY]
@@ -29,6 +30,23 @@
 //! * `--deadline 2ms` — per-operation deadline: retries stop once it has
 //!   passed and late completions count as deadline misses.
 //!
+//! Online repair flags (`setget` workload only):
+//!
+//! * `--repair-online 2` — kill server 2 after the write phase and rebuild
+//!   it with the online repair engine *while the read phase runs*: the
+//!   background scan and the foreground reads are co-scheduled in one
+//!   simulation, degraded reads promote their keys to the front of the
+//!   repair queue, and the repair report prints alongside the read-phase
+//!   latencies. Contrast with `--repair`, which rebuilds offline (no
+//!   foreground load) before the reads start.
+//! * `--repair-bandwidth 400M` — token-bucket throttle on repair traffic,
+//!   bytes per sim-second (accepts K/M/G suffixes). Default: unthrottled.
+//! * `--repair-window 4` — max keys rebuilt concurrently (default 4).
+//!
+//! With `--trace`/`--timeline`, the repair engine emits `repair_started`,
+//! `repair_throttled`, `repair_key_promoted` and `repair_done` events into
+//! the same deterministic streams.
+//!
 //! Observability flags (all feed the deterministic TraceBus — identical
 //! seeds and flags produce byte-identical output files):
 //!
@@ -47,13 +65,14 @@
 //! eckv-sim --scheme era-ce-cd --size 1M --ops 500
 //! eckv-sim --scheme async-rep --workload ycsb-a --clients 30 --size 32K
 //! eckv-sim --scheme era-ce-cd --kill 1,3 --repair 1
+//! eckv-sim --scheme era-se-sd --repair-online 2 --repair-bandwidth 400M --trace repair.jsonl
 //! eckv-sim --scheme era-ce-cd --ops 1000 --trace out.jsonl --stats-interval 10ms --report
 //! ```
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use eckv_core::{driver, ops::Op, repair, EngineConfig, HedgeConfig, Scheme, World};
+use eckv_core::{driver, ops::Op, repair, EngineConfig, HedgeConfig, RepairConfig, Scheme, World};
 use eckv_simnet::{
     ClusterProfile, CsvSink, JsonlSink, SimDuration, Simulation, TimeSeries, Trace, TraceBus,
     TransportKind,
@@ -79,6 +98,9 @@ struct Args {
     workload: String,
     kill: Vec<usize>,
     repair: Option<usize>,
+    repair_online: Option<usize>,
+    repair_bandwidth: Option<u64>,
+    repair_window: Option<usize>,
     straggler: Vec<(usize, f64)>,
     straggler_jitter: SimDuration,
     hedge_after: Option<HedgeConfig>,
@@ -183,6 +205,9 @@ fn parse_args() -> Result<Args, String> {
         workload: "setget".into(),
         kill: Vec::new(),
         repair: None,
+        repair_online: None,
+        repair_bandwidth: None,
+        repair_window: None,
         straggler: Vec::new(),
         straggler_jitter: SimDuration::ZERO,
         hedge_after: None,
@@ -245,6 +270,21 @@ fn parse_args() -> Result<Args, String> {
                     .collect::<Result<_, _>>()?
             }
             "--repair" => a.repair = Some(value(i)?.parse().map_err(|e| format!("--repair: {e}"))?),
+            "--repair-online" => {
+                a.repair_online = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|e| format!("--repair-online: {e}"))?,
+                )
+            }
+            "--repair-bandwidth" => a.repair_bandwidth = Some(parse_size(value(i)?)?),
+            "--repair-window" => {
+                a.repair_window = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|e| format!("--repair-window: {e}"))?,
+                )
+            }
             "--straggler" => {
                 a.straggler = value(i)?
                     .split(',')
@@ -414,6 +454,20 @@ fn main() {
     if let Some(d) = args.deadline {
         engine = engine.deadline(d);
     }
+    if args.repair_online.is_some() && args.workload != "setget" {
+        eprintln!("error: --repair-online only supports the setget workload");
+        std::process::exit(2);
+    }
+    {
+        let mut r = RepairConfig::default();
+        if let Some(w) = args.repair_window {
+            r = r.window(w);
+        }
+        if let Some(b) = args.repair_bandwidth {
+            r = r.bandwidth(b);
+        }
+        engine = engine.repair(r);
+    }
     let world = World::new_traced(engine, trace.clone());
     let mut sim = Simulation::new();
     for &(srv, factor) in &args.straggler {
@@ -485,8 +539,32 @@ fn main() {
                         .collect()
                 })
                 .collect();
-            driver::run_workload(&world, &mut sim, reads);
-            println!("\n== read phase ==");
+            if let Some(failed) = args.repair_online {
+                // Kill the server and rebuild it online: the background
+                // scan and the foreground reads share one simulation.
+                world.cluster.kill_server(failed);
+                println!("\nkilled server {failed}; rebuilding online under the read load");
+                repair::start_repair(&world, &mut sim, failed);
+                driver::enqueue_workload(&world, &mut sim, reads);
+                sim.run();
+                let r = world.last_repair_report().expect("repair completes");
+                let m = world.metrics.borrow();
+                println!(
+                    "online repair: {} keys, {} lost, {:.1} MB read, {:.1} MB written, {} promotions, {} fg ops during repair, {}",
+                    r.keys_repaired,
+                    r.keys_lost,
+                    r.bytes_read as f64 / (1u64 << 20) as f64,
+                    r.bytes_written as f64 / (1u64 << 20) as f64,
+                    m.repair_promotions,
+                    m.fg_ops_during_repair,
+                    r.elapsed,
+                );
+                drop(m);
+                println!("\n== read phase (during online repair) ==");
+            } else {
+                driver::run_workload(&world, &mut sim, reads);
+                println!("\n== read phase ==");
+            }
             print_report(&world);
         }
         w @ ("ycsb-a" | "ycsb-b" | "ycsb-c" | "ycsb-d") => {

@@ -1,14 +1,17 @@
 //! Regenerates the paper's tables and figures on the simulated clusters.
 //!
 //! ```text
-//! paper-figures [fig4|fig8|fig9|fig10|fig11|fig12|fig13|tail|all] [--quick]
+//! paper-figures [fig4|fig8|fig9|fig10|fig11|fig12|fig13|tail|repair|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks client counts/op counts for a fast smoke run; omit it
 //! to reproduce the paper-scale sweeps (minutes of wall time; build with
 //! `--release`).
 
-use eckv_bench::{ablations, fig10, fig11_12, fig13, fig4, fig8, fig9, model_check, tail_latency};
+use eckv_bench::{
+    ablations, fig10, fig11_12, fig13, fig4, fig8, fig9, model_check, repair_interference,
+    tail_latency,
+};
 use eckv_simnet::ClusterProfile;
 use eckv_ycsb::Workload;
 
@@ -71,6 +74,10 @@ fn main() {
         ran = true;
         println!("{}", tail_latency::tail_latency_table(quick));
     }
+    if all || which == "repair" {
+        ran = true;
+        println!("{}", repair_interference::interference_table(quick));
+    }
     if all || which == "model" {
         ran = true;
         println!("{}", model_check::table());
@@ -91,7 +98,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown figure '{which}'; expected fig4, fig8, fig9, fig10, fig11, fig12, fig13, tail, model, ablations or all"
+            "unknown figure '{which}'; expected fig4, fig8, fig9, fig10, fig11, fig12, fig13, tail, repair, model, ablations or all"
         );
         std::process::exit(2);
     }

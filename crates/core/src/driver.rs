@@ -37,6 +37,19 @@ struct ClientState {
 ///
 /// Panics if more streams are supplied than the cluster has clients.
 pub fn run_workload(world: &Rc<World>, sim: &mut Simulation, per_client_ops: Vec<Vec<Op>>) {
+    enqueue_workload(world, sim, per_client_ops);
+    sim.run();
+}
+
+/// Admits every client's stream without running the simulation: the
+/// caller co-schedules other activity against the same event loop (e.g.
+/// an online repair started with [`crate::repair::start_repair`]) and
+/// then drives `sim` itself — `sim.run()` to quiescence, or stepwise.
+///
+/// # Panics
+///
+/// Panics if more streams are supplied than the cluster has clients.
+pub fn enqueue_workload(world: &Rc<World>, sim: &mut Simulation, per_client_ops: Vec<Vec<Op>>) {
     assert!(
         per_client_ops.len() <= world.cfg.cluster.clients,
         "{} op streams for {} clients",
@@ -53,7 +66,6 @@ pub fn run_workload(world: &Rc<World>, sim: &mut Simulation, per_client_ops: Vec
         }));
         pump(world, sim, client, &state);
     }
-    sim.run();
 }
 
 /// Admits operations for `client` until the window is full or the stream
@@ -192,7 +204,13 @@ fn dispatch_with_retry(
                     dispatch_with_retry(&world3, sim, client, retry_op, next, on_final);
                 });
             } else {
-                world2.metrics.borrow_mut().record(&result);
+                {
+                    let mut m = world2.metrics.borrow_mut();
+                    m.record(&result);
+                    if world2.repair_active() {
+                        m.fg_ops_during_repair += 1;
+                    }
+                }
                 if let Some(d) = deadline_at {
                     if result.at > d {
                         world2.metrics.borrow_mut().deadline_misses += 1;

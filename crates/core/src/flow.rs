@@ -4,7 +4,6 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use eckv_simnet::{SimTime, Simulation};
-use eckv_store::Payload;
 
 use crate::metrics::OpResult;
 
@@ -12,14 +11,12 @@ use crate::metrics::OpResult;
 pub(crate) type DoneCb = Box<dyn FnOnce(&mut Simulation, OpResult)>;
 
 /// Fan-out completion tracker: counts outstanding sub-requests, remembers
-/// the latest completion instant and whether everything succeeded, and
-/// collects fetched chunks (for Get paths).
+/// the latest completion instant and whether everything succeeded.
 pub(crate) struct Pending {
     pub remaining: usize,
     pub ok: bool,
     pub succeeded: usize,
     pub last: SimTime,
-    pub chunks: Vec<(usize, Option<Payload>)>,
     pub done: Option<DoneCb>,
 }
 
@@ -30,7 +27,6 @@ impl Pending {
             ok: true,
             succeeded: 0,
             last: SimTime::ZERO,
-            chunks: Vec::new(),
             done: Some(done),
         }))
     }

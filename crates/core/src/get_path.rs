@@ -4,7 +4,7 @@
 //! update the view and surface as retryable failures so the driver can
 //! re-dispatch the read against the survivors (the paper's fail-over).
 
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -14,7 +14,7 @@ use eckv_simnet::{
 };
 use eckv_store::{rpc, Payload};
 
-use crate::flow::{DoneCb, Pending};
+use crate::flow::DoneCb;
 use crate::metrics::OpResult;
 use crate::ops::OpKind;
 use crate::scheme::{Scheme, Side};
@@ -646,6 +646,9 @@ fn settle_cd(
         .count();
     let integrity = check_chunks(world, expected, &used);
     let (at, compute) = if erased_data > 0 {
+        // This read had to decode — the key is in degraded mode. Promote
+        // it to the front of any active repair queue.
+        crate::repair::note_degraded_read(world, now, &key);
         let client_node = world.cluster.client_node(client);
         let t_dec = world.decode_time_at(client_node, value_len, erased_data);
         let dec_done = world.reserve_client_cpu(client, now, t_dec);
@@ -675,8 +678,36 @@ fn settle_cd(
     );
 }
 
+/// In-flight state of one server-decode Get, owned by the aggregator.
+struct SdState {
+    key: Arc<str>,
+    targets: Vec<usize>,
+    k: usize,
+    client: usize,
+    op_start: SimTime,
+    check: SimDuration,
+    post: SimDuration,
+    aggregator: Rc<RefCell<eckv_store::KvServer>>,
+    agg_srv: usize,
+    agg_node: eckv_simnet::NodeId,
+    client_node: eckv_simnet::NodeId,
+    net: Rc<RefCell<Network>>,
+    /// Shard positions already requested.
+    tried: Vec<usize>,
+    /// Chunks that came back present.
+    good: Vec<(usize, Payload)>,
+    outstanding: usize,
+    discovered: bool,
+    /// Latest sub-completion instant.
+    last: SimTime,
+    done: Option<DoneCb>,
+}
+
 /// Era-*-SD: the first live chunk holder aggregates (and if necessary
-/// decodes) the value server-side, then returns it whole.
+/// decodes) the value server-side, then returns it whole. Chunk *misses*
+/// (a degraded write skipped that position, or a replaced server has not
+/// rebuilt that key yet) top up from the remaining holders — mirroring
+/// the client-decode path — before the read is declared failed.
 fn get_era_server_decode(
     world: &Rc<World>,
     sim: &mut Simulation,
@@ -709,9 +740,6 @@ fn get_era_server_decode(
         );
         return;
     };
-    let erased_data = (0..k)
-        .filter(|i| !chosen.iter().any(|&(idx, _)| idx == *i))
-        .count();
 
     // The aggregator is the first live chunk holder (the primary, unless it
     // failed).
@@ -752,141 +780,196 @@ fn get_era_server_decode(
             };
             let costs = aggregator.borrow().costs();
             let t1 = aggregator.borrow_mut().reserve_cpu(at, costs.op_time(0));
-
-            let discovered = Rc::new(Cell::new(false));
-            let pending = Pending::new(k, done);
-            for (j, &(shard_idx, srv)) in chosen.iter().enumerate() {
-                if srv == agg_srv {
-                    // Local chunk: a store lookup on the aggregator itself.
-                    let chunk = aggregator
-                        .borrow_mut()
-                        .store_mut()
-                        .get(&World::shard_key(&key, shard_idx));
-                    let bytes = chunk.as_ref().map_or(0, Payload::len);
-                    let local_done = aggregator
-                        .borrow_mut()
-                        .reserve_cpu(t1, costs.op_time(bytes));
-                    let ok = chunk.is_some();
-                    let mut p = pending.borrow_mut();
-                    p.chunks.push((shard_idx, chunk));
-                    let is_last = p.complete_one(local_done, ok);
-                    drop(p);
-                    if is_last {
-                        finish_sd(
-                            &world2,
-                            sim,
-                            &key,
-                            &pending,
-                            op_start,
-                            check,
-                            post,
-                            erased_data,
-                            &discovered,
-                            &aggregator,
-                            agg_node,
-                            client_node,
-                            &net,
-                        );
-                    }
-                } else {
-                    let server = world2.cluster.servers[srv].clone();
-                    let pending2 = pending.clone();
-                    let world3 = world2.clone();
-                    let key2 = key.clone();
-                    let aggregator2 = aggregator.clone();
-                    let net2 = net.clone();
-                    let discovered2 = discovered.clone();
-                    rpc::get(
-                        &net,
-                        &server,
-                        sim,
-                        t1 + post * (j as u64 + 1),
-                        agg_node,
-                        World::shard_key(&key, shard_idx),
-                        move |sim, reply| {
-                            let (at, chunk, ok) = match reply {
-                                Ok(r) => {
-                                    let ok = r.value.is_some();
-                                    (r.at, r.value, ok)
-                                }
-                                Err(rpc::RpcError::ServerDead(t)) => {
-                                    world3.mark_dead(client, srv);
-                                    discovered2.set(true);
-                                    (t, None, false)
-                                }
-                            };
-                            let is_last = {
-                                let mut p = pending2.borrow_mut();
-                                p.chunks.push((shard_idx, chunk));
-                                p.complete_one(at, ok)
-                            };
-                            if is_last {
-                                finish_sd(
-                                    &world3,
-                                    sim,
-                                    &key2,
-                                    &pending2,
-                                    op_start,
-                                    check,
-                                    post,
-                                    erased_data,
-                                    &discovered2,
-                                    &aggregator2,
-                                    agg_node,
-                                    client_node,
-                                    &net2,
-                                );
-                            }
-                        },
-                    );
-                }
-            }
+            let state = Rc::new(RefCell::new(SdState {
+                key,
+                targets,
+                k,
+                client,
+                op_start,
+                check,
+                post,
+                aggregator,
+                agg_srv,
+                agg_node,
+                client_node,
+                net,
+                tried: chosen.iter().map(|&(i, _)| i).collect(),
+                good: Vec::new(),
+                outstanding: chosen.len(),
+                discovered: false,
+                last: t1,
+                done: Some(done),
+            }));
+            issue_sd_fetches(&world2, sim, &state, t1, chosen);
         },
     );
 }
 
-/// Completes an SD get: optional decode on the aggregator, then ship the
-/// whole value to the client.
-#[allow(clippy::too_many_arguments)]
-fn finish_sd(
+/// Issues one wave of shard reads on behalf of the aggregator: a local
+/// store lookup for its own chunk, gather RPCs for the rest.
+fn issue_sd_fetches(
     world: &Rc<World>,
     sim: &mut Simulation,
-    key: &Arc<str>,
-    pending: &Rc<std::cell::RefCell<Pending>>,
-    op_start: SimTime,
-    check: SimDuration,
-    post: SimDuration,
-    erased_data: usize,
-    discovered: &Rc<Cell<bool>>,
-    aggregator: &Rc<std::cell::RefCell<eckv_store::KvServer>>,
-    agg_node: eckv_simnet::NodeId,
-    client_node: eckv_simnet::NodeId,
-    net: &Rc<std::cell::RefCell<Network>>,
+    state: &Rc<RefCell<SdState>>,
+    from: SimTime,
+    batch: Vec<(usize, usize)>,
 ) {
-    let (last, ok, chunks, done) = {
-        let mut p = pending.borrow_mut();
+    let (aggregator, agg_srv, agg_node, post, key, client) = {
+        let st = state.borrow();
         (
-            p.last,
-            p.ok,
-            std::mem::take(&mut p.chunks),
-            p.done.take().expect("finishes once"),
+            st.aggregator.clone(),
+            st.agg_srv,
+            st.agg_node,
+            st.post,
+            st.key.clone(),
+            st.client,
         )
     };
-    let expected = world.expected.borrow().get(key).copied();
-    let integrity = !ok || check_chunks(world, expected, &chunks);
+    let costs = aggregator.borrow().costs();
+    for (j, (shard_idx, srv)) in batch.into_iter().enumerate() {
+        if srv == agg_srv {
+            // Local chunk: a store lookup on the aggregator itself.
+            let chunk = aggregator
+                .borrow_mut()
+                .store_mut()
+                .get(&World::shard_key(&key, shard_idx));
+            let bytes = chunk.as_ref().map_or(0, Payload::len);
+            let local_done = aggregator
+                .borrow_mut()
+                .reserve_cpu(from, costs.op_time(bytes));
+            let settled = {
+                let mut st = state.borrow_mut();
+                st.last = st.last.max(local_done);
+                if let Some(c) = chunk {
+                    st.good.push((shard_idx, c));
+                }
+                st.outstanding -= 1;
+                st.outstanding == 0
+            };
+            if settled {
+                settle_sd(world, sim, state);
+            }
+        } else {
+            let server = world.cluster.servers[srv].clone();
+            let world2 = world.clone();
+            let state2 = state.clone();
+            rpc::get(
+                &world.cluster.net,
+                &server,
+                sim,
+                from + post * (j as u64 + 1),
+                agg_node,
+                World::shard_key(&key, shard_idx),
+                move |sim, reply| {
+                    let settled = {
+                        let mut st = state2.borrow_mut();
+                        match reply {
+                            Ok(r) => {
+                                st.last = st.last.max(r.at);
+                                if let Some(chunk) = r.value {
+                                    st.good.push((shard_idx, chunk));
+                                }
+                            }
+                            Err(rpc::RpcError::ServerDead(t)) => {
+                                st.last = st.last.max(t);
+                                world2.mark_dead(client, srv);
+                                st.discovered = true;
+                            }
+                        }
+                        st.outstanding -= 1;
+                        st.outstanding == 0
+                    };
+                    if settled {
+                        settle_sd(&world2, sim, &state2);
+                    }
+                },
+            );
+        }
+    }
+}
+
+/// All outstanding gathers returned: top up from untried holders if chunks
+/// are still missing, else decode (if needed) and ship the value back.
+fn settle_sd(world: &Rc<World>, sim: &mut Simulation, state: &Rc<RefCell<SdState>>) {
+    let (missing, k) = {
+        let st = state.borrow();
+        (st.k.saturating_sub(st.good.len()), st.k)
+    };
+    if missing > 0 {
+        // Candidates: positions not yet tried whose holder the client
+        // believes alive.
+        let batch: Vec<(usize, usize)> = {
+            let st = state.borrow();
+            st.targets
+                .iter()
+                .enumerate()
+                .filter(|&(i, &srv)| !st.tried.contains(&i) && world.view_alive(st.client, srv))
+                .take(missing)
+                .map(|(i, &srv)| (i, srv))
+                .collect()
+        };
+        if !batch.is_empty() {
+            let from = {
+                let mut st = state.borrow_mut();
+                for &(i, _) in &batch {
+                    st.tried.push(i);
+                }
+                st.outstanding = batch.len();
+                st.last
+            };
+            issue_sd_fetches(world, sim, state, from, batch);
+            return;
+        }
+    }
+
+    let (key, good, last, discovered, done) = {
+        let mut st = state.borrow_mut();
+        (
+            st.key.clone(),
+            std::mem::take(&mut st.good),
+            st.last,
+            st.discovered,
+            st.done.take().expect("settles once"),
+        )
+    };
+    let (op_start, check, post, aggregator, agg_node, client_node, net) = {
+        let st = state.borrow();
+        (
+            st.op_start,
+            st.check,
+            st.post,
+            st.aggregator.clone(),
+            st.agg_node,
+            st.client_node,
+            st.net.clone(),
+        )
+    };
+    let ok = good.len() >= k;
+    let used: Vec<(usize, Option<Payload>)> = good
+        .into_iter()
+        .take(k)
+        .map(|(i, c)| (i, Some(c)))
+        .collect();
+    let expected = world.expected.borrow().get(&key).copied();
+    let integrity = !ok || check_chunks(world, expected, &used);
     let value_len = expected.map_or_else(
         || {
-            chunks
-                .iter()
+            used.iter()
                 .filter_map(|(_, c)| c.as_ref())
                 .map(Payload::len)
                 .sum()
         },
         |w| w.len,
     );
-    // Server-side decode if a data chunk is missing; a straggling
-    // aggregator decodes proportionally slower.
+    // Server-side decode if a data chunk was reconstructed from parity; a
+    // straggling aggregator decodes proportionally slower.
+    let erased_data = (0..k)
+        .filter(|i| !used.iter().any(|&(idx, _)| idx == *i))
+        .count();
     let respond_at = if ok && erased_data > 0 {
+        // Server-side decode still means the key is degraded: promote it
+        // in any active repair queue.
+        crate::repair::note_degraded_read(world, last, &key);
         let t_dec = world.decode_time_at(agg_node, value_len, erased_data);
         let dec_done = aggregator.borrow_mut().reserve_cpu(last, t_dec);
         trace_codec(
@@ -902,15 +985,14 @@ fn finish_sd(
         last
     };
     let resp_bytes = rpc::ACK_BYTES
-        + chunks
+        + used
             .iter()
             .filter_map(|(_, c)| c.as_ref())
             .map(|c| c.len() as usize)
             .sum::<usize>()
             .min(value_len as usize + rpc::ACK_BYTES);
-    let retryable = discovered.get();
     Network::send(
-        net,
+        &net,
         sim,
         respond_at,
         agg_node,
@@ -925,7 +1007,7 @@ fn finish_sd(
                 SimDuration::ZERO,
                 ok && d.is_delivered(),
                 integrity,
-                retryable,
+                discovered,
                 value_len,
                 done,
             );

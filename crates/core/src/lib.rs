@@ -62,6 +62,6 @@ mod world;
 
 pub use metrics::{Metrics, OpResult, TimelinePoint};
 pub use ops::{Op, OpKind};
-pub use repair::{repair_server, RepairReport};
+pub use repair::{repair_server, start_repair, RepairReport};
 pub use scheme::{Scheme, Side};
-pub use world::{EngineConfig, HedgeConfig, World};
+pub use world::{EngineConfig, HedgeConfig, RepairConfig, World};

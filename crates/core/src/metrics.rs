@@ -82,6 +82,16 @@ pub struct Metrics {
     /// Operations that completed (successfully or not) after their
     /// per-operation deadline had already passed.
     pub deadline_misses: u64,
+    /// Bytes moved by the online repair engine (survivor reads plus
+    /// replacement writes) while this metrics window was active.
+    pub repair_bytes: u64,
+    /// Keys a degraded read promoted to the front of the repair queue.
+    pub repair_promotions: u64,
+    /// High-water mark of the repair queue depth.
+    pub repair_queue_depth_hwm: u64,
+    /// Foreground operations that completed while an online repair was in
+    /// progress (the interference population).
+    pub fg_ops_during_repair: u64,
     /// Bytes written by successful Sets (values, not counting redundancy).
     pub bytes_written: u64,
     /// Bytes read by successful Gets.

@@ -1,28 +1,44 @@
 //! Server replacement and data re-protection (the paper's stated future
-//! work: "detailed recovery overhead analysis").
+//! work: "detailed recovery overhead analysis"), as an **online** repair
+//! engine that interleaves with live foreground traffic.
 //!
 //! After a failed server is replaced by an empty node, every key that kept
-//! a chunk or replica there has lost redundancy. [`repair_server`] rebuilds
-//! it, client-driven:
+//! a chunk or replica there has lost redundancy. [`start_repair`] seeds a
+//! background queue of those keys (sorted — the deterministic scan order)
+//! and rebuilds them, client-driven, while the simulation keeps serving
+//! foreground operations:
 //!
 //! * **Erasure schemes** fetch `k` surviving chunks, decode, re-encode the
 //!   lost shard and store it on the replacement — the classic erasure
-//!   *repair amplification*: `k` chunk reads per lost chunk.
+//!   *repair amplification*: `k` chunk reads per lost chunk. Survivor sets
+//!   rotate per key (by key hash) so a mass repair spreads its reads, and
+//!   a dead or empty holder is topped up from untried survivors the way
+//!   the GET path late-binds.
 //! * **Replication schemes** copy the value from any live replica —
 //!   1x read per lost copy, the repair-cost advantage replication keeps.
 //!
-//! The returned [`RepairReport`] quantifies exactly that trade-off.
+//! Three policies shape the interference with foreground traffic
+//! ([`RepairConfig`]): a concurrency window, a token-bucket **bandwidth
+//! throttle** that paces key issue in sim-time, and **degraded-read
+//! priority promotion** — a GET that had to decode moves its key to the
+//! front of the queue so hot keys exit degraded mode first while cold
+//! keys wait for the background scan.
+//!
+//! The offline [`repair_server`] wrapper keeps the old stop-the-world
+//! contract: unthrottled, no foreground load, runs to quiescence. The
+//! returned [`RepairReport`] quantifies the repair-amplification
+//! trade-off either way.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 use std::sync::Arc;
 
 use eckv_simnet::{trace_codec, CodecOp, SimDuration, SimTime, Simulation, TraceEvent};
-use eckv_store::Bytes;
-use eckv_store::{rpc, Payload};
+use eckv_store::{fnv1a_64, rpc, Bytes, Payload};
 
 use crate::scheme::Scheme;
-use crate::world::World;
+use crate::world::{RepairConfig, World};
 
 /// Outcome of one server repair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,22 +55,52 @@ pub struct RepairReport {
     pub elapsed: SimDuration,
 }
 
-struct RepairState {
-    pending_keys: Vec<Arc<str>>,
+/// Live state of one in-progress online repair, owned by
+/// [`World::repair`]. The queue drains front-first; promotion moves a
+/// degraded key to the front.
+#[derive(Debug)]
+pub(crate) struct OnlineRepair {
+    /// The replaced server.
+    failed: usize,
+    /// Keys awaiting rebuild, in background-scan order (sorted) except
+    /// where promotion reordered them.
+    queue: VecDeque<Arc<str>>,
+    /// Keys currently being rebuilt.
     in_flight: usize,
+    /// Concurrency cap.
+    window: usize,
+    /// Token-bucket rate in bytes per simulated second (`None` =
+    /// unthrottled).
+    bandwidth: Option<u64>,
+    /// Earliest instant the pacer will release the next key.
+    next_free: SimTime,
+    /// Accumulating outcome.
     report: RepairReport,
+    /// When the repair started.
     started: SimTime,
 }
 
-/// Replaces `failed` with an empty node (its store is wiped, the transport
-/// revived) and rebuilds every lost chunk/replica, driven by client 0.
-///
-/// Runs the simulation to quiescence and returns the report.
+/// Replaces `failed` with an empty node and starts rebuilding every lost
+/// chunk/replica in the background, paced by [`RepairConfig`] from the
+/// world's [`EngineConfig`](crate::EngineConfig). Returns immediately;
+/// the rebuild interleaves with whatever else the simulation runs (e.g. a
+/// foreground workload admitted via
+/// [`enqueue_workload`](crate::driver::enqueue_workload)). Query
+/// [`World::repair_active`] / [`World::last_repair_report`] for progress
+/// and the final report.
 ///
 /// # Panics
 ///
-/// Panics if `failed` is out of range.
-pub fn repair_server(world: &Rc<World>, sim: &mut Simulation, failed: usize) -> RepairReport {
+/// Panics if `failed` is out of range or a repair is already in progress.
+pub fn start_repair(world: &Rc<World>, sim: &mut Simulation, failed: usize) {
+    start_repair_with(world, sim, failed, world.cfg.repair);
+}
+
+fn start_repair_with(world: &Rc<World>, sim: &mut Simulation, failed: usize, cfg: RepairConfig) {
+    assert!(
+        world.repair.borrow().is_none(),
+        "a repair is already in progress"
+    );
     // The operator swapped the dead node for an empty one and announced it
     // in the server list (every client's view sees it alive again).
     world.cluster.servers[failed]
@@ -71,18 +117,29 @@ pub fn repair_server(world: &Rc<World>, sim: &mut Simulation, failed: usize) -> 
     }
 
     // Every written key whose placement includes the replaced server has
-    // lost redundancy.
-    let keys: Vec<Arc<str>> = world
+    // lost redundancy. Sorted: HashMap iteration order is per-instance
+    // random, and the queue order is observable (trace determinism, and
+    // the promotion test measures against the scan position).
+    let mut keys: Vec<Arc<str>> = world
         .expected
         .borrow()
         .keys()
         .filter(|k| world.targets(k).contains(&failed))
         .cloned()
         .collect();
+    keys.sort();
 
-    let state = Rc::new(RefCell::new(RepairState {
-        pending_keys: keys,
+    {
+        let mut m = world.metrics.borrow_mut();
+        m.repair_queue_depth_hwm = m.repair_queue_depth_hwm.max(keys.len() as u64);
+    }
+    *world.repair.borrow_mut() = Some(OnlineRepair {
+        failed,
+        queue: keys.into(),
         in_flight: 0,
+        window: cfg.window,
+        bandwidth: cfg.bandwidth,
+        next_free: sim.now(),
         report: RepairReport {
             keys_repaired: 0,
             keys_lost: 0,
@@ -91,34 +148,226 @@ pub fn repair_server(world: &Rc<World>, sim: &mut Simulation, failed: usize) -> 
             elapsed: SimDuration::ZERO,
         },
         started: sim.now(),
-    }));
-    pump_repair(world, sim, failed, &state);
-    sim.run();
-    let mut s = state.borrow_mut();
-    s.report.elapsed = sim.now().since(s.started);
-    s.report
+    });
+    pump_repair(world, sim);
 }
 
-fn pump_repair(
+/// Offline repair: replaces `failed` and rebuilds with an infinite
+/// throttle and no foreground load, running the simulation to quiescence.
+/// A thin wrapper over the online engine.
+///
+/// # Panics
+///
+/// Panics if `failed` is out of range.
+pub fn repair_server(world: &Rc<World>, sim: &mut Simulation, failed: usize) -> RepairReport {
+    start_repair_with(
+        world,
+        sim,
+        failed,
+        RepairConfig {
+            window: world.window(),
+            bandwidth: None,
+        },
+    );
+    sim.run();
+    world
+        .last_repair_report()
+        .expect("repair ran to completion")
+}
+
+/// A degraded GET (one that had to decode) touched `key`: move it to the
+/// front of the repair queue so it exits degraded mode before the
+/// background scan would reach it. No-op when no repair is active, the
+/// key is not queued (already rebuilt or in flight), or it is next
+/// anyway.
+pub(crate) fn note_degraded_read(world: &World, at: SimTime, key: &Arc<str>) {
+    let depth = {
+        let mut slot = world.repair.borrow_mut();
+        let Some(s) = slot.as_mut() else { return };
+        let Some(pos) = s.queue.iter().position(|q| q == key) else {
+            return;
+        };
+        if pos == 0 {
+            return;
+        }
+        let k = s.queue.remove(pos).expect("position just found");
+        s.queue.push_front(k);
+        pos as u64
+    };
+    world.metrics.borrow_mut().repair_promotions += 1;
+    if world.trace.is_enabled() {
+        world.trace.emit(
+            at,
+            TraceEvent::RepairKeyPromoted {
+                node: world.cluster.client_node(0),
+                depth,
+            },
+        );
+    }
+}
+
+/// Estimated repair traffic for `key` (survivor reads plus the
+/// replacement write) — the token-bucket debit, and the `bytes` payload
+/// of its `repair_started` event.
+fn repair_cost(world: &World, failed: usize, key: &Arc<str>) -> u64 {
+    let len = world.expected.borrow().get(key).map_or(0, |w| w.len);
+    match world.scheme {
+        Scheme::Erasure { k, .. } => world.shard_len(len) * (k as u64 + 1),
+        Scheme::SyncRep { .. } | Scheme::AsyncRep { .. } => len * 2,
+        Scheme::Hybrid {
+            threshold,
+            replicas,
+            k,
+            ..
+        } => {
+            if len <= threshold {
+                let holds_copy = world
+                    .targets(key)
+                    .into_iter()
+                    .take(replicas)
+                    .any(|s| s == failed);
+                if holds_copy {
+                    len * 2
+                } else {
+                    0
+                }
+            } else {
+                world.shard_len(len) * (k as u64 + 1)
+            }
+        }
+        Scheme::NoRep => 0,
+    }
+}
+
+/// What the pump decided to do with the queue under the state lock.
+enum PumpStep {
+    /// Window full, queue empty with work in flight, or no repair active.
+    Idle,
+    /// The queue drained: the repair is complete.
+    Finished { keys: u64, report: RepairReport },
+    /// Release one key, after `wait` if the pacer held it back.
+    Issue {
+        key: Arc<str>,
+        failed: usize,
+        cost: u64,
+        wait: SimDuration,
+    },
+}
+
+/// Issues queued keys until the window is full, pacing each by the
+/// bandwidth throttle; finalizes the repair when the queue drains.
+pub(crate) fn pump_repair(world: &Rc<World>, sim: &mut Simulation) {
+    loop {
+        let step = {
+            let mut slot = world.repair.borrow_mut();
+            let Some(s) = slot.as_mut() else {
+                return;
+            };
+            if s.queue.is_empty() {
+                if s.in_flight > 0 {
+                    PumpStep::Idle
+                } else {
+                    let mut s = slot.take().expect("checked some");
+                    s.report.elapsed = sim.now().since(s.started);
+                    PumpStep::Finished {
+                        keys: s.report.keys_repaired + s.report.keys_lost,
+                        report: s.report,
+                    }
+                }
+            } else if s.in_flight >= s.window {
+                PumpStep::Idle
+            } else {
+                let key = s.queue.pop_front().expect("checked non-empty");
+                // world.repair and world.expected are distinct cells, so
+                // the cost estimate can read the catalogue here.
+                let cost = repair_cost(world, s.failed, &key);
+                let now = sim.now();
+                let earliest = if s.next_free > now { s.next_free } else { now };
+                if let Some(rate) = s.bandwidth {
+                    // Debit the bucket: the next key is released only
+                    // after this key's traffic has "drained" at `rate`.
+                    let ns = (cost as u128) * 1_000_000_000 / (rate as u128);
+                    s.next_free = earliest + SimDuration::from_nanos(ns as u64);
+                }
+                s.in_flight += 1;
+                PumpStep::Issue {
+                    key,
+                    failed: s.failed,
+                    cost,
+                    wait: earliest.since(now),
+                }
+            }
+        };
+        match step {
+            PumpStep::Idle => return,
+            PumpStep::Finished { keys, report } => {
+                world.last_repair.set(Some(report));
+                if world.trace.is_enabled() {
+                    world.trace.emit(
+                        sim.now(),
+                        TraceEvent::RepairDone {
+                            node: world.cluster.client_node(0),
+                            keys,
+                            elapsed: report.elapsed,
+                        },
+                    );
+                }
+                return;
+            }
+            PumpStep::Issue {
+                key,
+                failed,
+                cost,
+                wait,
+            } => {
+                if wait > SimDuration::ZERO {
+                    if world.trace.is_enabled() {
+                        world.trace.emit(
+                            sim.now(),
+                            TraceEvent::RepairThrottled {
+                                node: world.cluster.client_node(0),
+                                waited: wait,
+                            },
+                        );
+                    }
+                    let world2 = world.clone();
+                    sim.schedule_in(wait, move |sim| {
+                        issue_repair_key(&world2, sim, failed, key, cost);
+                    });
+                } else {
+                    issue_repair_key(world, sim, failed, key, cost);
+                }
+            }
+        }
+    }
+}
+
+type RepairDone = Box<dyn FnOnce(&mut Simulation, bool, u64, u64)>;
+
+/// Dispatches the rebuild of one key per the scheme, with a completion
+/// that books the outcome and re-pumps the queue.
+fn issue_repair_key(
     world: &Rc<World>,
     sim: &mut Simulation,
     failed: usize,
-    state: &Rc<RefCell<RepairState>>,
+    key: Arc<str>,
+    cost: u64,
 ) {
-    loop {
-        let key = {
-            let mut s = state.borrow_mut();
-            if s.in_flight >= world.window() || s.pending_keys.is_empty() {
-                return;
-            }
-            s.in_flight += 1;
-            s.pending_keys.pop().expect("checked non-empty")
-        };
-        let world2 = world.clone();
-        let state2 = state.clone();
-        let done = move |sim: &mut Simulation, repaired: bool, read: u64, written: u64| {
+    if world.trace.is_enabled() {
+        world.trace.emit(
+            sim.now(),
+            TraceEvent::RepairStarted {
+                node: world.cluster.client_node(0),
+                bytes: cost,
+            },
+        );
+    }
+    let world2 = world.clone();
+    let done: RepairDone = Box::new(
+        move |sim: &mut Simulation, repaired: bool, read: u64, written: u64| {
             {
-                let mut s = state2.borrow_mut();
+                let mut slot = world2.repair.borrow_mut();
+                let s = slot.as_mut().expect("repair active while keys in flight");
                 if repaired {
                     s.report.keys_repaired += 1;
                 } else {
@@ -128,44 +377,56 @@ fn pump_repair(
                 s.report.bytes_written += written;
                 s.in_flight -= 1;
             }
-            pump_repair(&world2, sim, failed, &state2);
-        };
-        match world.scheme {
-            Scheme::Erasure { .. } => repair_erasure_key(world, sim, failed, key, Box::new(done)),
-            Scheme::SyncRep { .. } | Scheme::AsyncRep { .. } => {
-                let targets = world.targets(&key);
-                repair_replica_key(world, sim, failed, key, targets, Box::new(done))
-            }
-            Scheme::Hybrid {
-                threshold,
-                replicas,
-                ..
-            } => {
-                // How the key was protected depends on its size at write
-                // time.
-                let len = world.expected.borrow().get(&key).map_or(0, |w| w.len);
-                if len <= threshold {
-                    let targets: Vec<usize> =
-                        world.targets(&key).into_iter().take(replicas).collect();
-                    if targets.contains(&failed) {
-                        repair_replica_key(world, sim, failed, key, targets, Box::new(done))
-                    } else {
-                        // The replaced server held no copy of this key.
-                        done(sim, true, 0, 0);
-                    }
+            world2.metrics.borrow_mut().repair_bytes += read + written;
+            pump_repair(&world2, sim);
+        },
+    );
+    match world.scheme {
+        Scheme::Erasure { .. } => repair_erasure_key(world, sim, failed, key, done),
+        Scheme::SyncRep { .. } | Scheme::AsyncRep { .. } => {
+            let targets = world.targets(&key);
+            repair_replica_key(world, sim, failed, key, targets, done)
+        }
+        Scheme::Hybrid {
+            threshold,
+            replicas,
+            ..
+        } => {
+            // How the key was protected depends on its size at write
+            // time.
+            let len = world.expected.borrow().get(&key).map_or(0, |w| w.len);
+            if len <= threshold {
+                let targets: Vec<usize> = world.targets(&key).into_iter().take(replicas).collect();
+                if targets.contains(&failed) {
+                    repair_replica_key(world, sim, failed, key, targets, done)
                 } else {
-                    repair_erasure_key(world, sim, failed, key, Box::new(done))
+                    // The replaced server held no copy of this key.
+                    done(sim, true, 0, 0);
                 }
+            } else {
+                repair_erasure_key(world, sim, failed, key, done)
             }
-            Scheme::NoRep => {
-                // Nothing redundant exists; the data is simply gone.
-                done(sim, false, 0, 0);
-            }
+        }
+        Scheme::NoRep => {
+            // Nothing redundant exists; the data is simply gone.
+            done(sim, false, 0, 0);
         }
     }
 }
 
-type RepairDone = Box<dyn FnOnce(&mut Simulation, bool, u64, u64)>;
+/// In-flight state of one erasure key rebuild across its fetch rounds.
+struct EraState {
+    /// Chunks fetched so far.
+    good: Vec<(usize, Payload)>,
+    /// Untried survivors, in rotated order, for top-up rounds.
+    pool: Vec<(usize, usize)>,
+    /// Fetches outstanding in the current round.
+    outstanding: usize,
+    /// Latest reply arrival (the decode can start no earlier).
+    last_at: SimTime,
+    /// Completion, taken exactly once.
+    done: Option<RepairDone>,
+}
 
 /// Rebuilds the lost chunk of `key`: fetch `k` survivors, decode, store.
 fn repair_erasure_key(
@@ -181,8 +442,6 @@ fn repair_erasure_key(
         .iter()
         .position(|&s| s == failed)
         .expect("key was selected because it lives on the failed server");
-    let client_node = world.cluster.client_node(0);
-    let post = world.cluster.net_config().post_overhead;
 
     // Survivors: every other chunk holder that is alive.
     let survivors: Vec<(usize, usize)> = targets
@@ -195,110 +454,171 @@ fn repair_erasure_key(
         done(sim, false, 0, 0);
         return;
     }
-    let chosen: Vec<(usize, usize)> = survivors[..k].to_vec();
+    // Rotate the survivor set by key hash: always reading the lowest
+    // indices would hammer the same k holders across a mass repair.
+    let rot = (fnv1a_64(key.as_bytes()) % survivors.len() as u64) as usize;
+    let mut ordered: Vec<(usize, usize)> = survivors[rot..]
+        .iter()
+        .chain(survivors[..rot].iter())
+        .copied()
+        .collect();
+    let pool = ordered.split_off(k);
 
-    type Collected = Rc<RefCell<Vec<(usize, Option<Payload>)>>>;
-    let collected: Collected = Rc::new(RefCell::new(Vec::new()));
-    let remaining = Rc::new(RefCell::new(k));
-    let last_at = Rc::new(RefCell::new(sim.now()));
-    let done = Rc::new(RefCell::new(Some(done)));
+    let st = Rc::new(RefCell::new(EraState {
+        good: Vec::new(),
+        pool,
+        outstanding: ordered.len(),
+        last_at: sim.now(),
+        done: Some(done),
+    }));
+    issue_repair_fetches(world, sim, failed, &key, lost_shard, k, ordered, &st);
+}
 
-    for &(shard_idx, srv) in &chosen {
+/// Issues one round of chunk fetches for an erasure rebuild.
+#[allow(clippy::too_many_arguments)]
+fn issue_repair_fetches(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    failed: usize,
+    key: &Arc<str>,
+    lost_shard: usize,
+    k: usize,
+    batch: Vec<(usize, usize)>,
+    st: &Rc<RefCell<EraState>>,
+) {
+    let post = world.cluster.net_config().post_overhead;
+    for (shard_idx, srv) in batch {
         let issue_at = world.reserve_client_cpu(0, sim.now(), post);
         let server = world.cluster.servers[srv].clone();
         let world2 = world.clone();
         let key2 = key.clone();
-        let collected = collected.clone();
-        let remaining = remaining.clone();
-        let last_at = last_at.clone();
-        let done = done.clone();
+        let st2 = st.clone();
         rpc::get(
             &world.cluster.net,
             &server,
             sim,
             issue_at,
-            client_node,
-            World::shard_key(&key, shard_idx),
+            world.cluster.client_node(0),
+            World::shard_key(key, shard_idx),
             move |sim, reply| {
                 let (at, chunk) = match reply {
                     Ok(r) => (r.at, r.value),
                     Err(rpc::RpcError::ServerDead(t)) => (t, None),
                 };
-                collected.borrow_mut().push((shard_idx, chunk));
                 {
-                    let mut l = last_at.borrow_mut();
-                    if at > *l {
-                        *l = at;
+                    let mut s = st2.borrow_mut();
+                    if at > s.last_at {
+                        s.last_at = at;
+                    }
+                    if let Some(c) = chunk {
+                        s.good.push((shard_idx, c));
+                    }
+                    s.outstanding -= 1;
+                    if s.outstanding > 0 {
+                        return;
                     }
                 }
-                *remaining.borrow_mut() -= 1;
-                if *remaining.borrow() > 0 {
-                    return;
-                }
-                let chunks = std::mem::take(&mut *collected.borrow_mut());
-                let done = done.borrow_mut().take().expect("finishes once");
-                if chunks.iter().any(|(_, c)| c.is_none()) {
-                    done(sim, false, 0, 0);
-                    return;
-                }
-                let read: u64 = chunks
-                    .iter()
-                    .map(|(_, c)| c.as_ref().expect("checked").len())
-                    .sum();
-                // Decode + re-encode the lost shard on the client CPU.
-                let expected = world2.expected.borrow().get(&key2).copied();
-                let Some(w) = expected else {
-                    done(sim, false, read, 0);
-                    return;
-                };
-                let rebuilt = rebuild_shard(&world2, &chunks, lost_shard, w.len, w.digest);
-                let t_dec = world2
-                    .decode_time(w.len, 1)
-                    .max(world2.encode_time(w.len) / 2);
-                let dec_started = *last_at.borrow();
-                let dec_done = world2.reserve_client_cpu(0, dec_started, t_dec);
-                trace_codec(
-                    &world2.trace,
-                    client_node,
-                    CodecOp::Decode,
-                    dec_started,
-                    t_dec,
-                    w.len,
-                );
-                let written = rebuilt.len();
-                let replacement = world2.cluster.servers[failed].clone();
-                let world3 = world2.clone();
-                rpc::set(
-                    &world2.cluster.net,
-                    &replacement,
-                    sim,
-                    dec_done,
-                    client_node,
-                    World::shard_key(&key2, lost_shard),
-                    rebuilt,
-                    move |sim, reply| {
-                        if reply.is_ok() && world3.trace.is_enabled() {
-                            let node = world3.cluster.server_node(failed);
-                            world3.trace.emit(
-                                sim.now(),
-                                TraceEvent::RepairShard {
-                                    node,
-                                    bytes: written,
-                                },
-                            );
-                            world3
-                                .trace
-                                .counter_add(client_node, "repair_read_bytes", read);
-                            world3
-                                .trace
-                                .counter_add(node, "repair_write_bytes", written);
-                        }
-                        done(sim, reply.is_ok(), read, written);
-                    },
-                );
+                settle_era_repair(&world2, sim, failed, &key2, lost_shard, k, &st2);
             },
         );
     }
+}
+
+/// A fetch round completed: top up from untried survivors if chunks are
+/// still missing (the GET path's late binding, applied to repair — a
+/// holder that died or lost its chunk must not doom the key while others
+/// can still supply `k`), otherwise decode and store.
+fn settle_era_repair(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    failed: usize,
+    key: &Arc<str>,
+    lost_shard: usize,
+    k: usize,
+    st: &Rc<RefCell<EraState>>,
+) {
+    let top_up: Option<Vec<(usize, usize)>> = {
+        let mut s = st.borrow_mut();
+        let missing = k.saturating_sub(s.good.len());
+        if missing == 0 || s.pool.is_empty() {
+            None
+        } else {
+            let take = missing.min(s.pool.len());
+            let batch: Vec<(usize, usize)> = s.pool.drain(..take).collect();
+            s.outstanding = batch.len();
+            Some(batch)
+        }
+    };
+    if let Some(batch) = top_up {
+        issue_repair_fetches(world, sim, failed, key, lost_shard, k, batch, st);
+        return;
+    }
+    let (good, last_at, done) = {
+        let mut s = st.borrow_mut();
+        (
+            std::mem::take(&mut s.good),
+            s.last_at,
+            s.done.take().expect("finishes once"),
+        )
+    };
+    let read: u64 = good.iter().map(|(_, c)| c.len()).sum();
+    if good.len() < k {
+        done(sim, false, read, 0);
+        return;
+    }
+    let chunks: Vec<(usize, Option<Payload>)> =
+        good.into_iter().map(|(i, c)| (i, Some(c))).collect();
+    // Decode + re-encode the lost shard on the client CPU.
+    let expected = world.expected.borrow().get(key).copied();
+    let Some(w) = expected else {
+        done(sim, false, read, 0);
+        return;
+    };
+    let rebuilt = rebuild_shard(world, &chunks, lost_shard, w.len, w.digest);
+    let t_dec = world
+        .decode_time(w.len, 1)
+        .max(world.encode_time(w.len) / 2);
+    let dec_done = world.reserve_client_cpu(0, last_at, t_dec);
+    let client_node = world.cluster.client_node(0);
+    trace_codec(
+        &world.trace,
+        client_node,
+        CodecOp::Decode,
+        last_at,
+        t_dec,
+        w.len,
+    );
+    let written = rebuilt.len();
+    let replacement = world.cluster.servers[failed].clone();
+    let world2 = world.clone();
+    rpc::set(
+        &world.cluster.net,
+        &replacement,
+        sim,
+        dec_done,
+        client_node,
+        World::shard_key(key, lost_shard),
+        rebuilt,
+        move |sim, reply| {
+            if reply.is_ok() && world2.trace.is_enabled() {
+                let node = world2.cluster.server_node(failed);
+                world2.trace.emit(
+                    sim.now(),
+                    TraceEvent::RepairShard {
+                        node,
+                        bytes: written,
+                    },
+                );
+                world2
+                    .trace
+                    .counter_add(client_node, "repair_read_bytes", read);
+                world2
+                    .trace
+                    .counter_add(node, "repair_write_bytes", written);
+            }
+            done(sim, reply.is_ok(), read, written);
+        },
+    );
 }
 
 /// Reconstructs the payload of shard `lost_shard` from the fetched chunks.
@@ -337,7 +657,8 @@ fn rebuild_shard(
     }
 }
 
-/// Re-copies a lost replica of `key` from any live replica holder.
+/// Re-copies a lost replica of `key` from a live replica holder (rotated
+/// per key so a mass repair spreads its reads).
 fn repair_replica_key(
     world: &Rc<World>,
     sim: &mut Simulation,
@@ -348,13 +669,15 @@ fn repair_replica_key(
 ) {
     let client_node = world.cluster.client_node(0);
     let post = world.cluster.net_config().post_overhead;
-    let Some(&src) = targets
-        .iter()
-        .find(|&&s| s != failed && world.cluster.is_server_alive(s))
-    else {
+    let live: Vec<usize> = targets
+        .into_iter()
+        .filter(|&s| s != failed && world.cluster.is_server_alive(s))
+        .collect();
+    if live.is_empty() {
         done(sim, false, 0, 0);
         return;
-    };
+    }
+    let src = live[(fnv1a_64(key.as_bytes()) % live.len() as u64) as usize];
     let issue_at = world.reserve_client_cpu(0, sim.now(), post);
     let server = world.cluster.servers[src].clone();
     let world2 = world.clone();
@@ -379,6 +702,7 @@ fn repair_replica_key(
             let written = value.len();
             let replacement = world2.cluster.servers[failed].clone();
             let at = sim.now();
+            let world3 = world2.clone();
             rpc::set(
                 &world2.cluster.net,
                 &replacement,
@@ -388,6 +712,24 @@ fn repair_replica_key(
                 key2,
                 value,
                 move |sim, reply| {
+                    // Same observability as the erasure path, so
+                    // replication-vs-erasure repair traffic is comparable.
+                    if reply.is_ok() && world3.trace.is_enabled() {
+                        let node = world3.cluster.server_node(failed);
+                        world3.trace.emit(
+                            sim.now(),
+                            TraceEvent::RepairShard {
+                                node,
+                                bytes: written,
+                            },
+                        );
+                        world3
+                            .trace
+                            .counter_add(client_node, "repair_read_bytes", read);
+                        world3
+                            .trace
+                            .counter_add(node, "repair_write_bytes", written);
+                    }
                     done(sim, reply.is_ok(), read, written);
                 },
             );
@@ -483,5 +825,53 @@ mod tests {
         // gather k survivors.
         let report = repair_server(&world, &mut sim, 0);
         assert!(report.keys_lost > 0);
+    }
+
+    #[test]
+    fn repair_tops_up_from_untried_survivors() {
+        // Empty one *survivor's* store after load: the first fetch round
+        // gets a None chunk from it, and only the top-up round (sat. of
+        // the GET path's late binding) can still gather k chunks. With
+        // RS(3, 2) and one wiped survivor, 3 of the 4 remaining holders
+        // still have chunks, so every key must repair.
+        let (world, mut sim) = loaded_world(Scheme::era_ce_cd(3, 2));
+        world.cluster.kill_server(2);
+        world.cluster.servers[4]
+            .borrow_mut()
+            .store_mut()
+            .flush_all();
+        let report = repair_server(&world, &mut sim, 2);
+        assert!(report.keys_repaired > 0);
+        assert_eq!(
+            report.keys_lost, 0,
+            "an empty survivor must be topped up, not doom the key"
+        );
+    }
+
+    #[test]
+    fn repair_reads_spread_across_survivors() {
+        // The survivor rotation is keyed on the key hash: across the
+        // repaired key population the first read must start at more than
+        // one survivor position (no hotspot on the lowest-indexed k
+        // holders), and the rotated repair must still succeed end to end.
+        let (world, mut sim) = loaded_world(Scheme::era_ce_cd(3, 2));
+        world.cluster.kill_server(2);
+        let mut rotations = std::collections::BTreeSet::new();
+        for i in 0..30 {
+            let key: Arc<str> = format!("r{i}").into();
+            let targets = world.targets(&key);
+            if !targets.contains(&2) {
+                continue;
+            }
+            let survivors = (targets.len() - 1) as u64;
+            rotations.insert((fnv1a_64(key.as_bytes()) % survivors) as usize);
+        }
+        assert!(
+            rotations.len() > 1,
+            "rotation must vary across keys: {rotations:?}"
+        );
+        let report = repair_server(&world, &mut sim, 2);
+        assert!(report.keys_repaired > 0);
+        assert_eq!(report.keys_lost, 0);
     }
 }

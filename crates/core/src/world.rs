@@ -84,6 +84,55 @@ impl HedgeConfig {
     }
 }
 
+/// Throttle and concurrency policy for the online repair engine
+/// ([`crate::repair::start_repair`]).
+///
+/// Repair traffic competes with foreground operations for NICs and the
+/// repair client's CPU; the bandwidth cap paces how fast lost keys are
+/// re-issued so the operator can trade repair completion time against
+/// foreground tail latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairConfig {
+    /// Keys rebuilt concurrently by the repair engine.
+    pub window: usize,
+    /// Token-bucket cap on repair traffic, in bytes per simulated second
+    /// (survivor reads plus replacement writes). `None` = unthrottled.
+    pub bandwidth: Option<u64>,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            window: 4,
+            bandwidth: None,
+        }
+    }
+}
+
+impl RepairConfig {
+    /// Sets the repair concurrency window (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn window(mut self, window: usize) -> Self {
+        assert!(window > 0, "repair window must be at least 1");
+        self.window = window;
+        self
+    }
+
+    /// Caps repair traffic at `bytes_per_sec` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec == 0`.
+    pub fn bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "repair bandwidth must be positive");
+        self.bandwidth = Some(bytes_per_sec);
+        self
+    }
+}
+
 /// Configuration of one engine deployment.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -117,6 +166,8 @@ pub struct EngineConfig {
     /// Base delay of the exponential backoff between transparent retries
     /// (doubles per attempt).
     pub retry_backoff: SimDuration,
+    /// Online repair engine policy (window and bandwidth throttle).
+    pub repair: RepairConfig,
 }
 
 impl EngineConfig {
@@ -134,6 +185,7 @@ impl EngineConfig {
             hedge: None,
             deadline: None,
             retry_backoff: SimDuration::from_micros(2),
+            repair: RepairConfig::default(),
         }
     }
 
@@ -188,6 +240,12 @@ impl EngineConfig {
         self.retry_backoff = d;
         self
     }
+
+    /// Sets the online repair policy (builder style).
+    pub fn repair(mut self, r: RepairConfig) -> Self {
+        self.repair = r;
+        self
+    }
 }
 
 /// What the engine remembers about a written value, for read validation.
@@ -234,6 +292,12 @@ pub struct World {
     /// TraceBus handle shared with the transport and servers. Disabled
     /// (zero-cost) unless the world was built with [`World::new_traced`].
     pub trace: Trace,
+    /// Online repair engine state while a repair is in progress
+    /// ([`crate::repair::start_repair`] seeds it, the repair pump drains
+    /// it).
+    pub(crate) repair: RefCell<Option<crate::repair::OnlineRepair>>,
+    /// Report of the most recently completed repair.
+    pub(crate) last_repair: std::cell::Cell<Option<crate::repair::RepairReport>>,
 }
 
 impl World {
@@ -287,7 +351,19 @@ impl World {
             views: RefCell::new(views),
             chunk_latency: RefCell::new(Histogram::default()),
             trace,
+            repair: RefCell::new(None),
+            last_repair: std::cell::Cell::new(None),
         })
+    }
+
+    /// Whether an online repair is currently in progress.
+    pub fn repair_active(&self) -> bool {
+        self.repair.borrow().is_some()
+    }
+
+    /// Report of the most recently completed repair, if any has finished.
+    pub fn last_repair_report(&self) -> Option<crate::repair::RepairReport> {
+        self.last_repair.get()
     }
 
     /// Effective ARPE window (forced to 1 for blocking schemes).
@@ -324,8 +400,10 @@ impl World {
         self.client_cpus.borrow_mut()[client].reserve(now, service)
     }
 
-    /// The servers (by index) that house `key`'s copies or chunks.
-    pub(crate) fn targets(&self, key: &str) -> Vec<usize> {
+    /// The servers (by index) that house `key`'s copies or chunks; for
+    /// erasure schemes, position `i` is the holder of shard `i` (data
+    /// shards first). Placement introspection for tests and tools.
+    pub fn targets(&self, key: &str) -> Vec<usize> {
         self.cluster
             .ring
             .servers_for(key.as_bytes(), self.scheme.servers_per_key())

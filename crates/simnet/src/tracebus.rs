@@ -236,6 +236,39 @@ pub enum TraceEvent {
         /// integral so the event stays `Eq`/hashable.
         factor_x100: u64,
     },
+    /// The online repair engine issued the rebuild of one key. Emitted at
+    /// pacer-release time, so summing `bytes` over any trace window bounds
+    /// the repair traffic the throttle admitted into it.
+    RepairStarted {
+        /// Node driving the repair (the repair client).
+        node: NodeId,
+        /// Estimated repair traffic for this key (survivor reads plus the
+        /// replacement write) — the token-bucket debit.
+        bytes: u64,
+    },
+    /// The repair pacer held a key back to honour the bandwidth cap.
+    RepairThrottled {
+        /// Node driving the repair.
+        node: NodeId,
+        /// How long the key was delayed.
+        waited: SimDuration,
+    },
+    /// A degraded read promoted its key to the front of the repair queue.
+    RepairKeyPromoted {
+        /// Node driving the repair.
+        node: NodeId,
+        /// Zero-based queue position the key jumped from.
+        depth: u64,
+    },
+    /// The repair queue drained (every lost key repaired or written off).
+    RepairDone {
+        /// Node that drove the repair.
+        node: NodeId,
+        /// Keys processed (repaired plus lost).
+        keys: u64,
+        /// Time from repair start to drain.
+        elapsed: SimDuration,
+    },
 }
 
 impl TraceEvent {
@@ -273,6 +306,10 @@ impl TraceEvent {
             TraceEvent::HedgeWon { .. } => "hedge_won",
             TraceEvent::DeadlineExceeded { .. } => "deadline_exceeded",
             TraceEvent::NodeDegraded { .. } => "node_degraded",
+            TraceEvent::RepairStarted { .. } => "repair_started",
+            TraceEvent::RepairThrottled { .. } => "repair_throttled",
+            TraceEvent::RepairKeyPromoted { .. } => "repair_key_promoted",
+            TraceEvent::RepairDone { .. } => "repair_done",
         }
     }
 }
@@ -408,6 +445,27 @@ impl TraceRecord {
             TraceEvent::NodeDegraded { node, factor_x100 } => {
                 f.node = Some(node);
                 f.bytes = Some(factor_x100);
+            }
+            TraceEvent::RepairStarted { node, bytes } => {
+                f.node = Some(node);
+                f.bytes = Some(bytes);
+            }
+            TraceEvent::RepairThrottled { node, waited } => {
+                f.node = Some(node);
+                f.dur_ns = Some(waited.as_nanos());
+            }
+            TraceEvent::RepairKeyPromoted { node, depth } => {
+                f.node = Some(node);
+                f.bytes = Some(depth);
+            }
+            TraceEvent::RepairDone {
+                node,
+                keys,
+                elapsed,
+            } => {
+                f.node = Some(node);
+                f.bytes = Some(keys);
+                f.dur_ns = Some(elapsed.as_nanos());
             }
         }
         f
@@ -928,6 +986,58 @@ mod tests {
             }
             .name(),
             "hedge_won"
+        );
+    }
+
+    #[test]
+    fn repair_events_flatten_into_the_fixed_columns() {
+        let mut out = String::new();
+        TraceRecord {
+            at: SimTime::from_nanos(100),
+            seq: 0,
+            event: TraceEvent::RepairStarted {
+                node: NodeId(5),
+                bytes: 4096,
+            },
+        }
+        .write_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"at_ns\":100,\"seq\":0,\"event\":\"repair_started\",\"node\":5,\"bytes\":4096}\n"
+        );
+        let mut out = String::new();
+        TraceRecord {
+            at: SimTime::from_nanos(200),
+            seq: 1,
+            event: TraceEvent::RepairThrottled {
+                node: NodeId(5),
+                waited: SimDuration::from_micros(3),
+            },
+        }
+        .write_csv(&mut out);
+        assert_eq!(out, "200,1,repair_throttled,5,,,,3000,\n");
+        assert_eq!(
+            TraceEvent::RepairKeyPromoted {
+                node: NodeId(0),
+                depth: 7
+            }
+            .name(),
+            "repair_key_promoted"
+        );
+        let mut out = String::new();
+        TraceRecord {
+            at: SimTime::from_nanos(300),
+            seq: 2,
+            event: TraceEvent::RepairDone {
+                node: NodeId(5),
+                keys: 30,
+                elapsed: SimDuration::from_micros(9),
+            },
+        }
+        .write_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"at_ns\":300,\"seq\":2,\"event\":\"repair_done\",\"node\":5,\"bytes\":30,\"dur_ns\":9000}\n"
         );
     }
 

@@ -41,6 +41,6 @@ mod driver;
 mod workload;
 mod zipfian;
 
-pub use driver::{run, YcsbConfig, YcsbReport};
+pub use driver::{load_ops, run, run_ops, YcsbConfig, YcsbReport};
 pub use workload::{KeyChooser, Workload};
 pub use zipfian::{Latest, ScrambledZipfian, Zipfian};

@@ -17,7 +17,12 @@
 //! 3. write success matches the model (at least `k` reachable holders);
 //! 4. slowing a server (straggler injection) changes NO outcome — reads
 //!    and writes behave exactly as on a healthy holder, merely later, and
-//!    hedged fetches never corrupt data or flip a result.
+//!    hedged fetches never corrupt data or flip a result;
+//! 5. a repair's outcome matches the model exactly — of the keys placed
+//!    on the replaced server, those with at least `k` chunks reachable
+//!    elsewhere are rebuilt and the rest written off, and a Slow in
+//!    force while the repair runs flips NO key between the two (a
+//!    slowed survivor still serves its chunks, merely later).
 
 use std::collections::{HashMap, HashSet};
 
@@ -93,6 +98,31 @@ impl ChunkModel {
 
     fn kill(&mut self, server: usize) {
         self.alive[server] = false;
+    }
+
+    /// Predicts a repair's outcome before it runs: of the keys placed on
+    /// `server`, how many can be rebuilt (>= K chunks reachable on other
+    /// live servers) and how many are written off. Slowdowns are
+    /// deliberately invisible here — a straggling survivor still serves
+    /// its chunks, so a Slow in force must not move a key from the first
+    /// count to the second.
+    fn repair_outcome(&self, server: usize, targets_of: impl Fn(u8) -> Vec<usize>) -> (u64, u64) {
+        let (mut repaired, mut lost) = (0u64, 0u64);
+        for (&key, holders) in &self.has_chunk {
+            if !targets_of(key).contains(&server) {
+                continue;
+            }
+            let reachable = holders
+                .iter()
+                .filter(|&&h| h != server && self.alive[h])
+                .count();
+            if reachable >= K {
+                repaired += 1;
+            } else {
+                lost += 1;
+            }
+        }
+        (repaired, lost)
     }
 
     fn repair(&mut self, server: usize, targets_of: impl Fn(u8) -> Vec<usize>) {
@@ -189,8 +219,15 @@ proptest! {
                 }
                 ChaosEvent::Repair { server } => {
                     let s = server as usize;
-                    eckv::core::repair_server(&world, &mut sim, s);
                     let w = world.clone();
+                    let (want_repaired, want_lost) =
+                        model.repair_outcome(s, |key| targets_of(&w, key));
+                    let report = eckv::core::repair_server(&world, &mut sim, s);
+                    prop_assert_eq!(
+                        (report.keys_repaired, report.keys_lost),
+                        (want_repaired, want_lost),
+                        "repair({}) diverged from the oracle", s
+                    );
                     model.repair(s, |key| targets_of(&w, key));
                 }
                 ChaosEvent::Slow { server, factor } => {
