@@ -24,9 +24,12 @@
 //!   for several stragglers. The node stays alive, just slow.
 //! * `--straggler-jitter 300us` — add a seeded, uniformly drawn extra
 //!   latency in `[0, 300us]` to each straggler transfer.
-//! * `--hedge-after p95` — hedge erasure reads when the first wave is
-//!   slower than 2x the observed first-chunk p95 (`pNN` selects the
+//! * `--hedge-after p95` — hedge k-of-n shard reads when the first wave
+//!   is slower than 2x the observed first-chunk p95 (`pNN` selects the
 //!   percentile); a duration (`--hedge-after 50us`) uses a fixed trigger.
+//!   Applies to every read on the shared fan-out core: client-decode
+//!   chunk fetches, the Era-*-SD aggregator's server-side gather, and
+//!   online repair's survivor reads.
 //! * `--deadline 2ms` — per-operation deadline: retries stop once it has
 //!   passed and late completions count as deadline misses.
 //!
@@ -172,7 +175,9 @@ fn parse_straggler(s: &str) -> Result<(usize, f64), String> {
 
 /// Parses `--hedge-after`: `pNN` arms the adaptive trigger at 2x the
 /// observed first-chunk latency percentile NN; a duration (`50us`) sets a
-/// fixed trigger.
+/// fixed trigger. The resulting [`HedgeConfig`] arms every k-of-n read on
+/// the fan-out core — client-decode fetches, the SD aggregator's gather
+/// fan-in, and online-repair survivor reads.
 fn parse_hedge(s: &str) -> Result<HedgeConfig, String> {
     if let Some(p) = s.strip_prefix(['p', 'P']) {
         let p: f64 = p

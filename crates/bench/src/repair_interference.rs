@@ -6,7 +6,7 @@
 //! storage: repair amplification (`k` survivor reads per rebuilt chunk)
 //! competes with client traffic for the NICs and for the repair client's
 //! CPU. The engine's bandwidth throttle
-//! ([`RepairConfig`](eckv_core::RepairConfig)) paces the rebuild;
+//! ([`RepairConfig`]) paces the rebuild;
 //! the table sweeps the cap from unthrottled down to ~10% of the NIC and
 //! reports foreground GET p50/p99 *measured over the operations that
 //! completed while the repair was active*, alongside the repair's own

@@ -1,67 +1,74 @@
 //! Small shared pieces of the operation state machines.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
-use eckv_simnet::{SimTime, Simulation};
+use eckv_simnet::{PhaseBreakdown, SimDuration, SimTime, Simulation};
 
 use crate::metrics::OpResult;
+use crate::ops::OpKind;
+use crate::world::World;
 
 /// Completion callback handed to an operation path.
 pub(crate) type DoneCb = Box<dyn FnOnce(&mut Simulation, OpResult)>;
 
-/// Fan-out completion tracker: counts outstanding sub-requests, remembers
-/// the latest completion instant and whether everything succeeded.
-pub(crate) struct Pending {
-    pub remaining: usize,
+/// Everything a path decides about a finished operation; [`finish_op`]
+/// turns it into the [`OpResult`] handed to the driver. One function for
+/// both Set and Get keeps `op_completed`, [`PhaseBreakdown`], and
+/// failed-byte accounting structurally identical across paths.
+pub(crate) struct OpOutcome {
+    /// Set or Get.
+    pub kind: OpKind,
+    /// Completion instant.
+    pub at: SimTime,
+    /// Request-phase cost (posting/liveness overhead).
+    pub request: SimDuration,
+    /// Compute-phase cost (encode/decode).
+    pub compute: SimDuration,
+    /// Whether the operation succeeded.
     pub ok: bool,
-    pub succeeded: usize,
-    pub last: SimTime,
-    pub done: Option<DoneCb>,
+    /// Whether returned data matched what was written (Gets).
+    pub integrity_ok: bool,
+    /// Whether a retry with the updated failure view could succeed.
+    pub retryable: bool,
+    /// Value size in bytes.
+    pub value_len: u64,
+    /// `(key, digest)` to record for read validation when a Set succeeds.
+    pub note_written: Option<(Arc<str>, u64)>,
 }
 
-impl Pending {
-    pub fn new(remaining: usize, done: DoneCb) -> Rc<RefCell<Pending>> {
-        Rc::new(RefCell::new(Pending {
-            remaining,
-            ok: true,
-            succeeded: 0,
-            last: SimTime::ZERO,
-            done: Some(done),
-        }))
-    }
-
-    /// Notes one sub-completion; returns `true` when this was the last.
-    pub fn complete_one(&mut self, at: SimTime, ok: bool) -> bool {
-        debug_assert!(self.remaining > 0, "completion after the last one");
-        if at > self.last {
-            self.last = at;
-        }
-        self.ok &= ok;
-        if ok {
-            self.succeeded += 1;
-        }
-        self.remaining -= 1;
-        self.remaining == 0
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use eckv_simnet::SimDuration;
-
-    #[test]
-    fn countdown_tracks_latest_and_ok() {
-        let p = Pending::new(3, Box::new(|_, _| {}));
-        let t = |us| SimTime::ZERO + SimDuration::from_micros(us);
-        {
-            let mut p = p.borrow_mut();
-            assert!(!p.complete_one(t(5), true));
-            assert!(!p.complete_one(t(9), false));
-            assert!(p.complete_one(t(7), true));
-            assert_eq!(p.last, t(9));
-            assert!(!p.ok);
+/// The one completion path: books a successful write for validation,
+/// derives the phase breakdown, and invokes the driver's completion.
+pub(crate) fn finish_op(
+    world: &World,
+    sim: &mut Simulation,
+    op_start: SimTime,
+    outcome: OpOutcome,
+    done: DoneCb,
+) {
+    if outcome.ok {
+        if let Some((key, digest)) = outcome.note_written {
+            world.note_written(key, outcome.value_len, digest);
         }
     }
+    let latency = outcome.at.since(op_start);
+    let breakdown = PhaseBreakdown {
+        request: outcome.request,
+        compute: outcome.compute,
+        wait_response: latency
+            .saturating_sub(outcome.request)
+            .saturating_sub(outcome.compute),
+    };
+    done(
+        sim,
+        OpResult {
+            kind: outcome.kind,
+            at: outcome.at,
+            latency,
+            breakdown,
+            ok: outcome.ok,
+            integrity_ok: outcome.integrity_ok,
+            retryable: outcome.retryable && !outcome.ok,
+            value_len: outcome.value_len,
+        },
+    );
 }

@@ -1,58 +1,27 @@
-//! Get operation state machines, including degraded (post-failure) reads.
+//! Get operation policy and decode glue, including degraded
+//! (post-failure) reads.
 //!
-//! Server selection consults the client's failure view; transport errors
-//! update the view and surface as retryable failures so the driver can
-//! re-dispatch the read against the survivors (the paper's fail-over).
+//! Every multi-holder read drives [`crate::fanout::FanOut`]; this module
+//! keeps only what differs per scheme: candidate selection, quorum
+//! policy, decode placement (client vs aggregator), and completion
+//! accounting. Server selection consults the client's failure view;
+//! transport errors update the view and surface as retryable failures so
+//! the driver can re-dispatch the read against the survivors (the
+//! paper's fail-over).
 
-use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use eckv_simnet::{
-    trace_codec, CodecOp, Delivery, Network, PhaseBreakdown, SimDuration, SimTime, Simulation,
-    TraceEvent,
-};
+use eckv_simnet::{trace_codec, CodecOp, Delivery, Network, SimDuration, SimTime, Simulation};
 use eckv_store::{rpc, Payload};
 
-use crate::flow::DoneCb;
-use crate::metrics::OpResult;
+use crate::fanout::{
+    client_get_io, FanOut, FanOutSpec, Liveness, QuorumPolicy, Settled, ShardIo, ShardReply,
+};
+use crate::flow::{finish_op, DoneCb, OpOutcome};
 use crate::ops::OpKind;
 use crate::scheme::{Scheme, Side};
 use crate::world::{World, Written};
-
-#[allow(clippy::too_many_arguments)]
-fn finish(
-    sim: &mut Simulation,
-    op_start: SimTime,
-    at: SimTime,
-    request: SimDuration,
-    compute: SimDuration,
-    ok: bool,
-    integrity_ok: bool,
-    retryable: bool,
-    value_len: u64,
-    done: DoneCb,
-) {
-    let latency = at.since(op_start);
-    let breakdown = PhaseBreakdown {
-        request,
-        compute,
-        wait_response: latency.saturating_sub(request).saturating_sub(compute),
-    };
-    done(
-        sim,
-        OpResult {
-            kind: OpKind::Get,
-            at,
-            latency,
-            breakdown,
-            ok,
-            integrity_ok,
-            retryable: retryable && !ok,
-            value_len,
-        },
-    );
-}
 
 /// Entry point: dispatches on the scheme.
 pub(crate) fn start_get(
@@ -94,9 +63,8 @@ fn get_hybrid(
     done: DoneCb,
 ) {
     let op_start = sim.now();
-    let cfg = world.cluster.net_config();
     let check = world.cfg.liveness_check;
-    let post = cfg.post_overhead;
+    let post = world.cluster.net_config().post_overhead;
     let client_node = world.cluster.client_node(client);
     let rep_targets: Vec<usize> = world.targets(&key).into_iter().take(replicas).collect();
 
@@ -120,16 +88,21 @@ fn get_hybrid(
                 let value = r.value.expect("checked");
                 let integrity = check_value(&world2, &key, &value);
                 let len = value.len();
-                finish(
+                finish_op(
+                    &world2,
                     sim,
                     op_start,
-                    r.at,
-                    check + post,
-                    SimDuration::ZERO,
-                    true,
-                    integrity,
-                    false,
-                    len,
+                    OpOutcome {
+                        kind: OpKind::Get,
+                        at: r.at,
+                        request: check + post,
+                        compute: SimDuration::ZERO,
+                        ok: true,
+                        integrity_ok: integrity,
+                        retryable: false,
+                        value_len: len,
+                        note_written: None,
+                    },
                     done,
                 );
             }
@@ -144,16 +117,21 @@ fn get_hybrid(
             // value was chunked: retry so the probe hits the next replica.
             Err(rpc::RpcError::ServerDead(t)) => {
                 world2.mark_dead(client, srv);
-                finish(
+                finish_op(
+                    &world2,
                     sim,
                     op_start,
-                    t,
-                    check + post,
-                    SimDuration::ZERO,
-                    false,
-                    true,
-                    true,
-                    0,
+                    OpOutcome {
+                        kind: OpKind::Get,
+                        at: t,
+                        request: check + post,
+                        compute: SimDuration::ZERO,
+                        ok: false,
+                        integrity_ok: true,
+                        retryable: true,
+                        value_len: 0,
+                        note_written: None,
+                    },
                     done,
                 );
             }
@@ -182,77 +160,74 @@ fn get_replicated(
 ) {
     let op_start = sim.now();
     let targets = world.targets(&key);
-    let cfg = world.cluster.net_config();
     let check = world.cfg.liveness_check;
-    let post = cfg.post_overhead;
-    let client_node = world.cluster.client_node(client);
+    let post = world.cluster.net_config().post_overhead;
 
-    let Some(&srv) = targets.iter().find(|&&s| world.view_alive(client, s)) else {
+    if !targets.iter().any(|&s| world.view_alive(client, s)) {
         // All replicas believed down: the operation fails for good.
-        let at = world.reserve_client_cpu(client, sim.now(), check);
-        finish(
+        let at = world.reserve_client_cpu(client, op_start, check);
+        finish_op(
+            world,
             sim,
             op_start,
-            at,
-            check,
-            SimDuration::ZERO,
-            false,
-            true,
-            false,
-            0,
+            OpOutcome {
+                kind: OpKind::Get,
+                at,
+                request: check,
+                compute: SimDuration::ZERO,
+                ok: false,
+                integrity_ok: true,
+                retryable: false,
+                value_len: 0,
+                note_written: None,
+            },
             done,
         );
         return;
+    }
+    world.reserve_client_cpu(client, op_start, check);
+    let spec = FanOutSpec {
+        candidates: targets.into_iter().enumerate().collect(),
+        pinned: 0,
+        policy: QuorumPolicy::single(false),
+        liveness: Liveness::View(client),
+        hedge_node: world.cluster.client_node(client),
     };
-    let issue_at = world.reserve_client_cpu(client, op_start, check + post);
-    let server = world.cluster.servers[srv].clone();
+    let io = client_get_io(world, client, key.clone(), false, true);
     let world2 = world.clone();
-    rpc::get(
-        &world.cluster.net,
-        &server,
+    let launched = FanOut::launch(
+        world,
         sim,
-        issue_at,
-        client_node,
-        key.clone(),
-        move |sim, reply| match reply {
-            Ok(r) => {
-                let ok = r.value.is_some();
-                let integrity = r
-                    .value
-                    .as_ref()
-                    .is_none_or(|v| check_value(&world2, &key, v));
-                let len = r.value.as_ref().map_or(0, Payload::len);
-                finish(
-                    sim,
-                    op_start,
-                    r.at,
-                    check + post,
-                    SimDuration::ZERO,
+        spec,
+        op_start,
+        io,
+        Box::new(move |sim, s: Settled| {
+            let ok = !s.good.is_empty();
+            let (integrity, len) = s
+                .good
+                .first()
+                .map_or((true, 0), |(_, v)| (check_value(&world2, &key, v), v.len()));
+            finish_op(
+                &world2,
+                sim,
+                op_start,
+                OpOutcome {
+                    kind: OpKind::Get,
+                    at: s.last,
+                    request: check + post,
+                    compute: SimDuration::ZERO,
                     ok,
-                    integrity,
-                    false,
-                    len,
-                    done,
-                );
-            }
-            Err(rpc::RpcError::ServerDead(t)) => {
-                // Discovery: fail over on the retry.
-                world2.mark_dead(client, srv);
-                finish(
-                    sim,
-                    op_start,
-                    t,
-                    check + post,
-                    SimDuration::ZERO,
-                    false,
-                    true,
-                    true,
-                    0,
-                    done,
-                );
-            }
-        },
+                    integrity_ok: integrity,
+                    // Discovery: fail over on the retry.
+                    retryable: s.discovered,
+                    value_len: len,
+                    note_written: None,
+                },
+                done,
+            );
+        }),
     );
+    debug_assert!(launched, "a live replica existed at the pre-check");
 }
 
 /// Picks the first `k` chunk holders the client believes alive (by shard
@@ -320,12 +295,10 @@ fn check_chunks(
     }
 }
 
-/// Era-*-CD: fetch `k` chunks in parallel, decode at the client only if a
-/// data chunk is missing. Chunk *misses* (a degraded write skipped that
-/// position, or a replaced server lost it) top up from the remaining
-/// holders — late binding — before the read is declared failed.
-/// `request_base` carries request-phase cost already paid by a caller
-/// (the hybrid probe).
+/// Era-*-CD: fetch `k` chunks through the fan-out core (top-up on misses,
+/// hedged against stragglers), decode at the client only if a data chunk
+/// is missing. `request_base` carries request-phase cost already paid by
+/// a caller (the hybrid probe).
 fn get_era_client_decode(
     world: &Rc<World>,
     sim: &mut Simulation,
@@ -338,376 +311,130 @@ fn get_era_client_decode(
     let (k, m, _, _, _) = world.scheme.erasure_params().expect("erasure scheme");
     let mut targets = world.targets(&key);
     targets.truncate(k + m);
-
-    let now = sim.now();
-    let Some(chosen) = choose_chunks(world, client, &targets, k) else {
-        let check = world.cfg.liveness_check;
-        let at = world.reserve_client_cpu(client, now, check);
-        finish(
-            sim,
-            op_start,
-            at,
-            request_base + check,
-            SimDuration::ZERO,
-            false,
-            true,
-            false,
-            0,
-            done,
-        );
-        return;
-    };
-    world.reserve_client_cpu(client, now, world.cfg.liveness_check);
-
-    let state = Rc::new(RefCell::new(CdState {
-        key: key.clone(),
-        targets,
-        k,
-        tried: chosen.iter().map(|&(i, _)| i).collect(),
-        good: Vec::new(),
-        outstanding: chosen.len(),
-        posts: 0,
-        discovered: false,
-        settled: false,
-        fetch_start: now,
-        hedged: Vec::new(),
-        hedge_fired_at: None,
-        cancel: rpc::CancelToken::new(),
-        done: Some(done),
-    }));
-    // The hedge clock starts when the first fetch actually hits the wire,
-    // not at op admission: an op whose issue waited behind a previous
-    // decode on the client CPU would otherwise feed inflated first-chunk
-    // samples into the estimator and push the trigger past every real
-    // straggler.
-    let wave_start = issue_cd_fetches(world, sim, client, op_start, request_base, &state, chosen);
-    if let Some(t) = wave_start {
-        state.borrow_mut().fetch_start = t;
-    }
-    maybe_arm_hedge(world, sim, client, op_start, request_base, &state);
-}
-
-/// Arms the hedge timer for a client-decode read: if the first wave has
-/// not produced `k` chunks by the trigger delay, speculatively fetch the
-/// missing count from untried holders the client believes alive
-/// (generalising the failure-only top-up to slow-but-alive servers).
-fn maybe_arm_hedge(
-    world: &Rc<World>,
-    sim: &mut Simulation,
-    client: usize,
-    op_start: SimTime,
-    request_base: SimDuration,
-    state: &Rc<RefCell<CdState>>,
-) {
-    let Some(delay) = world.hedge_delay() else {
-        return;
-    };
-    let fire_at = state.borrow().fetch_start + delay;
-    let world2 = world.clone();
-    let state2 = state.clone();
-    sim.schedule_at(fire_at, move |sim| {
-        let batch: Vec<(usize, usize)> = {
-            let st = state2.borrow();
-            if st.settled || st.good.len() >= st.k {
-                return;
-            }
-            let missing = st.k - st.good.len();
-            st.targets
-                .iter()
-                .enumerate()
-                .filter(|&(i, &srv)| !st.tried.contains(&i) && world2.view_alive(client, srv))
-                .take(missing)
-                .map(|(i, &srv)| (i, srv))
-                .collect()
-        };
-        if batch.is_empty() {
-            return; // every holder is already in play; nothing to hedge to
-        }
-        {
-            let mut st = state2.borrow_mut();
-            for &(i, _) in &batch {
-                st.tried.push(i);
-                st.hedged.push(i);
-            }
-            st.outstanding += batch.len();
-            st.hedge_fired_at = Some(sim.now());
-        }
-        world2.metrics.borrow_mut().hedges_fired += 1;
-        if world2.trace.is_enabled() {
-            world2.trace.emit(
-                sim.now(),
-                TraceEvent::HedgeFired {
-                    client: world2.cluster.client_node(client),
-                    extra: batch.len() as u64,
-                },
-            );
-        }
-        issue_cd_fetches(&world2, sim, client, op_start, request_base, &state2, batch);
-    });
-}
-
-/// In-flight state of one client-decode Get.
-struct CdState {
-    key: Arc<str>,
-    targets: Vec<usize>,
-    k: usize,
-    /// Shard positions already requested.
-    tried: Vec<usize>,
-    /// Chunks that came back present.
-    good: Vec<(usize, Payload)>,
-    outstanding: usize,
-    posts: u64,
-    discovered: bool,
-    /// The read finished (early-settled with `k` chunks or failed);
-    /// replies still in flight are ignored from here on.
-    settled: bool,
-    /// When the first wave of fetches was issued, for the first-chunk
-    /// latency sample feeding the hedge estimator.
-    fetch_start: SimTime,
-    /// Shard positions fetched speculatively by the hedge timer.
-    hedged: Vec<usize>,
-    /// When the hedge fired, if it did.
-    hedge_fired_at: Option<SimTime>,
-    /// Cancels in-flight losers once the race is decided.
-    cancel: rpc::CancelToken,
-    done: Option<DoneCb>,
-}
-
-fn issue_cd_fetches(
-    world: &Rc<World>,
-    sim: &mut Simulation,
-    client: usize,
-    op_start: SimTime,
-    request_base: SimDuration,
-    state: &Rc<RefCell<CdState>>,
-    batch: Vec<(usize, usize)>,
-) -> Option<SimTime> {
-    let post = world.cluster.net_config().post_overhead;
-    let client_node = world.cluster.client_node(client);
-    state.borrow_mut().posts += batch.len() as u64;
-    let mut first_issue = None;
-    for (shard_idx, srv) in batch {
-        let issue_at = world.reserve_client_cpu(client, sim.now(), post);
-        first_issue.get_or_insert(issue_at);
-        let server = world.cluster.servers[srv].clone();
-        let world2 = world.clone();
-        let state2 = state.clone();
-        let (key, cancel) = {
-            let st = state.borrow();
-            (st.key.clone(), st.cancel.clone())
-        };
-        rpc::get_with_cancel(
-            &world.cluster.net,
-            &server,
-            sim,
-            issue_at,
-            client_node,
-            World::shard_key(&key, shard_idx),
-            cancel,
-            move |sim, reply| {
-                {
-                    let mut st = state2.borrow_mut();
-                    if st.settled {
-                        // A straggler's reply arriving after the race was
-                        // decided: the result is already recorded.
-                        return;
-                    }
-                    st.outstanding -= 1;
-                    match reply {
-                        Ok(r) => {
-                            if let Some(chunk) = r.value {
-                                if st.good.is_empty() {
-                                    world2.note_first_chunk_latency(r.at.since(st.fetch_start));
-                                }
-                                st.good.push((shard_idx, chunk));
-                            }
-                        }
-                        Err(rpc::RpcError::ServerDead(_)) => {
-                            world2.mark_dead(client, srv);
-                            st.discovered = true;
-                        }
-                    }
-                    // Settle as soon as any `k` chunks are in hand (a
-                    // hedged read need not wait for its slowest fetch), or
-                    // when everything outstanding has answered.
-                    if st.good.len() < st.k && st.outstanding > 0 {
-                        return;
-                    }
-                }
-                settle_cd(&world2, sim, client, op_start, request_base, &state2);
-            },
-        );
-    }
-    first_issue
-}
-
-/// All outstanding fetches returned: finish, or top up from untried
-/// holders if chunks are still missing and candidates remain.
-fn settle_cd(
-    world: &Rc<World>,
-    sim: &mut Simulation,
-    client: usize,
-    op_start: SimTime,
-    request_base: SimDuration,
-    state: &Rc<RefCell<CdState>>,
-) {
-    let (need_more, k) = {
-        let st = state.borrow();
-        (st.good.len() < st.k, st.k)
-    };
-    if need_more {
-        // Candidates: positions not yet tried whose holder the client
-        // believes alive.
-        let batch: Vec<(usize, usize)> = {
-            let st = state.borrow();
-            let missing = k - st.good.len();
-            st.targets
-                .iter()
-                .enumerate()
-                .filter(|&(i, &srv)| !st.tried.contains(&i) && world.view_alive(client, srv))
-                .take(missing)
-                .map(|(i, &srv)| (i, srv))
-                .collect()
-        };
-        if !batch.is_empty() {
-            {
-                let mut st = state.borrow_mut();
-                for &(i, _) in &batch {
-                    st.tried.push(i);
-                }
-                st.outstanding = batch.len();
-            }
-            issue_cd_fetches(world, sim, client, op_start, request_base, state, batch);
-            return;
-        }
-    }
-
-    // No more candidates (or enough chunks): evaluate. Mark the race
-    // decided and cancel in-flight losers — a hedged read that already
-    // holds `k` chunks drops its stragglers at their servers.
-    let (key, good, posts, discovered, hedged, hedge_fired_at, done) = {
-        let mut st = state.borrow_mut();
-        st.settled = true;
-        st.cancel.cancel();
-        (
-            st.key.clone(),
-            std::mem::take(&mut st.good),
-            st.posts,
-            st.discovered,
-            std::mem::take(&mut st.hedged),
-            st.hedge_fired_at,
-            st.done.take().expect("settles once"),
-        )
-    };
     let check = world.cfg.liveness_check;
     let post = world.cluster.net_config().post_overhead;
-    let ok = good.len() >= k;
-    let expected = world.expected.borrow().get(&key).copied();
-    let value_len = expected.map_or_else(|| good.iter().map(|(_, c)| c.len()).sum(), |w| w.len);
     let now = sim.now();
-    if !ok {
-        finish(
+
+    if choose_chunks(world, client, &targets, k).is_none() {
+        let at = world.reserve_client_cpu(client, now, check);
+        finish_op(
+            world,
             sim,
             op_start,
-            now,
-            request_base + check + post * posts,
-            SimDuration::ZERO,
-            false,
-            true,
-            discovered,
-            value_len,
+            OpOutcome {
+                kind: OpKind::Get,
+                at,
+                request: request_base + check,
+                compute: SimDuration::ZERO,
+                ok: false,
+                integrity_ok: true,
+                retryable: false,
+                value_len: 0,
+                note_written: None,
+            },
             done,
         );
         return;
     }
-    let used: Vec<(usize, Option<Payload>)> = good
-        .into_iter()
-        .take(k)
-        .map(|(i, c)| (i, Some(c)))
-        .collect();
-    // The hedge won if a speculative fetch supplied one of the k chunks
-    // actually used — the read would otherwise still be waiting.
-    if let Some(fired_at) = hedge_fired_at {
-        if used.iter().any(|&(idx, _)| hedged.contains(&idx)) {
-            world.metrics.borrow_mut().hedges_won += 1;
-            if world.trace.is_enabled() {
-                world.trace.emit(
-                    now,
-                    TraceEvent::HedgeWon {
-                        client: world.cluster.client_node(client),
-                        waited: now.since(fired_at),
-                    },
-                );
-            }
-        }
-    }
-    let erased_data = (0..k)
-        .filter(|i| !used.iter().any(|&(idx, _)| idx == *i))
-        .count();
-    let integrity = check_chunks(world, expected, &used);
-    let (at, compute) = if erased_data > 0 {
-        // This read had to decode — the key is in degraded mode. Promote
-        // it to the front of any active repair queue.
-        crate::repair::note_degraded_read(world, now, &key);
-        let client_node = world.cluster.client_node(client);
-        let t_dec = world.decode_time_at(client_node, value_len, erased_data);
-        let dec_done = world.reserve_client_cpu(client, now, t_dec);
-        trace_codec(
-            &world.trace,
-            client_node,
-            CodecOp::Decode,
-            now,
-            t_dec,
-            value_len,
-        );
-        (dec_done, t_dec)
-    } else {
-        (now, SimDuration::ZERO)
-    };
-    finish(
-        sim,
-        op_start,
-        at,
-        request_base + check + post * posts,
-        compute,
-        true,
-        integrity,
-        false,
-        value_len,
-        done,
-    );
-}
+    world.reserve_client_cpu(client, now, check);
 
-/// In-flight state of one server-decode Get, owned by the aggregator.
-struct SdState {
-    key: Arc<str>,
-    targets: Vec<usize>,
-    k: usize,
-    client: usize,
-    op_start: SimTime,
-    check: SimDuration,
-    post: SimDuration,
-    aggregator: Rc<RefCell<eckv_store::KvServer>>,
-    agg_srv: usize,
-    agg_node: eckv_simnet::NodeId,
-    client_node: eckv_simnet::NodeId,
-    net: Rc<RefCell<Network>>,
-    /// Shard positions already requested.
-    tried: Vec<usize>,
-    /// Chunks that came back present.
-    good: Vec<(usize, Payload)>,
-    outstanding: usize,
-    discovered: bool,
-    /// Latest sub-completion instant.
-    last: SimTime,
-    done: Option<DoneCb>,
+    let client_node = world.cluster.client_node(client);
+    let spec = FanOutSpec {
+        candidates: targets.iter().enumerate().map(|(i, &s)| (i, s)).collect(),
+        pinned: 0,
+        policy: QuorumPolicy::read(k),
+        liveness: Liveness::View(client),
+        hedge_node: client_node,
+    };
+    let io = client_get_io(world, client, key.clone(), true, true);
+    let world2 = world.clone();
+    let launched = FanOut::launch(
+        world,
+        sim,
+        spec,
+        now,
+        io,
+        Box::new(move |sim, s: Settled| {
+            let ok = s.good.len() >= k;
+            let expected = world2.expected.borrow().get(&key).copied();
+            let value_len =
+                expected.map_or_else(|| s.good.iter().map(|(_, c)| c.len()).sum(), |w| w.len);
+            let now = sim.now();
+            let request = request_base + check + post * s.posts;
+            if !ok {
+                finish_op(
+                    &world2,
+                    sim,
+                    op_start,
+                    OpOutcome {
+                        kind: OpKind::Get,
+                        at: now,
+                        request,
+                        compute: SimDuration::ZERO,
+                        ok: false,
+                        integrity_ok: true,
+                        retryable: s.discovered,
+                        value_len,
+                        note_written: None,
+                    },
+                    done,
+                );
+                return;
+            }
+            let used: Vec<(usize, Option<Payload>)> = s
+                .good
+                .into_iter()
+                .take(k)
+                .map(|(i, c)| (i, Some(c)))
+                .collect();
+            let erased_data = (0..k)
+                .filter(|i| !used.iter().any(|&(idx, _)| idx == *i))
+                .count();
+            let integrity = check_chunks(&world2, expected, &used);
+            let (at, compute) = if erased_data > 0 {
+                // This read had to decode — the key is in degraded mode.
+                // Promote it to the front of any active repair queue.
+                crate::repair::note_degraded_read(&world2, now, &key);
+                let t_dec = world2.decode_time_at(client_node, value_len, erased_data);
+                let dec_done = world2.reserve_client_cpu(client, now, t_dec);
+                trace_codec(
+                    &world2.trace,
+                    client_node,
+                    CodecOp::Decode,
+                    now,
+                    t_dec,
+                    value_len,
+                );
+                (dec_done, t_dec)
+            } else {
+                (now, SimDuration::ZERO)
+            };
+            finish_op(
+                &world2,
+                sim,
+                op_start,
+                OpOutcome {
+                    kind: OpKind::Get,
+                    at,
+                    request,
+                    compute,
+                    ok: true,
+                    integrity_ok: integrity,
+                    retryable: false,
+                    value_len,
+                    note_written: None,
+                },
+                done,
+            );
+        }),
+    );
+    debug_assert!(launched, "k live holders existed at the pre-check");
 }
 
 /// Era-*-SD: the first live chunk holder aggregates (and if necessary
-/// decodes) the value server-side, then returns it whole. Chunk *misses*
-/// (a degraded write skipped that position, or a replaced server has not
-/// rebuilt that key yet) top up from the remaining holders — mirroring
-/// the client-decode path — before the read is declared failed.
+/// decodes) the value server-side, then returns it whole. The gather
+/// fan-in runs on the shared core, so it tops up on chunk misses and
+/// hedges against straggling peers exactly like the client-decode path.
 fn get_era_server_decode(
     world: &Rc<World>,
     sim: &mut Simulation,
@@ -719,23 +446,27 @@ fn get_era_server_decode(
     let (k, m, _, _, _) = world.scheme.erasure_params().expect("erasure scheme");
     let mut targets = world.targets(&key);
     targets.truncate(k + m);
-    let cfg = world.cluster.net_config();
     let check = world.cfg.liveness_check;
-    let post = cfg.post_overhead;
+    let post = world.cluster.net_config().post_overhead;
     let client_node = world.cluster.client_node(client);
 
     let Some(chosen) = choose_chunks(world, client, &targets, k) else {
         let at = world.reserve_client_cpu(client, op_start, check);
-        finish(
+        finish_op(
+            world,
             sim,
             op_start,
-            at,
-            check,
-            SimDuration::ZERO,
-            false,
-            true,
-            false,
-            0,
+            OpOutcome {
+                kind: OpKind::Get,
+                at,
+                request: check,
+                compute: SimDuration::ZERO,
+                ok: false,
+                integrity_ok: true,
+                retryable: false,
+                value_len: 0,
+                note_written: None,
+            },
             done,
         );
         return;
@@ -750,7 +481,6 @@ fn get_era_server_decode(
     let issue_at = world.reserve_client_cpu(client, op_start, check + post);
     let req_bytes = rpc::REQUEST_OVERHEAD + key.len();
     let world2 = world.clone();
-    let net = world.cluster.net.clone();
     Network::send(
         &world.cluster.net,
         sim,
@@ -762,16 +492,21 @@ fn get_era_server_decode(
             let at = match delivery {
                 Delivery::TargetDead(t) => {
                     world2.mark_dead(client, agg_srv);
-                    finish(
+                    finish_op(
+                        &world2,
                         sim,
                         op_start,
-                        t,
-                        check + post,
-                        SimDuration::ZERO,
-                        false,
-                        true,
-                        true,
-                        0,
+                        OpOutcome {
+                            kind: OpKind::Get,
+                            at: t,
+                            request: check + post,
+                            compute: SimDuration::ZERO,
+                            ok: false,
+                            integrity_ok: true,
+                            retryable: true,
+                            value_len: 0,
+                            note_written: None,
+                        },
                         done,
                     );
                     return;
@@ -780,237 +515,178 @@ fn get_era_server_decode(
             };
             let costs = aggregator.borrow().costs();
             let t1 = aggregator.borrow_mut().reserve_cpu(at, costs.op_time(0));
-            let state = Rc::new(RefCell::new(SdState {
-                key,
-                targets,
-                k,
-                client,
-                op_start,
-                check,
-                post,
-                aggregator,
-                agg_srv,
-                agg_node,
-                client_node,
-                net,
-                tried: chosen.iter().map(|&(i, _)| i).collect(),
-                good: Vec::new(),
-                outstanding: chosen.len(),
-                discovered: false,
-                last: t1,
-                done: Some(done),
-            }));
-            issue_sd_fetches(&world2, sim, &state, t1, chosen);
-        },
-    );
-}
 
-/// Issues one wave of shard reads on behalf of the aggregator: a local
-/// store lookup for its own chunk, gather RPCs for the rest.
-fn issue_sd_fetches(
-    world: &Rc<World>,
-    sim: &mut Simulation,
-    state: &Rc<RefCell<SdState>>,
-    from: SimTime,
-    batch: Vec<(usize, usize)>,
-) {
-    let (aggregator, agg_srv, agg_node, post, key, client) = {
-        let st = state.borrow();
-        (
-            st.aggregator.clone(),
-            st.agg_srv,
-            st.agg_node,
-            st.post,
-            st.key.clone(),
-            st.client,
-        )
-    };
-    let costs = aggregator.borrow().costs();
-    for (j, (shard_idx, srv)) in batch.into_iter().enumerate() {
-        if srv == agg_srv {
-            // Local chunk: a store lookup on the aggregator itself.
-            let chunk = aggregator
-                .borrow_mut()
-                .store_mut()
-                .get(&World::shard_key(&key, shard_idx));
-            let bytes = chunk.as_ref().map_or(0, Payload::len);
-            let local_done = aggregator
-                .borrow_mut()
-                .reserve_cpu(from, costs.op_time(bytes));
-            let settled = {
-                let mut st = state.borrow_mut();
-                st.last = st.last.max(local_done);
-                if let Some(c) = chunk {
-                    st.good.push((shard_idx, c));
-                }
-                st.outstanding -= 1;
-                st.outstanding == 0
-            };
-            if settled {
-                settle_sd(world, sim, state);
-            }
-        } else {
-            let server = world.cluster.servers[srv].clone();
-            let world2 = world.clone();
-            let state2 = state.clone();
-            rpc::get(
-                &world.cluster.net,
-                &server,
-                sim,
-                from + post * (j as u64 + 1),
-                agg_node,
-                World::shard_key(&key, shard_idx),
-                move |sim, reply| {
-                    let settled = {
-                        let mut st = state2.borrow_mut();
-                        match reply {
-                            Ok(r) => {
-                                st.last = st.last.max(r.at);
-                                if let Some(chunk) = r.value {
-                                    st.good.push((shard_idx, chunk));
-                                }
-                            }
-                            Err(rpc::RpcError::ServerDead(t)) => {
-                                st.last = st.last.max(t);
-                                world2.mark_dead(client, srv);
-                                st.discovered = true;
-                            }
-                        }
-                        st.outstanding -= 1;
-                        st.outstanding == 0
-                    };
-                    if settled {
-                        settle_sd(&world2, sim, &state2);
-                    }
-                },
-            );
-        }
-    }
-}
-
-/// All outstanding gathers returned: top up from untried holders if chunks
-/// are still missing, else decode (if needed) and ship the value back.
-fn settle_sd(world: &Rc<World>, sim: &mut Simulation, state: &Rc<RefCell<SdState>>) {
-    let (missing, k) = {
-        let st = state.borrow();
-        (st.k.saturating_sub(st.good.len()), st.k)
-    };
-    if missing > 0 {
-        // Candidates: positions not yet tried whose holder the client
-        // believes alive.
-        let batch: Vec<(usize, usize)> = {
-            let st = state.borrow();
-            st.targets
+            // Candidate order: the admission-time choice first (pinned —
+            // the failure view may have moved while the request crossed
+            // the wire), then the untried positions for top-up/hedging.
+            let pinned = chosen.len();
+            let rest: Vec<(usize, usize)> = targets
                 .iter()
                 .enumerate()
-                .filter(|&(i, &srv)| !st.tried.contains(&i) && world.view_alive(st.client, srv))
-                .take(missing)
-                .map(|(i, &srv)| (i, srv))
-                .collect()
-        };
-        if !batch.is_empty() {
-            let from = {
-                let mut st = state.borrow_mut();
-                for &(i, _) in &batch {
-                    st.tried.push(i);
-                }
-                st.outstanding = batch.len();
-                st.last
+                .filter(|(i, _)| !chosen.iter().any(|&(c, _)| c == *i))
+                .map(|(i, &s)| (i, s))
+                .collect();
+            let mut candidates = chosen;
+            candidates.extend(rest);
+            let spec = FanOutSpec {
+                candidates,
+                pinned,
+                policy: QuorumPolicy::read(k),
+                liveness: Liveness::View(client),
+                hedge_node: agg_node,
             };
-            issue_sd_fetches(world, sim, state, from, batch);
-            return;
-        }
-    }
-
-    let (key, good, last, discovered, done) = {
-        let mut st = state.borrow_mut();
-        (
-            st.key.clone(),
-            std::mem::take(&mut st.good),
-            st.last,
-            st.discovered,
-            st.done.take().expect("settles once"),
-        )
-    };
-    let (op_start, check, post, aggregator, agg_node, client_node, net) = {
-        let st = state.borrow();
-        (
-            st.op_start,
-            st.check,
-            st.post,
-            st.aggregator.clone(),
-            st.agg_node,
-            st.client_node,
-            st.net.clone(),
-        )
-    };
-    let ok = good.len() >= k;
-    let used: Vec<(usize, Option<Payload>)> = good
-        .into_iter()
-        .take(k)
-        .map(|(i, c)| (i, Some(c)))
-        .collect();
-    let expected = world.expected.borrow().get(&key).copied();
-    let integrity = !ok || check_chunks(world, expected, &used);
-    let value_len = expected.map_or_else(
-        || {
-            used.iter()
-                .filter_map(|(_, c)| c.as_ref())
-                .map(Payload::len)
-                .sum()
-        },
-        |w| w.len,
-    );
-    // Server-side decode if a data chunk was reconstructed from parity; a
-    // straggling aggregator decodes proportionally slower.
-    let erased_data = (0..k)
-        .filter(|i| !used.iter().any(|&(idx, _)| idx == *i))
-        .count();
-    let respond_at = if ok && erased_data > 0 {
-        // Server-side decode still means the key is degraded: promote it
-        // in any active repair queue.
-        crate::repair::note_degraded_read(world, last, &key);
-        let t_dec = world.decode_time_at(agg_node, value_len, erased_data);
-        let dec_done = aggregator.borrow_mut().reserve_cpu(last, t_dec);
-        trace_codec(
-            &world.trace,
-            agg_node,
-            CodecOp::Decode,
-            last,
-            t_dec,
-            value_len,
-        );
-        dec_done
-    } else {
-        last
-    };
-    let resp_bytes = rpc::ACK_BYTES
-        + used
-            .iter()
-            .filter_map(|(_, c)| c.as_ref())
-            .map(|c| c.len() as usize)
-            .sum::<usize>()
-            .min(value_len as usize + rpc::ACK_BYTES);
-    Network::send(
-        &net,
-        sim,
-        respond_at,
-        agg_node,
-        client_node,
-        resp_bytes,
-        move |sim, d| {
-            finish(
+            let io: ShardIo = {
+                let world = world2.clone();
+                let aggregator = aggregator.clone();
+                let key = key.clone();
+                Box::new(move |sim, issue, reply| {
+                    if issue.srv == agg_srv {
+                        // Local chunk: a store lookup on the aggregator
+                        // itself.
+                        let chunk = aggregator
+                            .borrow_mut()
+                            .store_mut()
+                            .get(&World::shard_key(&key, issue.slot));
+                        let bytes = chunk.as_ref().map_or(0, Payload::len);
+                        let costs = aggregator.borrow().costs();
+                        let local_done = aggregator
+                            .borrow_mut()
+                            .reserve_cpu(issue.from, costs.op_time(bytes));
+                        let r = match chunk {
+                            Some(c) => ShardReply::Good {
+                                at: local_done,
+                                value: Some(c),
+                            },
+                            None => ShardReply::Empty { at: local_done },
+                        };
+                        reply(sim, r);
+                        issue.from
+                    } else {
+                        let start = issue.from + post * (issue.seq + 1);
+                        let server = world.cluster.servers[issue.srv].clone();
+                        let world3 = world.clone();
+                        let srv = issue.srv;
+                        rpc::get_with_cancel(
+                            &world.cluster.net,
+                            &server,
+                            sim,
+                            start,
+                            agg_node,
+                            World::shard_key(&key, issue.slot),
+                            issue.cancel,
+                            move |sim, r| {
+                                reply(
+                                    sim,
+                                    match r {
+                                        Ok(g) => match g.value {
+                                            Some(v) => ShardReply::Good {
+                                                at: g.at,
+                                                value: Some(v),
+                                            },
+                                            None => ShardReply::Empty { at: g.at },
+                                        },
+                                        Err(rpc::RpcError::ServerDead(t)) => {
+                                            world3.mark_dead(client, srv);
+                                            ShardReply::Dead { at: t }
+                                        }
+                                    },
+                                );
+                            },
+                        );
+                        start
+                    }
+                })
+            };
+            let world3 = world2.clone();
+            let launched = FanOut::launch(
+                &world2,
                 sim,
-                op_start,
-                d.at(),
-                check + post,
-                SimDuration::ZERO,
-                ok && d.is_delivered(),
-                integrity,
-                discovered,
-                value_len,
-                done,
+                spec,
+                t1,
+                io,
+                Box::new(move |sim, s: Settled| {
+                    let ok = s.good.len() >= k;
+                    let used: Vec<(usize, Option<Payload>)> = s
+                        .good
+                        .into_iter()
+                        .take(k)
+                        .map(|(i, c)| (i, Some(c)))
+                        .collect();
+                    let expected = world3.expected.borrow().get(&key).copied();
+                    let integrity = !ok || check_chunks(&world3, expected, &used);
+                    let value_len = expected.map_or_else(
+                        || {
+                            used.iter()
+                                .filter_map(|(_, c)| c.as_ref())
+                                .map(Payload::len)
+                                .sum()
+                        },
+                        |w| w.len,
+                    );
+                    // Server-side decode if a data chunk was reconstructed
+                    // from parity; a straggling aggregator decodes
+                    // proportionally slower.
+                    let erased_data = (0..k)
+                        .filter(|i| !used.iter().any(|&(idx, _)| idx == *i))
+                        .count();
+                    let last = s.last;
+                    let respond_at = if ok && erased_data > 0 {
+                        // Server-side decode still means the key is
+                        // degraded: promote it in any active repair queue.
+                        crate::repair::note_degraded_read(&world3, last, &key);
+                        let t_dec = world3.decode_time_at(agg_node, value_len, erased_data);
+                        let dec_done = aggregator.borrow_mut().reserve_cpu(last, t_dec);
+                        trace_codec(
+                            &world3.trace,
+                            agg_node,
+                            CodecOp::Decode,
+                            last,
+                            t_dec,
+                            value_len,
+                        );
+                        dec_done
+                    } else {
+                        last
+                    };
+                    let resp_bytes = rpc::ACK_BYTES
+                        + used
+                            .iter()
+                            .filter_map(|(_, c)| c.as_ref())
+                            .map(|c| c.len() as usize)
+                            .sum::<usize>()
+                            .min(value_len as usize + rpc::ACK_BYTES);
+                    let discovered = s.discovered;
+                    let world4 = world3.clone();
+                    Network::send(
+                        &world3.cluster.net,
+                        sim,
+                        respond_at,
+                        agg_node,
+                        client_node,
+                        resp_bytes,
+                        move |sim, d| {
+                            finish_op(
+                                &world4,
+                                sim,
+                                op_start,
+                                OpOutcome {
+                                    kind: OpKind::Get,
+                                    at: d.at(),
+                                    request: check + post,
+                                    compute: SimDuration::ZERO,
+                                    ok: ok && d.is_delivered(),
+                                    integrity_ok: integrity,
+                                    retryable: discovered,
+                                    value_len,
+                                    note_written: None,
+                                },
+                                done,
+                            );
+                        },
+                    );
+                }),
             );
+            debug_assert!(launched, "the pinned wave is never short of k");
         },
     );
 }

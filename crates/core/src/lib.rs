@@ -50,6 +50,7 @@
 
 mod costs;
 pub mod driver;
+mod fanout;
 mod flow;
 mod get_path;
 pub mod metrics;

@@ -29,7 +29,6 @@
 //! returned [`RepairReport`] quantifies the repair-amplification
 //! trade-off either way.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -37,6 +36,7 @@ use std::sync::Arc;
 use eckv_simnet::{trace_codec, CodecOp, SimDuration, SimTime, Simulation, TraceEvent};
 use eckv_store::{fnv1a_64, rpc, Bytes, Payload};
 
+use crate::fanout::{client_get_io, FanOut, FanOutSpec, Liveness, QuorumPolicy, Settled};
 use crate::scheme::Scheme;
 use crate::world::{RepairConfig, World};
 
@@ -414,21 +414,10 @@ fn issue_repair_key(
     }
 }
 
-/// In-flight state of one erasure key rebuild across its fetch rounds.
-struct EraState {
-    /// Chunks fetched so far.
-    good: Vec<(usize, Payload)>,
-    /// Untried survivors, in rotated order, for top-up rounds.
-    pool: Vec<(usize, usize)>,
-    /// Fetches outstanding in the current round.
-    outstanding: usize,
-    /// Latest reply arrival (the decode can start no earlier).
-    last_at: SimTime,
-    /// Completion, taken exactly once.
-    done: Option<RepairDone>,
-}
-
-/// Rebuilds the lost chunk of `key`: fetch `k` survivors, decode, store.
+/// Rebuilds the lost chunk of `key`: fetch `k` survivors through the
+/// shared fan-out core (rotated per key, topped up from untried survivors
+/// the way the GET path late-binds, hedged against stragglers), decode,
+/// store on the replacement.
 fn repair_erasure_key(
     world: &Rc<World>,
     sim: &mut Simulation,
@@ -443,7 +432,9 @@ fn repair_erasure_key(
         .position(|&s| s == failed)
         .expect("key was selected because it lives on the failed server");
 
-    // Survivors: every other chunk holder that is alive.
+    // Survivors: every other chunk holder that is alive (judged by ground
+    // truth at scan time — repair does not consult or update client
+    // views).
     let survivors: Vec<(usize, usize)> = targets
         .iter()
         .enumerate()
@@ -454,171 +445,91 @@ fn repair_erasure_key(
         done(sim, false, 0, 0);
         return;
     }
+    let client_node = world.cluster.client_node(0);
     // Rotate the survivor set by key hash: always reading the lowest
     // indices would hammer the same k holders across a mass repair.
-    let rot = (fnv1a_64(key.as_bytes()) % survivors.len() as u64) as usize;
-    let mut ordered: Vec<(usize, usize)> = survivors[rot..]
-        .iter()
-        .chain(survivors[..rot].iter())
-        .copied()
-        .collect();
-    let pool = ordered.split_off(k);
-
-    let st = Rc::new(RefCell::new(EraState {
-        good: Vec::new(),
-        pool,
-        outstanding: ordered.len(),
-        last_at: sim.now(),
-        done: Some(done),
-    }));
-    issue_repair_fetches(world, sim, failed, &key, lost_shard, k, ordered, &st);
-}
-
-/// Issues one round of chunk fetches for an erasure rebuild.
-#[allow(clippy::too_many_arguments)]
-fn issue_repair_fetches(
-    world: &Rc<World>,
-    sim: &mut Simulation,
-    failed: usize,
-    key: &Arc<str>,
-    lost_shard: usize,
-    k: usize,
-    batch: Vec<(usize, usize)>,
-    st: &Rc<RefCell<EraState>>,
-) {
-    let post = world.cluster.net_config().post_overhead;
-    for (shard_idx, srv) in batch {
-        let issue_at = world.reserve_client_cpu(0, sim.now(), post);
-        let server = world.cluster.servers[srv].clone();
-        let world2 = world.clone();
-        let key2 = key.clone();
-        let st2 = st.clone();
-        rpc::get(
-            &world.cluster.net,
-            &server,
-            sim,
-            issue_at,
-            world.cluster.client_node(0),
-            World::shard_key(key, shard_idx),
-            move |sim, reply| {
-                let (at, chunk) = match reply {
-                    Ok(r) => (r.at, r.value),
-                    Err(rpc::RpcError::ServerDead(t)) => (t, None),
-                };
-                {
-                    let mut s = st2.borrow_mut();
-                    if at > s.last_at {
-                        s.last_at = at;
-                    }
-                    if let Some(c) = chunk {
-                        s.good.push((shard_idx, c));
-                    }
-                    s.outstanding -= 1;
-                    if s.outstanding > 0 {
-                        return;
-                    }
-                }
-                settle_era_repair(&world2, sim, failed, &key2, lost_shard, k, &st2);
-            },
-        );
+    let spec = FanOutSpec {
+        candidates: survivors,
+        pinned: 0,
+        policy: QuorumPolicy::read(k),
+        liveness: Liveness::PreFiltered,
+        hedge_node: client_node,
     }
-}
-
-/// A fetch round completed: top up from untried survivors if chunks are
-/// still missing (the GET path's late binding, applied to repair — a
-/// holder that died or lost its chunk must not doom the key while others
-/// can still supply `k`), otherwise decode and store.
-fn settle_era_repair(
-    world: &Rc<World>,
-    sim: &mut Simulation,
-    failed: usize,
-    key: &Arc<str>,
-    lost_shard: usize,
-    k: usize,
-    st: &Rc<RefCell<EraState>>,
-) {
-    let top_up: Option<Vec<(usize, usize)>> = {
-        let mut s = st.borrow_mut();
-        let missing = k.saturating_sub(s.good.len());
-        if missing == 0 || s.pool.is_empty() {
-            None
-        } else {
-            let take = missing.min(s.pool.len());
-            let batch: Vec<(usize, usize)> = s.pool.drain(..take).collect();
-            s.outstanding = batch.len();
-            Some(batch)
-        }
-    };
-    if let Some(batch) = top_up {
-        issue_repair_fetches(world, sim, failed, key, lost_shard, k, batch, st);
-        return;
-    }
-    let (good, last_at, done) = {
-        let mut s = st.borrow_mut();
-        (
-            std::mem::take(&mut s.good),
-            s.last_at,
-            s.done.take().expect("finishes once"),
-        )
-    };
-    let read: u64 = good.iter().map(|(_, c)| c.len()).sum();
-    if good.len() < k {
-        done(sim, false, read, 0);
-        return;
-    }
-    let chunks: Vec<(usize, Option<Payload>)> =
-        good.into_iter().map(|(i, c)| (i, Some(c))).collect();
-    // Decode + re-encode the lost shard on the client CPU.
-    let expected = world.expected.borrow().get(key).copied();
-    let Some(w) = expected else {
-        done(sim, false, read, 0);
-        return;
-    };
-    let rebuilt = rebuild_shard(world, &chunks, lost_shard, w.len, w.digest);
-    let t_dec = world
-        .decode_time(w.len, 1)
-        .max(world.encode_time(w.len) / 2);
-    let dec_done = world.reserve_client_cpu(0, last_at, t_dec);
-    let client_node = world.cluster.client_node(0);
-    trace_codec(
-        &world.trace,
-        client_node,
-        CodecOp::Decode,
-        last_at,
-        t_dec,
-        w.len,
-    );
-    let written = rebuilt.len();
-    let replacement = world.cluster.servers[failed].clone();
+    .rotated_by(fnv1a_64(key.as_bytes()));
+    let io = client_get_io(world, 0, key.clone(), true, false);
     let world2 = world.clone();
-    rpc::set(
-        &world.cluster.net,
-        &replacement,
+    let from = sim.now();
+    let launched = FanOut::launch(
+        world,
         sim,
-        dec_done,
-        client_node,
-        World::shard_key(key, lost_shard),
-        rebuilt,
-        move |sim, reply| {
-            if reply.is_ok() && world2.trace.is_enabled() {
-                let node = world2.cluster.server_node(failed);
-                world2.trace.emit(
-                    sim.now(),
-                    TraceEvent::RepairShard {
-                        node,
-                        bytes: written,
-                    },
-                );
-                world2
-                    .trace
-                    .counter_add(client_node, "repair_read_bytes", read);
-                world2
-                    .trace
-                    .counter_add(node, "repair_write_bytes", written);
+        spec,
+        from,
+        io,
+        Box::new(move |sim, s: Settled| {
+            let read: u64 = s.good.iter().map(|(_, c)| c.len()).sum();
+            if s.good.len() < k {
+                done(sim, false, read, 0);
+                return;
             }
-            done(sim, reply.is_ok(), read, written);
-        },
+            let chunks: Vec<(usize, Option<Payload>)> = s
+                .good
+                .into_iter()
+                .take(k)
+                .map(|(i, c)| (i, Some(c)))
+                .collect();
+            // Decode + re-encode the lost shard on the client CPU.
+            let expected = world2.expected.borrow().get(&key).copied();
+            let Some(w) = expected else {
+                done(sim, false, read, 0);
+                return;
+            };
+            let rebuilt = rebuild_shard(&world2, &chunks, lost_shard, w.len, w.digest);
+            let t_dec = world2
+                .decode_time(w.len, 1)
+                .max(world2.encode_time(w.len) / 2);
+            let dec_done = world2.reserve_client_cpu(0, s.last, t_dec);
+            trace_codec(
+                &world2.trace,
+                client_node,
+                CodecOp::Decode,
+                s.last,
+                t_dec,
+                w.len,
+            );
+            let written = rebuilt.len();
+            let replacement = world2.cluster.servers[failed].clone();
+            let world3 = world2.clone();
+            rpc::set(
+                &world2.cluster.net,
+                &replacement,
+                sim,
+                dec_done,
+                client_node,
+                World::shard_key(&key, lost_shard),
+                rebuilt,
+                move |sim, reply| {
+                    if reply.is_ok() && world3.trace.is_enabled() {
+                        let node = world3.cluster.server_node(failed);
+                        world3.trace.emit(
+                            sim.now(),
+                            TraceEvent::RepairShard {
+                                node,
+                                bytes: written,
+                            },
+                        );
+                        world3
+                            .trace
+                            .counter_add(client_node, "repair_read_bytes", read);
+                        world3
+                            .trace
+                            .counter_add(node, "repair_write_bytes", written);
+                    }
+                    done(sim, reply.is_ok(), read, written);
+                },
+            );
+        }),
     );
+    debug_assert!(launched, "k live survivors existed at the pre-check");
 }
 
 /// Reconstructs the payload of shard `lost_shard` from the fetched chunks.
@@ -658,7 +569,8 @@ fn rebuild_shard(
 }
 
 /// Re-copies a lost replica of `key` from a live replica holder (rotated
-/// per key so a mass repair spreads its reads).
+/// per key so a mass repair spreads its reads). A single-fetch fan-out,
+/// so a straggling source can be hedged by racing the next holder.
 fn repair_replica_key(
     world: &Rc<World>,
     sim: &mut Simulation,
@@ -668,33 +580,34 @@ fn repair_replica_key(
     done: RepairDone,
 ) {
     let client_node = world.cluster.client_node(0);
-    let post = world.cluster.net_config().post_overhead;
-    let live: Vec<usize> = targets
+    let live: Vec<(usize, usize)> = targets
         .into_iter()
         .filter(|&s| s != failed && world.cluster.is_server_alive(s))
+        .enumerate()
         .collect();
     if live.is_empty() {
         done(sim, false, 0, 0);
         return;
     }
-    let src = live[(fnv1a_64(key.as_bytes()) % live.len() as u64) as usize];
-    let issue_at = world.reserve_client_cpu(0, sim.now(), post);
-    let server = world.cluster.servers[src].clone();
+    let spec = FanOutSpec {
+        candidates: live,
+        pinned: 0,
+        policy: QuorumPolicy::single(true),
+        liveness: Liveness::PreFiltered,
+        hedge_node: client_node,
+    }
+    .rotated_by(fnv1a_64(key.as_bytes()));
+    let io = client_get_io(world, 0, key.clone(), false, false);
     let world2 = world.clone();
-    let key2 = key.clone();
-    rpc::get(
-        &world.cluster.net,
-        &server,
+    let from = sim.now();
+    let launched = FanOut::launch(
+        world,
         sim,
-        issue_at,
-        client_node,
-        key.clone(),
-        move |sim, reply| {
-            let value = match reply {
-                Ok(r) => r.value,
-                Err(_) => None,
-            };
-            let Some(value) = value else {
+        spec,
+        from,
+        io,
+        Box::new(move |sim, s: Settled| {
+            let Some((_, value)) = s.good.into_iter().next() else {
                 done(sim, false, 0, 0);
                 return;
             };
@@ -709,7 +622,7 @@ fn repair_replica_key(
                 sim,
                 at,
                 client_node,
-                key2,
+                key,
                 value,
                 move |sim, reply| {
                     // Same observability as the erasure path, so
@@ -733,8 +646,9 @@ fn repair_replica_key(
                     done(sim, reply.is_ok(), read, written);
                 },
             );
-        },
+        }),
     );
+    debug_assert!(launched, "a live replica existed at the pre-check");
 }
 
 #[cfg(test)]

@@ -1,23 +1,27 @@
-//! Set operation state machines, one per resilience scheme.
+//! Set operation policy and encode glue, one flavour per resilience
+//! scheme.
 //!
 //! All paths route around servers the client *believes* are dead (its
 //! failure view); a transport error updates the view and surfaces as a
 //! retryable failure, which the driver transparently re-dispatches —
 //! the fail-over behaviour the paper's clients implement. Writes degrade
 //! gracefully: an erasure Set succeeds if at least `k` chunks land, a
-//! replicated Set if at least one copy lands.
+//! replicated Set if at least one copy lands. The parallel fan-outs
+//! (replicated, Era-CE posts, Era-SE peer distribution) all drive
+//! [`crate::fanout::FanOut`] in write mode; only Sync-Rep keeps its
+//! deliberately sequential chain.
 
 use std::rc::Rc;
 use std::sync::Arc;
 
-use eckv_simnet::{
-    trace_codec, CodecOp, Delivery, Network, PhaseBreakdown, SimDuration, SimTime, Simulation,
-};
+use eckv_simnet::{trace_codec, CodecOp, Delivery, Network, SimDuration, Simulation};
 use eckv_store::Bytes;
 use eckv_store::{rpc, Payload};
 
-use crate::flow::{DoneCb, Pending};
-use crate::metrics::OpResult;
+use crate::fanout::{
+    client_set_io, FanOut, FanOutSpec, Liveness, QuorumPolicy, Settled, ShardIo, ShardReply,
+};
+use crate::flow::{finish_op, DoneCb, OpOutcome};
 use crate::ops::OpKind;
 use crate::scheme::{Scheme, Side};
 use crate::world::World;
@@ -40,43 +44,26 @@ pub(crate) fn build_shards(world: &World, payload: &Payload, shard_len: u64) -> 
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn finish(
-    world: &Rc<World>,
-    sim: &mut Simulation,
-    op_start: SimTime,
-    at: SimTime,
-    request: SimDuration,
-    compute: SimDuration,
-    ok: bool,
-    retryable: bool,
-    value_len: u64,
-    note: Option<(Arc<str>, u64)>,
-    done: DoneCb,
-) {
-    if ok {
-        if let Some((key, digest)) = note {
-            world.note_written(key, value_len, digest);
-        }
-    }
-    let latency = at.since(op_start);
-    let breakdown = PhaseBreakdown {
-        request,
-        compute,
-        wait_response: latency.saturating_sub(request).saturating_sub(compute),
-    };
-    done(
+/// The terminal "no viable holder" failure: nothing was issued, nothing
+/// new can be discovered, so a retry is pointless.
+fn fail_unwritable(world: &Rc<World>, sim: &mut Simulation, value_len: u64, done: DoneCb) {
+    let op_start = sim.now();
+    finish_op(
+        world,
         sim,
-        OpResult {
+        op_start,
+        OpOutcome {
             kind: OpKind::Set,
-            at,
-            latency,
-            breakdown,
-            ok,
+            at: op_start,
+            request: SimDuration::ZERO,
+            compute: SimDuration::ZERO,
+            ok: false,
             integrity_ok: true,
-            retryable: retryable && !ok,
+            retryable: false,
             value_len,
+            note_written: None,
         },
+        done,
     );
 }
 
@@ -134,87 +121,60 @@ fn set_parallel_replicated(
 ) {
     let op_start = sim.now();
     let post = world.cluster.net_config().post_overhead;
-    let client_node = world.cluster.client_node(client);
     let value_len = payload.len();
     let digest = payload.digest();
 
-    let live: Vec<usize> = targets
-        .iter()
-        .copied()
-        .filter(|&s| world.view_alive(client, s))
-        .collect();
-    if live.is_empty() {
+    if !targets.iter().any(|&s| world.view_alive(client, s)) {
         // Every believed-alive replica holder is gone; nothing new to
         // discover, so this is final.
-        finish(
-            world,
-            sim,
-            op_start,
-            op_start,
-            SimDuration::ZERO,
-            SimDuration::ZERO,
-            false,
-            false,
-            value_len,
-            None,
-            done,
-        );
+        fail_unwritable(world, sim, value_len, done);
         return;
     }
 
-    let n = live.len();
-    let pending = Pending::new(n, done);
-    for &srv in &live {
-        let issue_at = world.reserve_client_cpu(client, op_start, post);
-        let server = world.cluster.servers[srv].clone();
-        let pending = pending.clone();
-        let world2 = world.clone();
-        let key2 = key.clone();
-        rpc::set(
-            &world.cluster.net,
-            &server,
-            sim,
-            issue_at,
-            client_node,
-            key.clone(),
-            payload.clone(),
-            move |sim, reply| {
-                let (at, ok) = match reply {
-                    Ok(r) => (r.at, true),
-                    Err(rpc::RpcError::ServerDead(t)) => {
-                        world2.mark_dead(client, srv);
-                        (t, false)
-                    }
-                };
-                let is_last = pending.borrow_mut().complete_one(at, ok);
-                if is_last {
-                    let (last, succeeded, done) = {
-                        let mut p = pending.borrow_mut();
-                        (p.last, p.succeeded, p.done.take().expect("finishes once"))
-                    };
-                    // Durable as long as one copy landed; zero copies with
-                    // fresh discoveries is worth one retry.
-                    let ok = succeeded >= 1;
-                    finish(
-                        &world2,
-                        sim,
-                        op_start,
-                        last,
-                        post * n as u64,
-                        SimDuration::ZERO,
-                        ok,
-                        true,
-                        value_len,
-                        Some((key2, digest)),
-                        done,
-                    );
-                }
-            },
-        );
-    }
+    let spec = FanOutSpec {
+        candidates: targets.into_iter().enumerate().collect(),
+        pinned: 0,
+        // Durable as long as one copy lands; zero copies with fresh
+        // discoveries is worth one retry.
+        policy: QuorumPolicy::write(1),
+        liveness: Liveness::View(client),
+        hedge_node: world.cluster.client_node(client),
+    };
+    let key2 = key.clone();
+    let io = client_set_io(world, client, move |_slot| (key2.clone(), payload.clone()));
+    let world2 = world.clone();
+    let launched = FanOut::launch(
+        world,
+        sim,
+        spec,
+        op_start,
+        io,
+        Box::new(move |sim, s: Settled| {
+            finish_op(
+                &world2,
+                sim,
+                op_start,
+                OpOutcome {
+                    kind: OpKind::Set,
+                    at: s.last,
+                    request: post * s.posts,
+                    compute: SimDuration::ZERO,
+                    ok: s.succeeded >= 1,
+                    integrity_ok: true,
+                    retryable: true,
+                    value_len,
+                    note_written: Some((key, digest)),
+                },
+                done,
+            );
+        }),
+    );
+    debug_assert!(launched, "a live replica existed at the pre-check");
 }
 
-/// Sync-Rep: each replica write completes before the next is issued.
+/// Sync-Rep: each replica write completes before the next is issued. This
+/// chain is deliberately sequential (the paper's blocking baseline), so it
+/// stays off the parallel fan-out core.
 fn set_sync_replicated(
     world: &Rc<World>,
     sim: &mut Simulation,
@@ -223,7 +183,6 @@ fn set_sync_replicated(
     payload: Payload,
     done: DoneCb,
 ) {
-    let op_start = sim.now();
     let targets: Vec<usize> = world
         .targets(&key)
         .into_iter()
@@ -231,21 +190,10 @@ fn set_sync_replicated(
         .collect();
     if targets.is_empty() {
         let value_len = payload.len();
-        finish(
-            world,
-            sim,
-            op_start,
-            op_start,
-            SimDuration::ZERO,
-            SimDuration::ZERO,
-            false,
-            false,
-            value_len,
-            None,
-            done,
-        );
+        fail_unwritable(world, sim, value_len, done);
         return;
     }
+    let op_start = sim.now();
     sync_step(world, sim, client, key, payload, targets, 0, op_start, done);
 }
 
@@ -258,7 +206,7 @@ fn sync_step(
     payload: Payload,
     targets: Vec<usize>,
     idx: usize,
-    op_start: SimTime,
+    op_start: eckv_simnet::SimTime,
     done: DoneCb,
 ) {
     let post = world.cluster.net_config().post_overhead;
@@ -266,17 +214,21 @@ fn sync_step(
     if idx == targets.len() {
         let digest = payload.digest();
         let at = sim.now();
-        finish(
+        finish_op(
             world,
             sim,
             op_start,
-            at,
-            post * targets.len() as u64,
-            SimDuration::ZERO,
-            true,
-            false,
-            value_len,
-            Some((key, digest)),
+            OpOutcome {
+                kind: OpKind::Set,
+                at,
+                request: post * targets.len() as u64,
+                compute: SimDuration::ZERO,
+                ok: true,
+                integrity_ok: true,
+                retryable: false,
+                value_len,
+                note_written: Some((key, digest)),
+            },
             done,
         );
         return;
@@ -312,17 +264,21 @@ fn sync_step(
                 // Blocking semantics: the op fails here; the retry (with
                 // the updated view) will skip this replica.
                 world2.mark_dead(client, srv);
-                finish(
+                finish_op(
                     &world2,
                     sim,
                     op_start,
-                    t,
-                    post * (idx as u64 + 1),
-                    SimDuration::ZERO,
-                    false,
-                    true,
-                    value_len,
-                    None,
+                    OpOutcome {
+                        kind: OpKind::Set,
+                        at: t,
+                        request: post * (idx as u64 + 1),
+                        compute: SimDuration::ZERO,
+                        ok: false,
+                        integrity_ok: true,
+                        retryable: true,
+                        value_len,
+                        note_written: None,
+                    },
                     done,
                 );
             }
@@ -331,7 +287,7 @@ fn sync_step(
 }
 
 /// Era-CE-*: encode at the client, then fan the `k + m` chunks out to the
-/// believed-alive chunk holders.
+/// believed-alive chunk holders through the write-mode fan-out.
 fn set_era_client_encode(
     world: &Rc<World>,
     sim: &mut Simulation,
@@ -352,26 +308,12 @@ fn set_era_client_encode(
 
     // Only chunks whose holder is believed alive are sent; a write
     // degrades gracefully as long as k chunks land.
-    let live: Vec<(usize, usize)> = targets
+    let live = targets
         .iter()
-        .enumerate()
-        .filter(|&(_, &s)| world.view_alive(client, s))
-        .map(|(i, &s)| (i, s))
-        .collect();
-    if live.len() < k {
-        finish(
-            world,
-            sim,
-            op_start,
-            op_start,
-            SimDuration::ZERO,
-            SimDuration::ZERO,
-            false,
-            false,
-            value_len,
-            None,
-            done,
-        );
+        .filter(|&&s| world.view_alive(client, s))
+        .count();
+    if live < k {
+        fail_unwritable(world, sim, value_len, done);
         return;
     }
 
@@ -389,60 +331,50 @@ fn set_era_client_encode(
         value_len,
     );
 
-    let n = live.len();
-    let pending = Pending::new(n, done);
-    for &(i, srv) in &live {
-        let issue_at = world.reserve_client_cpu(client, op_start, post);
-        let server = world.cluster.servers[srv].clone();
-        let pending = pending.clone();
-        let world2 = world.clone();
-        let key2 = key.clone();
-        let shard = shards[i].clone();
-        rpc::set(
-            &world.cluster.net,
-            &server,
-            sim,
-            issue_at,
-            client_node,
-            World::shard_key(&key, i),
-            shard,
-            move |sim, reply| {
-                let (at, ok) = match reply {
-                    Ok(r) => (r.at, true),
-                    Err(rpc::RpcError::ServerDead(t)) => {
-                        world2.mark_dead(client, srv);
-                        (t, false)
-                    }
-                };
-                let is_last = pending.borrow_mut().complete_one(at, ok);
-                if is_last {
-                    let (last, succeeded, done) = {
-                        let mut p = pending.borrow_mut();
-                        (p.last, p.succeeded, p.done.take().expect("finishes once"))
-                    };
-                    let ok = succeeded >= k;
-                    finish(
-                        &world2,
-                        sim,
-                        op_start,
-                        last,
-                        post * n as u64,
-                        t_enc,
-                        ok,
-                        true,
-                        value_len,
-                        Some((key2, digest)),
-                        done,
-                    );
-                }
-            },
-        );
-    }
+    let spec = FanOutSpec {
+        candidates: targets.into_iter().enumerate().collect(),
+        pinned: 0,
+        policy: QuorumPolicy::write(k),
+        liveness: Liveness::View(client),
+        hedge_node: client_node,
+    };
+    let key2 = key.clone();
+    let io = client_set_io(world, client, move |slot| {
+        (World::shard_key(&key2, slot), shards[slot].clone())
+    });
+    let world2 = world.clone();
+    let launched = FanOut::launch(
+        world,
+        sim,
+        spec,
+        op_start,
+        io,
+        Box::new(move |sim, s: Settled| {
+            finish_op(
+                &world2,
+                sim,
+                op_start,
+                OpOutcome {
+                    kind: OpKind::Set,
+                    at: s.last,
+                    request: post * s.posts,
+                    compute: t_enc,
+                    ok: s.succeeded >= k,
+                    integrity_ok: true,
+                    retryable: true,
+                    value_len,
+                    note_written: Some((key, digest)),
+                },
+                done,
+            );
+        }),
+    );
+    debug_assert!(launched, "k live holders existed at the pre-check");
 }
 
 /// Era-SE-*: one full-value transfer to the first believed-alive chunk
-/// holder, which encodes and distributes chunks to its live peers before
-/// acking.
+/// holder, which encodes and distributes chunks to its live peers (a
+/// pre-filtered write fan-out) before acking.
 fn set_era_server_encode(
     world: &Rc<World>,
     sim: &mut Simulation,
@@ -470,19 +402,7 @@ fn set_era_server_encode(
         .map(|(i, &s)| (i, s))
         .collect();
     if live.len() < k {
-        finish(
-            world,
-            sim,
-            op_start,
-            op_start,
-            SimDuration::ZERO,
-            SimDuration::ZERO,
-            false,
-            false,
-            value_len,
-            None,
-            done,
-        );
+        fail_unwritable(world, sim, value_len, done);
         return;
     }
     let (encoder_pos, encoder_srv) = live[0];
@@ -509,17 +429,21 @@ fn set_era_server_encode(
             let at = match delivery {
                 Delivery::TargetDead(t) => {
                     world2.mark_dead(client, encoder_srv);
-                    finish(
+                    finish_op(
                         &world2,
                         sim,
                         op_start,
-                        t,
-                        post,
-                        SimDuration::ZERO,
-                        false,
-                        true,
-                        value_len,
-                        None,
+                        OpOutcome {
+                            kind: OpKind::Set,
+                            at: t,
+                            request: post,
+                            compute: SimDuration::ZERO,
+                            ok: false,
+                            integrity_ok: true,
+                            retryable: true,
+                            value_len,
+                            note_written: None,
+                        },
                         done,
                     );
                     return;
@@ -564,17 +488,21 @@ fn set_era_server_encode(
                     client_node,
                     rpc::ACK_BYTES,
                     move |sim, d| {
-                        finish(
+                        finish_op(
                             &world4,
                             sim,
                             op_start,
-                            d.at(),
-                            post,
-                            SimDuration::ZERO,
-                            ok && d.is_delivered(),
-                            false,
-                            value_len,
-                            Some((key3, digest)),
+                            OpOutcome {
+                                kind: OpKind::Set,
+                                at: d.at(),
+                                request: post,
+                                compute: SimDuration::ZERO,
+                                ok: ok && d.is_delivered(),
+                                integrity_ok: true,
+                                retryable: false,
+                                value_len,
+                                note_written: Some((key3, digest)),
+                            },
                             done,
                         );
                     },
@@ -582,71 +510,94 @@ fn set_era_server_encode(
                 return;
             }
 
-            // Distribute the peers' chunks, then ack the client.
-            let pending = Pending::new(peers.len(), done);
-            for (j, &(i, srv)) in peers.iter().enumerate() {
-                let server = world2.cluster.servers[srv].clone();
-                let pending = pending.clone();
-                let world3 = world2.clone();
-                let net2 = net.clone();
-                let key2 = key.clone();
-                let shard = shards[i].clone();
-                let send_at = enc_done + post * (j as u64 + 1);
-                rpc::set(
-                    &net,
-                    &server,
-                    sim,
-                    send_at,
-                    encoder_node,
-                    World::shard_key(&key, i),
-                    shard,
-                    move |sim, reply| {
-                        let (at, ok) = match reply {
-                            Ok(r) => (r.at, true),
-                            Err(rpc::RpcError::ServerDead(t)) => {
-                                world3.mark_dead(client, srv);
-                                (t, false)
-                            }
-                        };
-                        let is_last = pending.borrow_mut().complete_one(at, ok);
-                        if is_last {
-                            let (last, succeeded, done) = {
-                                let mut p = pending.borrow_mut();
-                                (p.last, p.succeeded, p.done.take().expect("finishes once"))
-                            };
-                            // Encoder's own chunk + successful peers.
-                            let ok = 1 + succeeded >= k;
-                            // Ack back to the client.
-                            let world4 = world3.clone();
-                            let key3 = key2.clone();
-                            Network::send(
-                                &net2,
+            // Distribute the peers' chunks (their liveness was judged at
+            // admission; the fan-out must not re-filter mid-flight), then
+            // ack the client.
+            let spec = FanOutSpec {
+                candidates: peers,
+                pinned: 0,
+                policy: QuorumPolicy::write(k.saturating_sub(1)),
+                liveness: Liveness::PreFiltered,
+                hedge_node: encoder_node,
+            };
+            let io: ShardIo = {
+                let world = world2.clone();
+                let net = net.clone();
+                let key = key.clone();
+                Box::new(move |sim, issue, reply| {
+                    let start = issue.from + post * (issue.seq + 1);
+                    let server = world.cluster.servers[issue.srv].clone();
+                    let world3 = world.clone();
+                    let srv = issue.srv;
+                    rpc::set(
+                        &net,
+                        &server,
+                        sim,
+                        start,
+                        encoder_node,
+                        World::shard_key(&key, issue.slot),
+                        shards[issue.slot].clone(),
+                        move |sim, r| {
+                            reply(
                                 sim,
-                                last,
-                                encoder_node,
-                                client_node,
-                                rpc::ACK_BYTES,
-                                move |sim, d| {
-                                    let at = d.at();
-                                    finish(
-                                        &world4,
-                                        sim,
-                                        op_start,
-                                        at,
-                                        post,
-                                        SimDuration::ZERO,
-                                        ok && d.is_delivered(),
-                                        true,
-                                        value_len,
-                                        Some((key3, digest)),
-                                        done,
-                                    );
+                                match r {
+                                    Ok(a) => ShardReply::Good {
+                                        at: a.at,
+                                        value: None,
+                                    },
+                                    Err(rpc::RpcError::ServerDead(t)) => {
+                                        world3.mark_dead(client, srv);
+                                        ShardReply::Dead { at: t }
+                                    }
                                 },
                             );
-                        }
-                    },
-                );
-            }
+                        },
+                    );
+                    start
+                })
+            };
+            let world3 = world2.clone();
+            let launched = FanOut::launch(
+                &world2,
+                sim,
+                spec,
+                enc_done,
+                io,
+                Box::new(move |sim, s: Settled| {
+                    // Encoder's own chunk + successful peers.
+                    let ok = 1 + s.succeeded >= k;
+                    // Ack back to the client.
+                    let world4 = world3.clone();
+                    Network::send(
+                        &net,
+                        sim,
+                        s.last,
+                        encoder_node,
+                        client_node,
+                        rpc::ACK_BYTES,
+                        move |sim, d| {
+                            finish_op(
+                                &world4,
+                                sim,
+                                op_start,
+                                OpOutcome {
+                                    kind: OpKind::Set,
+                                    at: d.at(),
+                                    request: post,
+                                    compute: SimDuration::ZERO,
+                                    ok: ok && d.is_delivered(),
+                                    integrity_ok: true,
+                                    retryable: true,
+                                    value_len,
+                                    note_written: Some((key, digest)),
+                                },
+                                done,
+                            );
+                        },
+                    );
+                }),
+            );
+            debug_assert!(launched, "peers outnumber k - 1 when live >= k");
         },
     );
 }

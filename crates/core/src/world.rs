@@ -14,9 +14,12 @@ use crate::metrics::Metrics;
 use crate::scheme::Scheme;
 
 /// Policy for hedged chunk reads (the "Tail at Scale" defence applied to
-/// erasure Gets): after the first wave of `k` chunk fetches has been
-/// outstanding for a while, speculatively fetch from untried parity
-/// holders and finish with whichever `k` chunks arrive first.
+/// every shard fan-out): after the first wave of `k` chunk fetches has
+/// been outstanding for a while, speculatively fetch from untried parity
+/// holders and finish with whichever `k` chunks arrive first. One policy
+/// governs every read fan-out — client-decode chunk fetches, the
+/// server-decode aggregator's gather fan-in, and online-repair survivor
+/// reads — because they all run on the same fan-out core.
 ///
 /// The trigger delay adapts to the observed distribution: the client
 /// records the latency of each read's *first*-arriving chunk (stragglers
@@ -156,8 +159,9 @@ pub struct EngineConfig {
     /// Record a per-operation timeline in [`crate::Metrics::timeline`]
     /// (off by default: large runs produce millions of samples).
     pub record_timeline: bool,
-    /// Hedged-read policy for client-decode erasure Gets (`None` = never
-    /// hedge, the paper's baseline behaviour).
+    /// Hedged-read policy for shard read fan-outs — client-decode chunk
+    /// fetches, server-decode aggregation, and online-repair survivor
+    /// reads (`None` = never hedge, the paper's baseline behaviour).
     pub hedge: Option<HedgeConfig>,
     /// Per-operation deadline: an operation that has not completed this
     /// long after admission stops retrying, and its completion counts as a

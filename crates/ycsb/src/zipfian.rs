@@ -75,7 +75,7 @@ impl Zipfian {
 
     /// Grows the item set to `n`, recomputing `zetan` incrementally by
     /// appending the terms for the new items — the same ascending
-    /// summation order as [`zeta`], so an expanded generator is
+    /// summation order as the private `zeta` helper, so an expanded generator is
     /// bit-identical to one constructed at the larger size directly.
     ///
     /// Shrinking is not supported; `n` at or below the current size is a

@@ -148,20 +148,20 @@ impl ChunkModel {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn chaos_matches_the_chunk_presence_oracle(
-        events in proptest::collection::vec(event_strategy(), 10..80),
-        seed in any::<u64>(),
-    ) {
-        // Hedging on: speculative fetches race the injected stragglers,
-        // and must never corrupt data or flip an outcome vs the oracle.
+/// Replays one chaos event sequence against the engine under `scheme`
+/// and checks every outcome against the chunk-presence oracle. Hedging
+/// is enabled throughout: speculative fetches race the injected
+/// stragglers and must never corrupt data or flip an outcome.
+fn run_chaos(
+    scheme: Scheme,
+    events: Vec<ChaosEvent>,
+    seed: u64,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    {
         let world = World::new(
             EngineConfig::new(
                 ClusterConfig::new(ClusterProfile::RiQdr, SERVERS, 1),
-                Scheme::era_ce_cd(3, 2),
+                scheme,
             )
             .hedge(HedgeConfig::after(SimDuration::from_micros(50))),
         );
@@ -183,13 +183,19 @@ proptest! {
                     eckv::core::driver::run_workload(
                         &world,
                         &mut sim,
-                        vec![vec![Op::set_synthetic(format!("x{key}"), len as u64, version)]],
+                        vec![vec![Op::set_synthetic(
+                            format!("x{key}"),
+                            len as u64,
+                            version,
+                        )]],
                     );
                     let engine_ok = world.metrics.borrow().errors == 0;
                     let model_ok = model.write(key, &targets_of(&world, key));
                     prop_assert_eq!(
-                        engine_ok, model_ok,
-                        "write({}) diverged from the oracle", key
+                        engine_ok,
+                        model_ok,
+                        "write({}) diverged from the oracle",
+                        key
                     );
                     prop_assert_eq!(world.metrics.borrow().integrity_errors, 0);
                 }
@@ -205,9 +211,11 @@ proptest! {
                     let engine_ok = m.errors == 0;
                     let model_ok = model.read_ok(key, &targets_of(&world, key));
                     prop_assert_eq!(
-                        engine_ok, model_ok,
+                        engine_ok,
+                        model_ok,
                         "read({}) diverged from the oracle (reachable chunks: {})",
-                        key, model.reachable(key, &targets_of(&world, key))
+                        key,
+                        model.reachable(key, &targets_of(&world, key))
                     );
                 }
                 ChaosEvent::Kill { server } => {
@@ -226,7 +234,8 @@ proptest! {
                     prop_assert_eq!(
                         (report.keys_repaired, report.keys_lost),
                         (want_repaired, want_lost),
-                        "repair({}) diverged from the oracle", s
+                        "repair({}) diverged from the oracle",
+                        s
                     );
                     model.repair(s, |key| targets_of(&w, key));
                 }
@@ -244,5 +253,28 @@ proptest! {
                 }
             }
         }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn chaos_matches_the_chunk_presence_oracle(
+        events in proptest::collection::vec(event_strategy(), 10..80),
+        seed in any::<u64>(),
+    ) {
+        run_chaos(Scheme::era_ce_cd(3, 2), events, seed)?;
+    }
+
+    #[test]
+    fn sd_chaos_matches_the_chunk_presence_oracle(
+        events in proptest::collection::vec(event_strategy(), 10..80),
+        seed in any::<u64>(),
+    ) {
+        // Server-decode: the aggregation fan-in (and its hedging) runs on
+        // the same fan-out core and must satisfy the same oracle.
+        run_chaos(Scheme::era_se_sd(3, 2), events, seed)?;
     }
 }

@@ -1,0 +1,145 @@
+//! Golden-trace parity for the unified fan-out core: a pinned
+//! seed/config matrix — every scheme × healthy/one-dead × hedge-off —
+//! must produce byte-identical JSONL traces across repeated runs, and
+//! each run's `Metrics` must agree with the chunk-presence oracle the
+//! chaos suite uses (a read succeeds iff enough holders of the key
+//! survive). Together these pin the refactored fan-out to the behaviour
+//! of the per-path state machines it replaced.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use eckv::prelude::*;
+use eckv::simnet::{JsonlSink, Trace, TraceBus};
+
+const OPS: usize = 40;
+/// The server killed in the one-dead half of the matrix.
+const DEAD: usize = 1;
+/// Hybrid replication/erasure boundary used by the matrix.
+const THRESHOLD: u64 = 4096;
+
+fn matrix() -> Vec<(&'static str, Scheme)> {
+    vec![
+        ("norep", Scheme::NoRep),
+        ("sync-rep", Scheme::SyncRep { replicas: 3 }),
+        ("async-rep", Scheme::AsyncRep { replicas: 3 }),
+        ("era-ce-cd", Scheme::era_ce_cd(3, 2)),
+        ("era-se-sd", Scheme::era_se_sd(3, 2)),
+        ("era-se-cd", Scheme::era_se_cd(3, 2)),
+        ("era-ce-sd", Scheme::era_ce_sd(3, 2)),
+        ("hybrid", Scheme::hybrid(THRESHOLD, 3, 2)),
+    ]
+}
+
+/// Pinned value size of key `i`: 1..8 KiB, crossing the hybrid threshold
+/// both ways.
+fn len_of(i: usize) -> u64 {
+    ((i % 8) as u64 + 1) * 1024
+}
+
+/// The chaos suite's chunk-presence rule: the servers holding a copy or
+/// chunk of `key`, and how many of them a read needs alive.
+fn holders_and_required(
+    world: &World,
+    scheme: &Scheme,
+    key: &str,
+    len: u64,
+) -> (Vec<usize>, usize) {
+    let targets = world.targets(key);
+    match scheme {
+        Scheme::NoRep | Scheme::SyncRep { .. } | Scheme::AsyncRep { .. } => (targets, 1),
+        Scheme::Erasure { k, .. } => (targets, *k),
+        Scheme::Hybrid {
+            threshold,
+            replicas,
+            k,
+            ..
+        } => {
+            if len <= *threshold {
+                (targets.into_iter().take(*replicas).collect(), 1)
+            } else {
+                (targets, *k)
+            }
+        }
+    }
+}
+
+/// One pinned run: write the key population, optionally kill a server,
+/// read everything back. Returns the JSONL trace and the read-pass
+/// metrics `(errors, get_count, integrity_errors)`.
+fn traced_run(scheme: Scheme, kill: Option<usize>) -> (String, u64, u64, u64) {
+    let sink = Rc::new(RefCell::new(JsonlSink::new()));
+    let mut bus = TraceBus::new();
+    bus.add_sink(sink.clone());
+    let world = World::new_traced(
+        EngineConfig::new(ClusterConfig::new(ClusterProfile::RiQdr, 5, 1), scheme).window(2),
+        Trace::from_bus(bus),
+    );
+    let mut sim = Simulation::new();
+    let writes: Vec<Op> = (0..OPS)
+        .map(|i| Op::set_synthetic(format!("k{i:02}"), len_of(i), i as u64))
+        .collect();
+    run_workload(&world, &mut sim, vec![writes]);
+    assert_eq!(
+        world.metrics.borrow().errors,
+        0,
+        "healthy load must be clean"
+    );
+    if let Some(s) = kill {
+        world.cluster.kill_server(s);
+    }
+    world.reset_metrics();
+    let reads: Vec<Op> = (0..OPS).map(|i| Op::get(format!("k{i:02}"))).collect();
+    run_workload(&world, &mut sim, vec![reads]);
+    let m = world.metrics.borrow();
+    let out = (
+        sink.borrow().contents().to_string(),
+        m.errors,
+        m.get_count,
+        m.integrity_errors,
+    );
+    out
+}
+
+#[test]
+fn fanout_traces_are_deterministic_and_match_the_oracle() {
+    for (name, scheme) in matrix() {
+        for kill in [None, Some(DEAD)] {
+            let (trace_a, errors, get_count, integrity) = traced_run(scheme, kill);
+            let (trace_b, ..) = traced_run(scheme, kill);
+            assert_eq!(
+                trace_a, trace_b,
+                "{name} (kill={kill:?}): same-seed traces must be byte-identical"
+            );
+            assert!(
+                !trace_a.contains("\"event\":\"hedge_fired\""),
+                "{name}: hedge-off runs must not hedge"
+            );
+
+            // Oracle agreement: with every write clean, a read fails iff
+            // fewer than the required holders survive.
+            let oracle = World::new(EngineConfig::new(
+                ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+                scheme,
+            ));
+            let expected_errors = (0..OPS)
+                .filter(|&i| {
+                    let key = format!("k{i:02}");
+                    let (holders, required) =
+                        holders_and_required(&oracle, &scheme, &key, len_of(i));
+                    let live = holders.iter().filter(|&&s| Some(s) != kill).count();
+                    live < required
+                })
+                .count() as u64;
+            assert_eq!(get_count, OPS as u64, "{name} (kill={kill:?})");
+            assert_eq!(
+                errors, expected_errors,
+                "{name} (kill={kill:?}): engine diverged from the chunk-presence oracle"
+            );
+            assert_eq!(
+                integrity, 0,
+                "{name} (kill={kill:?}): reads must never corrupt"
+            );
+        }
+    }
+}

@@ -12,16 +12,17 @@ use eckv::simnet::{JsonlSink, Trace, TraceBus};
 const SLOW_FACTOR: f64 = 8.0;
 const JITTER: SimDuration = SimDuration::from_micros(300);
 
-fn engine(hedged: bool) -> EngineConfig {
-    let mut cfg = EngineConfig::new(
-        ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
-        Scheme::era_ce_cd(3, 2),
-    )
-    .window(1);
+fn engine_with(scheme: Scheme, hedged: bool) -> EngineConfig {
+    let mut cfg =
+        EngineConfig::new(ClusterConfig::new(ClusterProfile::RiQdr, 5, 1), scheme).window(1);
     if hedged {
         cfg = cfg.hedge(HedgeConfig::default());
     }
     cfg
+}
+
+fn engine(hedged: bool) -> EngineConfig {
+    engine_with(Scheme::era_ce_cd(3, 2), hedged)
 }
 
 /// Loads `ops` keys, degrades server 0, warms the hedge estimator, then
@@ -130,6 +131,146 @@ fn same_seed_degraded_runs_are_byte_identical() {
     ] {
         assert!(a.contains(needle), "missing {needle}");
     }
+}
+
+/// Like [`degraded_run`] but for Era-SE-SD: reads only the keys whose
+/// aggregator (first chunk holder) is NOT the straggler. When the
+/// straggler aggregates, the whole op funnels through it by construction
+/// (ingest, decode, response) and no gather-side hedge can help; the
+/// hedge defends the ops where the slow node is one of the gathered
+/// peers.
+fn sd_degraded_run(world: &Rc<World>, sim: &mut Simulation, ops: usize) -> usize {
+    let writes: Vec<Op> = (0..ops)
+        .map(|i| Op::set_synthetic(format!("k{i}"), 64 << 10, i as u64))
+        .collect();
+    run_workload(world, sim, vec![writes]);
+    world.cluster.slow_server(sim.now(), 0, SLOW_FACTOR, JITTER);
+    let keys: Vec<String> = (0..ops)
+        .map(|i| format!("k{i}"))
+        .filter(|k| world.targets(k)[0] != 0)
+        .collect();
+    let warm: Vec<Op> = keys[..keys.len() / 4]
+        .iter()
+        .map(|k| Op::get(k.clone()))
+        .collect();
+    run_workload(world, sim, vec![warm]);
+    world.reset_metrics();
+    let reads: Vec<Op> = keys.iter().map(|k| Op::get(k.clone())).collect();
+    run_workload(world, sim, vec![reads]);
+    keys.len()
+}
+
+#[test]
+fn sd_aggregation_hedges_around_a_straggler() {
+    // Era-SE-SD: the aggregator's gather fan-in runs on the shared fan-out
+    // core, so a slow chunk holder is hedged server-side exactly like the
+    // client-decode path — and the speculative fetches must be visible in
+    // the trace.
+    let sink = Rc::new(RefCell::new(JsonlSink::new()));
+    let mut bus = TraceBus::new();
+    bus.add_sink(sink.clone());
+    let world = World::new_traced(
+        engine_with(Scheme::era_se_sd(3, 2), true),
+        Trace::from_bus(bus),
+    );
+    let mut sim = Simulation::new();
+    let reads = sd_degraded_run(&world, &mut sim, 80);
+    let m = world.metrics.borrow();
+    assert_eq!(m.get_count, reads as u64);
+    assert_eq!(m.errors, 0, "slow is not dead: every read must succeed");
+    assert_eq!(m.integrity_errors, 0, "hedged SD reads must never corrupt");
+    assert!(m.hedges_fired > 0, "the straggler should trigger hedges");
+    assert!(
+        m.hedges_won > 0 && m.hedges_won <= m.hedges_fired,
+        "fired={} won={}",
+        m.hedges_fired,
+        m.hedges_won
+    );
+    let text = sink.borrow().contents().to_string();
+    for needle in ["\"event\":\"hedge_fired\"", "\"event\":\"hedge_won\""] {
+        assert!(text.contains(needle), "missing {needle} on the SD path");
+    }
+}
+
+#[test]
+fn hedging_improves_the_degraded_sd_tail() {
+    // An 8x-slowed gather peer must no longer set the Era-SE-SD p99 once
+    // the aggregation fan-in hedges.
+    let run = |hedged: bool| {
+        let world = World::new(engine_with(Scheme::era_se_sd(3, 2), hedged));
+        let mut sim = Simulation::new();
+        sd_degraded_run(&world, &mut sim, 80);
+        let m = world.metrics.borrow();
+        assert_eq!(m.errors, 0);
+        m.get_summary().percentile(99.0)
+    };
+    let unhedged = run(false);
+    let hedged = run(true);
+    assert!(
+        hedged < unhedged,
+        "hedged SD p99 {hedged} must beat unhedged p99 {unhedged}"
+    );
+}
+
+/// Loads keys, kills one server, slows a survivor, rebuilds online.
+/// Returns `(world, report, trace)`.
+fn straggled_repair(hedged: bool) -> (Rc<World>, RepairReport, String) {
+    let sink = Rc::new(RefCell::new(JsonlSink::new()));
+    let mut bus = TraceBus::new();
+    bus.add_sink(sink.clone());
+    let world = World::new_traced(engine(hedged), Trace::from_bus(bus));
+    let mut sim = Simulation::new();
+    let writes: Vec<Op> = (0..80)
+        .map(|i| Op::set_synthetic(format!("k{i}"), 64 << 10, i as u64))
+        .collect();
+    run_workload(&world, &mut sim, vec![writes]);
+    assert_eq!(world.metrics.borrow().errors, 0);
+    world.cluster.kill_server(2);
+    world.cluster.slow_server(sim.now(), 0, SLOW_FACTOR, JITTER);
+    start_repair(&world, &mut sim, 2);
+    sim.run();
+    let report = world.last_repair_report().expect("repair ran to the end");
+    let text = sink.borrow().contents().to_string();
+    (world, report, text)
+}
+
+#[test]
+fn online_repair_hedges_survivor_reads() {
+    // The per-key survivor fetches of an online rebuild run on the shared
+    // fan-out core: a straggling survivor triggers speculative reads (the
+    // repair's own first-chunk samples warm the estimator), the hedges
+    // land in the trace, and no key is lost.
+    let (world, report, trace) = straggled_repair(true);
+    assert!(report.keys_repaired > 0);
+    assert_eq!(report.keys_lost, 0, "a slow survivor must not doom keys");
+    let m = world.metrics.borrow();
+    assert!(m.hedges_fired > 0, "the straggler should trigger hedges");
+    assert!(
+        m.hedges_won > 0 && m.hedges_won <= m.hedges_fired,
+        "fired={} won={}",
+        m.hedges_fired,
+        m.hedges_won
+    );
+    for needle in ["\"event\":\"hedge_fired\"", "\"event\":\"hedge_won\""] {
+        assert!(trace.contains(needle), "missing {needle} on repair reads");
+    }
+}
+
+#[test]
+fn hedging_speeds_up_a_straggled_repair() {
+    // The 8x-slowed survivor must no longer set the rebuild's critical
+    // path once repair reads hedge.
+    let (_, unhedged, _) = straggled_repair(false);
+    let (_, hedged, _) = straggled_repair(true);
+    assert_eq!(unhedged.keys_lost, 0);
+    assert_eq!(hedged.keys_lost, 0);
+    assert_eq!(hedged.keys_repaired, unhedged.keys_repaired);
+    assert!(
+        hedged.elapsed < unhedged.elapsed,
+        "hedged rebuild {} must beat unhedged {}",
+        hedged.elapsed,
+        unhedged.elapsed
+    );
 }
 
 #[test]
