@@ -15,6 +15,7 @@
 //!          [--ssd CAPACITY]
 //!          [--trace out.jsonl] [--timeline out.csv]
 //!          [--stats-interval 10ms] [--report]
+//!          [--explain-tail] [--perfetto out.json] [--trace-schema]
 //! ```
 //!
 //! Fault-injection and tail-latency flags:
@@ -61,6 +62,14 @@
 //!   wire bytes, codec busy) printed after the run.
 //! * `--report` — per-node counter registry (NIC busy/queue high-water,
 //!   codec invocations, repair traffic, SSD spills) printed after the run.
+//!   When degraded reads occurred, the GET latency and phase breakdown are
+//!   additionally split into healthy and degraded cohorts.
+//! * `--explain-tail` — record causal spans for every op, compute each
+//!   op's critical path at completion, and print per-phase critical-path
+//!   time bucketed by percentile cohort (p50/p95/p99/p99.9).
+//! * `--perfetto out.json` — export the span trees of the slowest ops as
+//!   Chrome-trace JSON, loadable in Perfetto / `chrome://tracing`.
+//! * `--trace-schema` — print the versioned trace event schema and exit.
 //!
 //! Examples:
 //!
@@ -112,8 +121,15 @@ struct Args {
     trace: Option<String>,
     stats_interval: Option<SimDuration>,
     report: bool,
+    explain_tail: bool,
+    perfetto: Option<String>,
+    trace_schema: bool,
     ssd: Option<u64>,
 }
+
+/// How many of the slowest ops keep their full span trees for the
+/// Perfetto export (`--explain-tail` aggregation covers every op).
+const KEEP_SLOWEST: usize = 50;
 
 fn parse_size(s: &str) -> Result<u64, String> {
     let s = s.trim();
@@ -221,6 +237,9 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         stats_interval: None,
         report: false,
+        explain_tail: false,
+        perfetto: None,
+        trace_schema: false,
         ssd: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -307,6 +326,17 @@ fn parse_args() -> Result<Args, String> {
                 i += 1;
                 continue;
             }
+            "--explain-tail" => {
+                a.explain_tail = true;
+                i += 1;
+                continue;
+            }
+            "--perfetto" => a.perfetto = Some(value(i)?.to_owned()),
+            "--trace-schema" => {
+                a.trace_schema = true;
+                i += 1;
+                continue;
+            }
             "--ssd" => a.ssd = Some(parse_size(value(i)?)?),
             "--help" | "-h" => {
                 println!("see the module docs at the top of eckv_sim.rs for usage");
@@ -355,6 +385,20 @@ fn print_report(world: &Rc<World>) {
     if m.get_count > 0 {
         println!("get latency       : {}", m.get_summary());
         println!("get breakdown/op  : {}", m.avg_get_breakdown());
+        if m.get_degraded_count > 0 {
+            println!(
+                "  healthy  ({:>6}): {}",
+                m.get_healthy_count(),
+                m.get_healthy_summary()
+            );
+            println!("    breakdown/op  : {}", m.avg_get_healthy_breakdown());
+            println!(
+                "  degraded ({:>6}): {}",
+                m.get_degraded_count,
+                m.get_degraded_summary()
+            );
+            println!("    breakdown/op  : {}", m.avg_get_degraded_breakdown());
+        }
     }
     if m.hedges_fired > 0 || m.hedges_won > 0 {
         println!("hedges fired/won  : {} / {}", m.hedges_fired, m.hedges_won);
@@ -418,6 +462,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.trace_schema {
+        print!("{}", eckv_simnet::event_schema());
+        std::process::exit(0);
+    }
 
     let mut cluster = ClusterConfig::new(args.profile, args.servers, args.clients)
         .transport(args.transport)
@@ -428,10 +476,12 @@ fn main() {
     // Observability: any of --trace/--timeline/--stats-interval/--report
     // turns the TraceBus on; without them the stack keeps its disabled
     // (zero-event, zero-counter) handle.
+    let spans = args.explain_tail || args.perfetto.is_some();
     let tracing = args.trace.is_some()
         || args.timeline.is_some()
         || args.stats_interval.is_some()
-        || args.report;
+        || args.report
+        || spans;
     let jsonl_sink = Rc::new(RefCell::new(JsonlSink::new()));
     let csv_sink = Rc::new(RefCell::new(CsvSink::new()));
     let trace = if tracing {
@@ -444,6 +494,9 @@ fn main() {
         }
         if let Some(w) = args.stats_interval {
             bus.enable_series(w);
+        }
+        if spans {
+            bus.enable_spans(KEEP_SLOWEST);
         }
         Trace::from_bus(bus)
     } else {
@@ -629,5 +682,21 @@ fn main() {
                 println!("  node {:>3}  {:<20} {}", node.0, name, v);
             }
         });
+    }
+    if args.explain_tail {
+        if let Some(Some(text)) = trace.with_bus(|bus| bus.spans().map(|s| s.explain_tail())) {
+            println!("\n== tail attribution ==");
+            print!("{text}");
+        }
+    }
+    if let Some(path) = &args.perfetto {
+        if let Some(Some(json)) =
+            trace.with_bus(|bus| bus.spans().map(|s| s.perfetto_json(KEEP_SLOWEST)))
+        {
+            match std::fs::write(path, &json) {
+                Ok(()) => println!("\nwrote Perfetto trace of the slowest ops to {path}"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
     }
 }

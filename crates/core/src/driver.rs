@@ -9,7 +9,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use eckv_simnet::{OpClass, SimTime, Simulation, TraceEvent};
+use eckv_simnet::{OpClass, SimTime, Simulation, SpanOpClass, SpanPhase, TraceEvent};
 
 use crate::ops::{Op, OpKind};
 use crate::world::World;
@@ -19,6 +19,13 @@ fn op_class(kind: OpKind) -> OpClass {
     match kind {
         OpKind::Set => OpClass::Set,
         OpKind::Get => OpClass::Get,
+    }
+}
+
+fn span_class(kind: OpKind) -> SpanOpClass {
+    match kind {
+        OpKind::Set => SpanOpClass::Set,
+        OpKind::Get => SpanOpClass::Get,
     }
 }
 
@@ -107,17 +114,19 @@ fn pump(world: &Rc<World>, sim: &mut Simulation, client: usize, state: &Rc<RefCe
         let admitted_at = sim.now();
         match op {
             Op::MGet { keys } => {
-                // One slot, many overlapped sub-gets (`memcached_mget`).
+                // One slot, many overlapped sub-gets (`memcached_mget`);
+                // each sub-get is its own span tree.
                 let remaining = Rc::new(RefCell::new(keys.len()));
                 for key in keys {
                     let remaining = remaining.clone();
                     let free_slot = free_slot.clone();
+                    let span = world.trace.span_begin_op(SpanOpClass::Get, admitted_at);
                     dispatch_with_retry(
                         world,
                         sim,
                         client,
                         Op::Get { key },
-                        Attempt::first(admitted_at, retries_left),
+                        Attempt::first(admitted_at, retries_left, span),
                         Box::new(move |sim| {
                             *remaining.borrow_mut() -= 1;
                             if *remaining.borrow() == 0 {
@@ -127,14 +136,19 @@ fn pump(world: &Rc<World>, sim: &mut Simulation, client: usize, state: &Rc<RefCe
                     );
                 }
             }
-            single => dispatch_with_retry(
-                world,
-                sim,
-                client,
-                single,
-                Attempt::first(admitted_at, retries_left),
-                Box::new(move |sim| free_slot(sim)),
-            ),
+            single => {
+                let span = world
+                    .trace
+                    .span_begin_op(span_class(single.kind()), admitted_at);
+                dispatch_with_retry(
+                    world,
+                    sim,
+                    client,
+                    single,
+                    Attempt::first(admitted_at, retries_left, span),
+                    Box::new(move |sim| free_slot(sim)),
+                )
+            }
         }
     }
 }
@@ -148,14 +162,18 @@ struct Attempt {
     index: u32,
     /// Re-dispatches still allowed.
     retries_left: usize,
+    /// Span-tree id of the logical operation (one tree covers every
+    /// attempt), when span tracing is on.
+    span: Option<u64>,
 }
 
 impl Attempt {
-    fn first(admitted_at: SimTime, retries_left: usize) -> Self {
+    fn first(admitted_at: SimTime, retries_left: usize, span: Option<u64>) -> Self {
         Attempt {
             admitted_at,
             index: 0,
             retries_left,
+            span,
         }
     }
 }
@@ -194,10 +212,20 @@ fn dispatch_with_retry(
                     );
                 }
                 let backoff = world2.cfg.retry_backoff * (1u64 << attempt.index.min(10));
+                if let Some(op) = attempt.span {
+                    world2.trace.span_record_for(
+                        op,
+                        SpanPhase::RetryBackoff,
+                        world2.cluster.client_node(client),
+                        result.at,
+                        result.at + backoff,
+                    );
+                }
                 let next = Attempt {
                     admitted_at: attempt.admitted_at,
                     index: attempt.index + 1,
                     retries_left: attempt.retries_left - 1,
+                    span: attempt.span,
                 };
                 let world3 = world2.clone();
                 sim.schedule_in(backoff, move |sim| {
@@ -238,15 +266,23 @@ fn dispatch_with_retry(
                         },
                     );
                 }
+                if let Some(op) = attempt.span {
+                    world2.trace.span_end_op(op, result.at, result.ok);
+                }
                 on_final(sim);
             }
         },
     );
+    // The span scope is ambient only while the path's synchronous prefix
+    // runs; the transport re-captures it at every send, so the chain
+    // survives asynchrony without threading ids through the paths.
+    let prev = world.trace.set_span_scope(attempt.span);
     match op {
         Op::Set { key, payload } => set_path::start_set(world, sim, client, key, payload, done),
         Op::Get { key } => get_path::start_get(world, sim, client, key, done),
         Op::MGet { .. } => unreachable!("bulk gets are expanded by the pump"),
     }
+    world.trace.set_span_scope(prev);
 }
 
 #[cfg(test)]

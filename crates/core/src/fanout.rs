@@ -22,7 +22,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use eckv_simnet::{NodeId, SimTime, Simulation, TraceEvent};
+use eckv_simnet::{NodeId, SimTime, Simulation, SpanPhase, TraceEvent};
 use eckv_store::{rpc, rpc::CancelToken, Payload};
 
 use crate::world::World;
@@ -508,6 +508,10 @@ fn maybe_arm_hedge(state: &Rc<RefCell<Inner>>, sim: &mut Simulation) {
     if !armed {
         return;
     }
+    // The timer closure runs outside any op scope; capture it here (the
+    // arm happens synchronously under the op) so the hedged requests'
+    // transport spans still land on the right tree.
+    let span_op = state.borrow().world.trace.span_scope();
     let state2 = state.clone();
     sim.schedule_at(fire_at, move |sim| {
         let batch: Vec<usize> = {
@@ -520,7 +524,7 @@ fn maybe_arm_hedge(state: &Rc<RefCell<Inner>>, sim: &mut Simulation) {
         if batch.is_empty() {
             return; // every holder is already in play; nothing to hedge to
         }
-        let (world, hedge_node, from) = {
+        let (world, hedge_node, from, fetch_start) = {
             let mut st = state2.borrow_mut();
             for &i in &batch {
                 st.tried[i] = true;
@@ -531,7 +535,7 @@ fn maybe_arm_hedge(state: &Rc<RefCell<Inner>>, sim: &mut Simulation) {
             st.hedge_fired_at = Some(sim.now());
             let now = sim.now();
             let from = if st.last > now { st.last } else { now };
-            (st.world.clone(), st.hedge_node, from)
+            (st.world.clone(), st.hedge_node, from, st.fetch_start)
         };
         world.metrics.borrow_mut().hedges_fired += 1;
         if world.trace.is_enabled() {
@@ -543,7 +547,18 @@ fn maybe_arm_hedge(state: &Rc<RefCell<Inner>>, sim: &mut Simulation) {
                 },
             );
         }
+        if let Some(op) = span_op {
+            world.trace.span_record_for(
+                op,
+                SpanPhase::HedgeWait,
+                hedge_node,
+                fetch_start,
+                sim.now(),
+            );
+        }
+        let prev = world.trace.set_span_scope(span_op);
         issue_wave(&state2, sim, batch, from, false);
+        world.trace.set_span_scope(prev);
     });
 }
 

@@ -30,6 +30,9 @@ pub(crate) struct OpOutcome {
     pub integrity_ok: bool,
     /// Whether a retry with the updated failure view could succeed.
     pub retryable: bool,
+    /// Whether a Get was served degraded — at least one data chunk was
+    /// unavailable and had to be reconstructed from parity.
+    pub degraded: bool,
     /// Value size in bytes.
     pub value_len: u64,
     /// `(key, digest)` to record for read validation when a Set succeeds.
@@ -68,6 +71,7 @@ pub(crate) fn finish_op(
             ok: outcome.ok,
             integrity_ok: outcome.integrity_ok,
             retryable: outcome.retryable && !outcome.ok,
+            degraded: outcome.degraded,
             value_len: outcome.value_len,
         },
     );

@@ -12,7 +12,9 @@
 use std::rc::Rc;
 use std::sync::Arc;
 
-use eckv_simnet::{trace_codec, CodecOp, Delivery, Network, SimDuration, SimTime, Simulation};
+use eckv_simnet::{
+    trace_codec, CodecOp, Delivery, Network, SimDuration, SimTime, Simulation, SpanPhase,
+};
 use eckv_store::{rpc, Payload};
 
 use crate::fanout::{
@@ -100,6 +102,7 @@ fn get_hybrid(
                         ok: true,
                         integrity_ok: integrity,
                         retryable: false,
+                        degraded: false,
                         value_len: len,
                         note_written: None,
                     },
@@ -129,6 +132,7 @@ fn get_hybrid(
                         ok: false,
                         integrity_ok: true,
                         retryable: true,
+                        degraded: false,
                         value_len: 0,
                         note_written: None,
                     },
@@ -178,6 +182,7 @@ fn get_replicated(
                 ok: false,
                 integrity_ok: true,
                 retryable: false,
+                degraded: false,
                 value_len: 0,
                 note_written: None,
             },
@@ -220,6 +225,7 @@ fn get_replicated(
                     integrity_ok: integrity,
                     // Discovery: fail over on the retry.
                     retryable: s.discovered,
+                    degraded: false,
                     value_len: len,
                     note_written: None,
                 },
@@ -329,6 +335,7 @@ fn get_era_client_decode(
                 ok: false,
                 integrity_ok: true,
                 retryable: false,
+                degraded: false,
                 value_len: 0,
                 note_written: None,
             },
@@ -374,6 +381,7 @@ fn get_era_client_decode(
                         ok: false,
                         integrity_ok: true,
                         retryable: s.discovered,
+                        degraded: false,
                         value_len,
                         note_written: None,
                     },
@@ -391,6 +399,7 @@ fn get_era_client_decode(
                 .filter(|i| !used.iter().any(|&(idx, _)| idx == *i))
                 .count();
             let integrity = check_chunks(&world2, expected, &used);
+            let was_degraded = erased_data > 0;
             let (at, compute) = if erased_data > 0 {
                 // This read had to decode — the key is in degraded mode.
                 // Promote it to the front of any active repair queue.
@@ -421,6 +430,7 @@ fn get_era_client_decode(
                     ok: true,
                     integrity_ok: integrity,
                     retryable: false,
+                    degraded: was_degraded,
                     value_len,
                     note_written: None,
                 },
@@ -464,6 +474,7 @@ fn get_era_server_decode(
                 ok: false,
                 integrity_ok: true,
                 retryable: false,
+                degraded: false,
                 value_len: 0,
                 note_written: None,
             },
@@ -504,6 +515,7 @@ fn get_era_server_decode(
                             ok: false,
                             integrity_ok: true,
                             retryable: true,
+                            degraded: false,
                             value_len: 0,
                             note_written: None,
                         },
@@ -563,6 +575,9 @@ fn get_era_server_decode(
                         issue.from
                     } else {
                         let start = issue.from + post * (issue.seq + 1);
+                        world
+                            .trace
+                            .span_record(SpanPhase::Post, agg_node, issue.from, start);
                         let server = world.cluster.servers[issue.srv].clone();
                         let world3 = world.clone();
                         let srv = issue.srv;
@@ -630,6 +645,7 @@ fn get_era_server_decode(
                         .filter(|i| !used.iter().any(|&(idx, _)| idx == *i))
                         .count();
                     let last = s.last;
+                    let was_degraded = ok && erased_data > 0;
                     let respond_at = if ok && erased_data > 0 {
                         // Server-side decode still means the key is
                         // degraded: promote it in any active repair queue.
@@ -677,6 +693,7 @@ fn get_era_server_decode(
                                     ok: ok && d.is_delivered(),
                                     integrity_ok: integrity,
                                     retryable: discovered,
+                                    degraded: was_degraded,
                                     value_len,
                                     note_written: None,
                                 },

@@ -24,6 +24,10 @@ pub struct OpResult {
     /// client discovered a dead server, and its failure view has been
     /// updated, so a retry may route around the failure.
     pub retryable: bool,
+    /// Whether a Get was served degraded: at least one data chunk was
+    /// missing and the value was reconstructed from parity (always false
+    /// for Sets and for replicated fast-path reads).
+    pub degraded: bool,
     /// Value size in bytes.
     pub value_len: u64,
 }
@@ -62,10 +66,23 @@ pub struct Metrics {
     pub set_breakdown: PhaseBreakdown,
     /// Summed Get phase breakdown.
     pub get_breakdown: PhaseBreakdown,
+    /// Latency distribution of healthy (fast-path) Gets only.
+    pub get_healthy_latency: Histogram,
+    /// Latency distribution of degraded (parity-reconstruction) Gets only.
+    pub get_degraded_latency: Histogram,
+    /// Summed phase breakdown of healthy Gets (divide by
+    /// `get_count - get_degraded_count`).
+    pub get_healthy_breakdown: PhaseBreakdown,
+    /// Summed phase breakdown of degraded Gets (divide by
+    /// `get_degraded_count`). Folding these into one average hides the
+    /// decode-path cost the paper's SD/CD comparison is about.
+    pub get_degraded_breakdown: PhaseBreakdown,
     /// Completed Sets.
     pub set_count: u64,
     /// Completed Gets.
     pub get_count: u64,
+    /// Completed Gets that were served degraded.
+    pub get_degraded_count: u64,
     /// Operations that failed (unreachable servers, missing values).
     pub errors: u64,
     /// Reads whose data failed integrity validation.
@@ -130,6 +147,14 @@ impl Metrics {
                 self.get_latency.record(r.latency);
                 self.get_breakdown += r.breakdown;
                 self.get_count += 1;
+                if r.degraded {
+                    self.get_degraded_latency.record(r.latency);
+                    self.get_degraded_breakdown += r.breakdown;
+                    self.get_degraded_count += 1;
+                } else {
+                    self.get_healthy_latency.record(r.latency);
+                    self.get_healthy_breakdown += r.breakdown;
+                }
                 if r.ok {
                     self.bytes_read += r.value_len;
                 }
@@ -196,6 +221,37 @@ impl Metrics {
         }
     }
 
+    /// Completed Gets served from the fast path (no reconstruction).
+    pub fn get_healthy_count(&self) -> u64 {
+        self.get_count - self.get_degraded_count
+    }
+
+    /// Average phase breakdown of healthy Gets only.
+    pub fn avg_get_healthy_breakdown(&self) -> PhaseBreakdown {
+        match self.get_healthy_count() {
+            0 => PhaseBreakdown::ZERO,
+            n => self.get_healthy_breakdown.averaged(n),
+        }
+    }
+
+    /// Average phase breakdown of degraded Gets only.
+    pub fn avg_get_degraded_breakdown(&self) -> PhaseBreakdown {
+        match self.get_degraded_count {
+            0 => PhaseBreakdown::ZERO,
+            n => self.get_degraded_breakdown.averaged(n),
+        }
+    }
+
+    /// Healthy-Get latency digest.
+    pub fn get_healthy_summary(&self) -> Summary {
+        self.get_healthy_latency.summary()
+    }
+
+    /// Degraded-Get latency digest.
+    pub fn get_degraded_summary(&self) -> Summary {
+        self.get_degraded_latency.summary()
+    }
+
     /// Set latency digest.
     pub fn set_summary(&self) -> Summary {
         self.set_latency.summary()
@@ -224,6 +280,7 @@ mod tests {
             ok: true,
             integrity_ok: true,
             retryable: false,
+            degraded: false,
             value_len: 1024,
         }
     }
@@ -252,6 +309,31 @@ mod tests {
         // 100 ops over 100 ms => 1000 ops/s.
         let tput = m.throughput_ops_per_sec();
         assert!((tput - 1000.0).abs() < 1.0, "tput={tput}");
+    }
+
+    #[test]
+    fn degraded_gets_split_into_their_own_cohort() {
+        let mut m = Metrics::default();
+        m.record(&result(OpKind::Get, 1, 5));
+        let mut d = result(OpKind::Get, 2, 50);
+        d.degraded = true;
+        m.record(&d);
+        assert_eq!(m.get_count, 2);
+        assert_eq!(m.get_degraded_count, 1);
+        assert_eq!(m.get_healthy_count(), 1);
+        assert_eq!(m.get_healthy_summary().count, 1);
+        assert_eq!(m.get_degraded_summary().count, 1);
+        assert!(m.get_degraded_summary().mean > m.get_healthy_summary().mean);
+        // Combined view is untouched: both cohorts still land in it.
+        assert_eq!(m.get_summary().count, 2);
+        assert_eq!(
+            m.avg_get_healthy_breakdown().request,
+            SimDuration::from_micros(1)
+        );
+        assert_eq!(
+            m.avg_get_degraded_breakdown().wait_response,
+            SimDuration::from_micros(49)
+        );
     }
 
     #[test]

@@ -362,9 +362,15 @@ fn issue_repair_key(
             },
         );
     }
+    let span = world
+        .trace
+        .span_begin_op(eckv_simnet::SpanOpClass::Repair, sim.now());
     let world2 = world.clone();
     let done: RepairDone = Box::new(
         move |sim: &mut Simulation, repaired: bool, read: u64, written: u64| {
+            if let Some(op) = span {
+                world2.trace.span_end_op(op, sim.now(), repaired);
+            }
             {
                 let mut slot = world2.repair.borrow_mut();
                 let s = slot.as_mut().expect("repair active while keys in flight");
@@ -381,6 +387,7 @@ fn issue_repair_key(
             pump_repair(&world2, sim);
         },
     );
+    let prev = world.trace.set_span_scope(span);
     match world.scheme {
         Scheme::Erasure { .. } => repair_erasure_key(world, sim, failed, key, done),
         Scheme::SyncRep { .. } | Scheme::AsyncRep { .. } => {
@@ -412,6 +419,7 @@ fn issue_repair_key(
             done(sim, false, 0, 0);
         }
     }
+    world.trace.set_span_scope(prev);
 }
 
 /// Rebuilds the lost chunk of `key`: fetch `k` survivors through the

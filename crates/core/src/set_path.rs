@@ -14,7 +14,7 @@
 use std::rc::Rc;
 use std::sync::Arc;
 
-use eckv_simnet::{trace_codec, CodecOp, Delivery, Network, SimDuration, Simulation};
+use eckv_simnet::{trace_codec, CodecOp, Delivery, Network, SimDuration, Simulation, SpanPhase};
 use eckv_store::Bytes;
 use eckv_store::{rpc, Payload};
 
@@ -60,6 +60,7 @@ fn fail_unwritable(world: &Rc<World>, sim: &mut Simulation, value_len: u64, done
             ok: false,
             integrity_ok: true,
             retryable: false,
+            degraded: false,
             value_len,
             note_written: None,
         },
@@ -162,6 +163,7 @@ fn set_parallel_replicated(
                     ok: s.succeeded >= 1,
                     integrity_ok: true,
                     retryable: true,
+                    degraded: false,
                     value_len,
                     note_written: Some((key, digest)),
                 },
@@ -226,6 +228,7 @@ fn sync_step(
                 ok: true,
                 integrity_ok: true,
                 retryable: false,
+                degraded: false,
                 value_len,
                 note_written: Some((key, digest)),
             },
@@ -276,6 +279,7 @@ fn sync_step(
                         ok: false,
                         integrity_ok: true,
                         retryable: true,
+                        degraded: false,
                         value_len,
                         note_written: None,
                     },
@@ -362,6 +366,7 @@ fn set_era_client_encode(
                     ok: s.succeeded >= k,
                     integrity_ok: true,
                     retryable: true,
+                    degraded: false,
                     value_len,
                     note_written: Some((key, digest)),
                 },
@@ -441,6 +446,7 @@ fn set_era_server_encode(
                             ok: false,
                             integrity_ok: true,
                             retryable: true,
+                            degraded: false,
                             value_len,
                             note_written: None,
                         },
@@ -500,6 +506,7 @@ fn set_era_server_encode(
                                 ok: ok && d.is_delivered(),
                                 integrity_ok: true,
                                 retryable: false,
+                                degraded: false,
                                 value_len,
                                 note_written: Some((key3, digest)),
                             },
@@ -526,6 +533,9 @@ fn set_era_server_encode(
                 let key = key.clone();
                 Box::new(move |sim, issue, reply| {
                     let start = issue.from + post * (issue.seq + 1);
+                    world
+                        .trace
+                        .span_record(SpanPhase::Post, encoder_node, issue.from, start);
                     let server = world.cluster.servers[issue.srv].clone();
                     let world3 = world.clone();
                     let srv = issue.srv;
@@ -588,6 +598,7 @@ fn set_era_server_encode(
                                     ok: ok && d.is_delivered(),
                                     integrity_ok: true,
                                     retryable: true,
+                                    degraded: false,
                                     value_len,
                                     note_written: Some((key, digest)),
                                 },

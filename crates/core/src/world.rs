@@ -401,7 +401,15 @@ impl World {
         now: SimTime,
         service: SimDuration,
     ) -> SimTime {
-        self.client_cpus.borrow_mut()[client].reserve(now, service)
+        let (start, done) = self.client_cpus.borrow_mut()[client].reserve_timed(now, service);
+        if self.trace.spans_enabled() {
+            let node = self.cluster.client_node(client);
+            self.trace
+                .span_record(eckv_simnet::SpanPhase::ClientCpuQueue, node, now, start);
+            self.trace
+                .span_record(eckv_simnet::SpanPhase::ClientCpu, node, start, done);
+        }
+        done
     }
 
     /// The servers (by index) that house `key`'s copies or chunks; for

@@ -16,6 +16,7 @@
 //!   amortize at very large objects.
 
 use crate::net::NodeId;
+use crate::span::SpanPhase;
 use crate::time::{SimDuration, SimTime};
 use crate::tracebus::{CodecOp, Trace, TraceEvent};
 
@@ -154,6 +155,11 @@ pub fn trace_codec(
     trace.emit(start + took, TraceEvent::CodecEnd { node, op, took });
     trace.counter_add(node, "codec_invocations", 1);
     trace.counter_add(node, "codec_busy_ns", took.as_nanos());
+    let phase = match op {
+        CodecOp::Encode => SpanPhase::Encode,
+        CodecOp::Decode => SpanPhase::Decode,
+    };
+    trace.span_record(phase, node, start, start + took);
 }
 
 #[cfg(test)]

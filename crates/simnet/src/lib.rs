@@ -35,6 +35,7 @@ mod engine;
 mod net;
 mod resource;
 mod rng;
+mod span;
 mod stats;
 mod time;
 mod timeseries;
@@ -47,11 +48,13 @@ pub use engine::Simulation;
 pub use net::{Delivery, NetConfig, Network, NodeId, WireProtocol};
 pub use resource::{FifoResource, WorkerPool};
 pub use rng::SimRng;
+pub use span::{OpAttribution, SlowOp, Span, SpanCollector, SpanOpClass, SpanPhase};
 pub use stats::{Histogram, Summary};
 pub use time::{SimDuration, SimTime};
 pub use timeseries::{SeriesWindow, TimeSeries};
 pub use trace::PhaseBreakdown;
 pub use tracebus::{
-    escape_json_into, CodecOp, CsvSink, JsonlSink, NicDir, OpClass, RingBufferSink, Trace,
-    TraceBus, TraceEvent, TraceRecord, TraceSink,
+    escape_json_into, event_schema, CodecOp, CsvSink, JsonlSink, NicDir, OpClass, RingBufferSink,
+    Trace, TraceBus, TraceEvent, TraceRecord, TraceSink, CSV_SCHEMA_HEADER, JSONL_SCHEMA_HEADER,
+    TRACE_SCHEMA_VERSION,
 };

@@ -23,6 +23,7 @@ use std::rc::Rc;
 use crate::engine::Simulation;
 use crate::resource::FifoResource;
 use crate::rng::SimRng;
+use crate::span::SpanPhase;
 use crate::time::{SimDuration, SimTime};
 use crate::tracebus::{NicDir, Trace, TraceEvent};
 
@@ -352,6 +353,11 @@ impl Network {
     ) where
         F: FnOnce(&mut Simulation, Delivery) + 'static,
     {
+        // Causal span propagation: the op scope is ambient only while the
+        // caller runs, so capture it here and re-establish it around the
+        // completion callback. Resolves to `None` in a single cheap branch
+        // when tracing or spans are off.
+        let span_op = net.borrow().trace.span_scope();
         let net = net.clone();
         sim.schedule_at(start, move |sim| {
             let now = sim.now();
@@ -369,8 +375,17 @@ impl Network {
                         .emit(at, TraceEvent::FailureDetected { node: to, by: from });
                     n.trace.counter_add(from, "failure_detects", 1);
                 }
+                if let Some(op) = span_op {
+                    n.trace
+                        .span_record_for(op, SpanPhase::FailDetect, from, now, at);
+                }
+                let trace = n.trace.clone();
                 drop(n);
-                sim.schedule_at(at, move |sim| on_complete(sim, Delivery::TargetDead(at)));
+                sim.schedule_at(at, move |sim| {
+                    let prev = trace.set_span_scope(span_op);
+                    on_complete(sim, Delivery::TargetDead(at));
+                    trace.set_span_scope(prev);
+                });
                 return;
             }
             let traced = n.trace.is_enabled();
@@ -449,6 +464,16 @@ impl Network {
             // cannot head-of-line-block a faster one issued after it.
             let arrival = tx_done + latency + jitter;
             let rx_cost = rx_wire + rx_extra;
+            if let Some(op) = span_op {
+                // Sender-side phases: protocol setup (rendezvous RTS/CTS),
+                // queue wait behind earlier transfers, then serialization.
+                let tx_svc = tx_free.max(tx_start);
+                let t = &n.trace;
+                t.span_record_for(op, SpanPhase::NetProto, from, now, tx_start);
+                t.span_record_for(op, SpanPhase::TxQueue, from, tx_start, tx_svc);
+                t.span_record_for(op, SpanPhase::Tx, from, tx_svc, tx_done);
+                t.span_record_for(op, SpanPhase::Propagate, to, tx_done, arrival);
+            }
             drop(n);
             let net = net.clone();
             sim.schedule_at(arrival, move |sim| {
@@ -481,6 +506,15 @@ impl Network {
                         .counter_add(to, "nic_rx_busy_ns", rx_cost.as_nanos());
                     n.trace.counter_max(to, "nic_rx_queue_hwm", hwm);
                 }
+                if let Some(op) = span_op {
+                    // Receiver-side phases: queue wait in arrival order,
+                    // then drain (plus the eager bounce-buffer copy).
+                    let rx_svc = rx_free.max(arrival);
+                    n.trace
+                        .span_record_for(op, SpanPhase::RxQueue, to, arrival, rx_svc);
+                    n.trace
+                        .span_record_for(op, SpanPhase::Rx, to, rx_svc, delivered);
+                }
                 let trace = n.trace.clone();
                 drop(n);
                 sim.schedule_at(delivered, move |sim| {
@@ -492,7 +526,9 @@ impl Network {
                             bytes: bytes as u64,
                         },
                     );
+                    let prev = trace.set_span_scope(span_op);
                     on_complete(sim, Delivery::Delivered(delivered));
+                    trace.set_span_scope(prev);
                 });
             });
         });

@@ -65,6 +65,15 @@ impl FifoResource {
         end
     }
 
+    /// Like [`FifoResource::reserve`], but also returns the instant service
+    /// actually began: `(start, end)`. The gap `start - now` is queue wait,
+    /// `end - start` is pure service — the split the span layer attributes
+    /// as separate critical-path phases.
+    pub fn reserve_timed(&mut self, now: SimTime, service: SimDuration) -> (SimTime, SimTime) {
+        let start = self.free_at.max(now);
+        (start, self.reserve(now, service))
+    }
+
     /// Outstanding reservations (queued or in service) as of the last
     /// [`FifoResource::reserve`] call, including that reservation itself.
     pub fn queue_depth(&self) -> u64 {
@@ -167,6 +176,15 @@ impl WorkerPool {
         end
     }
 
+    /// Like [`WorkerPool::reserve`], but also returns the instant the job's
+    /// worker actually picked it up: `(start, end)`. The gap `start - now`
+    /// is queue wait, `end - start` is pure service.
+    pub fn reserve_timed(&mut self, now: SimTime, service: SimDuration) -> (SimTime, SimTime) {
+        let Reverse(earliest) = *self.free_at.peek().expect("pool is never empty");
+        let start = earliest.max(now);
+        (start, self.reserve(now, service))
+    }
+
     /// Outstanding reservations (queued or running) as of the last
     /// [`WorkerPool::reserve`] call, including that reservation itself.
     pub fn queue_depth(&self) -> u64 {
@@ -248,6 +266,29 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_worker_pool_panics() {
         let _ = WorkerPool::new("cpu", 0);
+    }
+
+    #[test]
+    fn reserve_timed_splits_wait_from_service() {
+        let d = SimDuration::from_micros(10);
+        let mut r = FifoResource::new("link");
+        let (s0, e0) = r.reserve_timed(SimTime::ZERO, d);
+        assert_eq!((s0, e0), (SimTime::ZERO, SimTime::from_nanos(10_000)));
+        // Second job queues behind the first: starts when it ends.
+        let (s1, e1) = r.reserve_timed(SimTime::ZERO, d);
+        assert_eq!((s1, e1), (e0, SimTime::from_nanos(20_000)));
+
+        let mut p = WorkerPool::new("cpu", 2);
+        p.reserve(SimTime::ZERO, d);
+        // A second worker is free: no queue wait.
+        let (s, e) = p.reserve_timed(SimTime::ZERO, d);
+        assert_eq!((s, e), (SimTime::ZERO, SimTime::from_nanos(10_000)));
+        // Both busy until 10us: the third job waits.
+        let (s, e) = p.reserve_timed(SimTime::ZERO, d);
+        assert_eq!(
+            (s, e),
+            (SimTime::from_nanos(10_000), SimTime::from_nanos(20_000))
+        );
     }
 
     #[test]

@@ -38,8 +38,59 @@ use std::fmt;
 use std::rc::Rc;
 
 use crate::net::NodeId;
+use crate::span::{SpanCollector, SpanOpClass, SpanPhase};
 use crate::time::{SimDuration, SimTime};
 use crate::timeseries::TimeSeries;
+
+/// Version of the export schema (the JSONL/CSV field layout). Bumped
+/// whenever an event or column changes meaning, so downstream tooling
+/// can detect drift from the header line each sink emits.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// The self-describing first line of every JSONL trace export.
+pub const JSONL_SCHEMA_HEADER: &str = "{\"schema\":\"eckv.trace\",\"version\":1}\n";
+
+/// The self-describing first line of every CSV trace export (a comment
+/// row preceding the column header).
+pub const CSV_SCHEMA_HEADER: &str = "#schema=eckv.trace,version=1\n";
+
+/// Renders the full event schema — every event name with the flat
+/// columns it populates — for `eckv-sim --trace-schema` and any
+/// downstream tooling that wants to validate a trace before parsing it.
+pub fn event_schema() -> String {
+    let mut out = format!(
+        "eckv.trace schema version {TRACE_SCHEMA_VERSION}\ncommon fields: at_ns, seq, event\n"
+    );
+    const EVENTS: &[(&str, &str)] = &[
+        ("op_admitted", "node, kind"),
+        ("op_completed", "node, kind, bytes, dur_ns, ok"),
+        ("shard_send", "node, peer, bytes"),
+        ("shard_recv", "node, peer, bytes"),
+        ("nic_queue_enter", "node, kind, bytes"),
+        ("nic_queue_exit", "node, kind, dur_ns"),
+        ("encode_start", "node, bytes"),
+        ("encode_end", "node, dur_ns"),
+        ("decode_start", "node, bytes"),
+        ("decode_end", "node, dur_ns"),
+        ("failure_detected", "node, peer"),
+        ("retry", "node, kind"),
+        ("repair_shard", "node, bytes"),
+        ("ssd_spill", "node, bytes"),
+        ("ssd_read", "node, bytes"),
+        ("hedge_fired", "node, bytes"),
+        ("hedge_won", "node, dur_ns"),
+        ("deadline_exceeded", "node, kind, dur_ns"),
+        ("node_degraded", "node, bytes"),
+        ("repair_started", "node, bytes"),
+        ("repair_throttled", "node, dur_ns"),
+        ("repair_key_promoted", "node, bytes"),
+        ("repair_done", "node, bytes, dur_ns"),
+    ];
+    for (name, fields) in EVENTS {
+        out.push_str(&format!("{name}: {fields}\n"));
+    }
+    out
+}
 
 /// Which kind of client operation an event belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -621,19 +672,29 @@ impl TraceSink for RingBufferSink {
     }
 }
 
-/// Buffers the trace as JSON Lines text (one object per event). The caller
-/// writes [`JsonlSink::contents`] to a file after the run — keeping file
-/// I/O out of the simulator guarantees byte-identical output across runs.
-#[derive(Debug, Clone, Default)]
+/// Buffers the trace as JSON Lines text (one object per event, preceded
+/// by a schema-version header line). The caller writes
+/// [`JsonlSink::contents`] to a file after the run — keeping file I/O out
+/// of the simulator guarantees byte-identical output across runs.
+#[derive(Debug, Clone)]
 pub struct JsonlSink {
     out: String,
     events: u64,
 }
 
+impl Default for JsonlSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl JsonlSink {
-    /// Creates an empty sink.
+    /// Creates a sink holding just the schema-version header line.
     pub fn new() -> Self {
-        Self::default()
+        JsonlSink {
+            out: JSONL_SCHEMA_HEADER.to_string(),
+            events: 0,
+        }
     }
 
     /// The buffered JSONL text.
@@ -654,7 +715,8 @@ impl TraceSink for JsonlSink {
     }
 }
 
-/// Buffers the trace as CSV text with a fixed header row.
+/// Buffers the trace as CSV text: a schema-version comment line, the
+/// fixed column header row, then one row per event.
 #[derive(Debug, Clone)]
 pub struct CsvSink {
     out: String,
@@ -668,10 +730,10 @@ impl Default for CsvSink {
 }
 
 impl CsvSink {
-    /// Creates a sink holding just the header row.
+    /// Creates a sink holding the schema line and the column header row.
     pub fn new() -> Self {
         CsvSink {
-            out: TraceRecord::CSV_HEADER.to_string(),
+            out: format!("{CSV_SCHEMA_HEADER}{}", TraceRecord::CSV_HEADER),
             events: 0,
         }
     }
@@ -702,6 +764,7 @@ pub struct TraceBus {
     sinks: Vec<Rc<RefCell<dyn TraceSink>>>,
     counters: BTreeMap<(usize, &'static str), u64>,
     series: Option<TimeSeries>,
+    spans: Option<SpanCollector>,
 }
 
 impl fmt::Debug for TraceBus {
@@ -711,6 +774,7 @@ impl fmt::Debug for TraceBus {
             .field("sinks", &self.sinks.len())
             .field("counters", &self.counters.len())
             .field("series", &self.series.is_some())
+            .field("spans", &self.spans.is_some())
             .finish()
     }
 }
@@ -738,6 +802,24 @@ impl TraceBus {
     /// The aggregator, if enabled.
     pub fn series(&self) -> Option<&TimeSeries> {
         self.series.as_ref()
+    }
+
+    /// Enables the causal span layer, retaining raw span trees for the
+    /// `keep_slowest` slowest ops (Perfetto export). Span recording
+    /// never emits trace events, so the JSONL/CSV event stream stays
+    /// byte-identical whether or not spans are on.
+    pub fn enable_spans(&mut self, keep_slowest: usize) {
+        self.spans = Some(SpanCollector::new(keep_slowest));
+    }
+
+    /// The span collector, if enabled.
+    pub fn spans(&self) -> Option<&SpanCollector> {
+        self.spans.as_ref()
+    }
+
+    /// Mutable access to the span collector, if enabled.
+    pub fn spans_mut(&mut self) -> Option<&mut SpanCollector> {
+        self.spans.as_mut()
     }
 
     /// Emits one event: aggregates it, stamps it, and fans it out.
@@ -833,6 +915,85 @@ impl Trace {
     /// reporting code to read counters and the aggregator after a run.
     pub fn with_bus<R>(&self, f: impl FnOnce(&TraceBus) -> R) -> Option<R> {
         self.0.as_ref().map(|bus| f(&bus.borrow()))
+    }
+
+    /// Whether the causal span layer is collecting. Hot paths check this
+    /// before computing span intervals.
+    pub fn spans_enabled(&self) -> bool {
+        match &self.0 {
+            Some(bus) => bus.borrow().spans.is_some(),
+            None => false,
+        }
+    }
+
+    /// The op id ambient span records currently attach to (`None` when
+    /// disabled, spans are off, or no op scope is set).
+    pub fn span_scope(&self) -> Option<u64> {
+        self.0
+            .as_ref()
+            .and_then(|bus| bus.borrow().spans.as_ref().and_then(SpanCollector::scope))
+    }
+
+    /// Replaces the ambient span scope, returning the previous one.
+    /// Callback dispatchers save the caller's scope with this, restore it
+    /// around the callback, and put it back after — causal propagation
+    /// across scheduled closures.
+    pub fn set_span_scope(&self, scope: Option<u64>) -> Option<u64> {
+        match &self.0 {
+            Some(bus) => bus
+                .borrow_mut()
+                .spans
+                .as_mut()
+                .and_then(|s| s.set_scope(scope)),
+            None => None,
+        }
+    }
+
+    /// Opens a span tree for an operation admitted at `at`; returns its
+    /// id, or `None` when spans are off.
+    pub fn span_begin_op(&self, class: SpanOpClass, at: SimTime) -> Option<u64> {
+        self.0.as_ref().and_then(|bus| {
+            bus.borrow_mut()
+                .spans
+                .as_mut()
+                .map(|s| s.begin_op(class, at))
+        })
+    }
+
+    /// Closes an op's span tree at `at` and computes its critical path.
+    pub fn span_end_op(&self, op: u64, at: SimTime, ok: bool) {
+        if let Some(bus) = &self.0 {
+            if let Some(s) = bus.borrow_mut().spans.as_mut() {
+                s.end_op(op, at, ok);
+            }
+        }
+    }
+
+    /// Records a span on the ambient scope's tree (no-op without scope).
+    pub fn span_record(&self, phase: SpanPhase, node: NodeId, start: SimTime, end: SimTime) {
+        if let Some(bus) = &self.0 {
+            if let Some(s) = bus.borrow_mut().spans.as_mut() {
+                s.record(phase, node, start, end);
+            }
+        }
+    }
+
+    /// Records a span on a specific op's tree — used where the interval
+    /// is computed inside a scheduled closure whose ambient scope was
+    /// captured earlier (the transport).
+    pub fn span_record_for(
+        &self,
+        op: u64,
+        phase: SpanPhase,
+        node: NodeId,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if let Some(bus) = &self.0 {
+            if let Some(s) = bus.borrow_mut().spans.as_mut() {
+                s.record_for(op, phase, node, start, end);
+            }
+        }
     }
 }
 
@@ -939,7 +1100,8 @@ mod tests {
         }
         let seqs: Vec<u64> = ring.borrow().records().map(|r| r.seq).collect();
         assert_eq!(seqs, vec![0, 1, 2, 3]);
-        assert_eq!(jsonl.borrow().contents().lines().count(), 4);
+        // Four events plus the schema-version header line.
+        assert_eq!(jsonl.borrow().contents().lines().count(), 5);
         assert_eq!(trace.with_bus(TraceBus::events_emitted), Some(4));
     }
 

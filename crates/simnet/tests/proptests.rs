@@ -130,6 +130,49 @@ proptest! {
     }
 
     #[test]
+    fn histogram_percentiles_nondecreasing_in_p(
+        samples in proptest::collection::vec(1u64..10_000_000_000, 1..200),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(SimDuration::from_nanos(s));
+        }
+        let ps: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let vs = h.percentiles(&ps);
+        for (i, w) in vs.windows(2).enumerate() {
+            prop_assert!(w[1] >= w[0], "p{} < p{}", i + 1, i);
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenated_samples(
+        xs in proptest::collection::vec(1u64..10_000_000_000, 0..150),
+        ys in proptest::collection::vec(1u64..10_000_000_000, 1..150),
+    ) {
+        let mut merged = Histogram::new();
+        let mut other = Histogram::new();
+        let mut concat = Histogram::new();
+        for &s in &xs {
+            merged.record(SimDuration::from_nanos(s));
+            concat.record(SimDuration::from_nanos(s));
+        }
+        for &s in &ys {
+            other.record(SimDuration::from_nanos(s));
+            concat.record(SimDuration::from_nanos(s));
+        }
+        merged.merge(&other);
+        // Exactly-tracked statistics agree exactly; bucket arrays sum
+        // element-wise, so percentiles agree exactly as well.
+        prop_assert_eq!(merged.count(), concat.count());
+        prop_assert_eq!(merged.mean(), concat.mean());
+        prop_assert_eq!(merged.min(), concat.min());
+        prop_assert_eq!(merged.max(), concat.max());
+        for p in [0.0, 10.0, 50.0, 95.0, 99.0, 99.9, 100.0] {
+            prop_assert_eq!(merged.percentile(p), concat.percentile(p), "p{}", p);
+        }
+    }
+
+    #[test]
     fn rng_fork_streams_do_not_collide(seed in any::<u64>()) {
         let mut parent = SimRng::seed_from_u64(seed);
         let mut a = parent.fork();

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use eckv_simnet::{NodeId, SimDuration, SimTime, Trace, WorkerPool};
+use eckv_simnet::{NodeId, SimDuration, SimTime, SpanPhase, Trace, WorkerPool};
 
 use crate::payload::Payload;
 use crate::ssd::{SsdSpec, SsdTier};
@@ -85,6 +85,17 @@ impl KvServer {
         }
     }
 
+    /// Records the queue-wait / service split of one worker reservation on
+    /// the ambient op's span tree.
+    fn note_cpu_spans(&self, now: SimTime, start: SimTime, done: SimTime) {
+        if self.trace.spans_enabled() {
+            self.trace
+                .span_record(SpanPhase::SrvCpuQueue, self.node, now, start);
+            self.trace
+                .span_record(SpanPhase::SrvCpu, self.node, start, done);
+        }
+    }
+
     /// Attaches an SSD overflow tier (the paper's "SSD-assisted" servers):
     /// RAM eviction victims spill to flash, and reads fall through to it.
     pub fn with_ssd(mut self, spec: SsdSpec) -> Self {
@@ -106,7 +117,7 @@ impl KvServer {
         payload: Payload,
     ) -> (SimTime, SetOutcome) {
         let service = self.costs.op_time(payload.len());
-        let done = self.cpu.reserve(now, service);
+        let (svc_start, done) = self.cpu.reserve_timed(now, service);
         let outcome = match &mut self.ssd {
             Some(ssd) => {
                 // Eviction victims overflow to flash; the flash writes are
@@ -119,6 +130,7 @@ impl KvServer {
             None => self.store.set(key, payload),
         };
         self.note_cpu();
+        self.note_cpu_spans(now, svc_start, done);
         (done, outcome)
     }
 
@@ -136,16 +148,25 @@ impl KvServer {
         }
         let bytes = value.as_ref().map_or(0, Payload::len);
         let service = self.costs.op_time(bytes);
-        let done = self.cpu.reserve(now, service).max(flash_done);
+        let (svc_start, cpu_done) = self.cpu.reserve_timed(now, service);
+        let done = cpu_done.max(flash_done);
         self.note_cpu();
+        self.note_cpu_spans(now, svc_start, cpu_done);
+        if flash_done > now && self.trace.spans_enabled() {
+            // The flash read overlaps CPU service; the critical-path walk
+            // picks whichever ends later.
+            self.trace
+                .span_record(SpanPhase::SsdRead, self.node, now, flash_done);
+        }
         (done, value)
     }
 
     /// Reserves `service` time on this server's workers without touching
     /// storage — used by server-side ARPE work (encode/decode offload).
     pub fn reserve_cpu(&mut self, now: SimTime, service: SimDuration) -> SimTime {
-        let done = self.cpu.reserve(now, service);
+        let (svc_start, done) = self.cpu.reserve_timed(now, service);
         self.note_cpu();
+        self.note_cpu_spans(now, svc_start, done);
         done
     }
 

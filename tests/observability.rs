@@ -49,7 +49,13 @@ fn traced_run(ops: usize) -> (String, u64, String) {
 fn traced_run_emits_full_event_vocabulary() {
     let (text, emitted, _) = traced_run(50);
     assert!(emitted > 0);
-    assert_eq!(text.lines().count() as u64, emitted);
+    // One schema-version header line precedes the events.
+    assert_eq!(text.lines().count() as u64, emitted + 1);
+    assert!(
+        text.starts_with("{\"schema\":\"eckv.trace\",\"version\":1}\n"),
+        "missing schema header: {}",
+        text.lines().next().unwrap_or_default()
+    );
     // Degraded reads past the killed server force decodes; writes encode.
     for needle in [
         "\"event\":\"op_admitted\"",
@@ -66,11 +72,106 @@ fn traced_run_emits_full_event_vocabulary() {
     ] {
         assert!(text.contains(needle), "missing {needle}");
     }
-    // Every line carries a virtual timestamp and a sequence number.
-    for line in text.lines().take(100) {
+    // Every event line carries a virtual timestamp and a sequence number.
+    for line in text.lines().skip(1).take(100) {
         assert!(line.starts_with("{\"at_ns\":"), "malformed line: {line}");
         assert!(line.contains("\"seq\":"), "malformed line: {line}");
     }
+}
+
+/// Runs the same write/kill/read workload with causal spans enabled and
+/// returns (trace text, --explain-tail report, Perfetto JSON, per-op
+/// (attributed ns, wall ns) pairs).
+fn spanned_run(ops: usize) -> (String, String, String, Vec<(u64, u64)>) {
+    let sink = Rc::new(RefCell::new(JsonlSink::new()));
+    let mut bus = TraceBus::new();
+    bus.add_sink(sink.clone());
+    bus.enable_spans(16);
+    let trace = Trace::from_bus(bus);
+
+    let world = World::new_traced(
+        EngineConfig::new(
+            ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+            Scheme::era_ce_cd(3, 2),
+        ),
+        trace.clone(),
+    );
+    let mut sim = Simulation::new();
+    let writes: Vec<Op> = (0..ops)
+        .map(|i| Op::set_synthetic(format!("k{i}"), 64 << 10, i as u64))
+        .collect();
+    run_workload(&world, &mut sim, vec![writes]);
+    world.cluster.kill_server(1);
+    world.reset_metrics();
+    let reads: Vec<Op> = (0..ops).map(|i| Op::get(format!("k{i}"))).collect();
+    run_workload(&world, &mut sim, vec![reads]);
+    assert_eq!(world.metrics.borrow().errors, 0);
+
+    let text = sink.borrow().contents().to_string();
+    let (explain, perfetto, per_op) = trace
+        .with_bus(|bus| {
+            let spans = bus.spans().expect("spans enabled");
+            let per_op: Vec<(u64, u64)> = spans
+                .attributions()
+                .iter()
+                .map(|a| (a.attributed_ns(), a.latency.as_nanos()))
+                .collect();
+            (spans.explain_tail(), spans.perfetto_json(8), per_op)
+        })
+        .expect("trace is enabled");
+    (text, explain, perfetto, per_op)
+}
+
+#[test]
+fn spans_attribute_nearly_all_tail_wall_time() {
+    let (_, explain, perfetto, per_op) = spanned_run(120);
+    assert!(
+        explain.contains("critical-path tail attribution"),
+        "{explain}"
+    );
+    assert!(perfetto.contains("\"traceEvents\""));
+    assert!(perfetto.contains("\"ph\":\"X\""));
+
+    // Every op in the p95+ tail cohort must have >=95% of its wall time
+    // attributed to named phases (the acceptance bar for --explain-tail).
+    assert!(!per_op.is_empty());
+    let mut lats: Vec<u64> = per_op.iter().map(|&(_, wall)| wall).collect();
+    lats.sort_unstable();
+    let p95 = lats[lats.len().saturating_sub(1).min(lats.len() * 95 / 100)];
+    let mut tail_ops = 0usize;
+    for &(attributed, wall) in &per_op {
+        if wall < p95 || wall == 0 {
+            continue;
+        }
+        tail_ops += 1;
+        assert!(
+            attributed * 100 >= wall * 95,
+            "tail op only {attributed} of {wall} ns attributed"
+        );
+    }
+    assert!(tail_ops > 0, "no tail-cohort ops found");
+}
+
+#[test]
+fn span_reports_are_deterministic_across_runs() {
+    let (text_a, explain_a, perfetto_a, _) = spanned_run(60);
+    let (text_b, explain_b, perfetto_b, _) = spanned_run(60);
+    assert_eq!(explain_a, explain_b, "--explain-tail must be reproducible");
+    assert_eq!(
+        perfetto_a, perfetto_b,
+        "Perfetto export must be reproducible"
+    );
+    assert_eq!(text_a, text_b);
+}
+
+#[test]
+fn spans_leave_event_trace_byte_identical() {
+    // Enabling spans must not add, drop, or reorder any trace event. The
+    // series aggregator in traced_run never writes to sinks, so the two
+    // sink texts must match byte for byte.
+    let (plain, _, _) = traced_run(40);
+    let (spanned, _, _, _) = spanned_run(40);
+    assert_eq!(plain, spanned);
 }
 
 #[test]
