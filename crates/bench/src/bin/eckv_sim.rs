@@ -12,6 +12,8 @@
 //!          [--repair-online FAILED] [--repair-bandwidth 400M] [--repair-window 4]
 //!          [--straggler 1x8,3x2] [--straggler-jitter 300us]
 //!          [--hedge-after p95|50us] [--deadline 2ms]
+//!          [--admission-depth 48] [--admission-repair-depth 8]
+//!          [--admission-delay 200us]
 //!          [--ssd CAPACITY]
 //!          [--trace out.jsonl] [--timeline out.csv]
 //!          [--stats-interval 10ms] [--report]
@@ -33,6 +35,25 @@
 //!   online repair's survivor reads.
 //! * `--deadline 2ms` — per-operation deadline: retries stop once it has
 //!   passed and late completions count as deadline misses.
+//!
+//! Admission-control flags (per-node bounded queues with load shedding):
+//!
+//! * `--admission-depth 48` — bound each server's worker queue
+//!   (queued + in service) at 48 outstanding requests; arrivals beyond it
+//!   get a fast retryable SHED reply that reserves no worker time.
+//!   Repair traffic defaults to half the bound, so background rebuilds
+//!   shed before any foreground request does.
+//! * `--admission-repair-depth 8` — override the stricter repair bound
+//!   (requires `--admission-depth`; must not exceed it).
+//! * `--admission-delay 200us` — additionally shed requests whose
+//!   projected queue wait exceeds the given duration, even below the
+//!   depth cap.
+//!
+//! Shed replies are retried by the client with truncated exponential
+//! backoff plus seeded per-client equal-jitter, so synchronized retry
+//! storms decorrelate deterministically. Without any `--admission-*`
+//! flag the queues are unbounded and the event trace is byte-identical
+//! to pre-admission builds.
 //!
 //! Online repair flags (`setget` workload only):
 //!
@@ -84,7 +105,10 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use eckv_core::{driver, ops::Op, repair, EngineConfig, HedgeConfig, RepairConfig, Scheme, World};
+use eckv_core::{
+    driver, ops::Op, repair, AdmissionConfig, EngineConfig, HedgeConfig, RepairConfig, Scheme,
+    World,
+};
 use eckv_simnet::{
     ClusterProfile, CsvSink, JsonlSink, SimDuration, Simulation, TimeSeries, Trace, TraceBus,
     TransportKind,
@@ -117,6 +141,9 @@ struct Args {
     straggler_jitter: SimDuration,
     hedge_after: Option<HedgeConfig>,
     deadline: Option<SimDuration>,
+    admission_depth: Option<u64>,
+    admission_repair_depth: Option<u64>,
+    admission_delay: Option<SimDuration>,
     timeline: Option<String>,
     trace: Option<String>,
     stats_interval: Option<SimDuration>,
@@ -233,6 +260,9 @@ fn parse_args() -> Result<Args, String> {
         straggler_jitter: SimDuration::ZERO,
         hedge_after: None,
         deadline: None,
+        admission_depth: None,
+        admission_repair_depth: None,
+        admission_delay: None,
         timeline: None,
         trace: None,
         stats_interval: None,
@@ -318,6 +348,21 @@ fn parse_args() -> Result<Args, String> {
             "--straggler-jitter" => a.straggler_jitter = parse_duration(value(i)?)?,
             "--hedge-after" => a.hedge_after = Some(parse_hedge(value(i)?)?),
             "--deadline" => a.deadline = Some(parse_duration(value(i)?)?),
+            "--admission-depth" => {
+                a.admission_depth = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|e| format!("--admission-depth: {e}"))?,
+                )
+            }
+            "--admission-repair-depth" => {
+                a.admission_repair_depth = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|e| format!("--admission-repair-depth: {e}"))?,
+                )
+            }
+            "--admission-delay" => a.admission_delay = Some(parse_duration(value(i)?)?),
             "--timeline" => a.timeline = Some(value(i)?.to_owned()),
             "--trace" => a.trace = Some(value(i)?.to_owned()),
             "--stats-interval" => a.stats_interval = Some(parse_duration(value(i)?)?),
@@ -405,6 +450,14 @@ fn print_report(world: &Rc<World>) {
     }
     if m.deadline_misses > 0 {
         println!("deadline misses   : {}", m.deadline_misses);
+    }
+    if m.sheds > 0 {
+        println!(
+            "sheds (fg/repair) : {} / {} ({:.2}% shed rate)",
+            m.sheds - m.sheds_repair,
+            m.sheds_repair,
+            m.shed_rate() * 100.0
+        );
     }
     drop(m);
     let mem = world.memory_report();
@@ -511,6 +564,30 @@ fn main() {
     }
     if let Some(d) = args.deadline {
         engine = engine.deadline(d);
+    }
+    if args.admission_depth.is_none()
+        && (args.admission_repair_depth.is_some() || args.admission_delay.is_some())
+    {
+        eprintln!("error: --admission-repair-depth/--admission-delay require --admission-depth");
+        std::process::exit(2);
+    }
+    if let Some(depth) = args.admission_depth {
+        if depth == 0 {
+            eprintln!("error: --admission-depth must be at least 1");
+            std::process::exit(2);
+        }
+        let mut adm = AdmissionConfig::depth(depth);
+        if let Some(r) = args.admission_repair_depth {
+            if r == 0 || r > depth {
+                eprintln!("error: --admission-repair-depth must be in 1..=--admission-depth");
+                std::process::exit(2);
+            }
+            adm = adm.repair_depth(r);
+        }
+        if let Some(d) = args.admission_delay {
+            adm = adm.delay(d);
+        }
+        engine = engine.admission(adm);
     }
     if args.repair_online.is_some() && args.workload != "setget" {
         eprintln!("error: --repair-online only supports the setget workload");

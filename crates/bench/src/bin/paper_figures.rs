@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures on the simulated clusters.
 //!
 //! ```text
-//! paper-figures [fig4|fig8|fig9|fig10|fig11|fig12|fig13|tail|repair|all] [--quick]
+//! paper-figures [fig4|fig8|fig9|fig10|fig11|fig12|fig13|tail|repair|overload|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks client counts/op counts for a fast smoke run; omit it
@@ -9,8 +9,8 @@
 //! `--release`).
 
 use eckv_bench::{
-    ablations, fig10, fig11_12, fig13, fig4, fig8, fig9, model_check, repair_interference,
-    tail_latency,
+    ablations, fig10, fig11_12, fig13, fig4, fig8, fig9, model_check, overload,
+    repair_interference, tail_latency,
 };
 use eckv_simnet::ClusterProfile;
 use eckv_ycsb::Workload;
@@ -78,6 +78,10 @@ fn main() {
         ran = true;
         println!("{}", repair_interference::interference_table(quick));
     }
+    if all || which == "overload" {
+        ran = true;
+        println!("{}", overload::goodput_table(quick));
+    }
     if all || which == "model" {
         ran = true;
         println!("{}", model_check::table());
@@ -98,7 +102,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown figure '{which}'; expected fig4, fig8, fig9, fig10, fig11, fig12, fig13, tail, repair, model, ablations or all"
+            "unknown figure '{which}'; expected fig4, fig8, fig9, fig10, fig11, fig12, fig13, tail, repair, overload, model, ablations or all"
         );
         std::process::exit(2);
     }

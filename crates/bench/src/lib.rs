@@ -18,6 +18,7 @@ pub mod fig4;
 pub mod fig8;
 pub mod fig9;
 pub mod model_check;
+pub mod overload;
 pub mod repair_interference;
 mod table;
 pub mod tail_latency;

@@ -71,6 +71,7 @@ impl Lustre {
     /// Submits a write of `bytes` at `now`; returns its completion instant.
     pub fn write(&mut self, now: SimTime, bytes: u64) -> SimTime {
         self.bytes_written += bytes;
+        self.write_pipe.prune(now);
         self.write_pipe
             .reserve(now, Self::xfer(self.cfg.write_gbps, bytes))
             + self.cfg.op_latency
@@ -79,6 +80,7 @@ impl Lustre {
     /// Submits a read of `bytes` at `now`; returns its completion instant.
     pub fn read(&mut self, now: SimTime, bytes: u64) -> SimTime {
         self.bytes_read += bytes;
+        self.read_pipe.prune(now);
         self.read_pipe
             .reserve(now, Self::xfer(self.cfg.read_gbps, bytes))
             + self.cfg.op_latency

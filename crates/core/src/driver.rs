@@ -63,16 +63,33 @@ pub fn enqueue_workload(world: &Rc<World>, sim: &mut Simulation, per_client_ops:
         per_client_ops.len(),
         world.cfg.cluster.clients
     );
+    for (client, ops) in per_client_ops.into_iter().enumerate() {
+        enqueue_client(world, sim, client, ops);
+    }
+}
+
+/// Admits a single client's stream, leaving every other client alone.
+/// Scenarios that stagger client arrival (a flash-crowd ramp) schedule
+/// one call per client at its arrival instant instead of admitting the
+/// whole fleet at once through [`enqueue_workload`].
+///
+/// # Panics
+///
+/// Panics if `client` is outside the cluster's configured client count.
+pub fn enqueue_client(world: &Rc<World>, sim: &mut Simulation, client: usize, ops: Vec<Op>) {
+    assert!(
+        client < world.cfg.cluster.clients,
+        "client {client} of {}",
+        world.cfg.cluster.clients
+    );
     // On a dead-server discovery an operation is transparently retried
     // against the updated failure view, up to once per server.
     let max_retries = world.cfg.cluster.servers;
-    for (client, ops) in per_client_ops.into_iter().enumerate() {
-        let state = Rc::new(RefCell::new(ClientState {
-            queue: ops.into_iter().map(|op| (op, max_retries)).collect(),
-            in_flight: 0,
-        }));
-        pump(world, sim, client, &state);
-    }
+    let state = Rc::new(RefCell::new(ClientState {
+        queue: ops.into_iter().map(|op| (op, max_retries)).collect(),
+        in_flight: 0,
+    }));
+    pump(world, sim, client, &state);
 }
 
 /// Admits operations for `client` until the window is full or the stream
@@ -178,6 +195,20 @@ impl Attempt {
     }
 }
 
+/// Doublings after which the exponential backoff stops growing.
+const MAX_BACKOFF_DOUBLINGS: u32 = 10;
+
+/// Exponential backoff base for the `index`-th retry: `base << index`,
+/// clamped at `MAX_BACKOFF_DOUBLINGS` doublings and saturating instead of
+/// overflowing (a pathological `retry_backoff` near `u64::MAX` must cap,
+/// not panic or wrap to a near-zero wait that re-fuels the retry storm).
+fn retry_backoff_base(base: eckv_simnet::SimDuration, index: u32) -> eckv_simnet::SimDuration {
+    let factor = 1u64
+        .checked_shl(index.min(MAX_BACKOFF_DOUBLINGS))
+        .unwrap_or(u64::MAX);
+    base.saturating_mul(factor)
+}
+
 /// Runs one Set/Get, transparently retrying on dead-server discoveries
 /// with exponential backoff, recording the final result, then invoking
 /// `on_final`. When the engine has a per-op deadline, retrying stops once
@@ -211,7 +242,10 @@ fn dispatch_with_retry(
                         },
                     );
                 }
-                let backoff = world2.cfg.retry_backoff * (1u64 << attempt.index.min(10));
+                let backoff = world2.jittered_backoff(
+                    client,
+                    retry_backoff_base(world2.cfg.retry_backoff, attempt.index),
+                );
                 if let Some(op) = attempt.span {
                     world2.trace.span_record_for(
                         op,
@@ -666,5 +700,63 @@ mod tests {
         let m = world.metrics.borrow();
         assert_eq!(m.errors, 0, "backoff retries must still fail over");
         assert!(m.retries > 0, "killing a holder forces discovery retries");
+    }
+
+    #[test]
+    fn backoff_base_saturates_instead_of_overflowing() {
+        use eckv_simnet::SimDuration;
+        // Doubling per attempt up to the clamp.
+        let base = SimDuration::from_micros(50);
+        assert_eq!(retry_backoff_base(base, 0), base);
+        assert_eq!(retry_backoff_base(base, 3), SimDuration::from_micros(400));
+        assert_eq!(
+            retry_backoff_base(base, 10),
+            SimDuration::from_micros(50 * 1024)
+        );
+        // Past the clamp the backoff stops growing (attempt 32 used to
+        // compute `1u64 << 32` only thanks to the clamp; the clamp is now
+        // backed by checked_shl either way).
+        assert_eq!(retry_backoff_base(base, 32), retry_backoff_base(base, 10));
+        // A pathological base near u64::MAX saturates instead of wrapping
+        // to a tiny wait that would re-fuel the retry storm.
+        let huge = SimDuration::from_nanos(u64::MAX - 1);
+        assert_eq!(retry_backoff_base(huge, 0), huge);
+        for idx in 1..64 {
+            assert_eq!(
+                retry_backoff_base(huge, idx),
+                SimDuration::from_nanos(u64::MAX),
+                "attempt {idx} must saturate"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_jitter_is_bounded_per_client_and_deterministic() {
+        use eckv_simnet::SimDuration;
+        let w1 = small_world(Scheme::NoRep, 2);
+        let w2 = small_world(Scheme::NoRep, 2);
+        let base = SimDuration::from_micros(100);
+        for client in 0..2 {
+            for _ in 0..50 {
+                let a = w1.jittered_backoff(client, base);
+                let b = w2.jittered_backoff(client, base);
+                assert_eq!(a, b, "same seed, same draw sequence");
+                assert!(
+                    a >= SimDuration::from_micros(50) && a <= base,
+                    "equal-jitter stays within [base/2, base]: {a}"
+                );
+            }
+        }
+        // Distinct clients draw distinct streams, so a herd of retries
+        // decorrelates instead of re-converging on the same instant.
+        let seq0: Vec<_> = (0..8).map(|_| w1.jittered_backoff(0, base)).collect();
+        let seq1: Vec<_> = (0..8).map(|_| w1.jittered_backoff(1, base)).collect();
+        assert_ne!(seq0, seq1);
+        // A sub-2ns backoff cannot jitter (half rounds to zero): it is
+        // returned unchanged rather than zeroed.
+        assert_eq!(
+            w1.jittered_backoff(0, SimDuration::from_nanos(1)),
+            SimDuration::from_nanos(1)
+        );
     }
 }

@@ -49,12 +49,21 @@ pub(crate) enum ShardReply {
         /// Detection instant.
         at: SimTime,
     },
+    /// The holder is alive but refused admission (bounded queue full).
+    /// Retry-worthy, but no liveness discovery: the server answered.
+    Shed {
+        /// Refusal instant.
+        at: SimTime,
+    },
 }
 
 impl ShardReply {
     fn at(&self) -> SimTime {
         match self {
-            ShardReply::Good { at, .. } | ShardReply::Empty { at } | ShardReply::Dead { at } => *at,
+            ShardReply::Good { at, .. }
+            | ShardReply::Empty { at }
+            | ShardReply::Dead { at }
+            | ShardReply::Shed { at } => *at,
         }
     }
 }
@@ -201,6 +210,9 @@ pub(crate) struct Settled {
     pub posts: u64,
     /// Whether any reply revealed a dead server (retry-worthiness).
     pub discovered: bool,
+    /// Replies refused by server admission control (also retry-worthy:
+    /// the server is alive and a backed-off retry may be admitted).
+    pub shed: u64,
     /// Latest completion instant across all replies.
     pub last: SimTime,
 }
@@ -224,6 +236,7 @@ struct Inner {
     outstanding: usize,
     posts: u64,
     discovered: bool,
+    shed: u64,
     settled: bool,
     last: SimTime,
     /// First wire-issue instant of the first wave — the hedge clock, and
@@ -301,6 +314,7 @@ impl FanOut {
             outstanding: 0,
             posts: 0,
             discovered: false,
+            shed: 0,
             settled: false,
             last: from,
             fetch_start: from,
@@ -400,6 +414,9 @@ fn on_reply(state: &Rc<RefCell<Inner>>, sim: &mut Simulation, slot: usize, reply
             ShardReply::Dead { .. } => {
                 st.discovered = true;
             }
+            ShardReply::Shed { .. } => {
+                st.shed += 1;
+            }
         }
         let quorum = st.succeeded >= st.policy.required;
         if !(st.outstanding == 0 || (st.policy.early_settle && quorum)) {
@@ -455,6 +472,7 @@ fn maybe_settle(state: &Rc<RefCell<Inner>>, sim: &mut Simulation) {
                 succeeded: st.succeeded,
                 posts: st.posts,
                 discovered: st.discovered,
+                shed: st.shed,
                 last: st.last,
             },
             st.hedge_node,
@@ -576,6 +594,7 @@ fn maybe_arm_hedge(state: &Rc<RefCell<Inner>>, sim: &mut Simulation) {
 pub(crate) fn client_set_io(
     world: &Rc<World>,
     client: usize,
+    prio: rpc::RpcPriority,
     pick: impl Fn(usize) -> (Arc<str>, Payload) + 'static,
 ) -> ShardIo {
     let world = world.clone();
@@ -595,6 +614,7 @@ pub(crate) fn client_set_io(
             client_node,
             wire_key,
             payload,
+            prio,
             move |sim, r| {
                 reply(
                     sim,
@@ -606,6 +626,10 @@ pub(crate) fn client_set_io(
                         Err(rpc::RpcError::ServerDead(t)) => {
                             world2.mark_dead(client, srv);
                             ShardReply::Dead { at: t }
+                        }
+                        Err(rpc::RpcError::Shed(t)) => {
+                            world2.note_shed(t, client_node, srv, prio);
+                            ShardReply::Shed { at: t }
                         }
                     },
                 );
@@ -621,6 +645,7 @@ pub(crate) fn client_get_io(
     key: Arc<str>,
     shard_keys: bool,
     note_deaths: bool,
+    prio: rpc::RpcPriority,
 ) -> ShardIo {
     let world = world.clone();
     let client_node = world.cluster.client_node(client);
@@ -643,6 +668,7 @@ pub(crate) fn client_get_io(
             client_node,
             wire_key,
             issue.cancel,
+            prio,
             move |sim, r| {
                 reply(
                     sim,
@@ -659,6 +685,10 @@ pub(crate) fn client_get_io(
                                 world2.mark_dead(client, srv);
                             }
                             ShardReply::Dead { at: t }
+                        }
+                        Err(rpc::RpcError::Shed(t)) => {
+                            world2.note_shed(t, client_node, srv, prio);
+                            ShardReply::Shed { at: t }
                         }
                     },
                 );

@@ -118,8 +118,18 @@ fn get_hybrid(
             }
             // A dead replica holder is a view update, not evidence the
             // value was chunked: retry so the probe hits the next replica.
-            Err(rpc::RpcError::ServerDead(t)) => {
-                world2.mark_dead(client, srv);
+            // A shed probe retries the same holder after backoff.
+            Err(err) => {
+                let t = match err {
+                    rpc::RpcError::ServerDead(t) => {
+                        world2.mark_dead(client, srv);
+                        t
+                    }
+                    rpc::RpcError::Shed(t) => {
+                        world2.note_shed(t, client_node, srv, rpc::RpcPriority::Foreground);
+                        t
+                    }
+                };
                 finish_op(
                     &world2,
                     sim,
@@ -198,7 +208,14 @@ fn get_replicated(
         liveness: Liveness::View(client),
         hedge_node: world.cluster.client_node(client),
     };
-    let io = client_get_io(world, client, key.clone(), false, true);
+    let io = client_get_io(
+        world,
+        client,
+        key.clone(),
+        false,
+        true,
+        rpc::RpcPriority::Foreground,
+    );
     let world2 = world.clone();
     let launched = FanOut::launch(
         world,
@@ -223,8 +240,9 @@ fn get_replicated(
                     compute: SimDuration::ZERO,
                     ok,
                     integrity_ok: integrity,
-                    // Discovery: fail over on the retry.
-                    retryable: s.discovered,
+                    // Discovery fails over on the retry; a shed reply
+                    // retries the same holder after backoff.
+                    retryable: s.discovered || s.shed > 0,
                     degraded: false,
                     value_len: len,
                     note_written: None,
@@ -353,7 +371,14 @@ fn get_era_client_decode(
         liveness: Liveness::View(client),
         hedge_node: client_node,
     };
-    let io = client_get_io(world, client, key.clone(), true, true);
+    let io = client_get_io(
+        world,
+        client,
+        key.clone(),
+        true,
+        true,
+        rpc::RpcPriority::Foreground,
+    );
     let world2 = world.clone();
     let launched = FanOut::launch(
         world,
@@ -380,7 +405,7 @@ fn get_era_client_decode(
                         compute: SimDuration::ZERO,
                         ok: false,
                         integrity_ok: true,
-                        retryable: s.discovered,
+                        retryable: s.discovered || s.shed > 0,
                         degraded: false,
                         value_len,
                         note_written: None,
@@ -525,6 +550,51 @@ fn get_era_server_decode(
                 }
                 Delivery::Delivered(at) => at,
             };
+            // The aggregation fan-in bypasses `rpc::get`, so the
+            // aggregator applies the admission bound itself: under a
+            // hot-key herd it refuses with a fast ack instead of queueing
+            // a gather it cannot serve in time.
+            if !aggregator
+                .borrow_mut()
+                .admit(at, rpc::RpcPriority::Foreground)
+            {
+                let world4 = world2.clone();
+                Network::send(
+                    &world2.cluster.net,
+                    sim,
+                    at,
+                    agg_node,
+                    client_node,
+                    rpc::ACK_BYTES,
+                    move |sim, d| {
+                        world4.note_shed(
+                            d.at(),
+                            client_node,
+                            agg_srv,
+                            rpc::RpcPriority::Foreground,
+                        );
+                        finish_op(
+                            &world4,
+                            sim,
+                            op_start,
+                            OpOutcome {
+                                kind: OpKind::Get,
+                                at: d.at(),
+                                request: check + post,
+                                compute: SimDuration::ZERO,
+                                ok: false,
+                                integrity_ok: true,
+                                retryable: true,
+                                degraded: false,
+                                value_len: 0,
+                                note_written: None,
+                            },
+                            done,
+                        );
+                    },
+                );
+                return;
+            }
             let costs = aggregator.borrow().costs();
             let t1 = aggregator.borrow_mut().reserve_cpu(at, costs.op_time(0));
 
@@ -589,6 +659,7 @@ fn get_era_server_decode(
                             agg_node,
                             World::shard_key(&key, issue.slot),
                             issue.cancel,
+                            rpc::RpcPriority::Foreground,
                             move |sim, r| {
                                 reply(
                                     sim,
@@ -603,6 +674,15 @@ fn get_era_server_decode(
                                         Err(rpc::RpcError::ServerDead(t)) => {
                                             world3.mark_dead(client, srv);
                                             ShardReply::Dead { at: t }
+                                        }
+                                        Err(rpc::RpcError::Shed(t)) => {
+                                            world3.note_shed(
+                                                t,
+                                                agg_node,
+                                                srv,
+                                                rpc::RpcPriority::Foreground,
+                                            );
+                                            ShardReply::Shed { at: t }
                                         }
                                     },
                                 );
@@ -671,7 +751,7 @@ fn get_era_server_decode(
                             .map(|c| c.len() as usize)
                             .sum::<usize>()
                             .min(value_len as usize + rpc::ACK_BYTES);
-                    let discovered = s.discovered;
+                    let retryable = s.discovered || s.shed > 0;
                     let world4 = world3.clone();
                     Network::send(
                         &world3.cluster.net,
@@ -692,7 +772,7 @@ fn get_era_server_decode(
                                     compute: SimDuration::ZERO,
                                     ok: ok && d.is_delivered(),
                                     integrity_ok: integrity,
-                                    retryable: discovered,
+                                    retryable,
                                     degraded: was_degraded,
                                     value_len,
                                     note_written: None,

@@ -90,6 +90,12 @@ pub struct Metrics {
     /// Transparent retries after a dead-server discovery (the retried
     /// attempt is not otherwise recorded).
     pub retries: u64,
+    /// Shard requests refused by server admission control (bounded queue
+    /// full). Counts shed RPCs, not shed operations: one fanned-out
+    /// operation can observe several refusals.
+    pub sheds: u64,
+    /// The subset of `sheds` refused at the stricter repair-traffic bound.
+    pub sheds_repair: u64,
     /// Speculative (hedged) chunk-fetch batches issued because a read's
     /// first wave looked slow.
     pub hedges_fired: u64,
@@ -183,6 +189,18 @@ impl Metrics {
     /// Total completed operations.
     pub fn ops(&self) -> u64 {
         self.set_count + self.get_count
+    }
+
+    /// Fraction of shard requests refused by admission control, out of
+    /// all completed operations plus refusals. Zero below the knee; rises
+    /// with offered load once servers saturate.
+    pub fn shed_rate(&self) -> f64 {
+        let denom = self.ops() + self.sheds;
+        if denom == 0 {
+            0.0
+        } else {
+            self.sheds as f64 / denom as f64
+        }
     }
 
     /// Wall-clock (virtual) duration of the run.

@@ -342,7 +342,19 @@ pub(crate) fn pump_repair(world: &Rc<World>, sim: &mut Simulation) {
     }
 }
 
-type RepairDone = Box<dyn FnOnce(&mut Simulation, bool, u64, u64)>;
+/// How one key's rebuild attempt ended.
+enum RepairOutcome {
+    /// The lost chunk/replica is back on the replacement.
+    Repaired,
+    /// Insufficient survivors (or nothing redundant existed): final.
+    Lost,
+    /// Admission control refused a survivor read or the replacement
+    /// write. The servers are overloaded, not failed — the key goes back
+    /// to the queue and the pacer retries it once pressure eases.
+    Shed,
+}
+
+type RepairDone = Box<dyn FnOnce(&mut Simulation, RepairOutcome, u64, u64)>;
 
 /// Dispatches the rebuild of one key per the scheme, with a completion
 /// that books the outcome and re-pumps the queue.
@@ -366,18 +378,21 @@ fn issue_repair_key(
         .trace
         .span_begin_op(eckv_simnet::SpanOpClass::Repair, sim.now());
     let world2 = world.clone();
+    let key2 = key.clone();
     let done: RepairDone = Box::new(
-        move |sim: &mut Simulation, repaired: bool, read: u64, written: u64| {
+        move |sim: &mut Simulation, outcome: RepairOutcome, read: u64, written: u64| {
             if let Some(op) = span {
-                world2.trace.span_end_op(op, sim.now(), repaired);
+                world2
+                    .trace
+                    .span_end_op(op, sim.now(), matches!(outcome, RepairOutcome::Repaired));
             }
             {
                 let mut slot = world2.repair.borrow_mut();
                 let s = slot.as_mut().expect("repair active while keys in flight");
-                if repaired {
-                    s.report.keys_repaired += 1;
-                } else {
-                    s.report.keys_lost += 1;
+                match outcome {
+                    RepairOutcome::Repaired => s.report.keys_repaired += 1,
+                    RepairOutcome::Lost => s.report.keys_lost += 1,
+                    RepairOutcome::Shed => s.queue.push_back(key2),
                 }
                 s.report.bytes_read += read;
                 s.report.bytes_written += written;
@@ -408,7 +423,7 @@ fn issue_repair_key(
                     repair_replica_key(world, sim, failed, key, targets, done)
                 } else {
                     // The replaced server held no copy of this key.
-                    done(sim, true, 0, 0);
+                    done(sim, RepairOutcome::Repaired, 0, 0);
                 }
             } else {
                 repair_erasure_key(world, sim, failed, key, done)
@@ -416,7 +431,7 @@ fn issue_repair_key(
         }
         Scheme::NoRep => {
             // Nothing redundant exists; the data is simply gone.
-            done(sim, false, 0, 0);
+            done(sim, RepairOutcome::Lost, 0, 0);
         }
     }
     world.trace.set_span_scope(prev);
@@ -450,7 +465,7 @@ fn repair_erasure_key(
         .map(|(i, &s)| (i, s))
         .collect();
     if survivors.len() < k {
-        done(sim, false, 0, 0);
+        done(sim, RepairOutcome::Lost, 0, 0);
         return;
     }
     let client_node = world.cluster.client_node(0);
@@ -464,7 +479,7 @@ fn repair_erasure_key(
         hedge_node: client_node,
     }
     .rotated_by(fnv1a_64(key.as_bytes()));
-    let io = client_get_io(world, 0, key.clone(), true, false);
+    let io = client_get_io(world, 0, key.clone(), true, false, rpc::RpcPriority::Repair);
     let world2 = world.clone();
     let from = sim.now();
     let launched = FanOut::launch(
@@ -476,7 +491,12 @@ fn repair_erasure_key(
         Box::new(move |sim, s: Settled| {
             let read: u64 = s.good.iter().map(|(_, c)| c.len()).sum();
             if s.good.len() < k {
-                done(sim, false, read, 0);
+                let outcome = if s.shed > 0 {
+                    RepairOutcome::Shed
+                } else {
+                    RepairOutcome::Lost
+                };
+                done(sim, outcome, read, 0);
                 return;
             }
             let chunks: Vec<(usize, Option<Payload>)> = s
@@ -488,7 +508,7 @@ fn repair_erasure_key(
             // Decode + re-encode the lost shard on the client CPU.
             let expected = world2.expected.borrow().get(&key).copied();
             let Some(w) = expected else {
-                done(sim, false, read, 0);
+                done(sim, RepairOutcome::Lost, read, 0);
                 return;
             };
             let rebuilt = rebuild_shard(&world2, &chunks, lost_shard, w.len, w.digest);
@@ -515,24 +535,34 @@ fn repair_erasure_key(
                 client_node,
                 World::shard_key(&key, lost_shard),
                 rebuilt,
-                move |sim, reply| {
-                    if reply.is_ok() && world3.trace.is_enabled() {
-                        let node = world3.cluster.server_node(failed);
-                        world3.trace.emit(
-                            sim.now(),
-                            TraceEvent::RepairShard {
-                                node,
-                                bytes: written,
-                            },
-                        );
-                        world3
-                            .trace
-                            .counter_add(client_node, "repair_read_bytes", read);
-                        world3
-                            .trace
-                            .counter_add(node, "repair_write_bytes", written);
+                rpc::RpcPriority::Repair,
+                move |sim, reply| match reply {
+                    Ok(_) => {
+                        if world3.trace.is_enabled() {
+                            let node = world3.cluster.server_node(failed);
+                            world3.trace.emit(
+                                sim.now(),
+                                TraceEvent::RepairShard {
+                                    node,
+                                    bytes: written,
+                                },
+                            );
+                            world3
+                                .trace
+                                .counter_add(client_node, "repair_read_bytes", read);
+                            world3
+                                .trace
+                                .counter_add(node, "repair_write_bytes", written);
+                        }
+                        done(sim, RepairOutcome::Repaired, read, written);
                     }
-                    done(sim, reply.is_ok(), read, written);
+                    Err(rpc::RpcError::Shed(t)) => {
+                        world3.note_shed(t, client_node, failed, rpc::RpcPriority::Repair);
+                        done(sim, RepairOutcome::Shed, read, 0);
+                    }
+                    Err(rpc::RpcError::ServerDead(_)) => {
+                        done(sim, RepairOutcome::Lost, read, 0);
+                    }
                 },
             );
         }),
@@ -594,7 +624,7 @@ fn repair_replica_key(
         .enumerate()
         .collect();
     if live.is_empty() {
-        done(sim, false, 0, 0);
+        done(sim, RepairOutcome::Lost, 0, 0);
         return;
     }
     let spec = FanOutSpec {
@@ -605,7 +635,14 @@ fn repair_replica_key(
         hedge_node: client_node,
     }
     .rotated_by(fnv1a_64(key.as_bytes()));
-    let io = client_get_io(world, 0, key.clone(), false, false);
+    let io = client_get_io(
+        world,
+        0,
+        key.clone(),
+        false,
+        false,
+        rpc::RpcPriority::Repair,
+    );
     let world2 = world.clone();
     let from = sim.now();
     let launched = FanOut::launch(
@@ -615,8 +652,14 @@ fn repair_replica_key(
         from,
         io,
         Box::new(move |sim, s: Settled| {
+            let shed = s.shed;
             let Some((_, value)) = s.good.into_iter().next() else {
-                done(sim, false, 0, 0);
+                let outcome = if shed > 0 {
+                    RepairOutcome::Shed
+                } else {
+                    RepairOutcome::Lost
+                };
+                done(sim, outcome, 0, 0);
                 return;
             };
             let read = value.len();
@@ -632,26 +675,36 @@ fn repair_replica_key(
                 client_node,
                 key,
                 value,
-                move |sim, reply| {
+                rpc::RpcPriority::Repair,
+                move |sim, reply| match reply {
                     // Same observability as the erasure path, so
                     // replication-vs-erasure repair traffic is comparable.
-                    if reply.is_ok() && world3.trace.is_enabled() {
-                        let node = world3.cluster.server_node(failed);
-                        world3.trace.emit(
-                            sim.now(),
-                            TraceEvent::RepairShard {
-                                node,
-                                bytes: written,
-                            },
-                        );
-                        world3
-                            .trace
-                            .counter_add(client_node, "repair_read_bytes", read);
-                        world3
-                            .trace
-                            .counter_add(node, "repair_write_bytes", written);
+                    Ok(_) => {
+                        if world3.trace.is_enabled() {
+                            let node = world3.cluster.server_node(failed);
+                            world3.trace.emit(
+                                sim.now(),
+                                TraceEvent::RepairShard {
+                                    node,
+                                    bytes: written,
+                                },
+                            );
+                            world3
+                                .trace
+                                .counter_add(client_node, "repair_read_bytes", read);
+                            world3
+                                .trace
+                                .counter_add(node, "repair_write_bytes", written);
+                        }
+                        done(sim, RepairOutcome::Repaired, read, written);
                     }
-                    done(sim, reply.is_ok(), read, written);
+                    Err(rpc::RpcError::Shed(t)) => {
+                        world3.note_shed(t, client_node, failed, rpc::RpcPriority::Repair);
+                        done(sim, RepairOutcome::Shed, read, 0);
+                    }
+                    Err(rpc::RpcError::ServerDead(_)) => {
+                        done(sim, RepairOutcome::Lost, read, 0);
+                    }
                 },
             );
         }),

@@ -142,7 +142,9 @@ fn set_parallel_replicated(
         hedge_node: world.cluster.client_node(client),
     };
     let key2 = key.clone();
-    let io = client_set_io(world, client, move |_slot| (key2.clone(), payload.clone()));
+    let io = client_set_io(world, client, rpc::RpcPriority::Foreground, move |_slot| {
+        (key2.clone(), payload.clone())
+    });
     let world2 = world.clone();
     let launched = FanOut::launch(
         world,
@@ -251,6 +253,7 @@ fn sync_step(
         client_node,
         key.clone(),
         payload.clone(),
+        rpc::RpcPriority::Foreground,
         move |sim, reply| match reply {
             Ok(_) => sync_step(
                 &world2,
@@ -263,10 +266,21 @@ fn sync_step(
                 op_start,
                 done,
             ),
-            Err(rpc::RpcError::ServerDead(t)) => {
-                // Blocking semantics: the op fails here; the retry (with
-                // the updated view) will skip this replica.
-                world2.mark_dead(client, srv);
+            Err(err) => {
+                // Blocking semantics: the op fails at the first broken
+                // link in the chain. A dead replica updates the view (the
+                // retry skips it); a shed replica stays in the view and a
+                // backed-off retry walks the same chain again.
+                let t = match err {
+                    rpc::RpcError::ServerDead(t) => {
+                        world2.mark_dead(client, srv);
+                        t
+                    }
+                    rpc::RpcError::Shed(t) => {
+                        world2.note_shed(t, client_node, srv, rpc::RpcPriority::Foreground);
+                        t
+                    }
+                };
                 finish_op(
                     &world2,
                     sim,
@@ -343,7 +357,7 @@ fn set_era_client_encode(
         hedge_node: client_node,
     };
     let key2 = key.clone();
-    let io = client_set_io(world, client, move |slot| {
+    let io = client_set_io(world, client, rpc::RpcPriority::Foreground, move |slot| {
         (World::shard_key(&key2, slot), shards[slot].clone())
     });
     let world2 = world.clone();
@@ -456,6 +470,47 @@ fn set_era_server_encode(
                 }
                 Delivery::Delivered(at) => at,
             };
+            // The encoder's ingest bypasses `rpc::set`, so it applies the
+            // admission bound itself: a capped encoder refuses with a
+            // fast ack before reserving any worker or codec time.
+            if !encoder.borrow_mut().admit(at, rpc::RpcPriority::Foreground) {
+                let world4 = world2.clone();
+                Network::send(
+                    &net,
+                    sim,
+                    at,
+                    encoder_node,
+                    client_node,
+                    rpc::ACK_BYTES,
+                    move |sim, d| {
+                        world4.note_shed(
+                            d.at(),
+                            client_node,
+                            encoder_srv,
+                            rpc::RpcPriority::Foreground,
+                        );
+                        finish_op(
+                            &world4,
+                            sim,
+                            op_start,
+                            OpOutcome {
+                                kind: OpKind::Set,
+                                at: d.at(),
+                                request: post,
+                                compute: SimDuration::ZERO,
+                                ok: false,
+                                integrity_ok: true,
+                                retryable: true,
+                                degraded: false,
+                                value_len,
+                                note_written: None,
+                            },
+                            done,
+                        );
+                    },
+                );
+                return;
+            }
             // Ingest the value, encode on the server's workers, store the
             // encoder's own chunk.
             let enc_done = {
@@ -547,6 +602,7 @@ fn set_era_server_encode(
                         encoder_node,
                         World::shard_key(&key, issue.slot),
                         shards[issue.slot].clone(),
+                        rpc::RpcPriority::Foreground,
                         move |sim, r| {
                             reply(
                                 sim,
@@ -558,6 +614,15 @@ fn set_era_server_encode(
                                     Err(rpc::RpcError::ServerDead(t)) => {
                                         world3.mark_dead(client, srv);
                                         ShardReply::Dead { at: t }
+                                    }
+                                    Err(rpc::RpcError::Shed(t)) => {
+                                        world3.note_shed(
+                                            t,
+                                            encoder_node,
+                                            srv,
+                                            rpc::RpcPriority::Foreground,
+                                        );
+                                        ShardReply::Shed { at: t }
                                     }
                                 },
                             );

@@ -6,8 +6,10 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use eckv_erasure::Striper;
-use eckv_simnet::{Histogram, NodeId, SimDuration, SimTime, Trace, WorkerPool};
-use eckv_store::{ClusterConfig, KvCluster};
+use eckv_simnet::{
+    Histogram, NodeId, QueueCap, SimDuration, SimRng, SimTime, Trace, TraceEvent, WorkerPool,
+};
+use eckv_store::{rpc::RpcPriority, AdmissionCaps, ClusterConfig, KvCluster};
 
 use crate::costs;
 use crate::metrics::Metrics;
@@ -136,6 +138,90 @@ impl RepairConfig {
     }
 }
 
+/// Per-node admission control: bounded server queues with load-shedding.
+///
+/// With admission enabled, each server refuses work past a configurable
+/// outstanding-depth (and optionally queue-delay) bound instead of letting
+/// its FIFO queue grow without limit. The refusal is a fast retryable
+/// SHED reply — the driver's retry machinery backs off (with jitter) and
+/// tries again — so past the saturation knee the store trades shed-rate
+/// for bounded admitted-op latency rather than collapsing. Background
+/// repair traffic is shed at a stricter bound than foreground traffic, so
+/// rebuilds yield first under overload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Outstanding-request bound for foreground traffic on each server's
+    /// worker queue (queued + in service).
+    pub depth: u64,
+    /// Stricter outstanding-request bound for background repair traffic,
+    /// so repair is shed before any foreground request.
+    pub repair_depth: u64,
+    /// Optional bound on projected queue wait: requests that would sit
+    /// longer than this before service are shed even below the depth cap.
+    pub delay: Option<SimDuration>,
+}
+
+impl AdmissionConfig {
+    /// Admission with a foreground depth bound of `depth`; repair traffic
+    /// gets half that bound (at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn depth(depth: u64) -> Self {
+        assert!(depth > 0, "admission depth must be at least 1");
+        AdmissionConfig {
+            depth,
+            repair_depth: (depth / 2).max(1),
+            delay: None,
+        }
+    }
+
+    /// Sets the repair-traffic depth bound (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0` or it exceeds the foreground bound (repair
+    /// must never outlive foreground under pressure).
+    pub fn repair_depth(mut self, depth: u64) -> Self {
+        assert!(depth > 0, "repair admission depth must be at least 1");
+        assert!(
+            depth <= self.depth,
+            "repair depth must not exceed the foreground depth"
+        );
+        self.repair_depth = depth;
+        self
+    }
+
+    /// Bounds projected queue wait (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is zero.
+    pub fn delay(mut self, delay: SimDuration) -> Self {
+        assert!(
+            delay > SimDuration::ZERO,
+            "admission delay must be positive"
+        );
+        self.delay = Some(delay);
+        self
+    }
+
+    /// The per-server caps this policy installs.
+    pub(crate) fn caps(&self) -> AdmissionCaps {
+        AdmissionCaps {
+            foreground: QueueCap {
+                depth: Some(self.depth),
+                delay: self.delay,
+            },
+            repair: QueueCap {
+                depth: Some(self.repair_depth),
+                delay: self.delay,
+            },
+        }
+    }
+}
+
 /// Configuration of one engine deployment.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -172,6 +258,10 @@ pub struct EngineConfig {
     pub retry_backoff: SimDuration,
     /// Online repair engine policy (window and bandwidth throttle).
     pub repair: RepairConfig,
+    /// Per-node admission control (`None` = unbounded queues, the
+    /// pre-admission behaviour: traces are byte-identical to builds
+    /// without admission support).
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl EngineConfig {
@@ -190,6 +280,7 @@ impl EngineConfig {
             deadline: None,
             retry_backoff: SimDuration::from_micros(2),
             repair: RepairConfig::default(),
+            admission: None,
         }
     }
 
@@ -250,6 +341,12 @@ impl EngineConfig {
         self.repair = r;
         self
     }
+
+    /// Enables per-node admission control (builder style).
+    pub fn admission(mut self, a: AdmissionConfig) -> Self {
+        self.admission = Some(a);
+        self
+    }
 }
 
 /// What the engine remembers about a written value, for read validation.
@@ -293,6 +390,10 @@ pub struct World {
     /// First-arriving-chunk latency of past erasure reads, feeding the
     /// adaptive hedge trigger. Only populated when hedging is enabled.
     chunk_latency: RefCell<Histogram>,
+    /// Per-client seeded RNGs for retry-backoff jitter. Drawn from only
+    /// when an operation actually retries, so retry-free runs remain
+    /// byte-identical to builds without jitter.
+    retry_rng: RefCell<Vec<SimRng>>,
     /// TraceBus handle shared with the transport and servers. Disabled
     /// (zero-cost) unless the world was built with [`World::new_traced`].
     pub trace: Trace,
@@ -325,6 +426,7 @@ impl World {
     pub fn new_traced(cfg: EngineConfig, trace: Trace) -> Rc<World> {
         let cluster = KvCluster::build(cfg.cluster);
         cluster.set_trace(&trace);
+        cluster.set_admission(cfg.admission.as_ref().map(AdmissionConfig::caps));
         assert!(
             cfg.scheme.servers_per_key() <= cfg.cluster.servers,
             "{} needs {} servers but the cluster has {}",
@@ -339,6 +441,11 @@ impl World {
             .map(|i| WorkerPool::new(format!("client{i}.cpu"), 1))
             .collect();
         let views = vec![vec![true; cfg.cluster.servers]; cfg.cluster.clients];
+        // Fixed salt, same idiom as the straggler-jitter seeds: every
+        // client's jitter stream is independent and reproducible.
+        let retry_rng = (0..cfg.cluster.clients)
+            .map(|i| SimRng::seed_from_u64(0x6A17_7E52_BAC0_0FF5u64 ^ (i as u64)))
+            .collect();
         let mut metrics = Metrics::default();
         if cfg.record_timeline {
             metrics.timeline = Some(Vec::new());
@@ -354,6 +461,7 @@ impl World {
             expected: RefCell::new(HashMap::new()),
             views: RefCell::new(views),
             chunk_latency: RefCell::new(Histogram::default()),
+            retry_rng: RefCell::new(retry_rng),
             trace,
             repair: RefCell::new(None),
             last_repair: std::cell::Cell::new(None),
@@ -401,7 +509,11 @@ impl World {
         now: SimTime,
         service: SimDuration,
     ) -> SimTime {
-        let (start, done) = self.client_cpus.borrow_mut()[client].reserve_timed(now, service);
+        let mut cpus = self.client_cpus.borrow_mut();
+        // Client ops issue at real clock instants, so pruning here keeps
+        // the per-client backlog ledger from growing over long runs.
+        cpus[client].prune(now);
+        let (start, done) = cpus[client].reserve_timed(now, service);
         if self.trace.spans_enabled() {
             let node = self.cluster.client_node(client);
             self.trace
@@ -465,6 +577,21 @@ impl World {
         costs::decode_time(&self.cluster.compute().slowed(f), striper, len, erased_data)
     }
 
+    /// Applies deterministic per-client "equal jitter" to a retry
+    /// backoff: half the delay is kept, the other half drawn uniformly
+    /// from the client's seeded stream. Decorrelates clients that failed
+    /// together so their retries do not arrive as a synchronized storm.
+    /// Only called on actual retries, so retry-free runs draw nothing and
+    /// stay byte-identical.
+    pub(crate) fn jittered_backoff(&self, client: usize, backoff: SimDuration) -> SimDuration {
+        let half = SimDuration::from_nanos(backoff.as_nanos() / 2);
+        if half == SimDuration::ZERO {
+            return backoff;
+        }
+        let jitter = self.retry_rng.borrow_mut()[client].next_below(half.as_nanos() + 1);
+        half.saturating_add(SimDuration::from_nanos(jitter))
+    }
+
     /// Feeds one first-chunk latency sample into the hedge estimator.
     /// No-op when hedging is disabled, so baseline runs stay untouched.
     pub(crate) fn note_first_chunk_latency(&self, d: SimDuration) {
@@ -500,6 +627,38 @@ impl World {
     /// Notes that `client` observed server `srv` failing.
     pub fn mark_dead(&self, client: usize, srv: usize) {
         self.views.borrow_mut()[client][srv] = false;
+    }
+
+    /// Books one admission refusal observed at `client_node`: bumps the
+    /// shed counters and emits the client-side `op_shed` trace event. The
+    /// failure views are untouched — a shedding server is alive, and the
+    /// refusal must not divert future waves away from it for good.
+    pub(crate) fn note_shed(
+        &self,
+        at: SimTime,
+        client_node: NodeId,
+        srv: usize,
+        prio: RpcPriority,
+    ) {
+        let repair = prio.is_repair();
+        {
+            let mut m = self.metrics.borrow_mut();
+            m.sheds += 1;
+            if repair {
+                m.sheds_repair += 1;
+            }
+        }
+        if self.trace.is_enabled() {
+            let server = self.cluster.servers[srv].borrow().node();
+            self.trace.emit(
+                at,
+                TraceEvent::OpShed {
+                    client: client_node,
+                    server,
+                    repair,
+                },
+            );
+        }
     }
 
     /// Notes that `client` observed server `srv` back (post-repair).

@@ -46,7 +46,7 @@ pub use cluster::{ClusterProfile, CpuProfile, TransportKind};
 pub use compute::{trace_codec, ComputeModel};
 pub use engine::Simulation;
 pub use net::{Delivery, NetConfig, Network, NodeId, WireProtocol};
-pub use resource::{FifoResource, WorkerPool};
+pub use resource::{FifoResource, QueueCap, WorkerPool};
 pub use rng::SimRng;
 pub use span::{OpAttribution, SlowOp, Span, SpanCollector, SpanOpClass, SpanPhase};
 pub use stats::{Histogram, Summary};

@@ -428,11 +428,15 @@ impl Network {
                 }
                 WireProtocol::Eager => (now, scale_duration(overhead, to_slow)),
             };
-            // Sender serializes the payload onto the wire...
+            // Sender serializes the payload onto the wire... The backlog
+            // ledger is compacted at the same instant the queue-enter event
+            // is stamped with, so the emitted depth sees exactly the
+            // still-outstanding transmissions.
+            n.nodes[from.0].tx.prune(tx_start);
             let tx_free = n.nodes[from.0].tx.free_at();
             let tx_done = n.nodes[from.0].tx.reserve(tx_start, tx_wire);
             if traced {
-                let depth = n.nodes[from.0].tx.queue_depth();
+                let depth = n.nodes[from.0].tx.queue_depth(tx_start);
                 let hwm = n.nodes[from.0].tx.queue_hwm();
                 let waited = tx_free.max(tx_start).since(tx_start);
                 n.trace.emit(
@@ -478,10 +482,11 @@ impl Network {
             let net = net.clone();
             sim.schedule_at(arrival, move |sim| {
                 let mut n = net.borrow_mut();
+                n.nodes[to.0].rx.prune(arrival);
                 let rx_free = n.nodes[to.0].rx.free_at();
                 let delivered = n.nodes[to.0].rx.reserve(arrival, rx_cost);
                 if traced {
-                    let depth = n.nodes[to.0].rx.queue_depth();
+                    let depth = n.nodes[to.0].rx.queue_depth(arrival);
                     let hwm = n.nodes[to.0].rx.queue_hwm();
                     let waited = rx_free.max(arrival).since(arrival);
                     n.trace.emit(

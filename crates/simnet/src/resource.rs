@@ -11,6 +11,53 @@ use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
 
+/// An admission bound on a FIFO resource: work beyond the cap is refused
+/// instead of queued.
+///
+/// Either limit (or both) may be set; an unset limit never refuses. A cap
+/// can be installed on a resource ([`FifoResource::set_cap`],
+/// [`WorkerPool::set_cap`]) to gate its `try_reserve` variants, or passed
+/// ad hoc to `admits_within` for callers that apply different bounds to
+/// different traffic classes on the same resource (e.g. shedding repair
+/// traffic at a lower depth than foreground traffic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueCap {
+    /// Refuse when this many reservations are already outstanding at
+    /// admission time (queued or in service).
+    pub depth: Option<u64>,
+    /// Refuse when the new reservation would wait longer than this before
+    /// entering service.
+    pub delay: Option<SimDuration>,
+}
+
+impl QueueCap {
+    /// A cap on outstanding depth only.
+    pub fn depth(depth: u64) -> Self {
+        QueueCap {
+            depth: Some(depth),
+            delay: None,
+        }
+    }
+
+    /// Adds a bound on queue wait.
+    pub fn with_delay(mut self, delay: SimDuration) -> Self {
+        self.delay = Some(delay);
+        self
+    }
+
+    /// Whether work finding `depth` reservations outstanding and facing
+    /// `wait` before service is admitted under this cap.
+    pub fn admits(&self, depth: u64, wait: SimDuration) -> bool {
+        if matches!(self.depth, Some(cap) if depth >= cap) {
+            return false;
+        }
+        if matches!(self.delay, Some(cap) if wait > cap) {
+            return false;
+        }
+        true
+    }
+}
+
 /// A single-server FIFO resource — e.g. one direction of a NIC, where
 /// transmissions serialize at link bandwidth.
 ///
@@ -33,7 +80,9 @@ pub struct FifoResource {
     busy: SimDuration,
     reservations: u64,
     pending: BinaryHeap<Reverse<SimTime>>,
+    floor: SimTime,
     queue_hwm: u64,
+    cap: Option<QueueCap>,
 }
 
 impl FifoResource {
@@ -45,19 +94,81 @@ impl FifoResource {
             busy: SimDuration::ZERO,
             reservations: 0,
             pending: BinaryHeap::new(),
+            floor: SimTime::ZERO,
             queue_hwm: 0,
+            cap: None,
         }
+    }
+
+    /// Installs (or clears) the admission bound consulted by
+    /// [`FifoResource::try_reserve`]. Plain [`FifoResource::reserve`] stays
+    /// unconditional.
+    pub fn set_cap(&mut self, cap: Option<QueueCap>) {
+        self.cap = cap;
+    }
+
+    /// The installed admission bound, if any.
+    pub fn cap(&self) -> Option<&QueueCap> {
+        self.cap.as_ref()
+    }
+
+    /// Queue wait a reservation made at `now` would incur before entering
+    /// service.
+    pub fn wait_at(&self, now: SimTime) -> SimDuration {
+        self.free_at.since(now)
+    }
+
+    /// Whether work arriving at `now` passes `cap`, without reserving.
+    pub fn admits_within(&self, now: SimTime, cap: &QueueCap) -> bool {
+        cap.admits(self.queue_depth(now), self.wait_at(now))
+    }
+
+    /// Whether work arriving at `now` passes the installed cap (always
+    /// true when no cap is installed), without reserving.
+    pub fn admits(&self, now: SimTime) -> bool {
+        match &self.cap {
+            Some(cap) => self.admits_within(now, cap),
+            None => true,
+        }
+    }
+
+    /// Bounded-queue reserve: refuses (returns `None`, reserving nothing)
+    /// when the installed [`QueueCap`] is exceeded, otherwise reserves
+    /// like [`FifoResource::reserve`].
+    pub fn try_reserve(&mut self, now: SimTime, service: SimDuration) -> Option<SimTime> {
+        self.admits(now).then(|| self.reserve(now, service))
+    }
+
+    /// Advances the backlog watermark to `now` and drops bookkeeping for
+    /// reservations that completed by then.
+    ///
+    /// Call this only with the *current simulation instant* — never with a
+    /// reservation timestamp. Reservation `now` arguments may legitimately
+    /// lie in the future (fan-out issue times, rendezvous starts book work
+    /// at the queue frontier), and pruning against such an instant would
+    /// discard bookings that are still outstanding from the perspective of
+    /// the next real-clock arrival, silently under-reporting the backlog.
+    pub fn prune(&mut self, now: SimTime) {
+        self.floor = self.floor.max(now);
+        while matches!(self.pending.peek(), Some(&Reverse(t)) if t <= self.floor) {
+            self.pending.pop();
+        }
+        self.queue_hwm = self.queue_hwm.max(self.pending.len() as u64);
     }
 
     /// Reserves `service` time starting no earlier than `now`; returns the
     /// completion instant.
+    ///
+    /// `now` may be a future instant (work booked ahead at the queue
+    /// frontier); bookkeeping is compacted only against the monotone
+    /// [`FifoResource::prune`] watermark, never against `now` itself.
     pub fn reserve(&mut self, now: SimTime, service: SimDuration) -> SimTime {
         let start = self.free_at.max(now);
         let end = start + service;
         self.free_at = end;
         self.busy += service;
         self.reservations += 1;
-        while matches!(self.pending.peek(), Some(&Reverse(t)) if t <= now) {
+        while matches!(self.pending.peek(), Some(&Reverse(t)) if t <= self.floor) {
             self.pending.pop();
         }
         self.pending.push(Reverse(end));
@@ -74,10 +185,13 @@ impl FifoResource {
         (start, self.reserve(now, service))
     }
 
-    /// Outstanding reservations (queued or in service) as of the last
-    /// [`FifoResource::reserve`] call, including that reservation itself.
-    pub fn queue_depth(&self) -> u64 {
-        self.pending.len() as u64
+    /// Reservations still outstanding (queued or in service) at `now`.
+    ///
+    /// Counted by time rather than from the lazily-compacted bookkeeping
+    /// heap, so an idle resource reports 0 without waiting for the next
+    /// [`FifoResource::prune`] call to drop drained entries.
+    pub fn queue_depth(&self, now: SimTime) -> u64 {
+        self.pending.iter().filter(|&&Reverse(t)| t > now).count() as u64
     }
 
     /// Highest queue depth ever observed.
@@ -133,7 +247,9 @@ pub struct WorkerPool {
     busy: SimDuration,
     reservations: u64,
     pending: BinaryHeap<Reverse<SimTime>>,
+    floor: SimTime,
     queue_hwm: u64,
+    cap: Option<QueueCap>,
 }
 
 impl WorkerPool {
@@ -155,12 +271,85 @@ impl WorkerPool {
             busy: SimDuration::ZERO,
             reservations: 0,
             pending: BinaryHeap::new(),
+            floor: SimTime::ZERO,
             queue_hwm: 0,
+            cap: None,
         }
+    }
+
+    /// Installs (or clears) the admission bound consulted by
+    /// [`WorkerPool::try_reserve`]. Plain [`WorkerPool::reserve`] stays
+    /// unconditional.
+    pub fn set_cap(&mut self, cap: Option<QueueCap>) {
+        self.cap = cap;
+    }
+
+    /// The installed admission bound, if any.
+    pub fn cap(&self) -> Option<&QueueCap> {
+        self.cap.as_ref()
+    }
+
+    /// Queue wait a job submitted at `now` would incur before the
+    /// earliest-free worker picks it up.
+    pub fn wait_at(&self, now: SimTime) -> SimDuration {
+        let Reverse(earliest) = *self.free_at.peek().expect("pool is never empty");
+        earliest.since(now)
+    }
+
+    /// Whether a job arriving at `now` passes `cap`, without reserving.
+    pub fn admits_within(&self, now: SimTime, cap: &QueueCap) -> bool {
+        cap.admits(self.queue_depth(now), self.wait_at(now))
+    }
+
+    /// Whether a job arriving at `now` passes the installed cap (always
+    /// true when no cap is installed), without reserving.
+    pub fn admits(&self, now: SimTime) -> bool {
+        match &self.cap {
+            Some(cap) => self.admits_within(now, cap),
+            None => true,
+        }
+    }
+
+    /// Bounded-queue reserve: refuses (returns `None`, reserving nothing)
+    /// when the installed [`QueueCap`] is exceeded, otherwise reserves
+    /// like [`WorkerPool::reserve`].
+    pub fn try_reserve(&mut self, now: SimTime, service: SimDuration) -> Option<SimTime> {
+        self.admits(now).then(|| self.reserve(now, service))
+    }
+
+    /// Bounded-queue [`WorkerPool::reserve_timed`]: refuses under the
+    /// installed [`QueueCap`], otherwise returns `(start, end)`.
+    pub fn try_reserve_timed(
+        &mut self,
+        now: SimTime,
+        service: SimDuration,
+    ) -> Option<(SimTime, SimTime)> {
+        self.admits(now).then(|| self.reserve_timed(now, service))
+    }
+
+    /// Advances the backlog watermark to `now` and drops bookkeeping for
+    /// reservations that completed by then.
+    ///
+    /// Call this only with the *current simulation instant* — never with a
+    /// reservation timestamp. Reservation `now` arguments may legitimately
+    /// lie in the future (fan-out issue times book chunk work at the queue
+    /// frontier), and pruning against such an instant would discard
+    /// bookings that are still outstanding from the perspective of the
+    /// next real-clock arrival, silently under-reporting the backlog.
+    pub fn prune(&mut self, now: SimTime) {
+        self.floor = self.floor.max(now);
+        while matches!(self.pending.peek(), Some(&Reverse(t)) if t <= self.floor) {
+            self.pending.pop();
+        }
+        self.queue_hwm = self.queue_hwm.max(self.pending.len() as u64);
     }
 
     /// Reserves `service` time on the earliest-free worker; returns the
     /// completion instant.
+    ///
+    /// `now` may be a future instant (work booked ahead at the queue
+    /// frontier); bookkeeping is compacted only against the monotone
+    /// [`WorkerPool::prune`] watermark, never against `now` itself.
     pub fn reserve(&mut self, now: SimTime, service: SimDuration) -> SimTime {
         let Reverse(earliest) = self.free_at.pop().expect("pool is never empty");
         let start = earliest.max(now);
@@ -168,7 +357,7 @@ impl WorkerPool {
         self.free_at.push(Reverse(end));
         self.busy += service;
         self.reservations += 1;
-        while matches!(self.pending.peek(), Some(&Reverse(t)) if t <= now) {
+        while matches!(self.pending.peek(), Some(&Reverse(t)) if t <= self.floor) {
             self.pending.pop();
         }
         self.pending.push(Reverse(end));
@@ -185,10 +374,13 @@ impl WorkerPool {
         (start, self.reserve(now, service))
     }
 
-    /// Outstanding reservations (queued or running) as of the last
-    /// [`WorkerPool::reserve`] call, including that reservation itself.
-    pub fn queue_depth(&self) -> u64 {
-        self.pending.len() as u64
+    /// Reservations still outstanding (queued or running) at `now`.
+    ///
+    /// Counted by time rather than from the lazily-compacted bookkeeping
+    /// heap, so an idle pool reports 0 without waiting for the next
+    /// [`WorkerPool::prune`] call to drop drained entries.
+    pub fn queue_depth(&self, now: SimTime) -> u64 {
+        self.pending.iter().filter(|&&Reverse(t)| t > now).count() as u64
     }
 
     /// Highest queue depth ever observed.
@@ -298,12 +490,13 @@ mod tests {
         r.reserve(SimTime::ZERO, d);
         r.reserve(SimTime::ZERO, d);
         r.reserve(SimTime::ZERO, d);
-        assert_eq!(r.queue_depth(), 3);
+        assert_eq!(r.queue_depth(SimTime::ZERO), 3);
         assert_eq!(r.queue_hwm(), 3);
         // By t=25us two reservations have drained; only the third plus the
         // new one remain outstanding.
+        r.prune(SimTime::from_nanos(25_000));
         r.reserve(SimTime::from_nanos(25_000), d);
-        assert_eq!(r.queue_depth(), 2);
+        assert_eq!(r.queue_depth(SimTime::from_nanos(25_000)), 2);
         assert_eq!(r.queue_hwm(), 3, "high-water mark is sticky");
     }
 
@@ -314,11 +507,117 @@ mod tests {
         for _ in 0..4 {
             p.reserve(SimTime::ZERO, d);
         }
-        assert_eq!(p.queue_depth(), 4, "two running + two queued");
+        assert_eq!(p.queue_depth(SimTime::ZERO), 4, "two running + two queued");
         // By t=35us all four are done (first wave at 10us, second at 20us),
         // so only the new reservation is outstanding.
+        p.prune(SimTime::from_nanos(35_000));
         p.reserve(SimTime::from_nanos(35_000), d);
-        assert_eq!(p.queue_depth(), 1);
+        assert_eq!(p.queue_depth(SimTime::from_nanos(35_000)), 1);
         assert_eq!(p.queue_hwm(), 4);
+    }
+
+    #[test]
+    fn future_dated_bookings_do_not_erase_the_backlog() {
+        // A decode aggregator books its chunk reads at the queue frontier
+        // (a future instant) from within the event that admitted each
+        // request. Those future-dated reservations must not discard
+        // bookings that are still outstanding from the perspective of the
+        // next real-clock arrival — otherwise queue depth under-reports
+        // the backlog and depth-based admission never refuses.
+        let us = |n: u64| SimTime::from_nanos(n * 1000);
+        let d = |n| SimDuration::from_micros(n);
+        let mut p = WorkerPool::new("cpu", 1);
+        for i in 0..10 {
+            let arrival = us(i); // one request per microsecond, real clock
+            p.prune(arrival);
+            let ingest_done = p.reserve(arrival, d(2));
+            p.reserve(ingest_done, d(2)); // chunk read, booked at the frontier
+        }
+        // Service ends fall at 2, 4, 6, ... us: by the last arrival (t=9us)
+        // only four of the twenty bookings have drained.
+        assert_eq!(p.queue_depth(us(9)), 16, "depth must see the real backlog");
+        assert!(p.queue_hwm() >= 16);
+
+        let mut r = FifoResource::new("link");
+        for i in 0..10 {
+            let arrival = us(i);
+            r.prune(arrival);
+            let done = r.reserve(arrival, d(2));
+            r.reserve(done, d(2));
+        }
+        assert_eq!(r.queue_depth(us(9)), 16);
+    }
+
+    #[test]
+    fn queue_depth_drains_to_zero_without_another_reserve() {
+        // The accessor must prune by time itself: an idle resource reports
+        // 0 even though `pending` is only compacted inside `reserve`.
+        let d = SimDuration::from_micros(10);
+        let mut r = FifoResource::new("link");
+        r.reserve(SimTime::ZERO, d);
+        r.reserve(SimTime::ZERO, d);
+        assert_eq!(r.queue_depth(SimTime::from_nanos(5_000)), 2);
+        assert_eq!(r.queue_depth(SimTime::from_nanos(15_000)), 1);
+        assert_eq!(r.queue_depth(SimTime::from_nanos(20_000)), 0);
+
+        let mut p = WorkerPool::new("cpu", 2);
+        p.reserve(SimTime::ZERO, d);
+        p.reserve(SimTime::ZERO, d);
+        p.reserve(SimTime::ZERO, d);
+        assert_eq!(p.queue_depth(SimTime::from_nanos(15_000)), 1);
+        assert_eq!(p.queue_depth(SimTime::from_nanos(20_000)), 0);
+        assert_eq!(p.queue_hwm(), 3, "draining never rewinds the HWM");
+    }
+
+    #[test]
+    fn depth_cap_refuses_at_the_bound_and_readmits_after_drain() {
+        let d = SimDuration::from_micros(10);
+        let mut p = WorkerPool::new("cpu", 1);
+        p.set_cap(Some(QueueCap::depth(2)));
+        assert!(p.try_reserve(SimTime::ZERO, d).is_some());
+        assert!(p.try_reserve(SimTime::ZERO, d).is_some());
+        // Two outstanding: at the cap, the third is refused and nothing
+        // about the pool changes.
+        let before = (p.reservations(), p.busy_time());
+        assert_eq!(p.try_reserve(SimTime::ZERO, d), None);
+        assert_eq!((p.reservations(), p.busy_time()), before);
+        // Once one reservation drains the pool admits again.
+        let t = SimTime::from_nanos(15_000);
+        assert_eq!(p.try_reserve(t, d), Some(SimTime::from_nanos(30_000)));
+
+        let mut r = FifoResource::new("link");
+        r.set_cap(Some(QueueCap::depth(1)));
+        assert!(r.try_reserve(SimTime::ZERO, d).is_some());
+        assert_eq!(r.try_reserve(SimTime::ZERO, d), None);
+        // Plain reserve stays unconditional even with a cap installed.
+        assert_eq!(r.reserve(SimTime::ZERO, d), SimTime::from_nanos(20_000));
+    }
+
+    #[test]
+    fn delay_cap_refuses_on_projected_wait() {
+        let d = SimDuration::from_micros(10);
+        let mut r = FifoResource::new("link");
+        r.set_cap(Some(QueueCap {
+            depth: None,
+            delay: Some(SimDuration::from_micros(15)),
+        }));
+        assert!(r.try_reserve(SimTime::ZERO, d).is_some()); // wait 0
+        assert!(r.try_reserve(SimTime::ZERO, d).is_some()); // wait 10us
+        assert_eq!(r.try_reserve(SimTime::ZERO, d), None); // wait 20us > cap
+        assert_eq!(r.wait_at(SimTime::ZERO), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn admits_within_applies_per_class_bounds() {
+        // One pool, two traffic classes: the stricter (repair) bound
+        // refuses while the looser (foreground) one still admits.
+        let d = SimDuration::from_micros(10);
+        let mut p = WorkerPool::new("cpu", 1);
+        p.reserve(SimTime::ZERO, d);
+        p.reserve(SimTime::ZERO, d);
+        assert!(p.admits_within(SimTime::ZERO, &QueueCap::depth(4)));
+        assert!(!p.admits_within(SimTime::ZERO, &QueueCap::depth(2)));
+        // No cap installed: unconditional admission.
+        assert!(p.admits(SimTime::ZERO));
     }
 }

@@ -118,6 +118,18 @@ impl SimDuration {
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
+
+    /// Saturating scalar multiplication: clamps at the representable
+    /// maximum instead of overflowing (unlike `Mul<u64>`).
+    pub fn saturating_mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+
+    /// Saturating addition: clamps at the representable maximum instead of
+    /// overflowing.
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
 }
 
 impl Add<SimDuration> for SimTime {

@@ -85,6 +85,8 @@ pub fn event_schema() -> String {
         ("repair_throttled", "node, dur_ns"),
         ("repair_key_promoted", "node, bytes"),
         ("repair_done", "node, bytes, dur_ns"),
+        ("queue_capped", "node, kind, bytes"),
+        ("op_shed", "node, peer, kind"),
     ];
     for (name, fields) in EVENTS {
         out.push_str(&format!("{name}: {fields}\n"));
@@ -311,6 +313,27 @@ pub enum TraceEvent {
         /// Zero-based queue position the key jumped from.
         depth: u64,
     },
+    /// An overloaded server refused new work at its bounded-queue cap.
+    QueueCapped {
+        /// The overloaded server node.
+        node: NodeId,
+        /// Outstanding queue depth at refusal time.
+        depth: u64,
+        /// Whether the refused request was background repair traffic
+        /// (repair is shed at a stricter bound than foreground work).
+        repair: bool,
+    },
+    /// A request was shed by an overloaded server: a fast retryable
+    /// refusal observed on the issuing side, not a failure.
+    OpShed {
+        /// Node the issuing side runs on (client, aggregator, or repair
+        /// driver).
+        client: NodeId,
+        /// The server that shed the request.
+        server: NodeId,
+        /// Whether the shed request was background repair traffic.
+        repair: bool,
+    },
     /// The repair queue drained (every lost key repaired or written off).
     RepairDone {
         /// Node that drove the repair.
@@ -360,6 +383,8 @@ impl TraceEvent {
             TraceEvent::RepairStarted { .. } => "repair_started",
             TraceEvent::RepairThrottled { .. } => "repair_throttled",
             TraceEvent::RepairKeyPromoted { .. } => "repair_key_promoted",
+            TraceEvent::QueueCapped { .. } => "queue_capped",
+            TraceEvent::OpShed { .. } => "op_shed",
             TraceEvent::RepairDone { .. } => "repair_done",
         }
     }
@@ -508,6 +533,24 @@ impl TraceRecord {
             TraceEvent::RepairKeyPromoted { node, depth } => {
                 f.node = Some(node);
                 f.bytes = Some(depth);
+            }
+            TraceEvent::QueueCapped {
+                node,
+                depth,
+                repair,
+            } => {
+                f.node = Some(node);
+                f.bytes = Some(depth);
+                f.kind = Some(if repair { "repair" } else { "fg" });
+            }
+            TraceEvent::OpShed {
+                client,
+                server,
+                repair,
+            } => {
+                f.node = Some(client);
+                f.peer = Some(server);
+                f.kind = Some(if repair { "repair" } else { "fg" });
             }
             TraceEvent::RepairDone {
                 node,
@@ -1200,6 +1243,40 @@ mod tests {
         assert_eq!(
             out,
             "{\"at_ns\":300,\"seq\":2,\"event\":\"repair_done\",\"node\":5,\"bytes\":30,\"dur_ns\":9000}\n"
+        );
+    }
+
+    #[test]
+    fn admission_events_serialize() {
+        let mut out = String::new();
+        TraceRecord {
+            at: SimTime::from_nanos(10),
+            seq: 0,
+            event: TraceEvent::QueueCapped {
+                node: NodeId(2),
+                depth: 64,
+                repair: true,
+            },
+        }
+        .write_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"at_ns\":10,\"seq\":0,\"event\":\"queue_capped\",\"node\":2,\"kind\":\"repair\",\"bytes\":64}\n"
+        );
+        let mut out = String::new();
+        TraceRecord {
+            at: SimTime::from_nanos(20),
+            seq: 1,
+            event: TraceEvent::OpShed {
+                client: NodeId(7),
+                server: NodeId(2),
+                repair: false,
+            },
+        }
+        .write_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"at_ns\":20,\"seq\":1,\"event\":\"op_shed\",\"node\":7,\"peer\":2,\"kind\":\"fg\"}\n"
         );
     }
 

@@ -168,6 +168,15 @@ impl KvCluster {
         }
     }
 
+    /// Installs (or clears) per-class admission bounds on every server's
+    /// worker queue. With `None` (the default) servers admit
+    /// unconditionally.
+    pub fn set_admission(&self, caps: Option<crate::server::AdmissionCaps>) {
+        for s in &self.servers {
+            s.borrow_mut().set_admission(caps);
+        }
+    }
+
     /// Simulated node of server `i`.
     pub fn server_node(&self, i: usize) -> NodeId {
         NodeId(i)

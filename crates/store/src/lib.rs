@@ -46,7 +46,7 @@ mod store_node;
 pub use cluster::{ClusterConfig, KvCluster};
 pub use hashring::HashRing;
 pub use payload::{fnv1a_64, Bytes, Payload};
-pub use server::{KvServer, ServerCosts};
+pub use server::{AdmissionCaps, KvServer, ServerCosts};
 pub use slab::{chunk_size_for, SlabConfig, ITEM_OVERHEAD};
 pub use ssd::{SsdSpec, SsdTier};
 pub use store_node::{SetOutcome, StoreNode, StoreStats};

@@ -25,17 +25,41 @@ pub const ACK_BYTES: usize = 32;
 pub enum RpcError {
     /// The target server is dead; the error surfaced at the given time.
     ServerDead(SimTime),
+    /// The server is alive but refused the request at its bounded-queue
+    /// admission cap; the fast refusal reached the client at the given
+    /// time. Retryable — the server has not failed, it is overloaded.
+    Shed(SimTime),
 }
 
 impl std::fmt::Display for RpcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RpcError::ServerDead(t) => write!(f, "server unreachable (detected at {t})"),
+            RpcError::Shed(t) => write!(f, "server shed the request (refused at {t})"),
         }
     }
 }
 
 impl std::error::Error for RpcError {}
+
+/// Traffic class of a request, used by server admission control: under
+/// overload, background repair traffic is shed at a stricter bound than
+/// foreground client traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RpcPriority {
+    /// Client-facing Set/Get traffic.
+    #[default]
+    Foreground,
+    /// Background rebuild traffic (survivor reads, shard write-backs).
+    Repair,
+}
+
+impl RpcPriority {
+    /// Whether this is background repair traffic.
+    pub fn is_repair(self) -> bool {
+        matches!(self, RpcPriority::Repair)
+    }
+}
 
 /// Reply to a Set RPC: when it completed and what the store did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +83,9 @@ pub struct GetReply {
 /// no earlier than `start`.
 ///
 /// `on_reply` fires when the ack arrives back at the client (or when the
-/// failure is detected).
+/// failure is detected). A server at its admission cap answers with a
+/// fast [`RpcError::Shed`] refusal instead of queueing the work: no
+/// worker time is reserved and only the status-only ack crosses back.
 #[allow(clippy::too_many_arguments)] // an RPC is naturally wide: route + payload + continuation
 pub fn set<F>(
     net: &Rc<RefCell<Network>>,
@@ -69,6 +95,7 @@ pub fn set<F>(
     client: NodeId,
     key: Arc<str>,
     payload: Payload,
+    prio: RpcPriority,
     on_reply: F,
 ) where
     F: FnOnce(&mut Simulation, Result<SetReply, RpcError>) + 'static,
@@ -87,6 +114,12 @@ pub fn set<F>(
         move |sim, delivery| match delivery {
             Delivery::TargetDead(t) => on_reply(sim, Err(RpcError::ServerDead(t))),
             Delivery::Delivered(at) => {
+                if !server.borrow_mut().admit(at, prio) {
+                    shed_reply(&net2, sim, at, server_node, client, move |sim, t| {
+                        on_reply(sim, Err(RpcError::Shed(t)))
+                    });
+                    return;
+                }
                 let (done, outcome) = server.borrow_mut().process_set(at, key, payload);
                 Network::send(
                     &net2,
@@ -101,6 +134,36 @@ pub fn set<F>(
                     },
                 );
             }
+        },
+    );
+}
+
+/// Sends the status-only refusal ack of a shed request back to the
+/// client. The refusal reserves no server worker time — that is what
+/// makes shedding cheaper than serving — so the only cost is the ack's
+/// wire crossing.
+fn shed_reply<F>(
+    net: &Rc<RefCell<Network>>,
+    sim: &mut Simulation,
+    at: SimTime,
+    server_node: NodeId,
+    client: NodeId,
+    on_reply: F,
+) where
+    F: FnOnce(&mut Simulation, SimTime) + 'static,
+{
+    Network::send(
+        net,
+        sim,
+        at,
+        server_node,
+        client,
+        ACK_BYTES,
+        move |sim, d2| {
+            let t = match d2 {
+                Delivery::TargetDead(t) | Delivery::Delivered(t) => t,
+            };
+            on_reply(sim, t);
         },
     );
 }
@@ -152,6 +215,7 @@ pub fn get<F>(
         client,
         key,
         CancelToken::new(),
+        RpcPriority::Foreground,
         on_reply,
     );
 }
@@ -169,6 +233,7 @@ pub fn get_with_cancel<F>(
     client: NodeId,
     key: Arc<str>,
     cancel: CancelToken,
+    prio: RpcPriority,
     on_reply: F,
 ) where
     F: FnOnce(&mut Simulation, Result<GetReply, RpcError>) + 'static,
@@ -188,6 +253,12 @@ pub fn get_with_cancel<F>(
             Delivery::TargetDead(t) => on_reply(sim, Err(RpcError::ServerDead(t))),
             Delivery::Delivered(at) => {
                 if cancel.is_cancelled() {
+                    return;
+                }
+                if !server.borrow_mut().admit(at, prio) {
+                    shed_reply(&net2, sim, at, server_node, client, move |sim, t| {
+                        on_reply(sim, Err(RpcError::Shed(t)))
+                    });
                     return;
                 }
                 let (done, value) = server.borrow_mut().process_get(at, &key);
@@ -245,6 +316,7 @@ mod tests {
             client,
             "k".into(),
             value.clone(),
+            RpcPriority::Foreground,
             move |sim, reply| {
                 let reply = reply.expect("server is alive");
                 assert_eq!(reply.outcome, SetOutcome::Stored);
@@ -301,6 +373,7 @@ mod tests {
             NodeId(1),
             "k".into(),
             Payload::synthetic(100, 0),
+            RpcPriority::Foreground,
             move |_, reply| {
                 assert!(matches!(reply, Err(RpcError::ServerDead(_))));
                 *seen2.borrow_mut() = true;
@@ -329,6 +402,7 @@ mod tests {
             NodeId(1),
             "k".into(),
             token.clone(),
+            RpcPriority::Foreground,
             move |_, _| {
                 *f2.borrow_mut() = true;
             },
@@ -353,12 +427,71 @@ mod tests {
             NodeId(1),
             "k".into(),
             CancelToken::new(),
+            RpcPriority::Foreground,
             move |_, _| {
                 *f2.borrow_mut() = true;
             },
         );
         sim.run();
         assert!(*fired.borrow());
+    }
+
+    #[test]
+    fn admission_caps_shed_repair_before_foreground() {
+        use crate::server::AdmissionCaps;
+        use eckv_simnet::QueueCap;
+
+        let (net, server, mut sim) = setup();
+        server.borrow_mut().set_admission(Some(AdmissionCaps {
+            foreground: QueueCap::depth(64),
+            repair: QueueCap::depth(0),
+        }));
+        let busy_before = server.borrow().cpu_busy();
+
+        // Repair traffic is refused outright at its zero-depth bound...
+        let repair_reply: Rc<RefCell<Option<Result<GetReply, RpcError>>>> =
+            Rc::new(RefCell::new(None));
+        let r2 = repair_reply.clone();
+        get_with_cancel(
+            &net,
+            &server,
+            &mut sim,
+            SimTime::ZERO,
+            NodeId(1),
+            "k".into(),
+            CancelToken::new(),
+            RpcPriority::Repair,
+            move |_, reply| *r2.borrow_mut() = Some(reply),
+        );
+        // ...while a foreground get on the same server is served.
+        let fg_reply: Rc<RefCell<Option<Result<GetReply, RpcError>>>> = Rc::new(RefCell::new(None));
+        let f2 = fg_reply.clone();
+        get(
+            &net,
+            &server,
+            &mut sim,
+            SimTime::ZERO,
+            NodeId(1),
+            "k".into(),
+            move |_, reply| *f2.borrow_mut() = Some(reply),
+        );
+        sim.run();
+        let shed_at = match repair_reply.borrow().as_ref() {
+            Some(Err(RpcError::Shed(t))) => *t,
+            other => panic!("repair get must be shed, got {other:?}"),
+        };
+        assert!(
+            shed_at > SimTime::ZERO,
+            "the refusal still crosses the wire"
+        );
+        assert!(
+            matches!(fg_reply.borrow().as_ref(), Some(Ok(_))),
+            "foreground get must be admitted"
+        );
+        // The shed request reserved no worker time: only the admitted
+        // foreground get's service shows up.
+        let fg_service = ServerCosts::default().op_time(0);
+        assert_eq!(server.borrow().cpu_busy(), busy_before + fg_service);
     }
 
     #[test]
@@ -375,6 +508,7 @@ mod tests {
                 NodeId(1),
                 "k".into(),
                 Payload::synthetic(bytes as u64, 0),
+                RpcPriority::Foreground,
                 move |_, reply| {
                     *d2.borrow_mut() = reply.unwrap().at;
                 },

@@ -2,11 +2,28 @@
 
 use std::sync::Arc;
 
-use eckv_simnet::{NodeId, SimDuration, SimTime, SpanPhase, Trace, WorkerPool};
+use eckv_simnet::{
+    NodeId, QueueCap, SimDuration, SimTime, SpanPhase, Trace, TraceEvent, WorkerPool,
+};
 
 use crate::payload::Payload;
+use crate::rpc::RpcPriority;
 use crate::ssd::{SsdSpec, SsdTier};
 use crate::store_node::{SetOutcome, StoreNode, StoreStats};
+
+/// Per-class admission bounds on one server's worker queue.
+///
+/// The foreground cap is installed as the worker pool's bounded-queue
+/// mode ([`WorkerPool::set_cap`]); the repair cap is a stricter bound
+/// checked on top of it, so under rising load background rebuild traffic
+/// is shed before any client request is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionCaps {
+    /// Bound applied to foreground client traffic.
+    pub foreground: QueueCap,
+    /// Stricter bound applied to background repair traffic.
+    pub repair: QueueCap,
+}
 
 /// Software costs of one request on a server.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +65,7 @@ pub struct KvServer {
     cpu: WorkerPool,
     costs: ServerCosts,
     trace: Trace,
+    admission: Option<AdmissionCaps>,
 }
 
 impl KvServer {
@@ -64,7 +82,52 @@ impl KvServer {
             cpu: WorkerPool::new(format!("{node}.workers"), workers),
             costs,
             trace: Trace::disabled(),
+            admission: None,
         }
+    }
+
+    /// Installs (or clears) per-class admission bounds on this server's
+    /// worker queue. With `None` (the default) every request is admitted
+    /// unconditionally and [`KvServer::admit`] has zero side effects, so
+    /// the event trace is unchanged relative to an admission-free build.
+    pub fn set_admission(&mut self, caps: Option<AdmissionCaps>) {
+        self.cpu.set_cap(caps.map(|c| c.foreground));
+        self.admission = caps;
+    }
+
+    /// Admission decision for a request arriving at `now`: `true` admits,
+    /// `false` sheds. Refusals emit a `queue_capped` trace event and bump
+    /// the per-node `shed_fg`/`shed_repair` counters; they reserve no
+    /// worker time, which is what makes a shed reply fast.
+    pub fn admit(&mut self, now: SimTime, prio: RpcPriority) -> bool {
+        // Every server-bound request passes through here at its delivery
+        // instant — a real simulation clock, unlike the future-dated issue
+        // times fan-out paths book CPU work at — so this is where the
+        // worker pool's backlog ledger is safely compacted and its
+        // high-water mark sampled, admission caps or not.
+        self.cpu.prune(now);
+        let Some(caps) = self.admission else {
+            return true;
+        };
+        let repair = prio.is_repair();
+        let admitted = if repair {
+            self.cpu.admits_within(now, &caps.repair)
+        } else {
+            self.cpu.admits(now)
+        };
+        if !admitted && self.trace.is_enabled() {
+            self.trace.emit(
+                now,
+                TraceEvent::QueueCapped {
+                    node: self.node,
+                    depth: self.cpu.queue_depth(now),
+                    repair,
+                },
+            );
+            self.trace
+                .counter_add(self.node, if repair { "shed_repair" } else { "shed_fg" }, 1);
+        }
+        admitted
     }
 
     /// Attaches a TraceBus handle: the flash tier (if any) emits
@@ -117,6 +180,7 @@ impl KvServer {
         payload: Payload,
     ) -> (SimTime, SetOutcome) {
         let service = self.costs.op_time(payload.len());
+        self.cpu.prune(now);
         let (svc_start, done) = self.cpu.reserve_timed(now, service);
         let outcome = match &mut self.ssd {
             Some(ssd) => {
@@ -148,6 +212,7 @@ impl KvServer {
         }
         let bytes = value.as_ref().map_or(0, Payload::len);
         let service = self.costs.op_time(bytes);
+        self.cpu.prune(now);
         let (svc_start, cpu_done) = self.cpu.reserve_timed(now, service);
         let done = cpu_done.max(flash_done);
         self.note_cpu();
@@ -193,6 +258,12 @@ impl KvServer {
     /// Worker-pool utilization accumulated so far.
     pub fn cpu_busy(&self) -> SimDuration {
         self.cpu.busy_time()
+    }
+
+    /// Highest worker-queue depth this server ever observed (sticky
+    /// high-water mark; overload experiments read it per node).
+    pub fn queue_hwm(&self) -> u64 {
+        self.cpu.queue_hwm()
     }
 
     /// Flash-tier statistics, if the server is SSD-assisted.

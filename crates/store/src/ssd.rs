@@ -111,6 +111,7 @@ impl SsdTier {
             Some(p) => {
                 let bytes = p.len();
                 let service = self.xfer(self.spec.read_gbps, bytes);
+                self.device.prune(now);
                 let done = self.device.reserve(now, service);
                 self.reads += 1;
                 if self.trace.is_enabled() {
