@@ -1,28 +1,37 @@
 //! Criterion microbenchmarks of the GF(2^8) slice kernels that dominate
-//! encode/decode time.
+//! encode/decode time, swept across every supported instruction-set
+//! backend (scalar / SSSE3 / AVX2). The `paper-figures gf` subcommand
+//! produces the same sweep without external dev-dependencies.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eckv_gf::kernels::ALL_BACKENDS;
 use eckv_gf::slice;
 
 const SIZES: [usize; 3] = [4 << 10, 64 << 10, 1 << 20];
 
 fn bench_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gf_kernels");
-    for bytes in SIZES {
-        let src = vec![0x5Au8; bytes];
-        let mut dst = vec![0xA5u8; bytes];
-        g.throughput(Throughput::Bytes(bytes as u64));
-        g.bench_with_input(BenchmarkId::new("xor_slice", bytes), &bytes, |b, _| {
-            b.iter(|| slice::xor_slice(std::hint::black_box(&src), &mut dst))
-        });
-        g.bench_with_input(BenchmarkId::new("mul_slice_xor", bytes), &bytes, |b, _| {
-            b.iter(|| slice::mul_slice_xor(0x1D, std::hint::black_box(&src), &mut dst))
-        });
-        g.bench_with_input(BenchmarkId::new("mul_slice", bytes), &bytes, |b, _| {
-            b.iter(|| slice::mul_slice(0x1D, std::hint::black_box(&src), &mut dst))
-        });
+    for backend in ALL_BACKENDS {
+        if !backend.is_supported() {
+            continue;
+        }
+        eckv_gf::kernels::force_backend(backend);
+        let mut g = c.benchmark_group(format!("gf_kernels/{}", backend.name()));
+        for bytes in SIZES {
+            let src = vec![0x5Au8; bytes];
+            let mut dst = vec![0xA5u8; bytes];
+            g.throughput(Throughput::Bytes(bytes as u64));
+            g.bench_with_input(BenchmarkId::new("xor_slice", bytes), &bytes, |b, _| {
+                b.iter(|| slice::xor_slice(std::hint::black_box(&src), &mut dst))
+            });
+            g.bench_with_input(BenchmarkId::new("mul_slice_xor", bytes), &bytes, |b, _| {
+                b.iter(|| slice::mul_slice_xor(0x1D, std::hint::black_box(&src), &mut dst))
+            });
+            g.bench_with_input(BenchmarkId::new("mul_slice", bytes), &bytes, |b, _| {
+                b.iter(|| slice::mul_slice(0x1D, std::hint::black_box(&src), &mut dst))
+            });
+        }
+        g.finish();
     }
-    g.finish();
 }
 
 criterion_group!(benches, bench_kernels);

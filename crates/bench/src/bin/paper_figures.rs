@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures on the simulated clusters.
 //!
 //! ```text
-//! paper-figures [fig4|fig8|fig9|fig10|fig11|fig12|fig13|tail|repair|overload|all] [--quick]
+//! paper-figures [gf|fig4|fig8|fig9|fig10|fig11|fig12|fig13|tail|repair|overload|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks client counts/op counts for a fast smoke run; omit it
@@ -9,7 +9,7 @@
 //! `--release`).
 
 use eckv_bench::{
-    ablations, fig10, fig11_12, fig13, fig4, fig8, fig9, model_check, overload,
+    ablations, fig10, fig11_12, fig13, fig4, fig8, fig9, gf_kernels, model_check, overload,
     repair_interference, tail_latency,
 };
 use eckv_simnet::ClusterProfile;
@@ -27,6 +27,12 @@ fn main() {
     let all = which == "all";
     let mut ran = false;
 
+    if all || which == "gf" {
+        ran = true;
+        let (table, speedup) = gf_kernels::kernel_table_with_speedup(quick);
+        println!("{table}");
+        println!("{}\n", gf_kernels::speedup_verdict(speedup));
+    }
     if all || which == "fig4" {
         ran = true;
         println!("{}", fig4::encode_table(quick));
@@ -102,7 +108,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown figure '{which}'; expected fig4, fig8, fig9, fig10, fig11, fig12, fig13, tail, repair, overload, model, ablations or all"
+            "unknown figure '{which}'; expected gf, fig4, fig8, fig9, fig10, fig11, fig12, fig13, tail, repair, overload, model, ablations or all"
         );
         std::process::exit(2);
     }

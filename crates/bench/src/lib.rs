@@ -17,6 +17,7 @@ pub mod fig13;
 pub mod fig4;
 pub mod fig8;
 pub mod fig9;
+pub mod gf_kernels;
 pub mod model_check;
 pub mod overload;
 pub mod repair_interference;

@@ -111,6 +111,7 @@ impl BitMatrixEngine {
             return Ok(());
         }
         let seg = self.segment(ps);
+        let mut srcs: Vec<&[u8]> = Vec::new();
         for (p, out) in parity.iter_mut().enumerate() {
             out.fill(0);
             let mut off = 0;
@@ -119,15 +120,12 @@ impl BitMatrixEngine {
                 for r in 0..self.w {
                     let row = p * self.w + r;
                     let dst_start = r * ps + off;
-                    for &j in &self.schedule[row] {
-                        let shard = j / self.w;
-                        let packet = j % self.w;
-                        let s = packet * ps + off;
-                        slice::xor_slice(
-                            &data[shard][s..s + chunk],
-                            &mut out[dst_start..dst_start + chunk],
-                        );
-                    }
+                    srcs.clear();
+                    srcs.extend(self.schedule[row].iter().map(|&j| {
+                        let s = (j % self.w) * ps + off;
+                        &data[j / self.w][s..s + chunk]
+                    }));
+                    slice::xor_combine(&srcs, &mut out[dst_start..dst_start + chunk]);
                 }
                 off += chunk;
             }
@@ -159,6 +157,7 @@ impl BitMatrixEngine {
                 .expect("any k shards of an MDS bit-matrix code are independent");
 
             let seg = self.segment(ps);
+            let mut srcs: Vec<&[u8]> = Vec::new();
             let mut recovered: Vec<(usize, Vec<u8>)> = Vec::with_capacity(missing_data.len());
             for &d in &missing_data {
                 let dec_rows: Vec<Vec<usize>> =
@@ -169,17 +168,16 @@ impl BitMatrixEngine {
                     let chunk = seg.min(ps - off);
                     for (p, ones) in dec_rows.iter().enumerate() {
                         let dst_start = p * ps + off;
-                        for &j in ones {
+                        srcs.clear();
+                        srcs.extend(ones.iter().map(|&j| {
                             // Column j is packet j of the chosen sequence.
-                            let shard = chosen[j / self.w];
-                            let packet = j % self.w;
-                            let src_shard = shards[shard].as_deref().expect("chosen shard present");
-                            let s = packet * ps + off;
-                            slice::xor_slice(
-                                &src_shard[s..s + chunk],
-                                &mut out[dst_start..dst_start + chunk],
-                            );
-                        }
+                            let src_shard = shards[chosen[j / self.w]]
+                                .as_deref()
+                                .expect("chosen present");
+                            let s = (j % self.w) * ps + off;
+                            &src_shard[s..s + chunk]
+                        }));
+                        slice::xor_combine(&srcs, &mut out[dst_start..dst_start + chunk]);
                     }
                     off += chunk;
                 }
@@ -203,6 +201,7 @@ impl BitMatrixEngine {
                 .collect();
             let mut rebuilt: Vec<(usize, Vec<u8>)> = Vec::with_capacity(missing_parity.len());
             let seg = self.segment(ps.max(1));
+            let mut srcs: Vec<&[u8]> = Vec::new();
             for &pi in &missing_parity {
                 let p = pi - self.k;
                 let mut out = vec![0u8; len];
@@ -212,15 +211,12 @@ impl BitMatrixEngine {
                     for r in 0..self.w {
                         let row = p * self.w + r;
                         let dst_start = r * ps + off;
-                        for &j in &self.schedule[row] {
-                            let shard = j / self.w;
-                            let packet = j % self.w;
-                            let s = packet * ps + off;
-                            slice::xor_slice(
-                                &data[shard][s..s + chunk],
-                                &mut out[dst_start..dst_start + chunk],
-                            );
-                        }
+                        srcs.clear();
+                        srcs.extend(self.schedule[row].iter().map(|&j| {
+                            let s = (j % self.w) * ps + off;
+                            &data[j / self.w][s..s + chunk]
+                        }));
+                        slice::xor_combine(&srcs, &mut out[dst_start..dst_start + chunk]);
                     }
                     off += chunk;
                 }

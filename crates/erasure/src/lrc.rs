@@ -295,10 +295,15 @@ impl ErasureCodec for Lrc {
 
     fn encode(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<(), ErasureError> {
         check_encode_shape(self.k, self.l + self.r, 1, data, parity)?;
-        for (i, out) in parity.iter_mut().enumerate() {
-            let coeffs = self.generator.row(self.k + i);
-            slice::row_combine(coeffs, data, out);
+        // Fused multi-row pass over the sources; the all-0/1 local-parity
+        // rows take the pure-XOR path inside the kernel automatically.
+        for out in parity.iter_mut() {
+            out.fill(0);
         }
+        let coeffs: Vec<&[u8]> = (0..self.l + self.r)
+            .map(|i| self.generator.row(self.k + i))
+            .collect();
+        slice::matrix_mac(&coeffs, data, parity);
         Ok(())
     }
 
@@ -324,27 +329,40 @@ impl ErasureCodec for Lrc {
             .iter()
             .map(|&i| shards[i].as_deref().expect("chosen rows are present"))
             .collect();
-        // Recover all data shards first...
-        let mut data: Vec<Vec<u8>> = Vec::with_capacity(self.k);
-        for (d, slot) in shards.iter().enumerate().take(self.k) {
-            if let Some(existing) = slot {
-                data.push(existing.clone());
-            } else {
-                let mut out = vec![0u8; len];
-                slice::row_combine(inv.row(d), &sources, &mut out);
-                data.push(out);
-            }
+        // Recover all data shards first, solving every missing row in one
+        // fused pass over the chosen sources...
+        let missing_data: Vec<usize> = missing.iter().copied().filter(|&i| i < self.k).collect();
+        let mut solved: Vec<Vec<u8>> = vec![vec![0u8; len]; missing_data.len()];
+        {
+            let coeffs: Vec<&[u8]> = missing_data.iter().map(|&d| inv.row(d)).collect();
+            let mut drefs: Vec<&mut [u8]> = solved.iter_mut().map(|b| b.as_mut_slice()).collect();
+            slice::matrix_mac(&coeffs, &sources, &mut drefs);
         }
-        // ...then rebuild every missing shard from the generator.
+        let mut solved = solved.into_iter();
+        let data: Vec<Vec<u8>> = (0..self.k)
+            .map(|d| match &shards[d] {
+                Some(existing) => existing.clone(),
+                None => solved.next().expect("one solved row per missing data"),
+            })
+            .collect();
+        // ...then rebuild every missing parity from the generator, again in
+        // one fused pass over the (now complete) data.
         let data_refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-        for &miss in &missing {
-            if miss < self.k {
-                shards[miss] = Some(data[miss].clone());
-            } else {
-                let mut out = vec![0u8; len];
-                slice::row_combine(self.generator.row(miss), &data_refs, &mut out);
-                shards[miss] = Some(out);
-            }
+        let missing_parity: Vec<usize> = missing.iter().copied().filter(|&i| i >= self.k).collect();
+        let mut rebuilt: Vec<Vec<u8>> = vec![vec![0u8; len]; missing_parity.len()];
+        {
+            let coeffs: Vec<&[u8]> = missing_parity
+                .iter()
+                .map(|&p| self.generator.row(p))
+                .collect();
+            let mut drefs: Vec<&mut [u8]> = rebuilt.iter_mut().map(|b| b.as_mut_slice()).collect();
+            slice::matrix_mac(&coeffs, &data_refs, &mut drefs);
+        }
+        for (&p, buf) in missing_parity.iter().zip(rebuilt) {
+            shards[p] = Some(buf);
+        }
+        for &d in &missing_data {
+            shards[d] = Some(data[d].clone());
         }
         Ok(())
     }

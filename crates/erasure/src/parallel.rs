@@ -5,15 +5,76 @@
 //! loads) encode thousands of stripes with no ordering constraint. This
 //! module fans that work out across threads — codecs are `Sync`, so one
 //! instance serves all workers.
+//!
+//! # Scheduling
+//!
+//! Work is distributed through a shared `ChunkQueue` rather than static
+//! striped partitioning. Static striping assigns each worker a fixed
+//! contiguous range up front, so one oversized value (or one slow core)
+//! leaves every other worker idle once its own stripe is done. With the
+//! shared queue, workers *claim* chunks as they finish — a worker stuck on
+//! a 1 MB value keeps exactly that value while its peers drain the rest of
+//! the batch, which is the work-stealing behaviour that matters for skewed
+//! value-size distributions. Chunk sizes follow guided self-scheduling:
+//! large claims early (amortizing the atomic operation), shrinking toward
+//! single values at the tail so the finish line stays balanced.
 
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use crate::stripe::{EncodedStripe, Striper};
 
+/// Upper bound on one claim, keeping the tail granular even for huge
+/// batches.
+const MAX_CLAIM: usize = 32;
+
+/// A lock-free queue of item indices `0..total` that workers claim in
+/// shrinking chunks (guided self-scheduling).
+struct ChunkQueue {
+    next: AtomicUsize,
+    total: usize,
+    workers: usize,
+}
+
+impl ChunkQueue {
+    fn new(total: usize, workers: usize) -> Self {
+        ChunkQueue {
+            next: AtomicUsize::new(0),
+            total,
+            workers: workers.max(1),
+        }
+    }
+
+    /// Claims the next chunk of indices, or `None` when the batch is
+    /// drained. Claim size is `remaining / (4 * workers)`, clamped to
+    /// `1..=MAX_CLAIM`: coarse while there is plenty of work, one item at
+    /// a time near the end.
+    fn claim(&self) -> Option<Range<usize>> {
+        loop {
+            let start = self.next.load(Ordering::Relaxed);
+            if start >= self.total {
+                return None;
+            }
+            let remaining = self.total - start;
+            let size = (remaining / (4 * self.workers)).clamp(1, MAX_CLAIM);
+            if self
+                .next
+                .compare_exchange_weak(start, start + size, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(start..start + size);
+            }
+        }
+    }
+}
+
 /// Encodes every value, in order, using up to `threads` worker threads.
 ///
-/// Returns one stripe per input value, positionally. With `threads <= 1`
-/// (or a single value) this is a plain serial loop.
+/// Returns one stripe per input value, positionally — identical to a
+/// serial loop for any thread count (workers only race for *which* items
+/// they encode, never over an item's bytes). With `threads <= 1` (or a
+/// single value) this is a plain serial loop.
 ///
 /// # Panics
 ///
@@ -37,33 +98,33 @@ pub fn encode_batch(striper: &Striper, values: &[&[u8]], threads: usize) -> Vec<
         return values.iter().map(|v| striper.encode_value(v)).collect();
     }
     let threads = threads.min(values.len());
+    let queue = ChunkQueue::new(values.len(), threads);
     let mut out: Vec<Option<EncodedStripe>> = vec![None; values.len()];
 
     thread::scope(|scope| {
-        // Striped partitioning: chunk the output so each worker owns a
-        // contiguous &mut region.
-        let chunk = values.len().div_ceil(threads);
-        let mut rest: &mut [Option<EncodedStripe>] = &mut out;
-        let mut start = 0;
-        for _ in 0..threads {
-            let take = chunk.min(rest.len());
-            if take == 0 {
-                break;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let queue = &queue;
+                scope.spawn(move || {
+                    let mut mine: Vec<(usize, EncodedStripe)> = Vec::new();
+                    while let Some(range) = queue.claim() {
+                        for i in range {
+                            mine.push((i, striper.encode_value(values[i])));
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, stripe) in handle.join().expect("worker panicked") {
+                out[i] = Some(stripe);
             }
-            let (mine, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let my_values = &values[start..start + take];
-            start += take;
-            scope.spawn(move || {
-                for (slot, v) in mine.iter_mut().zip(my_values) {
-                    *slot = Some(striper.encode_value(v));
-                }
-            });
         }
     });
 
     out.into_iter()
-        .map(|s| s.expect("every slot is filled"))
+        .map(|s| s.expect("claims cover every index exactly once"))
         .collect()
 }
 
@@ -110,5 +171,94 @@ mod tests {
             let b = encode_batch(&s, &refs, 1);
             assert_eq!(a, b, "{kind}");
         }
+    }
+
+    #[test]
+    fn skewed_value_sizes_match_serial() {
+        // The workload the scheduler exists for: one 1 MB value buried in a
+        // batch of 4 KB values. Whatever the claim interleaving, output
+        // must equal the serial encode positionally.
+        let s = striper();
+        let mut values: Vec<Vec<u8>> = (0..63)
+            .map(|i| (0..4096).map(|j| (i * 31 + j) as u8).collect())
+            .collect();
+        values.insert(17, (0..1 << 20).map(|j| (j * 7) as u8).collect());
+        let refs: Vec<&[u8]> = values.iter().map(|v| v.as_slice()).collect();
+        let serial = encode_batch(&s, &refs, 1);
+        for threads in [2usize, 4, 8] {
+            let parallel = encode_batch(&s, &refs, threads);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_queue_partitions_exactly_once() {
+        // Single-threaded drain: claims must tile 0..total with no gaps,
+        // no overlaps, and shrink toward the tail.
+        let q = ChunkQueue::new(1000, 4);
+        let mut covered = 0usize;
+        let mut last_size = usize::MAX;
+        let mut tail_sizes = Vec::new();
+        while let Some(r) = q.claim() {
+            assert_eq!(r.start, covered, "claims must be contiguous");
+            assert!(r.end <= 1000);
+            covered = r.end;
+            let size = r.len();
+            assert!((1..=MAX_CLAIM).contains(&size));
+            // Guided self-scheduling: sizes never grow as work drains.
+            assert!(size <= last_size, "claim sizes must not grow");
+            last_size = size;
+            tail_sizes.push(size);
+        }
+        assert_eq!(covered, 1000, "every index claimed exactly once");
+        assert_eq!(
+            *tail_sizes.last().unwrap(),
+            1,
+            "tail claims are single items"
+        );
+    }
+
+    #[test]
+    fn chunk_queue_lets_free_workers_drain_a_stuck_peer_backlog() {
+        // Deterministic stand-in for the skewed-size scenario: worker A
+        // claims once and then stalls (as if encoding the 1 MB value);
+        // worker B must be able to claim everything that remains. Under
+        // the old static striping, A's half of the batch would have sat
+        // idle behind the big value.
+        let q = ChunkQueue::new(64, 2);
+        let stuck = q.claim().expect("work available");
+        let mut b_items = 0;
+        while let Some(r) = q.claim() {
+            b_items += r.len();
+        }
+        assert_eq!(stuck.len() + b_items, 64);
+        assert!(
+            b_items > 64 / 2,
+            "the free worker must take more than a static half-split: {b_items}"
+        );
+    }
+
+    #[test]
+    fn chunk_queue_is_exact_under_concurrent_claims() {
+        use std::sync::Mutex;
+        let q = ChunkQueue::new(5000, 8);
+        let claimed = Mutex::new(vec![false; 5000]);
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    while let Some(r) = q.claim() {
+                        let mut seen = claimed.lock().unwrap();
+                        for i in r {
+                            assert!(!seen[i], "index {i} claimed twice");
+                            seen[i] = true;
+                        }
+                    }
+                });
+            }
+        });
+        assert!(
+            claimed.lock().unwrap().iter().all(|&c| c),
+            "every index claimed"
+        );
     }
 }

@@ -96,10 +96,16 @@ impl ErasureCodec for RsVandermonde {
 
     fn encode(&self, data: &[&[u8]], parity: &mut [&mut [u8]]) -> Result<(), ErasureError> {
         check_encode_shape(self.k, self.m, 1, data, parity)?;
-        for (i, out) in parity.iter_mut().enumerate() {
-            let coeffs = self.generator.row(self.k + i);
-            slice::row_combine(coeffs, data, out);
+        // One fused pass: every parity row's coefficients are applied to
+        // each source block while it is hot in cache (vs. re-streaming all
+        // sources once per row).
+        for out in parity.iter_mut() {
+            out.fill(0);
         }
+        let coeffs: Vec<&[u8]> = (0..self.m)
+            .map(|i| self.generator.row(self.k + i))
+            .collect();
+        slice::matrix_mac(&coeffs, data, parity);
         Ok(())
     }
 
@@ -124,13 +130,14 @@ impl ErasureCodec for RsVandermonde {
                 .map(|&i| shards[i].as_deref().expect("chosen shards are present"))
                 .collect();
 
-            let mut recovered: Vec<(usize, Vec<u8>)> = Vec::with_capacity(missing_data.len());
-            for &d in &missing_data {
-                let mut out = vec![0u8; len];
-                slice::row_combine(inv.row(d), &chosen_slices, &mut out);
-                recovered.push((d, out));
+            let coeffs: Vec<&[u8]> = missing_data.iter().map(|&d| inv.row(d)).collect();
+            let mut recovered: Vec<Vec<u8>> = vec![vec![0u8; len]; missing_data.len()];
+            {
+                let mut drefs: Vec<&mut [u8]> =
+                    recovered.iter_mut().map(|b| b.as_mut_slice()).collect();
+                slice::matrix_mac(&coeffs, &chosen_slices, &mut drefs);
             }
-            for (d, buf) in recovered {
+            for (&d, buf) in missing_data.iter().zip(recovered) {
                 shards[d] = Some(buf);
             }
         }
@@ -143,13 +150,17 @@ impl ErasureCodec for RsVandermonde {
             let data_slices: Vec<&[u8]> = (0..self.k)
                 .map(|i| shards[i].as_deref().expect("data is complete"))
                 .collect();
-            let mut rebuilt: Vec<(usize, Vec<u8>)> = Vec::with_capacity(missing_parity.len());
-            for &p in &missing_parity {
-                let mut out = vec![0u8; len];
-                slice::row_combine(self.generator.row(p), &data_slices, &mut out);
-                rebuilt.push((p, out));
+            let coeffs: Vec<&[u8]> = missing_parity
+                .iter()
+                .map(|&p| self.generator.row(p))
+                .collect();
+            let mut rebuilt: Vec<Vec<u8>> = vec![vec![0u8; len]; missing_parity.len()];
+            {
+                let mut drefs: Vec<&mut [u8]> =
+                    rebuilt.iter_mut().map(|b| b.as_mut_slice()).collect();
+                slice::matrix_mac(&coeffs, &data_slices, &mut drefs);
             }
-            for (p, buf) in rebuilt {
+            for (&p, buf) in missing_parity.iter().zip(rebuilt) {
                 shards[p] = Some(buf);
             }
         }

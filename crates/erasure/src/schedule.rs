@@ -72,14 +72,17 @@ impl XorSchedule {
             } else {
                 computed[first - self.inputs].clone()
             };
-            for &s in &step.srcs[1..] {
-                let src: &[u8] = if s < self.inputs {
-                    data[s]
-                } else {
-                    &computed[s - self.inputs]
-                };
-                slice::xor_slice(src, &mut out);
-            }
+            let srcs: Vec<&[u8]> = step.srcs[1..]
+                .iter()
+                .map(|&s| {
+                    if s < self.inputs {
+                        data[s]
+                    } else {
+                        computed[s - self.inputs].as_slice()
+                    }
+                })
+                .collect();
+            slice::xor_combine(&srcs, &mut out);
             debug_assert_eq!(step.dst, self.inputs + computed.len(), "steps in order");
             computed.push(out);
         }

@@ -109,6 +109,41 @@ proptest! {
     }
 
     #[test]
+    fn stripes_are_backend_invariant(
+        value in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        // GF arithmetic is exact, so a stripe encoded under any kernel
+        // backend must be byte-identical — this is what keeps golden
+        // traces stable whatever hardware runs the suite.
+        use std::sync::{Mutex, OnceLock};
+        use eckv_gf::kernels::{active_backend, force_backend, ALL_BACKENDS};
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let _guard = LOCK
+            .get_or_init(Mutex::default)
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let prev = active_backend();
+        for kind in CodecKind::ALL {
+            let striper = Striper::from(kind.build(3, 2).unwrap());
+            let mut want = None;
+            for backend in ALL_BACKENDS {
+                if !backend.is_supported() {
+                    continue;
+                }
+                force_backend(backend);
+                let stripe = striper.encode_value(&value);
+                match &want {
+                    None => want = Some(stripe),
+                    Some(w) => prop_assert_eq!(
+                        &stripe, w, "{} stripe diverges on {:?}", kind, backend
+                    ),
+                }
+            }
+        }
+        force_backend(prev);
+    }
+
+    #[test]
     fn codecs_agree_on_data_shards(
         value in proptest::collection::vec(any::<u8>(), 1..2048),
     ) {

@@ -1,0 +1,491 @@
+//! SIMD GF(2^8) kernel backends with runtime dispatch.
+//!
+//! The bulk kernels in [`crate::slice`] are the inner loops of every encode
+//! and decode; this module provides vectorized implementations of them and
+//! decides — once, at startup — which instruction set to use:
+//!
+//! * [`Backend::Scalar`] — the portable table-lookup code that has always
+//!   been here. Correct everywhere, and the reference the SIMD paths are
+//!   tested against.
+//! * [`Backend::Ssse3`] — 16-byte lanes using `PSHUFB` split-nibble table
+//!   lookups (the classic ISA-L / Jerasure-SIMD technique): the low and
+//!   high nibble of every source byte index two 16-entry product tables
+//!   and the results XOR together, giving 16 multiplies per shuffle pair.
+//! * [`Backend::Avx2`] — the same algorithm on 32-byte lanes with
+//!   `VPSHUFB`.
+//!
+//! Selection happens on first use via [`is_x86_feature_detected!`] and can
+//! be overridden two ways so both paths stay testable on any host:
+//!
+//! * the `ECKV_GF_BACKEND` environment variable (`scalar`, `ssse3`,
+//!   `avx2`, or `auto`), read once at initialization — this is how CI runs
+//!   a forced-scalar leg and a forced-SIMD leg of the whole test suite;
+//! * [`force_backend`] at runtime, used by the equivalence tests and the
+//!   per-backend microbenchmarks.
+//!
+//! Forcing a backend the host cannot execute panics immediately with a
+//! clear message rather than falling back silently: a CI leg that asked
+//! for AVX2 and quietly ran scalar would defeat its purpose.
+//!
+//! Backend choice never changes *results*, only speed — every kernel
+//! computes byte-identical output on every backend (property-tested across
+//! all 256 multipliers, odd lengths and unaligned offsets), so simulator
+//! traces and golden fixtures are backend-independent.
+//!
+//! NEON (aarch64) is a natural third lane but is not implemented yet;
+//! non-x86 hosts always run the scalar backend.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::slice::{self, MulTable};
+
+/// One of the kernel instruction-set implementations.
+///
+/// Obtained from [`active_backend`] (the process-wide selection) or named
+/// directly for tests and benchmarks; every kernel is also callable as a
+/// method on a specific backend.
+///
+/// # Example
+///
+/// ```
+/// use eckv_gf::kernels::{active_backend, Backend};
+///
+/// let src = [7u8; 40];
+/// let mut auto = [1u8; 40];
+/// let mut scalar = [1u8; 40];
+/// active_backend().mul_slice_xor(29, &src, &mut auto);
+/// Backend::Scalar.mul_slice_xor(29, &src, &mut scalar);
+/// assert_eq!(auto, scalar); // backends agree byte-for-byte
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable table-lookup kernels; runs everywhere.
+    Scalar,
+    /// SSE `PSHUFB` split-nibble kernels, 16 bytes per step (x86-64).
+    Ssse3,
+    /// AVX2 `VPSHUFB` split-nibble kernels, 32 bytes per step (x86-64).
+    Avx2,
+}
+
+/// All backends, in ascending preference order.
+pub const ALL_BACKENDS: [Backend; 3] = [Backend::Scalar, Backend::Ssse3, Backend::Avx2];
+
+impl Backend {
+    /// Stable lowercase name (`scalar`, `ssse3`, `avx2`) — the same tokens
+    /// `ECKV_GF_BACKEND` accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Ssse3 => "ssse3",
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether the running CPU can execute this backend.
+    pub fn is_supported(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Ssse3 => std::arch::is_x86_feature_detected!("ssse3"),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// `dst[i] ^= c * src[i]` on this backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != dst.len()`.
+    pub fn mul_slice_xor(self, c: u8, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "mul_slice_xor length mismatch");
+        match c {
+            0 => {}
+            1 => self.xor_slice(src, dst),
+            _ => self.mul_table_xor(&MulTable::new(c), src, dst),
+        }
+    }
+
+    /// `dst[i] = c * src[i]` on this backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != dst.len()`.
+    pub fn mul_slice(self, c: u8, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
+        match c {
+            0 => dst.fill(0),
+            1 => dst.copy_from_slice(src),
+            _ => self.mul_table_set(&MulTable::new(c), src, dst),
+        }
+    }
+
+    /// `dst[i] ^= src[i]` on this backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != dst.len()`.
+    pub fn xor_slice(self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "xor_slice length mismatch");
+        match self {
+            Backend::Scalar => slice::xor_slice_scalar(src, dst),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the backend is only ever selected (or forced) after
+            // `is_supported` confirmed the feature bit, so the
+            // target-feature functions are safe to call here.
+            Backend::Ssse3 => unsafe { x86::xor_slice_sse2(src, dst) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above — selection implies `is_supported()`.
+            Backend::Avx2 => unsafe { x86::xor_slice_avx2(src, dst) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => slice::xor_slice_scalar(src, dst),
+        }
+    }
+
+    /// `dst[i] ^= t.c * src[i]` with a prebuilt split table — the hot inner
+    /// call of [`crate::slice::matrix_mac`], which reuses one table per
+    /// coefficient across every cache block.
+    pub(crate) fn mul_table_xor(self, t: &MulTable, src: &[u8], dst: &mut [u8]) {
+        match self {
+            Backend::Scalar => slice::mul_table_xor_scalar(t, src, dst),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: selection implies `is_supported()` (feature detected).
+            Backend::Ssse3 => unsafe { x86::mul_table_xor_ssse3(t, src, dst) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: selection implies `is_supported()` (feature detected).
+            Backend::Avx2 => unsafe { x86::mul_table_xor_avx2(t, src, dst) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => slice::mul_table_xor_scalar(t, src, dst),
+        }
+    }
+
+    /// `dst[i] = t.c * src[i]` with a prebuilt split table.
+    pub(crate) fn mul_table_set(self, t: &MulTable, src: &[u8], dst: &mut [u8]) {
+        match self {
+            Backend::Scalar => slice::mul_table_set_scalar(t, src, dst),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: selection implies `is_supported()` (feature detected).
+            Backend::Ssse3 => unsafe { x86::mul_table_set_ssse3(t, src, dst) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: selection implies `is_supported()` (feature detected).
+            Backend::Avx2 => unsafe { x86::mul_table_set_avx2(t, src, dst) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => slice::mul_table_set_scalar(t, src, dst),
+        }
+    }
+}
+
+/// Backend selection, encoded for the atomic cell: 0 = undecided.
+const UNINIT: u8 = 0;
+
+fn encode(b: Backend) -> u8 {
+    match b {
+        Backend::Scalar => 1,
+        Backend::Ssse3 => 2,
+        Backend::Avx2 => 3,
+    }
+}
+
+fn decode(v: u8) -> Backend {
+    match v {
+        1 => Backend::Scalar,
+        2 => Backend::Ssse3,
+        3 => Backend::Avx2,
+        _ => unreachable!("invalid backend encoding {v}"),
+    }
+}
+
+static ACTIVE: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// The process-wide kernel backend, deciding it on first call: the
+/// `ECKV_GF_BACKEND` override if set, else the best instruction set the
+/// CPU supports (AVX2 > SSSE3 > scalar).
+///
+/// # Panics
+///
+/// Panics if `ECKV_GF_BACKEND` names an unknown or unsupported backend —
+/// a forced leg must never silently run something else.
+pub fn active_backend() -> Backend {
+    match ACTIVE.load(Ordering::Relaxed) {
+        UNINIT => {
+            let b = initial_backend();
+            // A concurrent first call computes the same value (the env var
+            // is fixed), so a plain store is race-free in effect.
+            ACTIVE.store(encode(b), Ordering::Relaxed);
+            b
+        }
+        v => decode(v),
+    }
+}
+
+/// Forces the process-wide backend (tests, per-backend benchmarks).
+///
+/// # Panics
+///
+/// Panics if the CPU cannot execute `backend`.
+pub fn force_backend(backend: Backend) {
+    assert!(
+        backend.is_supported(),
+        "backend {} is not supported on this CPU",
+        backend.name()
+    );
+    ACTIVE.store(encode(backend), Ordering::Relaxed);
+}
+
+/// The best backend the CPU supports (ignoring any override).
+pub fn best_supported_backend() -> Backend {
+    if Backend::Avx2.is_supported() {
+        Backend::Avx2
+    } else if Backend::Ssse3.is_supported() {
+        Backend::Ssse3
+    } else {
+        Backend::Scalar
+    }
+}
+
+fn initial_backend() -> Backend {
+    match std::env::var("ECKV_GF_BACKEND") {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            let forced = match v.as_str() {
+                "" | "auto" => return best_supported_backend(),
+                "scalar" => Backend::Scalar,
+                "ssse3" => Backend::Ssse3,
+                "avx2" => Backend::Avx2,
+                other => {
+                    panic!("ECKV_GF_BACKEND={other:?} is not one of scalar, ssse3, avx2, auto")
+                }
+            };
+            assert!(
+                forced.is_supported(),
+                "ECKV_GF_BACKEND={} but this CPU does not support it",
+                forced.name()
+            );
+            forced
+        }
+        Err(_) => best_supported_backend(),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! `PSHUFB` split-nibble kernels.
+    //!
+    //! All loads and stores are unaligned (`loadu`/`storeu`); callers make
+    //! no alignment promises and the equivalence tests deliberately feed
+    //! odd offsets. Tails shorter than one vector fall through to the
+    //! scalar table.
+
+    use core::arch::x86_64::*;
+
+    use crate::slice::{self, MulTable};
+
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports SSSE3 and `src.len() == dst.len()`.
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn mul_table_xor_ssse3(t: &MulTable, src: &[u8], dst: &mut [u8]) {
+        let (low, high) = t.split_tables();
+        // SAFETY: `low`/`high` are 16-byte arrays; unaligned loads are fine.
+        let lo_t = unsafe { _mm_loadu_si128(low.as_ptr().cast()) };
+        let hi_t = unsafe { _mm_loadu_si128(high.as_ptr().cast()) };
+        let mask = _mm_set1_epi8(0x0F);
+        let n = src.len() & !15;
+        let mut i = 0;
+        while i < n {
+            // SAFETY: `i + 16 <= n <= src.len() == dst.len()`, so every
+            // 16-byte access below is in bounds; loads/stores are unaligned.
+            unsafe {
+                let v = _mm_loadu_si128(src.as_ptr().add(i).cast());
+                let lo = _mm_and_si128(v, mask);
+                let hi = _mm_and_si128(_mm_srli_epi64::<4>(v), mask);
+                let prod = _mm_xor_si128(_mm_shuffle_epi8(lo_t, lo), _mm_shuffle_epi8(hi_t, hi));
+                let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), _mm_xor_si128(d, prod));
+            }
+            i += 16;
+        }
+        slice::mul_table_xor_scalar_tail(t, src, dst, n);
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports SSSE3 and `src.len() == dst.len()`.
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn mul_table_set_ssse3(t: &MulTable, src: &[u8], dst: &mut [u8]) {
+        let (low, high) = t.split_tables();
+        // SAFETY: 16-byte table arrays, unaligned load.
+        let lo_t = unsafe { _mm_loadu_si128(low.as_ptr().cast()) };
+        let hi_t = unsafe { _mm_loadu_si128(high.as_ptr().cast()) };
+        let mask = _mm_set1_epi8(0x0F);
+        let n = src.len() & !15;
+        let mut i = 0;
+        while i < n {
+            // SAFETY: `i + 16 <= n <= len`; unaligned accesses.
+            unsafe {
+                let v = _mm_loadu_si128(src.as_ptr().add(i).cast());
+                let lo = _mm_and_si128(v, mask);
+                let hi = _mm_and_si128(_mm_srli_epi64::<4>(v), mask);
+                let prod = _mm_xor_si128(_mm_shuffle_epi8(lo_t, lo), _mm_shuffle_epi8(hi_t, hi));
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), prod);
+            }
+            i += 16;
+        }
+        for j in n..src.len() {
+            dst[j] = t.mul(src[j]);
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2 and `src.len() == dst.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mul_table_xor_avx2(t: &MulTable, src: &[u8], dst: &mut [u8]) {
+        let (low, high) = t.split_tables();
+        // SAFETY: 16-byte table arrays, unaligned load; broadcast fills
+        // both 128-bit lanes (VPSHUFB looks up within each lane).
+        let lo_t = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(low.as_ptr().cast())) };
+        let hi_t = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(high.as_ptr().cast())) };
+        let mask = _mm256_set1_epi8(0x0F);
+        let n = src.len() & !31;
+        let mut i = 0;
+        while i < n {
+            // SAFETY: `i + 32 <= n <= len`; unaligned accesses.
+            unsafe {
+                let v = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+                let lo = _mm256_and_si256(v, mask);
+                let hi = _mm256_and_si256(_mm256_srli_epi64::<4>(v), mask);
+                let prod =
+                    _mm256_xor_si256(_mm256_shuffle_epi8(lo_t, lo), _mm256_shuffle_epi8(hi_t, hi));
+                let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_xor_si256(d, prod));
+            }
+            i += 32;
+        }
+        slice::mul_table_xor_scalar_tail(t, src, dst, n);
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2 and `src.len() == dst.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mul_table_set_avx2(t: &MulTable, src: &[u8], dst: &mut [u8]) {
+        let (low, high) = t.split_tables();
+        // SAFETY: 16-byte table arrays, unaligned load + lane broadcast.
+        let lo_t = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(low.as_ptr().cast())) };
+        let hi_t = unsafe { _mm256_broadcastsi128_si256(_mm_loadu_si128(high.as_ptr().cast())) };
+        let mask = _mm256_set1_epi8(0x0F);
+        let n = src.len() & !31;
+        let mut i = 0;
+        while i < n {
+            // SAFETY: `i + 32 <= n <= len`; unaligned accesses.
+            unsafe {
+                let v = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+                let lo = _mm256_and_si256(v, mask);
+                let hi = _mm256_and_si256(_mm256_srli_epi64::<4>(v), mask);
+                let prod =
+                    _mm256_xor_si256(_mm256_shuffle_epi8(lo_t, lo), _mm256_shuffle_epi8(hi_t, hi));
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), prod);
+            }
+            i += 32;
+        }
+        for j in n..src.len() {
+            dst[j] = t.mul(src[j]);
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure `src.len() == dst.len()`. SSE2 is baseline on
+    /// x86-64, so no feature check is needed; the function still carries
+    /// `target_feature` for symmetry and inlining behaviour.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn xor_slice_sse2(src: &[u8], dst: &mut [u8]) {
+        let n = src.len() & !15;
+        let mut i = 0;
+        while i < n {
+            // SAFETY: `i + 16 <= n <= len`; unaligned accesses.
+            unsafe {
+                let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+                let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+                _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), _mm_xor_si128(d, s));
+            }
+            i += 16;
+        }
+        for j in n..src.len() {
+            dst[j] ^= src[j];
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2 and `src.len() == dst.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn xor_slice_avx2(src: &[u8], dst: &mut [u8]) {
+        let n = src.len() & !31;
+        let mut i = 0;
+        while i < n {
+            // SAFETY: `i + 32 <= n <= len`; unaligned accesses.
+            unsafe {
+                let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+                let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_xor_si256(d, s));
+            }
+            i += 32;
+        }
+        for j in n..src.len() {
+            dst[j] ^= src[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for b in ALL_BACKENDS {
+            assert!(matches!(b.name(), "scalar" | "ssse3" | "avx2"));
+        }
+    }
+
+    #[test]
+    fn scalar_is_always_supported() {
+        assert!(Backend::Scalar.is_supported());
+        assert!(best_supported_backend().is_supported());
+    }
+
+    #[test]
+    fn active_backend_is_supported_and_stable() {
+        let a = active_backend();
+        assert!(a.is_supported());
+        assert_eq!(active_backend(), a);
+    }
+
+    #[test]
+    fn force_backend_overrides_and_restores() {
+        let before = active_backend();
+        force_backend(Backend::Scalar);
+        assert_eq!(active_backend(), Backend::Scalar);
+        force_backend(before);
+        assert_eq!(active_backend(), before);
+    }
+
+    #[test]
+    fn every_supported_backend_matches_scalar_on_a_smoke_buffer() {
+        let src: Vec<u8> = (0..1000u32).map(|i| (i * 37 % 251) as u8).collect();
+        let mut want = vec![0x5Au8; src.len()];
+        Backend::Scalar.mul_slice_xor(0x8E, &src, &mut want);
+        for b in ALL_BACKENDS {
+            if !b.is_supported() {
+                continue;
+            }
+            let mut got = vec![0x5Au8; src.len()];
+            b.mul_slice_xor(0x8E, &src, &mut got);
+            assert_eq!(got, want, "{}", b.name());
+        }
+    }
+}

@@ -7,8 +7,14 @@
 //!   polynomial `x^8 + x^4 + x^3 + x^2 + 1` (`0x11D`), the same field used by
 //!   Jerasure and most storage systems.
 //! * [`mod@slice`] — bulk kernels (`mul_slice`, `mul_slice_xor`, `xor_slice`)
-//!   that apply one field multiplication across an entire buffer. These are
-//!   the inner loops of encoding and decoding.
+//!   that apply one field multiplication across an entire buffer, plus the
+//!   fused `matrix_mac`/`xor_combine` variants that compute every parity row
+//!   in one cache-blocked pass. These are the inner loops of encoding and
+//!   decoding.
+//! * [`mod@kernels`] — runtime-dispatched SIMD backends (SSSE3/AVX2
+//!   `PSHUFB` split-nibble kernels with the scalar code as portable
+//!   fallback) behind the slice kernels, overridable via `ECKV_GF_BACKEND`
+//!   or [`kernels::force_backend`] for testing.
 //! * [`Matrix`] — dense matrices over GF(2^8) with Gauss-Jordan inversion
 //!   and the Vandermonde / Cauchy constructions used to derive generator
 //!   matrices.
@@ -30,11 +36,15 @@
 //! assert_eq!(m.cols(), 3);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one place: the
+// `std::arch` SIMD intrinsics inside `kernels`, each with a SAFETY comment.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bitmatrix;
 mod field;
+#[allow(unsafe_code)]
+pub mod kernels;
 mod matrix;
 pub mod slice;
 mod tables;

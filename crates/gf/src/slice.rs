@@ -2,9 +2,10 @@
 //!
 //! Erasure encoding/decoding is dominated by operations of the form
 //! `dst ^= c * src` applied over whole shards. This module provides those
-//! kernels, using per-multiplier split nibble tables (the classic ISA-L
-//! technique) so the inner loop is two table lookups and an XOR per byte,
-//! and an 8-bytes-at-a-time XOR kernel for the pure-parity case.
+//! kernels plus two fused variants ([`matrix_mac`], [`xor_combine`]) that
+//! keep hot buffers in cache across rows, and routes every call through the
+//! runtime-selected SIMD backend in [`crate::kernels`] (PSHUFB split-nibble
+//! tables on x86-64, the portable scalar code elsewhere).
 //!
 //! # Example
 //!
@@ -18,6 +19,7 @@
 use std::sync::OnceLock;
 
 use crate::field::Gf256;
+use crate::kernels::active_backend;
 
 /// The full 256x256 product table (64 KiB), built once on first use — the
 /// same "big multiplication table" layout Jerasure uses for w = 8. One L1
@@ -47,7 +49,9 @@ fn mul_row(c: u8) -> &'static [u8; 256] {
 /// Precomputed low/high nibble product tables for one multiplier.
 ///
 /// `mul(c, b) == low[b & 0xF] ^ high[b >> 4]` because multiplication is
-/// linear over GF(2): `c * b = c * (b_lo ^ (b_hi << 4))`.
+/// linear over GF(2): `c * b = c * (b_lo ^ (b_hi << 4))`. The two 16-byte
+/// tables are exactly what one `PSHUFB` register pair holds, so this is
+/// also the in-memory layout the SIMD kernels load.
 #[derive(Debug, Clone, Copy)]
 pub struct MulTable {
     low: [u8; 16],
@@ -71,6 +75,12 @@ impl MulTable {
     pub fn mul(&self, b: u8) -> u8 {
         self.low[(b & 0x0F) as usize] ^ self.high[(b >> 4) as usize]
     }
+
+    /// The raw low/high nibble tables (SIMD register contents).
+    #[inline]
+    pub(crate) fn split_tables(&self) -> (&[u8; 16], &[u8; 16]) {
+        (&self.low, &self.high)
+    }
 }
 
 /// `dst[i] = c * src[i]` for all `i`.
@@ -79,17 +89,7 @@ impl MulTable {
 ///
 /// Panics if `src.len() != dst.len()`.
 pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
-    assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
-    match c {
-        0 => dst.fill(0),
-        1 => dst.copy_from_slice(src),
-        _ => {
-            let row = mul_row(c);
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d = row[*s as usize];
-            }
-        }
-    }
+    active_backend().mul_slice(c, src, dst);
 }
 
 /// `dst[i] ^= c * src[i]` for all `i` — the fused multiply-accumulate that
@@ -99,26 +99,47 @@ pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
 ///
 /// Panics if `src.len() != dst.len()`.
 pub fn mul_slice_xor(c: u8, src: &[u8], dst: &mut [u8]) {
-    assert_eq!(src.len(), dst.len(), "mul_slice_xor length mismatch");
-    match c {
-        0 => {}
-        1 => xor_slice(src, dst),
-        _ => {
-            let row = mul_row(c);
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d ^= row[*s as usize];
-            }
-        }
-    }
+    active_backend().mul_slice_xor(c, src, dst);
 }
 
-/// `dst[i] ^= src[i]` for all `i`, eight bytes at a time.
+/// `dst[i] ^= src[i]` for all `i`.
 ///
 /// # Panics
 ///
 /// Panics if `src.len() != dst.len()`.
 pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
-    assert_eq!(src.len(), dst.len(), "xor_slice length mismatch");
+    active_backend().xor_slice(src, dst);
+}
+
+/// Scalar `dst ^= c * src` over the full-row 64 KiB table (one L1 lookup
+/// per byte). The reference implementation every SIMD backend is tested
+/// against.
+pub(crate) fn mul_table_xor_scalar(t: &MulTable, src: &[u8], dst: &mut [u8]) {
+    // The split-nibble table identifies the multiplier only through its
+    // products; recover c as low[1] (= c * 1) to index the big table.
+    let row = mul_row(t.mul(1));
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= row[*s as usize];
+    }
+}
+
+/// Scalar `dst = c * src` (see [`mul_table_xor_scalar`]).
+pub(crate) fn mul_table_set_scalar(t: &MulTable, src: &[u8], dst: &mut [u8]) {
+    let row = mul_row(t.mul(1));
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = row[*s as usize];
+    }
+}
+
+/// Scalar tail for vector kernels: `dst[i] ^= t.c * src[i]` for `i >= from`.
+pub(crate) fn mul_table_xor_scalar_tail(t: &MulTable, src: &[u8], dst: &mut [u8], from: usize) {
+    for (d, s) in dst[from..].iter_mut().zip(&src[from..]) {
+        *d ^= t.mul(*s);
+    }
+}
+
+/// Scalar `dst ^= src`, eight bytes at a time.
+pub(crate) fn xor_slice_scalar(src: &[u8], dst: &mut [u8]) {
     let mut d_chunks = dst.chunks_exact_mut(8);
     let mut s_chunks = src.chunks_exact(8);
     for (d, s) in (&mut d_chunks).zip(&mut s_chunks) {
@@ -135,6 +156,11 @@ pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
     }
 }
 
+/// Cache-block length for the fused kernels: small enough that one block
+/// of source plus one block per output row stay resident in L1/L2 while
+/// every row's contribution is computed, large enough to amortize dispatch.
+const FUSE_BLOCK: usize = 32 * 1024;
+
 /// Computes `dst[i] = sum_j coeffs[j] * srcs[j][i]` — one output row of a
 /// matrix-vector product over shards.
 ///
@@ -145,8 +171,104 @@ pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
 pub fn row_combine(coeffs: &[u8], srcs: &[&[u8]], dst: &mut [u8]) {
     assert_eq!(coeffs.len(), srcs.len(), "row_combine arity mismatch");
     dst.fill(0);
-    for (&c, src) in coeffs.iter().zip(srcs) {
-        mul_slice_xor(c, src, dst);
+    matrix_mac(&[coeffs], srcs, &mut [dst]);
+}
+
+/// Fused multi-row matrix multiply-accumulate:
+/// `dsts[r][i] ^= sum_j coeff_rows[r][j] * srcs[j][i]` for every output
+/// row `r` — all parity rows of an encode in one pass.
+///
+/// Compared to calling [`row_combine`] once per row (which streams every
+/// source and the destination from memory `rows` times), this walks the
+/// buffers in cache-sized blocks and applies **all** rows' coefficients to
+/// each source block while it is hot in L1, and builds each coefficient's
+/// split-nibble table exactly once. Accumulate semantics: callers wanting
+/// `=` zero the destinations first.
+///
+/// # Panics
+///
+/// Panics if the number of coefficient rows differs from the number of
+/// destinations, any coefficient row's length differs from `srcs.len()`,
+/// or any source/destination length differs.
+pub fn matrix_mac(coeff_rows: &[&[u8]], srcs: &[&[u8]], dsts: &mut [&mut [u8]]) {
+    assert_eq!(
+        coeff_rows.len(),
+        dsts.len(),
+        "matrix_mac row/destination arity mismatch"
+    );
+    for row in coeff_rows {
+        assert_eq!(
+            row.len(),
+            srcs.len(),
+            "matrix_mac coefficient arity mismatch"
+        );
+    }
+    let Some(len) = dsts.first().map(|d| d.len()) else {
+        return; // zero output rows: nothing to accumulate
+    };
+    assert!(
+        dsts.iter().all(|d| d.len() == len) && srcs.iter().all(|s| s.len() == len),
+        "matrix_mac length mismatch"
+    );
+    if len == 0 || srcs.is_empty() {
+        return;
+    }
+    let backend = active_backend();
+    // One split table per non-trivial coefficient, built once for the whole
+    // call rather than once per block.
+    let tables: Vec<Vec<Option<MulTable>>> = coeff_rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|&c| (c > 1).then(|| MulTable::new(c)))
+                .collect()
+        })
+        .collect();
+    let mut start = 0;
+    while start < len {
+        let end = (start + FUSE_BLOCK).min(len);
+        for (j, src) in srcs.iter().enumerate() {
+            let sb = &src[start..end];
+            for (r, dst) in dsts.iter_mut().enumerate() {
+                let db = &mut dst[start..end];
+                match coeff_rows[r][j] {
+                    0 => {}
+                    1 => backend.xor_slice(sb, db),
+                    _ => backend.mul_table_xor(
+                        tables[r][j].as_ref().expect("table built for c > 1"),
+                        sb,
+                        db,
+                    ),
+                }
+            }
+        }
+        start = end;
+    }
+}
+
+/// Fused multi-source XOR accumulate: `dst[i] ^= sum_j srcs[j][i]`.
+///
+/// Walks the buffers in cache-sized blocks so the destination block stays
+/// in L1 while every source's contribution lands — the XOR-schedule
+/// analogue of [`matrix_mac`].
+///
+/// # Panics
+///
+/// Panics if any source length differs from `dst`.
+pub fn xor_combine(srcs: &[&[u8]], dst: &mut [u8]) {
+    let len = dst.len();
+    assert!(
+        srcs.iter().all(|s| s.len() == len),
+        "xor_combine length mismatch"
+    );
+    let backend = active_backend();
+    let mut start = 0;
+    while start < len {
+        let end = (start + FUSE_BLOCK).min(len);
+        for src in srcs {
+            backend.xor_slice(&src[start..end], &mut dst[start..end]);
+        }
+        start = end;
     }
 }
 
@@ -218,9 +340,67 @@ mod tests {
     }
 
     #[test]
+    fn matrix_mac_matches_row_combines() {
+        let len = FUSE_BLOCK + 1234; // cross a block boundary
+        let srcs: Vec<Vec<u8>> = (0..4)
+            .map(|i| (0..len).map(|j| ((i * 89 + j * 31) % 251) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = srcs.iter().map(|s| s.as_slice()).collect();
+        let coeff_rows: Vec<Vec<u8>> = vec![vec![1, 0, 7, 200], vec![0, 0, 0, 0], vec![3, 3, 3, 3]];
+        let crefs: Vec<&[u8]> = coeff_rows.iter().map(|c| c.as_slice()).collect();
+
+        let mut want: Vec<Vec<u8>> = Vec::new();
+        for c in &coeff_rows {
+            let mut out = vec![0u8; len];
+            row_combine(c, &refs, &mut out);
+            want.push(out);
+        }
+
+        let mut got: Vec<Vec<u8>> = vec![vec![0u8; len]; 3];
+        {
+            let mut drefs: Vec<&mut [u8]> = got.iter_mut().map(|d| d.as_mut_slice()).collect();
+            matrix_mac(&crefs, &refs, &mut drefs);
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matrix_mac_accumulates_into_nonzero_destinations() {
+        let src = vec![0x11u8; 64];
+        let mut dst = vec![0x40u8; 64];
+        matrix_mac(&[&[2u8]], &[&src], &mut [&mut dst]);
+        let expect = 0x40 ^ Gf256::mul_bytes(2, 0x11);
+        assert!(dst.iter().all(|&b| b == expect));
+    }
+
+    #[test]
+    fn xor_combine_matches_sequential_xor() {
+        let len = FUSE_BLOCK * 2 + 77;
+        let srcs: Vec<Vec<u8>> = (0..5)
+            .map(|i| (0..len).map(|j| ((i * 13 + j) % 256) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = srcs.iter().map(|s| s.as_slice()).collect();
+        let mut want = vec![0x2Au8; len];
+        for s in &refs {
+            xor_slice(s, &mut want);
+        }
+        let mut got = vec![0x2Au8; len];
+        xor_combine(&refs, &mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         let mut dst = [0u8; 3];
         mul_slice(2, &[1, 2], &mut dst);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn matrix_mac_arity_mismatch_panics() {
+        let src = [0u8; 4];
+        let mut dst = [0u8; 4];
+        matrix_mac(&[&[1u8, 2]], &[&src], &mut [&mut dst]);
     }
 }

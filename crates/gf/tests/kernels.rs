@@ -1,0 +1,203 @@
+//! Cross-backend equivalence tests for the SIMD GF(2^8) kernels.
+//!
+//! Always run (no external dev-dependencies): every instruction-set
+//! backend the host supports must agree **bit-for-bit** with an
+//! independent byte-wise reference — across all 256 multipliers, odd
+//! lengths, unaligned offsets, and adjacent (aliasing-neighbour) buffers.
+//! The backend selector is process-global, so every test serializes on
+//! one mutex and restores the previous backend before releasing it.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use eckv_gf::kernels::{active_backend, Backend, ALL_BACKENDS};
+use eckv_gf::{slice, Gf256};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Runs `f` once per supported backend (scalar included — it must match
+/// the reference too), holding the global backend lock throughout.
+fn for_each_backend(f: impl Fn(Backend)) {
+    let _guard = lock();
+    let prev = active_backend();
+    for backend in ALL_BACKENDS {
+        if backend.is_supported() {
+            eckv_gf::kernels::force_backend(backend);
+            f(backend);
+        }
+    }
+    eckv_gf::kernels::force_backend(prev);
+}
+
+/// Deterministic filler touching every bit position.
+fn pattern(len: usize, salt: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i.wrapping_mul(0xA5).wrapping_add(salt.wrapping_mul(0x3D)) ^ (i >> 3)) as u8)
+        .collect()
+}
+
+/// Lengths chosen to hit empty input, sub-register tails, exact lane
+/// widths, one-past widths, and multi-block buffers.
+const LENGTHS: [usize; 13] = [0, 1, 2, 3, 7, 15, 16, 17, 31, 32, 33, 63, 257];
+
+#[test]
+fn every_multiplier_matches_bytewise_reference_on_every_backend() {
+    for_each_backend(|backend| {
+        for &len in &LENGTHS {
+            let src = pattern(len, 1);
+            let init = pattern(len, 2);
+            for c in 0..=255u8 {
+                let mut dst = init.clone();
+                slice::mul_slice_xor(c, &src, &mut dst);
+                for i in 0..len {
+                    assert_eq!(
+                        dst[i],
+                        init[i] ^ Gf256::mul_bytes(c, src[i]),
+                        "mul_slice_xor {backend:?} c={c} len={len} i={i}"
+                    );
+                }
+                let mut set = init.clone();
+                slice::mul_slice(c, &src, &mut set);
+                for i in 0..len {
+                    assert_eq!(
+                        set[i],
+                        Gf256::mul_bytes(c, src[i]),
+                        "mul_slice {backend:?} c={c} len={len} i={i}"
+                    );
+                }
+            }
+            let mut xed = init.clone();
+            slice::xor_slice(&src, &mut xed);
+            for i in 0..len {
+                assert_eq!(
+                    xed[i],
+                    init[i] ^ src[i],
+                    "xor_slice {backend:?} len={len} i={i}"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn unaligned_offsets_match_bytewise_reference() {
+    // Slice the same backing buffers at every offset through two SIMD
+    // registers' worth, with an odd length, so loads and stores start at
+    // every possible alignment.
+    const LEN: usize = 97;
+    let src_buf = pattern(LEN + 64, 3);
+    let init_buf = pattern(LEN + 64, 4);
+    for_each_backend(|backend| {
+        for c in [0u8, 1, 2, 0x1D, 0x8E, 0xFF] {
+            for off in 0..=33usize {
+                let src = &src_buf[off..off + LEN];
+                let mut dst = init_buf[off..off + LEN].to_vec();
+                slice::mul_slice_xor(c, src, &mut dst);
+                for i in 0..LEN {
+                    assert_eq!(
+                        dst[i],
+                        init_buf[off + i] ^ Gf256::mul_bytes(c, src[i]),
+                        "{backend:?} c={c} off={off} i={i}"
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn adjacent_split_buffers_do_not_bleed() {
+    // src and dst are contiguous halves of one allocation: a kernel that
+    // reads or writes even one byte past its slice corrupts its
+    // neighbour. Run the full multiplier range over the seam.
+    const LEN: usize = 129;
+    for_each_backend(|backend| {
+        for c in 0..=255u8 {
+            let mut buf = pattern(2 * LEN, 5);
+            let expect_src: Vec<u8> = buf[..LEN].to_vec();
+            let expect_dst: Vec<u8> = buf[LEN..]
+                .iter()
+                .zip(&expect_src)
+                .map(|(&d, &s)| d ^ Gf256::mul_bytes(c, s))
+                .collect();
+            let (src, dst) = buf.split_at_mut(LEN);
+            slice::mul_slice_xor(c, src, dst);
+            assert_eq!(
+                &buf[..LEN],
+                &expect_src[..],
+                "{backend:?} c={c}: source clobbered"
+            );
+            assert_eq!(
+                &buf[LEN..],
+                &expect_dst[..],
+                "{backend:?} c={c}: wrong product"
+            );
+        }
+    });
+}
+
+#[test]
+fn matrix_mac_matches_sequential_row_combines_on_every_backend() {
+    // Fused multi-row MAC vs an independent per-byte reference, on a
+    // buffer long enough to cross the 32 KiB fuse-block boundary, with
+    // coefficient rows containing 0, 1, and dense multipliers.
+    const LEN: usize = 70_001;
+    let srcs: Vec<Vec<u8>> = (0..4).map(|j| pattern(LEN, 10 + j)).collect();
+    let coeffs: [[u8; 4]; 3] = [[1, 0, 29, 76], [142, 7, 1, 0], [255, 128, 3, 91]];
+    let inits: Vec<Vec<u8>> = (0..3).map(|r| pattern(LEN, 20 + r)).collect();
+
+    let expect: Vec<Vec<u8>> = coeffs
+        .iter()
+        .zip(&inits)
+        .map(|(row, init)| {
+            (0..LEN)
+                .map(|i| {
+                    row.iter()
+                        .zip(&srcs)
+                        .fold(init[i], |acc, (&c, s)| acc ^ Gf256::mul_bytes(c, s[i]))
+                })
+                .collect()
+        })
+        .collect();
+
+    for_each_backend(|backend| {
+        let mut dsts: Vec<Vec<u8>> = inits.clone();
+        let src_refs: Vec<&[u8]> = srcs.iter().map(|s| s.as_slice()).collect();
+        let coeff_refs: Vec<&[u8]> = coeffs.iter().map(|c| c.as_slice()).collect();
+        let mut dst_refs: Vec<&mut [u8]> = dsts.iter_mut().map(|d| d.as_mut_slice()).collect();
+        slice::matrix_mac(&coeff_refs, &src_refs, &mut dst_refs);
+        assert_eq!(dsts, expect, "{backend:?}");
+    });
+}
+
+#[test]
+fn row_combine_and_xor_combine_match_reference_on_every_backend() {
+    const LEN: usize = 1023;
+    let srcs: Vec<Vec<u8>> = (0..3).map(|j| pattern(LEN, 30 + j)).collect();
+    let coeffs = [7u8, 1, 0xB3];
+    let expect_row: Vec<u8> = (0..LEN)
+        .map(|i| {
+            coeffs
+                .iter()
+                .zip(&srcs)
+                .fold(0u8, |acc, (&c, s)| acc ^ Gf256::mul_bytes(c, s[i]))
+        })
+        .collect();
+    let expect_xor: Vec<u8> = (0..LEN)
+        .map(|i| srcs.iter().fold(0xA5u8, |acc, s| acc ^ s[i]))
+        .collect();
+
+    for_each_backend(|backend| {
+        let src_refs: Vec<&[u8]> = srcs.iter().map(|s| s.as_slice()).collect();
+        let mut row = vec![0xFFu8; LEN]; // row_combine must overwrite this
+        slice::row_combine(&coeffs, &src_refs, &mut row);
+        assert_eq!(row, expect_row, "row_combine {backend:?}");
+        let mut acc = vec![0xA5u8; LEN];
+        slice::xor_combine(&src_refs, &mut acc);
+        assert_eq!(acc, expect_xor, "xor_combine {backend:?}");
+    });
+}

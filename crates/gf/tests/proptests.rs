@@ -4,8 +4,20 @@
 #![cfg(feature = "extern-dev-deps")]
 //! Property-based tests for the GF(2^8) algebra.
 
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use eckv_gf::kernels::{active_backend, force_backend, ALL_BACKENDS};
 use eckv_gf::{slice, BitMatrix, Gf256, Matrix};
 use proptest::prelude::*;
+
+/// The kernel backend selector is process-global; properties that force
+/// backends serialize on this lock (tests in one binary share threads).
+fn backend_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 proptest! {
     #[test]
@@ -45,6 +57,40 @@ proptest! {
         for (i, &s) in data.iter().enumerate() {
             prop_assert_eq!(dst[i], acc ^ Gf256::mul_bytes(c, s));
         }
+    }
+
+    #[test]
+    fn kernels_agree_across_backends(
+        c in any::<u8>(),
+        data in proptest::collection::vec(any::<u8>(), 0..513),
+        acc in any::<u8>(),
+        off in 0usize..16,
+    ) {
+        // Every supported instruction-set backend must produce identical
+        // bytes for the same (multiplier, unaligned source, accumulator).
+        let off = off.min(data.len());
+        let src = &data[off..];
+        let _guard = backend_lock();
+        let prev = active_backend();
+        let mut want: Option<(Vec<u8>, Vec<u8>)> = None;
+        for backend in ALL_BACKENDS {
+            if !backend.is_supported() {
+                continue;
+            }
+            force_backend(backend);
+            let mut mac = vec![acc; src.len()];
+            slice::mul_slice_xor(c, src, &mut mac);
+            let mut set = vec![acc; src.len()];
+            slice::mul_slice(c, src, &mut set);
+            match &want {
+                None => want = Some((mac, set)),
+                Some((wm, ws)) => {
+                    prop_assert_eq!(&mac, wm, "mul_slice_xor diverges on {:?}", backend);
+                    prop_assert_eq!(&set, ws, "mul_slice diverges on {:?}", backend);
+                }
+            }
+        }
+        force_backend(prev);
     }
 
     #[test]
