@@ -10,6 +10,7 @@
 //!          [--workload setget|ycsb-a|ycsb-b|ycsb-c|ycsb-d]
 //!          [--kill 1,3] [--repair FAILED]
 //!          [--repair-online FAILED] [--repair-bandwidth 400M] [--repair-window 4]
+//!          [--scale-out 2ms:5,4ms:6] [--drain 8ms:1]
 //!          [--straggler 1x8,3x2] [--straggler-jitter 300us]
 //!          [--hedge-after p95|50us] [--deadline 2ms]
 //!          [--admission-depth 48] [--admission-repair-depth 8]
@@ -71,6 +72,25 @@
 //! With `--trace`/`--timeline`, the repair engine emits `repair_started`,
 //! `repair_throttled`, `repair_key_promoted` and `repair_done` events into
 //! the same deterministic streams.
+//!
+//! Elastic-membership flags (live scale-out/scale-in over the vshard
+//! placement layer; data moves through the online repair engine and so
+//! inherits `--repair-bandwidth`/`--repair-window`):
+//!
+//! * `--scale-out 2ms:5,4ms:6` — at each `<time>:<server>` pair (time
+//!   relative to the start of the run), a provisioned spare joins the
+//!   membership and the vshards it steals migrate onto it in the
+//!   background. Joins must be listed in time order with consecutive
+//!   server ids starting at `--servers`; the spares are provisioned (and
+//!   numbered) automatically.
+//! * `--drain 8ms:1` — at each `<time>:<server>` pair the named member
+//!   leaves: every chunk it owns is evacuated to its replacement before
+//!   the server drops out of placement.
+//!
+//! Membership changes cannot overlap a `--repair`/`--repair-online`
+//! rebuild (the engine rejects reconfiguration mid-rebuild). With neither
+//! flag the placement, and therefore the whole event trace, is
+//! byte-identical to fixed-topology builds.
 //!
 //! Observability flags (all feed the deterministic TraceBus — identical
 //! seeds and flags produce byte-identical output files):
@@ -137,6 +157,8 @@ struct Args {
     repair_online: Option<usize>,
     repair_bandwidth: Option<u64>,
     repair_window: Option<usize>,
+    scale_out: Vec<(SimDuration, usize)>,
+    drain: Vec<(SimDuration, usize)>,
     straggler: Vec<(usize, f64)>,
     straggler_jitter: SimDuration,
     hedge_after: Option<HedgeConfig>,
@@ -216,6 +238,19 @@ fn parse_straggler(s: &str) -> Result<(usize, f64), String> {
     Ok((srv, factor))
 }
 
+/// Parses one `--scale-out`/`--drain` entry of the form
+/// `<time>:<server>`, e.g. `2ms:5` — at sim-time 2ms (relative to the
+/// start of the run), server 5 joins (or leaves) the membership.
+fn parse_membership(s: &str) -> Result<(SimDuration, usize), String> {
+    let (at, srv) = s.trim().split_once(':').ok_or_else(|| {
+        format!("membership event '{s}' must look like <time>:<server>, e.g. 2ms:5")
+    })?;
+    let srv: usize = srv
+        .parse()
+        .map_err(|e| format!("bad membership server '{srv}': {e}"))?;
+    Ok((parse_duration(at)?, srv))
+}
+
 /// Parses `--hedge-after`: `pNN` arms the adaptive trigger at 2x the
 /// observed first-chunk latency percentile NN; a duration (`50us`) sets a
 /// fixed trigger. The resulting [`HedgeConfig`] arms every k-of-n read on
@@ -256,6 +291,8 @@ fn parse_args() -> Result<Args, String> {
         repair_online: None,
         repair_bandwidth: None,
         repair_window: None,
+        scale_out: Vec::new(),
+        drain: Vec::new(),
         straggler: Vec::new(),
         straggler_jitter: SimDuration::ZERO,
         hedge_after: None,
@@ -332,6 +369,18 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--repair-bandwidth" => a.repair_bandwidth = Some(parse_size(value(i)?)?),
+            "--scale-out" => {
+                a.scale_out = value(i)?
+                    .split(',')
+                    .map(parse_membership)
+                    .collect::<Result<_, _>>()?
+            }
+            "--drain" => {
+                a.drain = value(i)?
+                    .split(',')
+                    .map(parse_membership)
+                    .collect::<Result<_, _>>()?
+            }
             "--repair-window" => {
                 a.repair_window = Some(
                     value(i)?
@@ -459,6 +508,10 @@ fn print_report(world: &Rc<World>) {
             m.shed_rate() * 100.0
         );
     }
+    if m.vshards_moved > 0 {
+        println!("vshards moved     : {}", m.vshards_moved);
+        println!("migrated bytes    : {}", m.migrated_bytes);
+    }
     drop(m);
     let mem = world.memory_report();
     println!(
@@ -520,9 +573,40 @@ fn main() {
         std::process::exit(0);
     }
 
+    // Elastic membership: joins must name consecutive spare ids in time
+    // order (the spare pool is claimed sequentially), drains must name a
+    // provisioned server, and neither may overlap a rebuild.
+    let mut joins = args.scale_out.clone();
+    joins.sort_by_key(|&(at, _)| at);
+    for (j, &(_, srv)) in joins.iter().enumerate() {
+        if srv != args.servers + j {
+            eprintln!(
+                "error: --scale-out must join servers {}, {}, ... in time order (got {srv})",
+                args.servers,
+                args.servers + 1
+            );
+            std::process::exit(2);
+        }
+    }
+    let provisioned = args.servers + args.scale_out.len();
+    for &(_, srv) in &args.drain {
+        if srv >= provisioned {
+            eprintln!("error: --drain server {srv} is never provisioned");
+            std::process::exit(2);
+        }
+    }
+    let elastic = !args.scale_out.is_empty() || !args.drain.is_empty();
+    if elastic && (args.repair.is_some() || args.repair_online.is_some()) {
+        eprintln!("error: --scale-out/--drain cannot overlap a --repair/--repair-online rebuild");
+        std::process::exit(2);
+    }
+
     let mut cluster = ClusterConfig::new(args.profile, args.servers, args.clients)
         .transport(args.transport)
         .client_nodes(args.client_nodes.unwrap_or(args.clients.max(1)));
+    if !args.scale_out.is_empty() {
+        cluster = cluster.max_servers(provisioned);
+    }
     if let Some(capacity) = args.ssd {
         cluster = cluster.ssd(eckv_store::SsdSpec::RI_QDR_PCIE.with_capacity(capacity));
     }
@@ -617,6 +701,15 @@ fn main() {
             "straggler: server {srv} degraded {factor}x (jitter up to {})",
             args.straggler_jitter
         );
+    }
+
+    for &(at, srv) in &joins {
+        driver::schedule_join(&world, &mut sim, at);
+        println!("scale-out: server {srv} joins at +{at}");
+    }
+    for &(at, srv) in &args.drain {
+        driver::schedule_drain(&world, &mut sim, at, srv);
+        println!("drain: server {srv} leaves at +{at}");
     }
 
     println!(

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures on the simulated clusters.
 //!
 //! ```text
-//! paper-figures [gf|fig4|fig8|fig9|fig10|fig11|fig12|fig13|tail|repair|overload|all] [--quick]
+//! paper-figures [gf|fig4|fig8|fig9|fig10|fig11|fig12|fig13|tail|repair|scale-out|overload|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks client counts/op counts for a fast smoke run; omit it
@@ -10,7 +10,7 @@
 
 use eckv_bench::{
     ablations, fig10, fig11_12, fig13, fig4, fig8, fig9, gf_kernels, model_check, overload,
-    repair_interference, tail_latency,
+    repair_interference, scale_out, tail_latency,
 };
 use eckv_simnet::ClusterProfile;
 use eckv_ycsb::Workload;
@@ -84,6 +84,10 @@ fn main() {
         ran = true;
         println!("{}", repair_interference::interference_table(quick));
     }
+    if all || which == "scale-out" {
+        ran = true;
+        println!("{}", scale_out::scale_out_table(quick));
+    }
     if all || which == "overload" {
         ran = true;
         println!("{}", overload::goodput_table(quick));
@@ -108,7 +112,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown figure '{which}'; expected gf, fig4, fig8, fig9, fig10, fig11, fig12, fig13, tail, repair, overload, model, ablations or all"
+            "unknown figure '{which}'; expected gf, fig4, fig8, fig9, fig10, fig11, fig12, fig13, tail, repair, scale-out, overload, model, ablations or all"
         );
         std::process::exit(2);
     }

@@ -21,6 +21,7 @@ pub mod gf_kernels;
 pub mod model_check;
 pub mod overload;
 pub mod repair_interference;
+pub mod scale_out;
 mod table;
 pub mod tail_latency;
 

@@ -1,0 +1,252 @@
+//! Elastic scale-out under load: a 5-server cluster grows to 8 while a
+//! steady YCSB-B stream keeps running against it.
+//!
+//! Each join reassigns O(1/N) of the vshards to the new member and the
+//! stolen chunks migrate through the online repair engine, so the
+//! foreground pays the same kind of interference tax a rebuild charges —
+//! and the same token-bucket throttle bounds it. The table sweeps the
+//! migration bandwidth cap and reports foreground GET p50/p99 measured
+//! over the grow pass against the healthy (fixed-topology) baseline,
+//! alongside how many vshards and bytes moved and how long the migration
+//! queue took to drain.
+//!
+//! Shape findings asserted by the tests: the cluster converges to 8
+//! members with zero lost keys (a full post-grow scan succeeds), the
+//! joiners end up holding real data, and the throttled grow keeps the
+//! foreground GET p99 within 2x of the healthy baseline.
+
+use eckv_core::ops::Op;
+use eckv_core::{driver, EngineConfig, RepairConfig, Scheme, World};
+use eckv_simnet::{ClusterProfile, SimDuration, Simulation};
+use eckv_store::ClusterConfig;
+use eckv_ycsb::{load_ops, run_ops, Workload, YcsbConfig};
+
+use crate::Table;
+
+/// Initial membership; the run grows it to [`GROWN_SERVERS`].
+pub const INITIAL_SERVERS: usize = 5;
+
+/// Membership after the three staggered joins.
+pub const GROWN_SERVERS: usize = 8;
+
+/// SDSC-Comet effective NIC bandwidth (FDR, ~45 Gbps effective) in bytes
+/// per second — the reference the throttle percentages are taken from.
+pub const NIC_BYTES_PER_SEC: u64 = 5_625_000_000;
+
+/// The swept migration-throttle settings: label, bytes-per-second cap.
+pub fn throttles() -> Vec<(&'static str, Option<u64>)> {
+    vec![
+        ("unthrottled", None),
+        ("25% NIC", Some(NIC_BYTES_PER_SEC / 4)),
+        ("10% NIC", Some(NIC_BYTES_PER_SEC / 10)),
+    ]
+}
+
+/// The YCSB-B deployment under test.
+fn ycsb_cfg(quick: bool) -> YcsbConfig {
+    YcsbConfig {
+        workload: Workload::B,
+        record_count: if quick { 120 } else { 400 },
+        ops_per_client: if quick { 240 } else { 800 },
+        clients: 2,
+        value_len: 16 << 10,
+        seed: 42,
+    }
+}
+
+/// One throttle setting's measured grow pass.
+#[derive(Debug, Clone)]
+pub struct ScaleOutPoint {
+    /// Row label.
+    pub label: &'static str,
+    /// Healthy-phase (5 fixed servers) foreground GET median.
+    pub healthy_p50: SimDuration,
+    /// Healthy-phase foreground GET p99.
+    pub healthy_p99: SimDuration,
+    /// Foreground GET median over the pass the cluster grew during.
+    pub grow_p50: SimDuration,
+    /// Foreground GET p99 over the grow pass.
+    pub grow_p99: SimDuration,
+    /// Virtual time the (merged) migration queue took to drain.
+    pub migration_elapsed: SimDuration,
+    /// Members once the ring converged (must reach [`GROWN_SERVERS`]).
+    pub members: usize,
+    /// Vshards reassigned across the three joins.
+    pub vshards_moved: u64,
+    /// Chunk bytes written onto the joiners by migration.
+    pub migrated_bytes: u64,
+    /// Keys the migration failed to move (must stay zero).
+    pub keys_lost: u64,
+    /// Chunks held by the three joiners after convergence.
+    pub joiner_items: u64,
+    /// Errors in the full post-grow key scan (must stay zero).
+    pub scan_errors: u64,
+    /// Foreground errors across both measured passes (must stay zero).
+    pub errors: u64,
+}
+
+/// Runs one throttle setting: load, a healthy measured pass at 5 fixed
+/// servers, then the same request stream again while three staggered
+/// joins grow the membership to 8, and finally a full key scan proving
+/// nothing was lost in the move.
+pub fn measure(label: &'static str, bandwidth: Option<u64>, quick: bool) -> ScaleOutPoint {
+    let ycsb = ycsb_cfg(quick);
+    let mut repair_cfg = RepairConfig::default().window(8);
+    if let Some(b) = bandwidth {
+        repair_cfg = repair_cfg.bandwidth(b);
+    }
+    let world = World::new(
+        EngineConfig::new(
+            ClusterConfig::new(ClusterProfile::SdscComet, INITIAL_SERVERS, ycsb.clients)
+                .max_servers(GROWN_SERVERS),
+            Scheme::era_se_sd(3, 2),
+        )
+        // Concurrent YCSB updates make stale-but-intact reads legitimate.
+        .validate(false)
+        // A moderate window keeps client-side queueing from drowning the
+        // interference signal in the latencies.
+        .window(4)
+        .repair(repair_cfg),
+    );
+    let mut sim = Simulation::new();
+
+    driver::run_workload(&world, &mut sim, load_ops(&ycsb));
+    assert_eq!(world.metrics.borrow().errors, 0, "load must be clean");
+
+    // Healthy baseline: the exact same request stream the grow pass
+    // replays (same seed, byte-identical op sequence).
+    world.reset_metrics();
+    driver::run_workload(&world, &mut sim, run_ops(&ycsb));
+    let (healthy_p50, healthy_p99, healthy_elapsed, healthy_errors) = {
+        let m = world.metrics.borrow();
+        let s = m.get_summary();
+        (
+            s.percentile(50.0),
+            s.percentile(99.0),
+            m.elapsed(),
+            m.errors,
+        )
+    };
+
+    // The grow pass: three joins staggered through the stream, each
+    // claiming one provisioned spare; their migrations merge into one
+    // background queue that drains under the foreground load.
+    world.reset_metrics();
+    for frac in [10u64, 25, 40] {
+        driver::schedule_join(&world, &mut sim, healthy_elapsed * frac / 100);
+    }
+    driver::enqueue_workload(&world, &mut sim, run_ops(&ycsb));
+    sim.run();
+    assert!(
+        !world.repair_active(),
+        "the migration queue must drain once the run settles"
+    );
+    let report = world
+        .last_repair_report()
+        .expect("the joins migrate at least one key");
+    let (grow_p50, grow_p99, vshards_moved, migrated_bytes, grow_errors) = {
+        let m = world.metrics.borrow();
+        let s = m.get_summary();
+        (
+            s.percentile(50.0),
+            s.percentile(99.0),
+            m.vshards_moved,
+            m.migrated_bytes,
+            m.errors,
+        )
+    };
+    let joiner_items = (INITIAL_SERVERS..GROWN_SERVERS)
+        .map(|i| world.cluster.servers[i].borrow().store().stats().items)
+        .sum();
+
+    // The zero-loss proof: after convergence every record is readable.
+    world.reset_metrics();
+    let scan: Vec<Op> = (0..ycsb.record_count)
+        .map(|i| Op::get(format!("user{i:012}")))
+        .collect();
+    driver::run_workload(&world, &mut sim, vec![scan]);
+    let scan_errors = world.metrics.borrow().errors;
+
+    ScaleOutPoint {
+        label,
+        healthy_p50,
+        healthy_p99,
+        grow_p50,
+        grow_p99,
+        migration_elapsed: report.elapsed,
+        members: world.cluster.member_count(),
+        vshards_moved,
+        migrated_bytes,
+        keys_lost: report.keys_lost,
+        joiner_items,
+        scan_errors,
+        errors: healthy_errors + grow_errors,
+    }
+}
+
+/// The scale-out table: foreground tail vs migration cost across
+/// throttle settings.
+pub fn scale_out_table(quick: bool) -> Table {
+    let mut t = Table::new(
+        "Elastic scale-out - YCSB-B while the cluster grows 5 -> 8 (SDSC-Comet, 16K values, RS(3,2))",
+        &[
+            "throttle",
+            "healthy p50",
+            "healthy p99",
+            "grow p50",
+            "grow p99",
+            "migration elapsed",
+            "vshards moved",
+            "migrated MB",
+            "lost",
+            "errors",
+        ],
+    );
+    for (label, bandwidth) in throttles() {
+        let p = measure(label, bandwidth, quick);
+        t.row(vec![
+            p.label.to_owned(),
+            p.healthy_p50.to_string(),
+            p.healthy_p99.to_string(),
+            p.grow_p50.to_string(),
+            p.grow_p99.to_string(),
+            p.migration_elapsed.to_string(),
+            p.vshards_moved.to_string(),
+            format!("{:.1}", p.migrated_bytes as f64 / (1u64 << 20) as f64),
+            p.keys_lost.to_string(),
+            (p.errors + p.scan_errors).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_grow_converges_and_loses_nothing() {
+        let p = measure("10% NIC", Some(NIC_BYTES_PER_SEC / 10), true);
+        assert_eq!(p.members, GROWN_SERVERS, "the ring must converge to 8");
+        assert_eq!(p.errors, 0, "no foreground op may fail during the grow");
+        assert_eq!(p.keys_lost, 0, "a healthy grow loses nothing");
+        assert_eq!(p.scan_errors, 0, "every record must survive the move");
+        assert!(p.vshards_moved > 0, "joins must steal vshards");
+        assert!(p.migrated_bytes > 0, "stolen vshards must carry data");
+        assert!(p.joiner_items > 0, "the joiners must hold migrated chunks");
+    }
+
+    #[test]
+    fn throttled_grow_keeps_the_foreground_tail_bounded() {
+        // The PR's acceptance finding: under the 10%-of-NIC migration
+        // throttle, foreground GET p99 during the live 5 -> 8 grow stays
+        // within 2x of the fixed-topology baseline.
+        let p = measure("10% NIC", Some(NIC_BYTES_PER_SEC / 10), true);
+        assert!(
+            p.grow_p99 <= p.healthy_p99 * 2,
+            "grow p99 must stay within 2x of healthy: {} vs {}",
+            p.grow_p99,
+            p.healthy_p99
+        );
+    }
+}

@@ -68,6 +68,33 @@ pub fn enqueue_workload(world: &Rc<World>, sim: &mut Simulation, per_client_ops:
     }
 }
 
+/// Schedules a scale-out event: at `at` (relative to now), the next
+/// provisioned spare joins the cluster via
+/// [`join_server`](crate::repair::join_server) while whatever foreground
+/// load is enqueued keeps running. A no-op at fire time when every
+/// provisioned slot is already a member.
+pub fn schedule_join(world: &Rc<World>, sim: &mut Simulation, at: eckv_simnet::SimDuration) {
+    let world = world.clone();
+    sim.schedule_in(at, move |sim| {
+        crate::repair::join_server(&world, sim);
+    });
+}
+
+/// Schedules a scale-in event: at `at` (relative to now), `server` is
+/// drained via [`drain_server`](crate::repair::drain_server) while
+/// whatever foreground load is enqueued keeps running.
+pub fn schedule_drain(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    at: eckv_simnet::SimDuration,
+    server: usize,
+) {
+    let world = world.clone();
+    sim.schedule_in(at, move |sim| {
+        crate::repair::drain_server(&world, sim, server);
+    });
+}
+
 /// Admits a single client's stream, leaving every other client alone.
 /// Scenarios that stagger client arrival (a flash-crowd ramp) schedule
 /// one call per client at its arrival instant instead of admitting the

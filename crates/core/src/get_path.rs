@@ -33,6 +33,31 @@ pub(crate) fn start_get(
     key: Arc<str>,
     done: DoneCb,
 ) {
+    if world.try_targets(&key).is_err() {
+        // The membership dropped below the scheme's group width (an
+        // over-eager drain): no valid placement exists to read from, so
+        // the operation fails cleanly instead of panicking.
+        let op_start = sim.now();
+        finish_op(
+            world,
+            sim,
+            op_start,
+            OpOutcome {
+                kind: OpKind::Get,
+                at: op_start,
+                request: SimDuration::ZERO,
+                compute: SimDuration::ZERO,
+                ok: false,
+                integrity_ok: true,
+                retryable: false,
+                degraded: false,
+                value_len: 0,
+                note_written: None,
+            },
+            done,
+        );
+        return;
+    }
     match world.scheme {
         Scheme::NoRep | Scheme::AsyncRep { .. } | Scheme::SyncRep { .. } => {
             get_replicated(world, sim, client, key, done)

@@ -63,6 +63,6 @@ mod world;
 
 pub use metrics::{Metrics, OpResult, TimelinePoint};
 pub use ops::{Op, OpKind};
-pub use repair::{repair_server, start_repair, RepairReport};
+pub use repair::{drain_server, join_server, repair_server, start_repair, RepairReport};
 pub use scheme::{Scheme, Side};
 pub use world::{AdmissionConfig, EngineConfig, HedgeConfig, RepairConfig, World};

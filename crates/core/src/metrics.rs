@@ -115,6 +115,12 @@ pub struct Metrics {
     /// Foreground operations that completed while an online repair was in
     /// progress (the interference population).
     pub fg_ops_during_repair: u64,
+    /// Vshards reassigned by membership changes (joins and drains) while
+    /// this metrics window was active.
+    pub vshards_moved: u64,
+    /// Bytes written to new holders by repair-driven migration (the data
+    /// that actually relocated; survivor reads land in `repair_bytes`).
+    pub migrated_bytes: u64,
     /// Bytes written by successful Sets (values, not counting redundancy).
     pub bytes_written: u64,
     /// Bytes read by successful Gets.

@@ -28,8 +28,16 @@
 //! contract: unthrottled, no foreground load, runs to quiescence. The
 //! returned [`RepairReport`] quantifies the repair-amplification
 //! trade-off either way.
+//!
+//! The same engine drives **repair-driven migration**: a membership
+//! change ([`join_server`], [`drain_server`]) reassigns O(1/N) of the
+//! virtual shards, and every key in a moved vshard becomes a
+//! `RepairTask::Migrate` on the same queue — copied (or, when the old
+//! holder is unreachable, reconstructed from `k` survivors) to its new
+//! holder under the same window, throttle, and degraded-read promotion
+//! as a rebuild. Migration is repair with a different destination.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -55,16 +63,41 @@ pub struct RepairReport {
     pub elapsed: SimDuration,
 }
 
+/// One unit of background data movement on the repair queue.
+#[derive(Debug, Clone)]
+enum RepairTask {
+    /// Rebuild the chunk/replica a key lost on the replaced server.
+    Rebuild(Arc<str>),
+    /// Move chunk `slot` of `key` from its previous holder to the new
+    /// one a membership change assigned (`from` usually still serves it,
+    /// so this is a 1x copy; reconstruction is the fallback).
+    Migrate {
+        key: Arc<str>,
+        slot: usize,
+        from: usize,
+        to: usize,
+    },
+}
+
+impl RepairTask {
+    fn key(&self) -> &Arc<str> {
+        match self {
+            RepairTask::Rebuild(key) | RepairTask::Migrate { key, .. } => key,
+        }
+    }
+}
+
 /// Live state of one in-progress online repair, owned by
 /// [`World::repair`]. The queue drains front-first; promotion moves a
 /// degraded key to the front.
 #[derive(Debug)]
 pub(crate) struct OnlineRepair {
-    /// The replaced server.
-    failed: usize,
-    /// Keys awaiting rebuild, in background-scan order (sorted) except
-    /// where promotion reordered them.
-    queue: VecDeque<Arc<str>>,
+    /// The replaced server (`Some` = rebuild mode; `None` = the queue
+    /// holds only migration work from a membership change).
+    failed: Option<usize>,
+    /// Tasks awaiting rebuild/migration, in background-scan order
+    /// (sorted) except where promotion reordered them.
+    queue: VecDeque<RepairTask>,
     /// Keys currently being rebuilt.
     in_flight: usize,
     /// Concurrency cap.
@@ -134,8 +167,8 @@ fn start_repair_with(world: &Rc<World>, sim: &mut Simulation, failed: usize, cfg
         m.repair_queue_depth_hwm = m.repair_queue_depth_hwm.max(keys.len() as u64);
     }
     *world.repair.borrow_mut() = Some(OnlineRepair {
-        failed,
-        queue: keys.into(),
+        failed: Some(failed),
+        queue: keys.into_iter().map(RepairTask::Rebuild).collect(),
         in_flight: 0,
         window: cfg.window,
         bandwidth: cfg.bandwidth,
@@ -184,7 +217,7 @@ pub(crate) fn note_degraded_read(world: &World, at: SimTime, key: &Arc<str>) {
     let depth = {
         let mut slot = world.repair.borrow_mut();
         let Some(s) = slot.as_mut() else { return };
-        let Some(pos) = s.queue.iter().position(|q| q == key) else {
+        let Some(pos) = s.queue.iter().position(|t| t.key() == key) else {
             return;
         };
         if pos == 0 {
@@ -239,16 +272,56 @@ fn repair_cost(world: &World, failed: usize, key: &Arc<str>) -> u64 {
     }
 }
 
+/// Estimated migration traffic for one moved chunk of `key` (the source
+/// read plus the new-holder write) — the token-bucket debit. Migration
+/// moves one chunk per key, so the erasure cost is 2x a shard, not the
+/// k+1 repair amplification.
+fn migrate_cost(world: &World, key: &Arc<str>) -> u64 {
+    let len = world.expected.borrow().get(key).map_or(0, |w| w.len);
+    match world.scheme {
+        Scheme::Erasure { .. } => world.shard_len(len) * 2,
+        Scheme::SyncRep { .. } | Scheme::AsyncRep { .. } | Scheme::NoRep => len * 2,
+        Scheme::Hybrid { threshold, .. } => {
+            if len <= threshold {
+                len * 2
+            } else {
+                world.shard_len(len) * 2
+            }
+        }
+    }
+}
+
+/// Whether slot `slot` of `key` stores anything under the current scheme
+/// (a small hybrid value only occupies its first `replicas` slots, so a
+/// reassignment of a later slot moves no data).
+fn carries_data(world: &World, key: &Arc<str>, slot: usize) -> bool {
+    match world.scheme {
+        Scheme::Hybrid {
+            threshold,
+            replicas,
+            ..
+        } => {
+            let len = world.expected.borrow().get(key).map_or(0, |w| w.len);
+            len > threshold || slot < replicas
+        }
+        _ => true,
+    }
+}
+
 /// What the pump decided to do with the queue under the state lock.
 enum PumpStep {
     /// Window full, queue empty with work in flight, or no repair active.
     Idle,
     /// The queue drained: the repair is complete.
-    Finished { keys: u64, report: RepairReport },
-    /// Release one key, after `wait` if the pacer held it back.
+    Finished {
+        keys: u64,
+        report: RepairReport,
+        rebuild: bool,
+    },
+    /// Release one task, after `wait` if the pacer held it back.
     Issue {
-        key: Arc<str>,
-        failed: usize,
+        task: RepairTask,
+        failed: Option<usize>,
         cost: u64,
         wait: SimDuration,
     },
@@ -272,15 +345,23 @@ pub(crate) fn pump_repair(world: &Rc<World>, sim: &mut Simulation) {
                     PumpStep::Finished {
                         keys: s.report.keys_repaired + s.report.keys_lost,
                         report: s.report,
+                        rebuild: s.failed.is_some(),
                     }
                 }
             } else if s.in_flight >= s.window {
                 PumpStep::Idle
             } else {
-                let key = s.queue.pop_front().expect("checked non-empty");
+                let task = s.queue.pop_front().expect("checked non-empty");
                 // world.repair and world.expected are distinct cells, so
                 // the cost estimate can read the catalogue here.
-                let cost = repair_cost(world, s.failed, &key);
+                let cost = match &task {
+                    RepairTask::Rebuild(key) => repair_cost(
+                        world,
+                        s.failed.expect("rebuilds carry a failed server"),
+                        key,
+                    ),
+                    RepairTask::Migrate { key, .. } => migrate_cost(world, key),
+                };
                 let now = sim.now();
                 let earliest = if s.next_free > now { s.next_free } else { now };
                 if let Some(rate) = s.bandwidth {
@@ -291,7 +372,7 @@ pub(crate) fn pump_repair(world: &Rc<World>, sim: &mut Simulation) {
                 }
                 s.in_flight += 1;
                 PumpStep::Issue {
-                    key,
+                    task,
                     failed: s.failed,
                     cost,
                     wait: earliest.since(now),
@@ -300,22 +381,33 @@ pub(crate) fn pump_repair(world: &Rc<World>, sim: &mut Simulation) {
         };
         match step {
             PumpStep::Idle => return,
-            PumpStep::Finished { keys, report } => {
+            PumpStep::Finished {
+                keys,
+                report,
+                rebuild,
+            } => {
                 world.last_repair.set(Some(report));
                 if world.trace.is_enabled() {
-                    world.trace.emit(
-                        sim.now(),
+                    let node = world.cluster.client_node(0);
+                    let event = if rebuild {
                         TraceEvent::RepairDone {
-                            node: world.cluster.client_node(0),
+                            node,
                             keys,
                             elapsed: report.elapsed,
-                        },
-                    );
+                        }
+                    } else {
+                        TraceEvent::MigrationDone {
+                            node,
+                            keys,
+                            elapsed: report.elapsed,
+                        }
+                    };
+                    world.trace.emit(sim.now(), event);
                 }
                 return;
             }
             PumpStep::Issue {
-                key,
+                task,
                 failed,
                 cost,
                 wait,
@@ -332,10 +424,10 @@ pub(crate) fn pump_repair(world: &Rc<World>, sim: &mut Simulation) {
                     }
                     let world2 = world.clone();
                     sim.schedule_in(wait, move |sim| {
-                        issue_repair_key(&world2, sim, failed, key, cost);
+                        issue_repair_task(&world2, sim, failed, task, cost);
                     });
                 } else {
-                    issue_repair_key(world, sim, failed, key, cost);
+                    issue_repair_task(world, sim, failed, task, cost);
                 }
             }
         }
@@ -356,13 +448,13 @@ enum RepairOutcome {
 
 type RepairDone = Box<dyn FnOnce(&mut Simulation, RepairOutcome, u64, u64)>;
 
-/// Dispatches the rebuild of one key per the scheme, with a completion
-/// that books the outcome and re-pumps the queue.
-fn issue_repair_key(
+/// Dispatches the rebuild or migration of one key per the scheme, with a
+/// completion that books the outcome and re-pumps the queue.
+fn issue_repair_task(
     world: &Rc<World>,
     sim: &mut Simulation,
-    failed: usize,
-    key: Arc<str>,
+    failed: Option<usize>,
+    task: RepairTask,
     cost: u64,
 ) {
     if world.trace.is_enabled() {
@@ -378,7 +470,8 @@ fn issue_repair_key(
         .trace
         .span_begin_op(eckv_simnet::SpanOpClass::Repair, sim.now());
     let world2 = world.clone();
-    let key2 = key.clone();
+    let task2 = task.clone();
+    let migrating = matches!(task, RepairTask::Migrate { .. });
     let done: RepairDone = Box::new(
         move |sim: &mut Simulation, outcome: RepairOutcome, read: u64, written: u64| {
             if let Some(op) = span {
@@ -392,46 +485,103 @@ fn issue_repair_key(
                 match outcome {
                     RepairOutcome::Repaired => s.report.keys_repaired += 1,
                     RepairOutcome::Lost => s.report.keys_lost += 1,
-                    RepairOutcome::Shed => s.queue.push_back(key2),
+                    RepairOutcome::Shed => s.queue.push_back(task2),
                 }
                 s.report.bytes_read += read;
                 s.report.bytes_written += written;
                 s.in_flight -= 1;
             }
-            world2.metrics.borrow_mut().repair_bytes += read + written;
+            {
+                let mut m = world2.metrics.borrow_mut();
+                m.repair_bytes += read + written;
+                if migrating {
+                    m.migrated_bytes += written;
+                }
+            }
             pump_repair(&world2, sim);
         },
     );
     let prev = world.trace.set_span_scope(span);
-    match world.scheme {
-        Scheme::Erasure { .. } => repair_erasure_key(world, sim, failed, key, done),
-        Scheme::SyncRep { .. } | Scheme::AsyncRep { .. } => {
-            let targets = world.targets(&key);
-            repair_replica_key(world, sim, failed, key, targets, done)
-        }
-        Scheme::Hybrid {
-            threshold,
-            replicas,
-            ..
-        } => {
-            // How the key was protected depends on its size at write
-            // time.
-            let len = world.expected.borrow().get(&key).map_or(0, |w| w.len);
-            if len <= threshold {
-                let targets: Vec<usize> = world.targets(&key).into_iter().take(replicas).collect();
-                if targets.contains(&failed) {
+    match task {
+        RepairTask::Rebuild(key) => {
+            let failed = failed.expect("rebuilds carry a failed server");
+            match world.scheme {
+                Scheme::Erasure { .. } => repair_erasure_key(world, sim, failed, key, done),
+                Scheme::SyncRep { .. } | Scheme::AsyncRep { .. } => {
+                    let targets = world.targets(&key);
                     repair_replica_key(world, sim, failed, key, targets, done)
-                } else {
-                    // The replaced server held no copy of this key.
-                    done(sim, RepairOutcome::Repaired, 0, 0);
                 }
-            } else {
-                repair_erasure_key(world, sim, failed, key, done)
+                Scheme::Hybrid {
+                    threshold,
+                    replicas,
+                    ..
+                } => {
+                    // How the key was protected depends on its size at
+                    // write time.
+                    let len = world.expected.borrow().get(&key).map_or(0, |w| w.len);
+                    if len <= threshold {
+                        let targets: Vec<usize> =
+                            world.targets(&key).into_iter().take(replicas).collect();
+                        if targets.contains(&failed) {
+                            repair_replica_key(world, sim, failed, key, targets, done)
+                        } else {
+                            // The replaced server held no copy of this key.
+                            done(sim, RepairOutcome::Repaired, 0, 0);
+                        }
+                    } else {
+                        repair_erasure_key(world, sim, failed, key, done)
+                    }
+                }
+                Scheme::NoRep => {
+                    // Nothing redundant exists; the data is simply gone.
+                    done(sim, RepairOutcome::Lost, 0, 0);
+                }
             }
         }
-        Scheme::NoRep => {
-            // Nothing redundant exists; the data is simply gone.
-            done(sim, RepairOutcome::Lost, 0, 0);
+        RepairTask::Migrate {
+            key,
+            slot,
+            from,
+            to,
+        } => {
+            let sharded = match world.scheme {
+                Scheme::Erasure { .. } => true,
+                Scheme::SyncRep { .. } | Scheme::AsyncRep { .. } | Scheme::NoRep => false,
+                Scheme::Hybrid { threshold, .. } => {
+                    let len = world.expected.borrow().get(&key).map_or(0, |w| w.len);
+                    len > threshold
+                }
+            };
+            if sharded {
+                migrate_erasure_shard(world, sim, key, slot, from, to, done)
+            } else {
+                // Full-copy schemes: any current holder can source the
+                // move, preferring the vacated one.
+                let sources: Vec<usize> = match world.scheme {
+                    Scheme::NoRep => vec![from],
+                    scheme => {
+                        // Only the first `replicas` slots of the group
+                        // hold full copies.
+                        let copies = match scheme {
+                            Scheme::Hybrid { replicas, .. } => replicas,
+                            _ => world.scheme.servers_per_key(),
+                        };
+                        let mut s = vec![from];
+                        // Under-width membership has no valid placement;
+                        // the vacated holder is then the only source.
+                        s.extend(
+                            world
+                                .try_targets(&key)
+                                .unwrap_or_default()
+                                .into_iter()
+                                .take(copies)
+                                .filter(|&t| t != to && t != from),
+                        );
+                        s
+                    }
+                };
+                migrate_replica(world, sim, key, sources, to, done)
+            }
         }
     }
     world.trace.set_span_scope(prev);
@@ -710,6 +860,426 @@ fn repair_replica_key(
         }),
     );
     debug_assert!(launched, "a live replica existed at the pre-check");
+}
+
+/// The shared migration write tail: stores `value` under `store_key` on
+/// the new holder `to`, with the same observability as a rebuild write
+/// (`repair_shard` event, read/write counters) so migration and repair
+/// traffic are directly comparable in traces.
+#[allow(clippy::too_many_arguments)]
+fn write_to_new_holder(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    at: SimTime,
+    store_key: Arc<str>,
+    value: Payload,
+    to: usize,
+    read: u64,
+    done: RepairDone,
+) {
+    let client_node = world.cluster.client_node(0);
+    let written = value.len();
+    let dest = world.cluster.servers[to].clone();
+    let world2 = world.clone();
+    rpc::set(
+        &world.cluster.net,
+        &dest,
+        sim,
+        at,
+        client_node,
+        store_key,
+        value,
+        rpc::RpcPriority::Repair,
+        move |sim, reply| match reply {
+            Ok(_) => {
+                if world2.trace.is_enabled() {
+                    let node = world2.cluster.server_node(to);
+                    world2.trace.emit(
+                        sim.now(),
+                        TraceEvent::RepairShard {
+                            node,
+                            bytes: written,
+                        },
+                    );
+                    world2
+                        .trace
+                        .counter_add(client_node, "repair_read_bytes", read);
+                    world2
+                        .trace
+                        .counter_add(node, "repair_write_bytes", written);
+                }
+                done(sim, RepairOutcome::Repaired, read, written);
+            }
+            Err(rpc::RpcError::Shed(t)) => {
+                world2.note_shed(t, client_node, to, rpc::RpcPriority::Repair);
+                done(sim, RepairOutcome::Shed, read, 0);
+            }
+            Err(rpc::RpcError::ServerDead(_)) => {
+                done(sim, RepairOutcome::Lost, read, 0);
+            }
+        },
+    );
+}
+
+/// Moves chunk `slot` of `key` to its new holder: a 1x direct copy from
+/// the vacated holder when it is reachable, falling back to a k-survivor
+/// reconstruction (the rebuild path) when it is dead or empty.
+fn migrate_erasure_shard(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    key: Arc<str>,
+    slot: usize,
+    from: usize,
+    to: usize,
+    done: RepairDone,
+) {
+    if !world.cluster.is_server_alive(from) {
+        migrate_reconstruct_shard(world, sim, key, slot, to, done);
+        return;
+    }
+    let client_node = world.cluster.client_node(0);
+    let spec = FanOutSpec {
+        candidates: vec![(slot, from)],
+        pinned: 0,
+        policy: QuorumPolicy::single(false),
+        liveness: Liveness::PreFiltered,
+        hedge_node: client_node,
+    };
+    let io = client_get_io(world, 0, key.clone(), true, false, rpc::RpcPriority::Repair);
+    let world2 = world.clone();
+    let now = sim.now();
+    let launched = FanOut::launch(
+        world,
+        sim,
+        spec,
+        now,
+        io,
+        Box::new(move |sim, s: Settled| {
+            let shed = s.shed;
+            let Some((_, chunk)) = s.good.into_iter().next() else {
+                if shed > 0 {
+                    done(sim, RepairOutcome::Shed, 0, 0);
+                } else {
+                    // The source lost the chunk (died mid-flight or was
+                    // wiped): reconstruct it from the other holders.
+                    migrate_reconstruct_shard(&world2, sim, key, slot, to, done);
+                }
+                return;
+            };
+            let read = chunk.len();
+            let at = sim.now();
+            write_to_new_holder(
+                &world2,
+                sim,
+                at,
+                World::shard_key(&key, slot),
+                chunk,
+                to,
+                read,
+                done,
+            );
+        }),
+    );
+    debug_assert!(launched, "the source was alive at the pre-check");
+}
+
+/// Rebuilds chunk `slot` of `key` from `k` survivors in its new group and
+/// stores it on the new holder — the migration fallback when the vacated
+/// holder cannot serve the chunk. Identical to a rebuild except for the
+/// destination.
+fn migrate_reconstruct_shard(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    key: Arc<str>,
+    slot: usize,
+    to: usize,
+    done: RepairDone,
+) {
+    let (k, _, _, _, _) = world.scheme.erasure_params().expect("erasure scheme");
+    let Ok(targets) = world.try_targets(&key) else {
+        // The membership dropped below the scheme width: no valid
+        // placement exists to rebuild into.
+        done(sim, RepairOutcome::Lost, 0, 0);
+        return;
+    };
+    let survivors: Vec<(usize, usize)> = targets
+        .iter()
+        .enumerate()
+        .filter(|&(i, &s)| i != slot && world.cluster.is_server_alive(s))
+        .map(|(i, &s)| (i, s))
+        .collect();
+    if survivors.len() < k {
+        done(sim, RepairOutcome::Lost, 0, 0);
+        return;
+    }
+    let client_node = world.cluster.client_node(0);
+    let spec = FanOutSpec {
+        candidates: survivors,
+        pinned: 0,
+        policy: QuorumPolicy::read(k),
+        liveness: Liveness::PreFiltered,
+        hedge_node: client_node,
+    }
+    .rotated_by(fnv1a_64(key.as_bytes()));
+    let io = client_get_io(world, 0, key.clone(), true, false, rpc::RpcPriority::Repair);
+    let world2 = world.clone();
+    let from = sim.now();
+    let launched = FanOut::launch(
+        world,
+        sim,
+        spec,
+        from,
+        io,
+        Box::new(move |sim, s: Settled| {
+            let read: u64 = s.good.iter().map(|(_, c)| c.len()).sum();
+            if s.good.len() < k {
+                let outcome = if s.shed > 0 {
+                    RepairOutcome::Shed
+                } else {
+                    RepairOutcome::Lost
+                };
+                done(sim, outcome, read, 0);
+                return;
+            }
+            let chunks: Vec<(usize, Option<Payload>)> = s
+                .good
+                .into_iter()
+                .take(k)
+                .map(|(i, c)| (i, Some(c)))
+                .collect();
+            let expected = world2.expected.borrow().get(&key).copied();
+            let Some(w) = expected else {
+                done(sim, RepairOutcome::Lost, read, 0);
+                return;
+            };
+            let rebuilt = rebuild_shard(&world2, &chunks, slot, w.len, w.digest);
+            let t_dec = world2
+                .decode_time(w.len, 1)
+                .max(world2.encode_time(w.len) / 2);
+            let dec_done = world2.reserve_client_cpu(0, s.last, t_dec);
+            trace_codec(
+                &world2.trace,
+                client_node,
+                CodecOp::Decode,
+                s.last,
+                t_dec,
+                w.len,
+            );
+            write_to_new_holder(
+                &world2,
+                sim,
+                dec_done,
+                World::shard_key(&key, slot),
+                rebuilt,
+                to,
+                read,
+                done,
+            );
+        }),
+    );
+    debug_assert!(launched, "k live survivors existed at the pre-check");
+}
+
+/// Moves a full copy of `key` to its new holder, sourcing it from the
+/// vacated holder first and topping up from the other copy holders when
+/// the preferred source is dead or empty.
+fn migrate_replica(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    key: Arc<str>,
+    sources: Vec<usize>,
+    to: usize,
+    done: RepairDone,
+) {
+    let client_node = world.cluster.client_node(0);
+    let live: Vec<(usize, usize)> = sources
+        .into_iter()
+        .filter(|&s| world.cluster.is_server_alive(s))
+        .enumerate()
+        .collect();
+    if live.is_empty() {
+        done(sim, RepairOutcome::Lost, 0, 0);
+        return;
+    }
+    // No rotation: the vacated holder leads so the common case stays a
+    // 1x copy; `read(1)` late-binds the next holder on a dead/empty
+    // source.
+    let spec = FanOutSpec {
+        candidates: live,
+        pinned: 0,
+        policy: QuorumPolicy::read(1),
+        liveness: Liveness::PreFiltered,
+        hedge_node: client_node,
+    };
+    let io = client_get_io(
+        world,
+        0,
+        key.clone(),
+        false,
+        false,
+        rpc::RpcPriority::Repair,
+    );
+    let world2 = world.clone();
+    let from = sim.now();
+    let launched = FanOut::launch(
+        world,
+        sim,
+        spec,
+        from,
+        io,
+        Box::new(move |sim, s: Settled| {
+            let shed = s.shed;
+            let Some((_, value)) = s.good.into_iter().next() else {
+                let outcome = if shed > 0 {
+                    RepairOutcome::Shed
+                } else {
+                    RepairOutcome::Lost
+                };
+                done(sim, outcome, 0, 0);
+                return;
+            };
+            let read = value.len();
+            let at = sim.now();
+            write_to_new_holder(&world2, sim, at, key, value, to, read, done);
+        }),
+    );
+    debug_assert!(launched, "a live source existed at the pre-check");
+}
+
+/// Adds the next provisioned spare to the cluster: claims its ring
+/// points, reassigns O(1/N) of the virtual shards to it, and enqueues
+/// every affected key's moved chunk on the repair engine. Returns the new
+/// server's index, or `None` when every provisioned slot is already a
+/// member (raise the bound with
+/// [`ClusterConfig::max_servers`](eckv_store::ClusterConfig::max_servers)).
+///
+/// # Panics
+///
+/// Panics if a rebuild ([`start_repair`]) is active: reconfiguring
+/// placement mid-rebuild would reroute the rebuild's own scan.
+pub fn join_server(world: &Rc<World>, sim: &mut Simulation) -> Option<usize> {
+    let (id, moves) = world.cluster.add_server()?;
+    // The joiner is a live node every client may now address.
+    for c in 0..world.cfg.cluster.clients {
+        world.mark_alive(c, id);
+    }
+    apply_membership_change(world, sim, moves);
+    Some(id)
+}
+
+/// Administratively removes `server` from placement: every vshard slot it
+/// held moves to another member, and the evacuating chunks are enqueued
+/// on the repair engine. The drained server keeps serving as a migration
+/// source until the queue drains.
+///
+/// # Panics
+///
+/// Panics if `server` is not an active member, or if a rebuild
+/// ([`start_repair`]) is active.
+pub fn drain_server(world: &Rc<World>, sim: &mut Simulation, server: usize) {
+    let moves = world.cluster.drain_server(server);
+    apply_membership_change(world, sim, moves);
+}
+
+/// Turns a batch of vshard reassignments into migration work: accounts
+/// the moves, emits their trace events, scans the catalogue for keys in
+/// moved vshards, and enqueues one [`RepairTask::Migrate`] per moved
+/// chunk — merging into an active migration (a second membership change
+/// extends the queue) or starting the engine fresh under the world's
+/// [`RepairConfig`].
+fn apply_membership_change(
+    world: &Rc<World>,
+    sim: &mut Simulation,
+    moves: Vec<eckv_store::VShardMove>,
+) {
+    assert!(
+        !matches!(&*world.repair.borrow(), Some(s) if s.failed.is_some()),
+        "cannot reconfigure membership during an active rebuild"
+    );
+    if moves.is_empty() {
+        return;
+    }
+    world.metrics.borrow_mut().vshards_moved += moves.len() as u64;
+    if world.trace.is_enabled() {
+        for m in &moves {
+            world.trace.emit(
+                sim.now(),
+                TraceEvent::VshardReassigned {
+                    node: world.cluster.server_node(m.to),
+                    from: world.cluster.server_node(m.from),
+                    vshard: m.vshard as u64,
+                },
+            );
+        }
+    }
+
+    // Only moves inside the scheme's group width carry chunks; the rest
+    // reshuffle standby slots.
+    let width = world.scheme.servers_per_key();
+    let by_vshard: HashMap<usize, eckv_store::VShardMove> = moves
+        .iter()
+        .filter(|m| m.slot < width)
+        .map(|m| (m.vshard, *m))
+        .collect();
+    // Sorted scan, same as a rebuild: queue order is observable.
+    let mut keys: Vec<Arc<str>> = world.expected.borrow().keys().cloned().collect();
+    keys.sort();
+    let tasks: Vec<RepairTask> = keys
+        .into_iter()
+        .filter_map(|key| {
+            let m = by_vshard.get(&world.cluster.vshard_of(key.as_bytes()))?;
+            carries_data(world, &key, m.slot).then_some(RepairTask::Migrate {
+                key,
+                slot: m.slot,
+                from: m.from,
+                to: m.to,
+            })
+        })
+        .collect();
+    if world.trace.is_enabled() {
+        world.trace.emit(
+            sim.now(),
+            TraceEvent::MigrationStarted {
+                node: world.cluster.client_node(0),
+                keys: tasks.len() as u64,
+            },
+        );
+    }
+    let cfg = world.cfg.repair;
+    {
+        let mut slot = world.repair.borrow_mut();
+        let depth = match slot.as_mut() {
+            Some(s) => {
+                // A change landed while an earlier migration is still
+                // draining: extend its queue.
+                s.queue.extend(tasks);
+                s.queue.len() + s.in_flight
+            }
+            None => {
+                let depth = tasks.len();
+                *slot = Some(OnlineRepair {
+                    failed: None,
+                    queue: tasks.into(),
+                    in_flight: 0,
+                    window: cfg.window,
+                    bandwidth: cfg.bandwidth,
+                    next_free: sim.now(),
+                    report: RepairReport {
+                        keys_repaired: 0,
+                        keys_lost: 0,
+                        bytes_read: 0,
+                        bytes_written: 0,
+                        elapsed: SimDuration::ZERO,
+                    },
+                    started: sim.now(),
+                });
+                depth
+            }
+        };
+        let mut m = world.metrics.borrow_mut();
+        m.repair_queue_depth_hwm = m.repair_queue_depth_hwm.max(depth as u64);
+    }
+    pump_repair(world, sim);
 }
 
 #[cfg(test)]

@@ -77,6 +77,14 @@ pub(crate) fn start_set(
     payload: Payload,
     done: DoneCb,
 ) {
+    if world.try_targets(&key).is_err() {
+        // The membership dropped below the scheme's group width (an
+        // over-eager drain): there is no valid placement to write to, so
+        // the operation fails cleanly instead of panicking.
+        let value_len = payload.len();
+        fail_unwritable(world, sim, value_len, done);
+        return;
+    }
     match world.scheme {
         Scheme::NoRep | Scheme::AsyncRep { .. } => {
             let targets = world.targets(&key);

@@ -440,7 +440,10 @@ impl World {
         let client_cpus = (0..cfg.cluster.clients)
             .map(|i| WorkerPool::new(format!("client{i}.cpu"), 1))
             .collect();
-        let views = vec![vec![true; cfg.cluster.servers]; cfg.cluster.clients];
+        // Views cover every provisioned server slot so joining a spare
+        // later needs no resizing (spares start optimistically alive,
+        // like everything else in the view).
+        let views = vec![vec![true; cfg.cluster.provisioned_servers()]; cfg.cluster.clients];
         // Fixed salt, same idiom as the straggler-jitter seeds: every
         // client's jitter stream is independent and reproducible.
         let retry_rng = (0..cfg.cluster.clients)
@@ -527,10 +530,21 @@ impl World {
     /// The servers (by index) that house `key`'s copies or chunks; for
     /// erasure schemes, position `i` is the holder of shard `i` (data
     /// shards first). Placement introspection for tests and tools.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the membership is too small for the scheme; op paths
+    /// use [`World::try_targets`] and fail the op instead.
     pub fn targets(&self, key: &str) -> Vec<usize> {
+        self.try_targets(key).expect("placement")
+    }
+
+    /// Fallible placement: resolves `key` through the vshard map under
+    /// the current membership epoch. `Err` when a drain shrank the
+    /// membership below the scheme's `servers_per_key`.
+    pub fn try_targets(&self, key: &str) -> Result<Vec<usize>, eckv_store::PlacementError> {
         self.cluster
-            .ring
-            .servers_for(key.as_bytes(), self.scheme.servers_per_key())
+            .targets_for(key.as_bytes(), self.scheme.servers_per_key())
     }
 
     /// Storage key of erasure chunk `i` of `key`.

@@ -52,14 +52,16 @@ pub mod session;
 
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
-    pub use eckv_core::driver::{enqueue_client, enqueue_workload, run_workload};
+    pub use eckv_core::driver::{
+        enqueue_client, enqueue_workload, run_workload, schedule_drain, schedule_join,
+    };
     pub use eckv_core::{
-        repair_server, start_repair, AdmissionConfig, EngineConfig, HedgeConfig, Metrics, Op,
-        OpKind, RepairConfig, RepairReport, Scheme, Side, World,
+        drain_server, join_server, repair_server, start_repair, AdmissionConfig, EngineConfig,
+        HedgeConfig, Metrics, Op, OpKind, RepairConfig, RepairReport, Scheme, Side, World,
     };
     pub use eckv_erasure::{CodecKind, ErasureCodec, Striper};
     pub use eckv_simnet::{ClusterProfile, SimDuration, SimTime, Simulation, TransportKind};
-    pub use eckv_store::{ClusterConfig, Payload};
+    pub use eckv_store::{ClusterConfig, Payload, PlacementError};
 }
 
 #[cfg(test)]

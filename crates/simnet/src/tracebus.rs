@@ -87,6 +87,9 @@ pub fn event_schema() -> String {
         ("repair_done", "node, bytes, dur_ns"),
         ("queue_capped", "node, kind, bytes"),
         ("op_shed", "node, peer, kind"),
+        ("vshard_reassigned", "node, peer, bytes"),
+        ("migration_started", "node, bytes"),
+        ("migration_done", "node, bytes, dur_ns"),
     ];
     for (name, fields) in EVENTS {
         out.push_str(&format!("{name}: {fields}\n"));
@@ -343,6 +346,32 @@ pub enum TraceEvent {
         /// Time from repair start to drain.
         elapsed: SimDuration,
     },
+    /// A membership change reassigned one virtual shard to a new holder.
+    VshardReassigned {
+        /// Server node that now holds the vshard's moved slot.
+        node: NodeId,
+        /// Server node that held the slot before the change.
+        from: NodeId,
+        /// The reassigned vshard's index.
+        vshard: u64,
+    },
+    /// A membership change enqueued its data movement on the repair engine.
+    MigrationStarted {
+        /// Node driving the migration (the repair client).
+        node: NodeId,
+        /// Keys whose chunks must move to new holders.
+        keys: u64,
+    },
+    /// The migration queue drained (every moved chunk copied or written
+    /// off) and the cluster converged on the new placement.
+    MigrationDone {
+        /// Node that drove the migration.
+        node: NodeId,
+        /// Keys processed (migrated plus lost).
+        keys: u64,
+        /// Time from migration start to drain.
+        elapsed: SimDuration,
+    },
 }
 
 impl TraceEvent {
@@ -386,6 +415,9 @@ impl TraceEvent {
             TraceEvent::QueueCapped { .. } => "queue_capped",
             TraceEvent::OpShed { .. } => "op_shed",
             TraceEvent::RepairDone { .. } => "repair_done",
+            TraceEvent::VshardReassigned { .. } => "vshard_reassigned",
+            TraceEvent::MigrationStarted { .. } => "migration_started",
+            TraceEvent::MigrationDone { .. } => "migration_done",
         }
     }
 }
@@ -553,6 +585,24 @@ impl TraceRecord {
                 f.kind = Some(if repair { "repair" } else { "fg" });
             }
             TraceEvent::RepairDone {
+                node,
+                keys,
+                elapsed,
+            } => {
+                f.node = Some(node);
+                f.bytes = Some(keys);
+                f.dur_ns = Some(elapsed.as_nanos());
+            }
+            TraceEvent::VshardReassigned { node, from, vshard } => {
+                f.node = Some(node);
+                f.peer = Some(from);
+                f.bytes = Some(vshard);
+            }
+            TraceEvent::MigrationStarted { node, keys } => {
+                f.node = Some(node);
+                f.bytes = Some(keys);
+            }
+            TraceEvent::MigrationDone {
                 node,
                 keys,
                 elapsed,
@@ -1244,6 +1294,66 @@ mod tests {
             out,
             "{\"at_ns\":300,\"seq\":2,\"event\":\"repair_done\",\"node\":5,\"bytes\":30,\"dur_ns\":9000}\n"
         );
+    }
+
+    #[test]
+    fn membership_events_flatten_into_the_fixed_columns() {
+        let mut out = String::new();
+        TraceRecord {
+            at: SimTime::from_nanos(50),
+            seq: 0,
+            event: TraceEvent::VshardReassigned {
+                node: NodeId(5),
+                from: NodeId(2),
+                vshard: 311,
+            },
+        }
+        .write_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"at_ns\":50,\"seq\":0,\"event\":\"vshard_reassigned\",\"node\":5,\"peer\":2,\"bytes\":311}\n"
+        );
+        let mut out = String::new();
+        TraceRecord {
+            at: SimTime::from_nanos(60),
+            seq: 1,
+            event: TraceEvent::MigrationStarted {
+                node: NodeId(8),
+                keys: 40,
+            },
+        }
+        .write_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"at_ns\":60,\"seq\":1,\"event\":\"migration_started\",\"node\":8,\"bytes\":40}\n"
+        );
+        let mut out = String::new();
+        TraceRecord {
+            at: SimTime::from_nanos(70),
+            seq: 2,
+            event: TraceEvent::MigrationDone {
+                node: NodeId(8),
+                keys: 40,
+                elapsed: SimDuration::from_micros(12),
+            },
+        }
+        .write_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"at_ns\":70,\"seq\":2,\"event\":\"migration_done\",\"node\":8,\"bytes\":40,\"dur_ns\":12000}\n"
+        );
+        let mut out = String::new();
+        TraceRecord {
+            at: SimTime::from_nanos(80),
+            seq: 3,
+            event: TraceEvent::VshardReassigned {
+                node: NodeId(5),
+                from: NodeId(2),
+                vshard: 311,
+            },
+        }
+        .write_csv(&mut out);
+        assert_eq!(out, "80,3,vshard_reassigned,5,2,,311,,\n");
     }
 
     #[test]

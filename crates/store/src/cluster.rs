@@ -8,7 +8,7 @@ use eckv_simnet::{
     TransportKind,
 };
 
-use crate::hashring::HashRing;
+use crate::hashring::{HashRing, PlacementError, VShardMap, VShardMove};
 use crate::server::{KvServer, ServerCosts};
 use crate::ssd::SsdSpec;
 use crate::store_node::StoreStats;
@@ -39,6 +39,11 @@ pub struct ClusterConfig {
     /// micro-benchmark configuration; `Some` = SSD-assisted, the Boldio
     /// storage nodes).
     pub ssd: Option<SsdSpec>,
+    /// Upper bound on servers the deployment can ever grow to (`None` =
+    /// `servers`, a fixed topology). Node ids are allocated against this
+    /// bound — servers occupy `0..max_servers`, client nodes follow — so
+    /// joining a spare never renumbers an existing node.
+    pub max_servers: Option<usize>,
 }
 
 impl ClusterConfig {
@@ -55,6 +60,7 @@ impl ClusterConfig {
             vnodes: 160,
             workers: None,
             ssd: None,
+            max_servers: None,
         }
     }
 
@@ -92,12 +98,38 @@ impl ClusterConfig {
         self.ssd = Some(spec);
         self
     }
+
+    /// Provisions spare server slots so the cluster can grow to `max`
+    /// servers at runtime (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max < servers`.
+    pub fn max_servers(mut self, max: usize) -> Self {
+        assert!(
+            max >= self.servers,
+            "max_servers ({max}) must cover the initial {} servers",
+            self.servers
+        );
+        self.max_servers = Some(max);
+        self
+    }
+
+    /// The provisioned server-slot count (`max_servers`, defaulting to
+    /// the initial `servers`).
+    pub fn provisioned_servers(&self) -> usize {
+        self.max_servers.unwrap_or(self.servers).max(self.servers)
+    }
 }
 
-/// A wired-up cluster: transport, servers, and the hash ring.
+/// A wired-up cluster: transport, servers, the hash ring and the vshard
+/// placement map layered over it.
 ///
-/// Node ids: servers occupy `0..servers`, client nodes
-/// `servers..servers + client_nodes`.
+/// Node ids are stable for the deployment's lifetime: server slots occupy
+/// `0..max_servers` (spares included, so a later join never renumbers
+/// anything), client nodes `max_servers..max_servers + client_nodes`.
+/// With the default fixed topology (`max_servers == servers`) this is the
+/// original servers-then-clients layout.
 ///
 /// # Example
 ///
@@ -113,10 +145,14 @@ impl ClusterConfig {
 pub struct KvCluster {
     /// The shared transport.
     pub net: Rc<RefCell<Network>>,
-    /// Server processes, indexed by server id.
+    /// Server processes, indexed by server id (`0..max_servers`; spares
+    /// beyond the initial membership idle until joined).
     pub servers: Vec<Rc<RefCell<KvServer>>>,
-    /// Consistent-hash ring over the servers.
+    /// Consistent-hash ring over the initial servers (the frozen arc
+    /// table the vshard map is built from).
     pub ring: HashRing,
+    vshards: RefCell<VShardMap>,
+    next_spare: std::cell::Cell<usize>,
     cfg: ClusterConfig,
 }
 
@@ -128,10 +164,11 @@ impl KvCluster {
     /// Panics if `cfg.servers == 0`.
     pub fn build(cfg: ClusterConfig) -> Self {
         assert!(cfg.servers > 0, "cluster needs at least one server");
-        let nodes = cfg.servers + cfg.client_nodes;
+        let provisioned = cfg.provisioned_servers();
+        let nodes = provisioned + cfg.client_nodes;
         let net = Network::new(nodes, cfg.profile.net_config(cfg.transport));
         let workers = cfg.workers.unwrap_or(cfg.profile.cpu().workers_per_node);
-        let servers = (0..cfg.servers)
+        let servers = (0..provisioned)
             .map(|i| {
                 let mut server = KvServer::new(
                     NodeId(i),
@@ -146,10 +183,13 @@ impl KvCluster {
             })
             .collect();
         let ring = HashRing::new(cfg.servers, cfg.vnodes);
+        let vshards = RefCell::new(VShardMap::from_ring(&ring));
         KvCluster {
             net,
             servers,
             ring,
+            vshards,
+            next_spare: std::cell::Cell::new(cfg.servers),
             cfg,
         }
     }
@@ -183,9 +223,72 @@ impl KvCluster {
     }
 
     /// Simulated node that client process `i` runs on (round-robin over the
-    /// client nodes).
+    /// client nodes, numbered after every provisioned server slot).
     pub fn client_node(&self, client: usize) -> NodeId {
-        NodeId(self.cfg.servers + client % self.cfg.client_nodes)
+        NodeId(self.cfg.provisioned_servers() + client % self.cfg.client_nodes)
+    }
+
+    /// Total provisioned server slots (`max_servers`); indices
+    /// `member_count()..` of [`KvCluster::servers`] may be idle spares.
+    pub fn provisioned_servers(&self) -> usize {
+        self.cfg.provisioned_servers()
+    }
+
+    /// The `n` servers housing `key`'s chunks/replicas under the current
+    /// membership, resolved through the vshard map.
+    pub fn targets_for(&self, key: &[u8], n: usize) -> Result<Vec<usize>, PlacementError> {
+        self.vshards.borrow().group_for(key, n)
+    }
+
+    /// The vshard `key` hashes to (stable across membership changes).
+    pub fn vshard_of(&self, key: &[u8]) -> usize {
+        self.vshards.borrow().vshard_of(key)
+    }
+
+    /// The placement epoch: 0 at construction, bumped once per
+    /// membership change.
+    pub fn placement_epoch(&self) -> u64 {
+        self.vshards.borrow().epoch()
+    }
+
+    /// Whether server `i` is an active member of the placement.
+    pub fn is_member(&self, i: usize) -> bool {
+        self.vshards.borrow().is_active(i)
+    }
+
+    /// Sorted ids of the active members.
+    pub fn members(&self) -> Vec<usize> {
+        self.vshards.borrow().members()
+    }
+
+    /// Number of active members.
+    pub fn member_count(&self) -> usize {
+        self.vshards.borrow().member_count()
+    }
+
+    /// Joins the next provisioned spare to the membership: the vshard map
+    /// reassigns O(1/N) of its arcs to the joiner and the returned moves
+    /// tell the migration engine which shards to relocate. Returns `None`
+    /// when every provisioned slot is already in use.
+    pub fn add_server(&self) -> Option<(usize, Vec<VShardMove>)> {
+        let id = self.next_spare.get();
+        if id >= self.cfg.provisioned_servers() {
+            return None;
+        }
+        self.next_spare.set(id + 1);
+        Some((id, self.vshards.borrow_mut().add_server(id)))
+    }
+
+    /// Drains server `i` out of the membership: every vshard group drops
+    /// it (one slot swap per affected vshard) and the returned moves
+    /// drive the data evacuation. The node itself stays up — a drain is
+    /// an administrative removal, not a failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not an active member.
+    pub fn drain_server(&self, i: usize) -> Vec<VShardMove> {
+        self.vshards.borrow_mut().drain_server(i)
     }
 
     /// Marks server `i` failed at the transport level.
@@ -221,9 +324,10 @@ impl KvCluster {
         self.net.borrow().is_alive(NodeId(i))
     }
 
-    /// Indices of currently-alive servers.
+    /// Indices of currently-alive member servers.
     pub fn alive_servers(&self) -> Vec<usize> {
-        (0..self.cfg.servers)
+        self.members()
+            .into_iter()
             .filter(|&i| self.is_server_alive(i))
             .collect()
     }
@@ -307,6 +411,60 @@ mod tests {
         let agg = c.aggregate_stats();
         assert_eq!(agg.items, 2);
         assert_eq!(agg.capacity_bytes, 3 * (20 << 30));
+    }
+
+    #[test]
+    fn provisioned_spares_shift_client_nodes_but_not_defaults() {
+        // Fixed topology: layout unchanged.
+        let fixed = KvCluster::build(ClusterConfig::new(ClusterProfile::RiQdr, 5, 1));
+        assert_eq!(fixed.client_node(0), NodeId(5));
+        assert_eq!(fixed.provisioned_servers(), 5);
+        // Elastic: spares hold node ids 5..8, clients follow at 8.
+        let elastic =
+            KvCluster::build(ClusterConfig::new(ClusterProfile::RiQdr, 5, 1).max_servers(8));
+        assert_eq!(elastic.servers.len(), 8);
+        assert_eq!(elastic.client_node(0), NodeId(8));
+        assert_eq!(elastic.net.borrow().len(), 9);
+        assert_eq!(elastic.member_count(), 5);
+        assert!(!elastic.is_member(5), "spares start outside the membership");
+    }
+
+    #[test]
+    fn join_and_drain_update_membership_and_epoch() {
+        let c = KvCluster::build(ClusterConfig::new(ClusterProfile::RiQdr, 5, 1).max_servers(7));
+        assert_eq!(c.placement_epoch(), 0);
+        let (id, moves) = c.add_server().expect("slot 5 is spare");
+        assert_eq!(id, 5);
+        assert!(!moves.is_empty());
+        assert!(c.is_member(5));
+        assert_eq!(c.placement_epoch(), 1);
+        assert_eq!(c.alive_servers(), vec![0, 1, 2, 3, 4, 5]);
+
+        let drains = c.drain_server(2);
+        assert!(!drains.is_empty());
+        assert!(!c.is_member(2));
+        assert_eq!(c.placement_epoch(), 2);
+        assert!(
+            c.is_server_alive(2),
+            "a drained server is out of the membership but still up"
+        );
+        assert_eq!(c.alive_servers(), vec![0, 1, 3, 4, 5]);
+
+        let (id2, _) = c.add_server().expect("slot 6 is spare");
+        assert_eq!(id2, 6);
+        assert!(c.add_server().is_none(), "no provisioned slots remain");
+    }
+
+    #[test]
+    fn fixed_topology_placement_matches_the_ring() {
+        let c = KvCluster::build(ClusterConfig::new(ClusterProfile::RiQdr, 5, 1));
+        for i in 0..200 {
+            let key = format!("key-{i}");
+            assert_eq!(
+                c.targets_for(key.as_bytes(), 5).ok(),
+                c.ring.servers_for(key.as_bytes(), 5).ok()
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,12 @@
-//! Consistent hashing with virtual nodes (libmemcached-ketama style).
+//! Consistent hashing with virtual nodes (libmemcached-ketama style),
+//! plus the virtual-shard ([`VShardMap`]) indirection that makes the
+//! placement elastic: keys hash to a *vshard* (one per ring arc), each
+//! vshard maps to an ordered server group, and membership changes edit
+//! the groups in place — reassigning O(1/N) of the vshards — instead of
+//! rehashing the world.
 
 use std::collections::HashSet;
+use std::fmt;
 
 use crate::payload::fnv1a_64;
 
@@ -36,6 +42,30 @@ fn claim_point(used: &mut HashSet<u64>, server: usize, vnode: usize) -> u64 {
     }
 }
 
+/// A placement could not be satisfied: the scheme needs more distinct
+/// servers than the current membership provides (e.g. a drain shrank the
+/// cluster below `k + m`). Surfaced to clients as a failed operation
+/// rather than a panic, so the deployment degrades gracefully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementError {
+    /// Distinct servers the placement needs.
+    pub needed: usize,
+    /// Servers the current membership can offer.
+    pub available: usize,
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot place {} chunks on {} servers",
+            self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
 /// A consistent-hash ring mapping keys to server indices.
 ///
 /// Each server contributes `vnodes` points on a 64-bit ring; a key is owned
@@ -51,7 +81,7 @@ fn claim_point(used: &mut HashSet<u64>, server: usize, vnode: usize) -> u64 {
 ///
 /// let ring = HashRing::new(5, 160);
 /// let primary = ring.primary_for(b"some-key");
-/// let five = ring.servers_for(b"some-key", 5);
+/// let five = ring.servers_for(b"some-key", 5).expect("5 fit on 5");
 /// assert_eq!(five[0], primary);
 /// assert_eq!(five.len(), 5);
 /// ```
@@ -104,18 +134,254 @@ impl HashRing {
     /// The `n` servers used to house a key's chunks/replicas: the primary
     /// plus the `n - 1` following servers in the cluster list.
     ///
+    /// Returns a [`PlacementError`] when `n > servers` — the paper's
+    /// designs never exceed the cluster size, but an elastic drain can.
+    pub fn servers_for(&self, key: &[u8], n: usize) -> Result<Vec<usize>, PlacementError> {
+        if n > self.servers {
+            return Err(PlacementError {
+                needed: n,
+                available: self.servers,
+            });
+        }
+        let primary = self.primary_for(key);
+        Ok((0..n).map(|i| (primary + i) % self.servers).collect())
+    }
+
+    /// The sorted `(point, owner)` pairs — the raw arcs a [`VShardMap`]
+    /// snapshots.
+    fn arcs(&self) -> &[(u64, usize)] {
+        &self.points
+    }
+}
+
+/// One vshard reassignment produced by a membership change: the shard at
+/// `slot` of `vshard`'s server group moved from `from` to `to`. The
+/// migration engine turns each move into per-key shard copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VShardMove {
+    /// Index of the reassigned vshard.
+    pub vshard: usize,
+    /// Position inside the server group (slot `i` stores chunk `i`).
+    pub slot: usize,
+    /// Previous holder of the slot.
+    pub from: usize,
+    /// New holder of the slot.
+    pub to: usize,
+}
+
+/// Membership state of one server id in a [`VShardMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Membership {
+    /// Provisioned (a node id exists) but never joined.
+    Spare,
+    /// Serving member: appears in every vshard group.
+    Active,
+    /// Left the membership; appears in no group.
+    Drained,
+}
+
+/// The key→vshard→server-group indirection layered over a [`HashRing`].
+///
+/// The map freezes the ring's arcs at construction: vshard `i` is the arc
+/// ending at the ring's `i`-th sorted point, so there are exactly
+/// `servers * vnodes` vshards and the key→vshard lookup never changes.
+/// Each vshard carries an explicit ordered server group, initialised to
+/// the ring's rotation `[owner, owner+1, …]` — which makes
+/// [`VShardMap::group_for`] *byte-identical* to
+/// [`HashRing::servers_for`] while membership never changes.
+///
+/// Membership changes edit the groups in place:
+///
+/// * [`VShardMap::add_server`] claims the joiner's `vnodes` ring points
+///   (same salted-probe rule the ring uses) and makes it the primary of
+///   each arc a point lands in — at most `vnodes` of the
+///   `servers * vnodes` vshards, i.e. an O(1/N) reassignment — while the
+///   displaced primary slides to the group tail.
+/// * [`VShardMap::drain_server`] swaps the group's tail server into the
+///   drained member's slot, so exactly one slot per affected vshard
+///   changes and every remaining slot keeps its holder.
+///
+/// Every change bumps [`VShardMap::epoch`] and returns the
+/// [`VShardMove`]s for the migration engine.
+#[derive(Debug, Clone)]
+pub struct VShardMap {
+    /// Frozen sorted arc-end points (the key→vshard table).
+    points: Vec<u64>,
+    /// Per-vshard ordered server group.
+    groups: Vec<Vec<usize>>,
+    /// Membership state, indexed by server id.
+    members: Vec<Membership>,
+    /// Claimed ring points, so joiners probe against existing vnodes.
+    used: HashSet<u64>,
+    /// Virtual nodes each server contributes.
+    vnodes: usize,
+    /// Bumped once per membership change.
+    epoch: u64,
+}
+
+impl VShardMap {
+    /// Snapshots `ring` into a vshard map: one vshard per ring arc, each
+    /// group the full rotation starting at the arc's owner.
+    pub fn from_ring(ring: &HashRing) -> Self {
+        let arcs = ring.arcs();
+        let servers = ring.servers();
+        let points: Vec<u64> = arcs.iter().map(|&(p, _)| p).collect();
+        let used: HashSet<u64> = points.iter().copied().collect();
+        let groups = arcs
+            .iter()
+            .map(|&(_, owner)| (0..servers).map(|j| (owner + j) % servers).collect())
+            .collect();
+        VShardMap {
+            points,
+            groups,
+            members: vec![Membership::Active; servers],
+            used,
+            vnodes: ring.ring_points() / servers,
+            epoch: 0,
+        }
+    }
+
+    /// Number of vshards (frozen at construction).
+    pub fn vshards(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The placement epoch: bumped once per membership change, `0` at
+    /// construction. Fixed-topology runs stay at epoch 0 forever.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether `server` is an active member.
+    pub fn is_active(&self, server: usize) -> bool {
+        self.members.get(server) == Some(&Membership::Active)
+    }
+
+    /// Sorted ids of the active members.
+    pub fn members(&self) -> Vec<usize> {
+        (0..self.members.len())
+            .filter(|&s| self.members[s] == Membership::Active)
+            .collect()
+    }
+
+    /// Number of active members.
+    pub fn member_count(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|&&m| m == Membership::Active)
+            .count()
+    }
+
+    /// The vshard `key` hashes to (stable across membership changes).
+    pub fn vshard_of(&self, key: &[u8]) -> usize {
+        let h = ring_hash(key);
+        let idx = self.points.partition_point(|&p| p < h);
+        if idx == self.points.len() {
+            0
+        } else {
+            idx
+        }
+    }
+
+    /// The ordered server group of `vshard`.
+    pub fn group(&self, vshard: usize) -> &[usize] {
+        &self.groups[vshard]
+    }
+
+    /// The `n` servers housing `key`'s chunks/replicas under the current
+    /// membership: the first `n` entries of its vshard's group.
+    pub fn group_for(&self, key: &[u8], n: usize) -> Result<Vec<usize>, PlacementError> {
+        let g = &self.groups[self.vshard_of(key)];
+        if n > g.len() {
+            return Err(PlacementError {
+                needed: n,
+                available: g.len(),
+            });
+        }
+        Ok(g[..n].to_vec())
+    }
+
+    /// Joins `server` (a spare or previously drained id): claims its
+    /// `vnodes` ring points and steals the primary slot of each arc one
+    /// lands in, appending the joiner to every other group's tail so it
+    /// stays eligible as a replacement. Returns the slot reassignments
+    /// (all `slot == 0`), at most `vnodes` of the `vshards()` arcs.
+    ///
     /// # Panics
     ///
-    /// Panics if `n > servers` (the paper's designs never exceed the
-    /// cluster size).
-    pub fn servers_for(&self, key: &[u8], n: usize) -> Vec<usize> {
+    /// Panics if `server` is already an active member.
+    pub fn add_server(&mut self, server: usize) -> Vec<VShardMove> {
+        if server >= self.members.len() {
+            self.members.resize(server + 1, Membership::Spare);
+        }
         assert!(
-            n <= self.servers,
-            "cannot place {n} chunks on {} servers",
-            self.servers
+            self.members[server] != Membership::Active,
+            "server {server} is already an active member"
         );
-        let primary = self.primary_for(key);
-        (0..n).map(|i| (primary + i) % self.servers).collect()
+        self.members[server] = Membership::Active;
+        let mut moves = Vec::new();
+        for v in 0..self.vnodes {
+            let h = claim_point(&mut self.used, server, v);
+            let idx = self.points.partition_point(|&p| p < h);
+            let vs = if idx == self.points.len() { 0 } else { idx };
+            let g = &mut self.groups[vs];
+            if g.first() == Some(&server) {
+                continue; // a second vnode point landed in an already-stolen arc
+            }
+            let old = g[0];
+            g[0] = server;
+            g.push(old);
+            moves.push(VShardMove {
+                vshard: vs,
+                slot: 0,
+                from: old,
+                to: server,
+            });
+        }
+        for g in &mut self.groups {
+            if !g.contains(&server) {
+                g.push(server);
+            }
+        }
+        self.epoch += 1;
+        moves
+    }
+
+    /// Drains `server`: removes it from the membership and swaps each
+    /// affected group's tail server into its slot, so exactly one slot
+    /// per affected vshard changes holder. Returns the reassignments;
+    /// a slot with no replacement candidate (the drained server sat at
+    /// the tail) simply shrinks the group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is not an active member.
+    pub fn drain_server(&mut self, server: usize) -> Vec<VShardMove> {
+        assert!(
+            self.is_active(server),
+            "server {server} is not an active member"
+        );
+        self.members[server] = Membership::Drained;
+        let mut moves = Vec::new();
+        for (vs, g) in self.groups.iter_mut().enumerate() {
+            let Some(pos) = g.iter().position(|&s| s == server) else {
+                continue;
+            };
+            if pos == g.len() - 1 {
+                g.pop();
+            } else {
+                let tail = g.pop().expect("groups are never empty");
+                g[pos] = tail;
+                moves.push(VShardMove {
+                    vshard: vs,
+                    slot: pos,
+                    from: server,
+                    to: tail,
+                });
+            }
+        }
+        self.epoch += 1;
+        moves
     }
 }
 
@@ -163,7 +429,10 @@ mod tests {
             .map(|i| format!("probe-{i}"))
             .find(|k| ring.primary_for(k.as_bytes()) == 3)
             .expect("some key lands on server 3");
-        assert_eq!(ring.servers_for(key.as_bytes(), 4), vec![3, 4, 0, 1]);
+        assert_eq!(
+            ring.servers_for(key.as_bytes(), 4).expect("4 fit on 5"),
+            vec![3, 4, 0, 1]
+        );
     }
 
     #[test]
@@ -171,7 +440,7 @@ mod tests {
         let ring = HashRing::new(7, 64);
         for i in 0..100 {
             let key = format!("k{i}");
-            let s = ring.servers_for(key.as_bytes(), 7);
+            let s = ring.servers_for(key.as_bytes(), 7).expect("7 fit on 7");
             let mut sorted = s.clone();
             sorted.sort_unstable();
             sorted.dedup();
@@ -196,9 +465,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot place")]
-    fn oversubscribed_placement_panics() {
-        HashRing::new(3, 16).servers_for(b"k", 4);
+    fn oversubscribed_placement_is_an_error_not_a_panic() {
+        // Pinned: asking for more chunks than the membership offers is a
+        // recoverable PlacementError (a drain below k+m must not crash
+        // the sim), with the same message the old assert carried.
+        let err = HashRing::new(3, 16)
+            .servers_for(b"k", 4)
+            .expect_err("4 chunks cannot fit on 3 servers");
+        assert_eq!(
+            err,
+            PlacementError {
+                needed: 4,
+                available: 3
+            }
+        );
+        assert_eq!(err.to_string(), "cannot place 4 chunks on 3 servers");
     }
 
     #[test]
@@ -225,5 +506,183 @@ mod tests {
         let mut used2 = HashSet::new();
         let _ = claim_point(&mut used2, 1, 0);
         assert_eq!(claim_point(&mut used2, 1, 0), rehashed);
+    }
+
+    // ---- vshard layer ----
+
+    /// Every group must hold each active member exactly once, and no
+    /// spare or drained server at all.
+    fn assert_groups_are_member_permutations(map: &VShardMap) {
+        let members = map.members();
+        for vs in 0..map.vshards() {
+            let mut g = map.group(vs).to_vec();
+            g.sort_unstable();
+            assert_eq!(
+                g, members,
+                "vshard {vs} group is not a permutation of the active members"
+            );
+        }
+    }
+
+    #[test]
+    fn vshard_map_matches_the_ring_at_fixed_topology() {
+        // The indirection must compose to the exact ring placement while
+        // membership never changes — this is what keeps fixed-topology
+        // golden traces byte-identical.
+        for (servers, vnodes) in [(5, 160), (7, 64), (3, 16)] {
+            let ring = HashRing::new(servers, vnodes);
+            let map = VShardMap::from_ring(&ring);
+            assert_eq!(map.vshards(), servers * vnodes);
+            assert_eq!(map.epoch(), 0);
+            for i in 0..2_000 {
+                let key = format!("key-{i}");
+                for n in 1..=servers {
+                    assert_eq!(
+                        map.group_for(key.as_bytes(), n).ok(),
+                        ring.servers_for(key.as_bytes(), n).ok(),
+                        "({servers},{vnodes}) n={n} diverged on {key}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adding_a_server_reassigns_a_bounded_fraction_of_vshards() {
+        // Rebalance quality: one join must reassign at most ~2/(N+1) of
+        // the vshards (it actually steals at most `vnodes` of the
+        // `N * vnodes` arcs, i.e. ~1/N), every move installs the joiner
+        // as primary, and the untouched arcs keep their groups.
+        for vnodes in [32, 160] {
+            for n in [4usize, 5, 8] {
+                let mut map = VShardMap::from_ring(&HashRing::new(n, vnodes));
+                let before: Vec<Vec<usize>> =
+                    (0..map.vshards()).map(|v| map.group(v).to_vec()).collect();
+                let moves = map.add_server(n);
+                assert!(!moves.is_empty(), "a join must steal some arcs");
+                assert!(
+                    moves.len() * (n + 1) <= 2 * map.vshards(),
+                    "({n},{vnodes}): join reassigned {} of {} vshards, above 2/(N+1)",
+                    moves.len(),
+                    map.vshards()
+                );
+                let stolen: HashSet<usize> = moves.iter().map(|m| m.vshard).collect();
+                assert_eq!(stolen.len(), moves.len(), "one move per stolen vshard");
+                for m in &moves {
+                    assert_eq!(m.slot, 0, "a join only steals primaries");
+                    assert_eq!(m.to, n);
+                    assert_eq!(map.group(m.vshard)[0], n);
+                    assert_eq!(m.from, before[m.vshard][0]);
+                }
+                for (vs, b) in before.iter().enumerate() {
+                    if !stolen.contains(&vs) {
+                        assert_eq!(
+                            &map.group(vs)[..n],
+                            &b[..],
+                            "untouched vshard {vs} must keep its first {n} slots"
+                        );
+                    }
+                }
+                assert_eq!(map.epoch(), 1);
+                assert_groups_are_member_permutations(&map);
+            }
+        }
+    }
+
+    #[test]
+    fn draining_a_server_swaps_exactly_one_slot_per_affected_vshard() {
+        let mut map = VShardMap::from_ring(&HashRing::new(6, 64));
+        let before: Vec<Vec<usize>> = (0..map.vshards()).map(|v| map.group(v).to_vec()).collect();
+        let moves = map.drain_server(2);
+        assert!(!map.is_active(2));
+        assert_groups_are_member_permutations(&map);
+        for m in &moves {
+            assert_eq!(m.from, 2);
+            let g = map.group(m.vshard);
+            assert_eq!(g[m.slot], m.to);
+            // Every slot other than the swapped one keeps its holder.
+            for (i, &s) in g.iter().enumerate() {
+                if i != m.slot {
+                    assert_eq!(s, before[m.vshard][i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_never_maps_a_vshard_to_a_dead_or_drained_server() {
+        // Seeded pseudo-random Join/Drain sequences: after every step,
+        // each group must be a permutation of the active members — so no
+        // vshard can resolve to a drained (or never-joined) server.
+        for seed in [7u64, 0xDEAD_BEEF, 0x5EED_0003] {
+            let mut map = VShardMap::from_ring(&HashRing::new(5, 32));
+            let mut next_spare = 5usize;
+            let mut z = seed;
+            for step in 0..12 {
+                // SplitMix64 step for a deterministic event stream.
+                z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut x = z;
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^= x >> 31;
+                let members = map.members();
+                if x % 2 == 0 || members.len() <= 3 {
+                    map.add_server(next_spare);
+                    next_spare += 1;
+                } else {
+                    let victim = members[(x as usize / 2) % members.len()];
+                    map.drain_server(victim);
+                }
+                assert_groups_are_member_permutations(&map);
+                assert_eq!(map.epoch(), step + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn churn_is_deterministic() {
+        let run = || {
+            let mut map = VShardMap::from_ring(&HashRing::new(5, 64));
+            let mut moves = Vec::new();
+            moves.extend(map.add_server(5));
+            moves.extend(map.drain_server(1));
+            moves.extend(map.add_server(6));
+            moves.extend(map.drain_server(5));
+            let groups: Vec<Vec<usize>> =
+                (0..map.vshards()).map(|v| map.group(v).to_vec()).collect();
+            (moves, groups)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn draining_below_the_scheme_width_yields_placement_errors() {
+        let mut map = VShardMap::from_ring(&HashRing::new(5, 32));
+        assert!(map.group_for(b"k", 5).is_ok());
+        map.drain_server(3);
+        let err = map
+            .group_for(b"k", 5)
+            .expect_err("4 members cannot host 5 chunks");
+        assert_eq!(
+            err,
+            PlacementError {
+                needed: 5,
+                available: 4
+            }
+        );
+        // 4-wide placements still resolve, and never to the drained server.
+        let four = map.group_for(b"k", 4).expect("4 members host 4 chunks");
+        assert!(!four.contains(&3));
+    }
+
+    #[test]
+    fn a_drained_server_can_rejoin() {
+        let mut map = VShardMap::from_ring(&HashRing::new(5, 32));
+        map.drain_server(4);
+        assert_eq!(map.member_count(), 4);
+        let moves = map.add_server(4);
+        assert!(!moves.is_empty(), "a rejoin steals arcs like any join");
+        assert_eq!(map.member_count(), 5);
+        assert_groups_are_member_permutations(&map);
     }
 }

@@ -122,7 +122,7 @@ proptest! {
             prop_assert!(p < servers);
             // servers_for is the primary followed by consecutive indices.
             let n = servers.min(4);
-            let s = ring.servers_for(key.as_bytes(), n);
+            let s = ring.servers_for(key.as_bytes(), n).expect("n <= servers");
             for (i, &srv) in s.iter().enumerate() {
                 prop_assert_eq!(srv, (p + i) % servers);
             }

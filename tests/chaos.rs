@@ -22,7 +22,14 @@
 //!    on the replaced server, those with at least `k` chunks reachable
 //!    elsewhere are rebuilt and the rest written off, and a Slow in
 //!    force while the repair runs flips NO key between the two (a
-//!    slowed survivor still serves its chunks, merely later).
+//!    slowed survivor still serves its chunks, merely later);
+//! 6. membership churn loses nothing the oracle predicts survivable — a
+//!    Join moves chunks onto the new member and a Drain evacuates the
+//!    leaver, and after the (blocking) migration every key reads exactly
+//!    as the per-slot model predicts: an unchanged slot keeps its chunk,
+//!    a moved slot receives one iff the vacated holder could serve it
+//!    directly or `k` survivors could reconstruct it, and the new holder
+//!    is alive to store it.
 
 use std::collections::{HashMap, HashSet};
 
@@ -30,6 +37,8 @@ use eckv::prelude::*;
 use proptest::prelude::*;
 
 const SERVERS: usize = 5;
+/// Provisioned spares beyond the initial membership, joinable live.
+const SPARES: usize = 2;
 const K: usize = 3;
 
 #[derive(Debug, Clone)]
@@ -40,6 +49,8 @@ enum ChaosEvent {
     Repair { server: u8 },
     Slow { server: u8, factor: u8 },
     Restore { server: u8 },
+    Join,
+    Drain { victim: u8 },
 }
 
 fn event_strategy() -> impl Strategy<Value = ChaosEvent> {
@@ -53,6 +64,8 @@ fn event_strategy() -> impl Strategy<Value = ChaosEvent> {
             factor
         }),
         1 => (0u8..SERVERS as u8).prop_map(|server| ChaosEvent::Restore { server }),
+        1 => Just(ChaosEvent::Join),
+        1 => (0u8..(SERVERS + SPARES) as u8).prop_map(|victim| ChaosEvent::Drain { victim }),
     ]
 }
 
@@ -61,14 +74,14 @@ fn event_strategy() -> impl Strategy<Value = ChaosEvent> {
 struct ChunkModel {
     /// key -> servers currently holding one of its chunks.
     has_chunk: HashMap<u8, HashSet<usize>>,
-    alive: [bool; SERVERS],
+    alive: Vec<bool>,
 }
 
 impl ChunkModel {
     fn new() -> Self {
         ChunkModel {
             has_chunk: HashMap::new(),
-            alive: [true; SERVERS],
+            alive: vec![true; SERVERS + SPARES],
         }
     }
 
@@ -125,6 +138,53 @@ impl ChunkModel {
         (repaired, lost)
     }
 
+    /// Applies a membership change (one slot of each affected vshard's
+    /// group moved) to the chunk model. `old_targets` is the placement
+    /// snapshot taken before the change; `targets_of` reads the new one.
+    /// Per slot: an unchanged slot keeps its chunk; a moved slot's new
+    /// holder receives one iff it is alive AND either the vacated holder
+    /// could serve the chunk directly (holds it, alive) or `k` of the
+    /// other slots' holders survive for a reconstruction. Stale copies on
+    /// vacated holders drop out of the model — the engine never reads
+    /// them again.
+    fn membership_change(
+        &mut self,
+        old_targets: &HashMap<u8, Vec<usize>>,
+        targets_of: impl Fn(u8) -> Vec<usize>,
+    ) {
+        let keys: Vec<u8> = self.has_chunk.keys().copied().collect();
+        for key in keys {
+            let old_t = &old_targets[&key];
+            let new_t = targets_of(key);
+            let holders = self.has_chunk.get(&key).expect("key present").clone();
+            let survivors_of = |slot: usize| {
+                new_t
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, s)| i != slot && holders.contains(s) && self.alive[*s])
+                    .count()
+            };
+            let mut moved: HashSet<usize> = HashSet::new();
+            for slot in 0..new_t.len() {
+                let (o, n) = (old_t[slot], new_t[slot]);
+                if o == n {
+                    continue;
+                }
+                let direct = holders.contains(&o) && self.alive[o];
+                if self.alive[n] && (direct || survivors_of(slot) >= K) {
+                    moved.insert(n);
+                }
+            }
+            let kept: HashSet<usize> = new_t
+                .iter()
+                .zip(old_t.iter())
+                .filter(|(n, o)| n == o && holders.contains(n))
+                .map(|(&n, _)| n)
+                .collect();
+            self.has_chunk.insert(key, &kept | &moved);
+        }
+    }
+
     fn repair(&mut self, server: usize, targets_of: impl Fn(u8) -> Vec<usize>) {
         // Replacement wipes the node, then rebuilds every rebuildable chunk.
         for holders in self.has_chunk.values_mut() {
@@ -160,7 +220,7 @@ fn run_chaos(
     {
         let world = World::new(
             EngineConfig::new(
-                ClusterConfig::new(ClusterProfile::RiQdr, SERVERS, 1),
+                ClusterConfig::new(ClusterProfile::RiQdr, SERVERS, 1).max_servers(SERVERS + SPARES),
                 scheme,
             )
             .hedge(HedgeConfig::after(SimDuration::from_micros(50))),
@@ -168,11 +228,14 @@ fn run_chaos(
         let mut sim = Simulation::new();
         let mut model = ChunkModel::new();
         let mut version: u64 = seed;
+        // Placement is read through the vshard layer, so the closure
+        // tracks membership churn: after a Join or Drain it returns the
+        // NEW width-`SERVERS` group for the key.
         let targets_of = |world: &std::rc::Rc<World>, key: u8| -> Vec<usize> {
             world
                 .cluster
-                .ring
-                .servers_for(format!("x{key}").as_bytes(), SERVERS)
+                .targets_for(format!("x{key}").as_bytes(), SERVERS)
+                .expect("chaos never drains below the scheme width")
         };
 
         for event in events {
@@ -250,6 +313,32 @@ fn run_chaos(
                 }
                 ChaosEvent::Restore { server } => {
                     world.cluster.restore_server_speed(server as usize);
+                }
+                ChaosEvent::Join => {
+                    let w = world.clone();
+                    let old: HashMap<u8, Vec<usize>> =
+                        (0..32).map(|key| (key, targets_of(&w, key))).collect();
+                    // `None` means the spare pool is exhausted: a no-op
+                    // for engine and model alike.
+                    if eckv::core::join_server(&world, &mut sim).is_some() {
+                        sim.run();
+                        model.membership_change(&old, |key| targets_of(&w, key));
+                    }
+                }
+                ChaosEvent::Drain { victim } => {
+                    let s = victim as usize;
+                    // Only active members leave, and never below the
+                    // scheme width (the engine allows it but every op
+                    // then fails by design — covered in tests/elastic.rs,
+                    // out of scope for this oracle).
+                    if world.cluster.is_member(s) && world.cluster.member_count() > SERVERS {
+                        let w = world.clone();
+                        let old: HashMap<u8, Vec<usize>> =
+                            (0..32).map(|key| (key, targets_of(&w, key))).collect();
+                        eckv::core::drain_server(&world, &mut sim, s);
+                        sim.run();
+                        model.membership_change(&old, |key| targets_of(&w, key));
+                    }
                 }
             }
         }

@@ -1,0 +1,211 @@
+//! Elastic membership end to end: live scale-out and scale-in over the
+//! vshard placement layer, with data movement driven through the online
+//! repair engine, plus the clean-failure contract when an over-eager
+//! drain leaves fewer members than the scheme needs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use eckv::prelude::*;
+use eckv::simnet::{JsonlSink, Trace, TraceBus};
+
+const KEYS: usize = 60;
+
+fn write_keys(world: &Rc<World>, sim: &mut Simulation) {
+    let writes: Vec<Op> = (0..KEYS)
+        .map(|i| Op::set_synthetic(format!("e{i:02}"), ((i % 8) as u64 + 1) * 1024, i as u64))
+        .collect();
+    run_workload(world, sim, vec![writes]);
+    assert_eq!(world.metrics.borrow().errors, 0, "load must be clean");
+}
+
+fn read_keys(world: &Rc<World>, sim: &mut Simulation) {
+    world.reset_metrics();
+    let reads: Vec<Op> = (0..KEYS).map(|i| Op::get(format!("e{i:02}"))).collect();
+    run_workload(world, sim, vec![reads]);
+}
+
+#[test]
+fn join_migrates_data_and_full_tolerance_covers_the_new_server() {
+    let world = World::new(EngineConfig::new(
+        ClusterConfig::new(ClusterProfile::RiQdr, 5, 1).max_servers(8),
+        Scheme::era_ce_cd(3, 2),
+    ));
+    let mut sim = Simulation::new();
+    write_keys(&world, &mut sim);
+
+    let id = join_server(&world, &mut sim).expect("a provisioned spare exists");
+    assert_eq!(id, 5);
+    sim.run();
+
+    assert_eq!(world.cluster.member_count(), 6);
+    assert!(!world.repair_active(), "migration queue must drain");
+    let m = world.metrics.borrow();
+    assert!(m.vshards_moved > 0, "a join must steal vshards");
+    assert!(m.migrated_bytes > 0, "stolen vshards must carry data");
+    drop(m);
+    let report = world.last_repair_report().expect("migration reports");
+    assert!(report.keys_repaired > 0);
+    assert_eq!(report.keys_lost, 0, "a healthy join loses nothing");
+    // A 1x copy per moved chunk: migration reads no more than it writes
+    // (reconstruction would read k times as much).
+    assert_eq!(report.bytes_read, report.bytes_written);
+    assert!(
+        world.cluster.servers[5].borrow().store().stats().items > 0,
+        "the joiner must hold migrated chunks"
+    );
+
+    // The moved chunks are real redundancy: killing the joiner must cost
+    // nothing (RS(3,2) tolerates it), and so must killing any old member.
+    world.cluster.kill_server(5);
+    world.cluster.kill_server(0);
+    read_keys(&world, &mut sim);
+    let m = world.metrics.borrow();
+    assert_eq!(m.errors, 0, "reads must survive losing the joiner + one");
+    assert_eq!(m.integrity_errors, 0);
+}
+
+#[test]
+fn drain_evacuates_every_chunk_before_the_server_leaves() {
+    let world = World::new(EngineConfig::new(
+        ClusterConfig::new(ClusterProfile::RiQdr, 6, 1),
+        Scheme::era_ce_cd(3, 2),
+    ));
+    let mut sim = Simulation::new();
+    write_keys(&world, &mut sim);
+
+    drain_server(&world, &mut sim, 2);
+    sim.run();
+
+    assert_eq!(world.cluster.member_count(), 5);
+    assert!(!world.cluster.is_member(2));
+    assert!(!world.repair_active());
+    let report = world.last_repair_report().expect("migration reports");
+    assert_eq!(report.keys_lost, 0, "a healthy drain loses nothing");
+
+    // Evacuation proof: power the drained server off entirely; every
+    // read must still succeed without even a degraded decode.
+    world.cluster.kill_server(2);
+    read_keys(&world, &mut sim);
+    let m = world.metrics.borrow();
+    assert_eq!(m.errors, 0, "no read may depend on the drained server");
+    assert_eq!(m.integrity_errors, 0);
+    assert_eq!(
+        m.get_degraded_count, 0,
+        "evacuation must be complete, not patched over by decodes"
+    );
+}
+
+#[test]
+fn draining_below_the_scheme_width_fails_ops_cleanly() {
+    let world = World::new(EngineConfig::new(
+        ClusterConfig::new(ClusterProfile::RiQdr, 5, 1),
+        Scheme::era_ce_cd(3, 2),
+    ));
+    let mut sim = Simulation::new();
+    write_keys(&world, &mut sim);
+
+    // 4 members cannot host 5 chunks: placement becomes an error...
+    drain_server(&world, &mut sim, 1);
+    sim.run();
+    assert_eq!(
+        world.cluster.targets_for(b"e00", 5),
+        Err(PlacementError {
+            needed: 5,
+            available: 4,
+        })
+    );
+
+    // ...and every operation surfaces it as a clean failure, not a panic.
+    world.reset_metrics();
+    run_workload(
+        &world,
+        &mut sim,
+        vec![vec![
+            Op::set_synthetic("post-drain", 2048, 9),
+            Op::get("e00"),
+        ]],
+    );
+    let m = world.metrics.borrow();
+    assert_eq!(m.errors, 2, "both ops must fail");
+    assert_eq!(m.set_count, 1);
+    assert_eq!(m.get_count, 1);
+}
+
+#[test]
+fn back_to_back_joins_merge_into_one_migration() {
+    let world = World::new(EngineConfig::new(
+        ClusterConfig::new(ClusterProfile::RiQdr, 5, 1).max_servers(7),
+        Scheme::era_ce_cd(3, 2),
+    ));
+    let mut sim = Simulation::new();
+    write_keys(&world, &mut sim);
+
+    assert_eq!(join_server(&world, &mut sim), Some(5));
+    // The second change lands while the first migration is still
+    // draining: its tasks extend the same queue.
+    assert_eq!(join_server(&world, &mut sim), Some(6));
+    assert_eq!(join_server(&world, &mut sim), None, "no spares left");
+    sim.run();
+
+    assert_eq!(world.cluster.member_count(), 7);
+    assert!(!world.repair_active());
+    assert_eq!(
+        world.last_repair_report().expect("migration ran").keys_lost,
+        0
+    );
+    read_keys(&world, &mut sim);
+    assert_eq!(world.metrics.borrow().errors, 0);
+}
+
+#[test]
+#[should_panic(expected = "cannot reconfigure membership during an active rebuild")]
+fn membership_changes_are_rejected_mid_rebuild() {
+    let world = World::new(EngineConfig::new(
+        ClusterConfig::new(ClusterProfile::RiQdr, 5, 1).max_servers(6),
+        Scheme::era_ce_cd(3, 2),
+    ));
+    let mut sim = Simulation::new();
+    write_keys(&world, &mut sim);
+    world.cluster.kill_server(1);
+    start_repair(&world, &mut sim, 1);
+    join_server(&world, &mut sim);
+}
+
+#[test]
+fn membership_changes_emit_the_migration_trace_events() {
+    let sink = Rc::new(RefCell::new(JsonlSink::new()));
+    let mut bus = TraceBus::new();
+    bus.add_sink(sink.clone());
+    let world = World::new_traced(
+        EngineConfig::new(
+            ClusterConfig::new(ClusterProfile::RiQdr, 5, 1).max_servers(6),
+            Scheme::era_ce_cd(3, 2),
+        ),
+        Trace::from_bus(bus),
+    );
+    let mut sim = Simulation::new();
+    write_keys(&world, &mut sim);
+
+    join_server(&world, &mut sim).expect("spare exists");
+    sim.run();
+
+    let trace = sink.borrow().contents().to_owned();
+    let count = |needle: &str| trace.matches(needle).count();
+    assert_eq!(
+        count("\"event\":\"vshard_reassigned\"") as u64,
+        world.metrics.borrow().vshards_moved,
+        "one event per reassigned vshard"
+    );
+    assert_eq!(count("\"event\":\"migration_started\""), 1);
+    assert_eq!(count("\"event\":\"migration_done\""), 1);
+    assert!(
+        count("\"event\":\"repair_shard\"") > 0,
+        "each moved chunk lands through the repair write path"
+    );
+    assert_eq!(
+        count("\"event\":\"repair_done\""),
+        0,
+        "a migration must finish as migration_done, not repair_done"
+    );
+}

@@ -20,7 +20,11 @@ fn replication_places_full_copies_on_f_consecutive_servers() {
     let world = world_for(Scheme::AsyncRep { replicas: 3 });
     let mut sim = Simulation::new();
     run_ops(&world, &mut sim, vec![Op::set_synthetic("key-x", 1000, 7)]);
-    let targets = world.cluster.ring.servers_for(b"key-x", 3);
+    let targets = world
+        .cluster
+        .ring
+        .servers_for(b"key-x", 3)
+        .expect("3 fit on 5");
     for (i, srv) in world.cluster.servers.iter().enumerate() {
         let has = srv.borrow().store().contains("key-x");
         assert_eq!(has, targets.contains(&i), "server {i}");
@@ -37,7 +41,11 @@ fn erasure_places_one_chunk_per_server_with_shard_sized_payloads() {
         let world = world_for(scheme);
         let mut sim = Simulation::new();
         run_ops(&world, &mut sim, vec![Op::set_synthetic("key-y", 3000, 7)]);
-        let targets = world.cluster.ring.servers_for(b"key-y", 5);
+        let targets = world
+            .cluster
+            .ring
+            .servers_for(b"key-y", 5)
+            .expect("5 fit on 5");
         for (i, &srv) in targets.iter().enumerate() {
             let store = &world.cluster.servers[srv];
             let chunk = store
@@ -86,7 +94,7 @@ fn healthy_erasure_reads_touch_only_data_chunk_holders() {
         .collect();
     world.reset_metrics();
     run_ops(&world, &mut sim, vec![Op::get("r")]);
-    let targets = world.cluster.ring.servers_for(b"r", 5);
+    let targets = world.cluster.ring.servers_for(b"r", 5).expect("5 fit on 5");
     for (pos, &srv) in targets.iter().enumerate() {
         let delta = world.cluster.servers[srv].borrow().stats().hits - before[srv];
         if pos < 3 {
@@ -102,7 +110,7 @@ fn degraded_erasure_reads_pull_parity_instead() {
     let world = world_for(Scheme::era_ce_cd(3, 2));
     let mut sim = Simulation::new();
     run_ops(&world, &mut sim, vec![Op::set_synthetic("d", 6000, 1)]);
-    let targets = world.cluster.ring.servers_for(b"d", 5);
+    let targets = world.cluster.ring.servers_for(b"d", 5).expect("5 fit on 5");
     // Kill the first data chunk holder.
     world.cluster.kill_server(targets[0]);
     world.reset_metrics();

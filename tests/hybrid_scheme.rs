@@ -44,14 +44,22 @@ fn small_values_are_replicated_large_are_chunked() {
     eckv::core::driver::run_workload(&world, &mut sim, vec![writes]);
     // The replicated key exists verbatim on its first three placement
     // servers; the chunked key exists only as ".sN" shards.
-    let tiny_targets = world.cluster.ring.servers_for(b"tiny", 3);
+    let tiny_targets = world
+        .cluster
+        .ring
+        .servers_for(b"tiny", 3)
+        .expect("3 fit on 5");
     for &s in &tiny_targets {
         assert!(
             world.cluster.servers[s].borrow().store().contains("tiny"),
             "replica missing on server {s}"
         );
     }
-    let big_targets = world.cluster.ring.servers_for(b"big", 5);
+    let big_targets = world
+        .cluster
+        .ring
+        .servers_for(b"big", 5)
+        .expect("5 fit on 5");
     assert!(!world.cluster.servers[big_targets[0]]
         .borrow()
         .store()

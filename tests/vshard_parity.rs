@@ -1,0 +1,108 @@
+//! Golden-trace parity for the vshard placement layer: at fixed topology
+//! the key→vshard→server-group indirection must compose to exactly the
+//! key→ring mapping it replaced, so a pinned seed/config scenario —
+//! erasure with an online rebuild, plain replication, and the hybrid
+//! scheme — must keep producing the byte-identical JSONL trace captured
+//! before the refactor.
+//!
+//! Regenerate the golden file (only after an *intentional* trace change)
+//! with:
+//!
+//! ```text
+//! ECKV_BLESS_GOLDEN=1 cargo test --test vshard_parity
+//! ```
+
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use eckv::prelude::*;
+use eckv::simnet::{JsonlSink, Trace, TraceBus};
+
+/// Keys written (and read back) per scheme leg.
+const KEYS: usize = 16;
+/// The server killed and rebuilt online in the erasure leg.
+const DEAD: usize = 1;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/fixed_topology.jsonl")
+}
+
+/// Pinned value size of key `i`: 1..8 KiB, crossing the hybrid threshold
+/// both ways.
+fn len_of(i: usize) -> u64 {
+    ((i % 8) as u64 + 1) * 1024
+}
+
+/// The pinned fixed-topology scenario: three scheme legs, each traced
+/// end to end. The erasure leg loses a server and rebuilds it online
+/// while reads continue, so repair-engine traces are pinned too.
+fn scenario() -> String {
+    let mut out = String::new();
+    let legs: Vec<(&str, Scheme, bool)> = vec![
+        ("era-ce-cd", Scheme::era_ce_cd(3, 2), true),
+        ("sync-rep", Scheme::SyncRep { replicas: 3 }, false),
+        ("hybrid", Scheme::hybrid(4096, 3, 2), false),
+    ];
+    for (name, scheme, kill_and_repair) in legs {
+        let sink = Rc::new(RefCell::new(JsonlSink::new()));
+        let mut bus = TraceBus::new();
+        bus.add_sink(sink.clone());
+        let world = World::new_traced(
+            EngineConfig::new(ClusterConfig::new(ClusterProfile::RiQdr, 5, 1), scheme).window(2),
+            Trace::from_bus(bus),
+        );
+        let mut sim = Simulation::new();
+        let writes: Vec<Op> = (0..KEYS)
+            .map(|i| Op::set_synthetic(format!("g{i:02}"), len_of(i), i as u64))
+            .collect();
+        run_workload(&world, &mut sim, vec![writes]);
+        assert_eq!(
+            world.metrics.borrow().errors,
+            0,
+            "{name}: load must be clean"
+        );
+        if kill_and_repair {
+            world.cluster.kill_server(DEAD);
+            start_repair(&world, &mut sim, DEAD);
+        }
+        let reads: Vec<Op> = (0..KEYS).map(|i| Op::get(format!("g{i:02}"))).collect();
+        enqueue_workload(&world, &mut sim, vec![reads]);
+        sim.run();
+        out.push_str("## ");
+        out.push_str(name);
+        out.push('\n');
+        out.push_str(sink.borrow().contents());
+    }
+    out
+}
+
+#[test]
+fn fixed_topology_traces_match_the_pre_vshard_golden() {
+    let got = scenario();
+    let path = golden_path();
+    if std::env::var_os("ECKV_BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .expect("golden file missing; bless with ECKV_BLESS_GOLDEN=1");
+    assert!(
+        got == want,
+        "fixed-topology trace diverged from the pre-vshard golden \
+         ({} vs {} bytes); placement at fixed membership must be \
+         byte-identical to the direct ring lookup",
+        got.len(),
+        want.len()
+    );
+}
+
+#[test]
+fn fixed_topology_scenario_is_deterministic() {
+    assert_eq!(
+        scenario(),
+        scenario(),
+        "same-seed scenario runs must be byte-identical"
+    );
+}
